@@ -1,0 +1,43 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+it (run pytest with ``-s`` to see the tables).  By default the workloads are
+scaled down so the whole suite finishes in a few minutes; set
+``REPRO_BENCH_FULL=1`` to run at the paper's dataset sizes (Table II).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.data.synth import load_adult, load_compas, load_lawschool
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+ADULT_ROWS = 45_222 if FULL else 12_000
+COMPAS_ROWS = 6_172  # full size; it is small
+LAWSCHOOL_ROWS = 4_590  # full size; it is small
+MODELS = ("dt", "rf", "lg", "nn") if FULL else ("dt", "lg")
+
+
+@pytest.fixture(scope="session")
+def adult():
+    return load_adult(ADULT_ROWS, seed=5)
+
+
+@pytest.fixture(scope="session")
+def compas():
+    return load_compas(COMPAS_ROWS, seed=11)
+
+
+@pytest.fixture(scope="session")
+def lawschool():
+    return load_lawschool(LAWSCHOOL_ROWS, seed=23)
+
+
+def emit(table: str) -> None:
+    """Print a regenerated paper artefact (visible with ``pytest -s``)."""
+    print()
+    print(table)

@@ -1,0 +1,63 @@
+"""Ablation — does the remedy damage probability calibration?
+
+The paper only measures accuracy costs.  Because the remedy intentionally
+shifts the training distribution inside biased regions, a reasonable worry
+is that downstream probability estimates become globally miscalibrated.
+This ablation measures the Brier score and expected calibration error of a
+logistic model before and after each remedy technique.
+"""
+
+from conftest import emit
+
+from repro.core import remedy_dataset
+from repro.data.split import train_test_split
+from repro.experiments import format_table
+from repro.ml import brier_score, expected_calibration_error, make_model
+
+TECHNIQUES = ("undersampling", "oversampling", "preferential", "massaging")
+
+
+def test_ablation_calibration(benchmark, compas):
+    train, test = train_test_split(compas, 0.3, seed=0)
+
+    def measure(train_set, label):
+        model = make_model("lg", seed=0).fit(train_set)
+        probs = model.predict_proba(test)
+        return (
+            label,
+            brier_score(test.y, probs),
+            expected_calibration_error(test.y, probs),
+            float((model.predict(test) == test.y).mean()),
+        )
+
+    def run():
+        rows = [measure(train, "original")]
+        for technique in TECHNIQUES:
+            remedied = remedy_dataset(
+                train, 0.1, technique=technique, seed=0
+            ).dataset
+            rows.append(measure(remedied, technique))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ("training data", "Brier", "ECE", "accuracy"),
+            rows,
+            title="Ablation — calibration before/after remedy (LG, ProPublica)",
+        )
+    )
+    by_label = {label: (br, ece) for label, br, ece, __ in rows}
+    benchmark.extra_info["brier"] = {
+        label: round(br, 4) for label, (br, __) in by_label.items()
+    }
+
+    base_brier, base_ece = by_label["original"]
+    for technique in TECHNIQUES:
+        br, ece = by_label[technique]
+        # The remedy may trade some calibration for fairness, but must not
+        # destroy it: Brier stays below the 0.25 coin-flip level and within
+        # a moderate factor of the unmitigated model.
+        assert br < 0.25, technique
+        assert br < base_brier * 1.5, technique
+        assert ece < max(3 * base_ece, 0.15), technique

@@ -1,0 +1,66 @@
+"""Ablation — how accurate are the read-only remedy plans?
+
+`plan_remedies` previews, per (tau_c, T) setting, the flagged-region count
+and an estimate of the rows a remedy would touch, without modifying
+anything.  This ablation compares the estimates against actual remedy runs
+across the tau_c grid of Fig. 7 and asserts they rank the settings in the
+same order — the property a planning tool needs.
+"""
+
+from conftest import emit
+
+from repro.core import plan_remedies, remedy_dataset
+from repro.data.split import train_test_split
+from repro.experiments import format_table
+
+TAU_GRID = (0.1, 0.3, 0.5)
+
+
+def test_ablation_plan_accuracy(benchmark, compas):
+    train, __ = train_test_split(compas, 0.3, seed=0)
+
+    def run():
+        plans = plan_remedies(train, tau_grid=TAU_GRID, T_values=(1.0,), k=30)
+        rows = []
+        for plan in plans:
+            actual = remedy_dataset(
+                train, plan.tau_c, T=1.0, k=30, technique="preferential", seed=0
+            )
+            rows.append(
+                (
+                    plan.tau_c,
+                    plan.n_regions,
+                    plan.estimated_rows_touched,
+                    actual.n_regions_remedied,
+                    actual.rows_touched,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ("tau_c", "plan regions", "plan rows", "actual regions", "actual rows"),
+            rows,
+            title="Ablation — plan estimates vs actual remedy footprints",
+        )
+    )
+
+    plan_rows = [r[2] for r in rows]
+    actual_rows = [r[4] for r in rows]
+    # The plan must rank the settings the same way the real remedy does.
+    plan_order = sorted(range(len(rows)), key=lambda i: plan_rows[i])
+    actual_order = sorted(range(len(rows)), key=lambda i: actual_rows[i])
+    assert plan_order == actual_order
+    # Each estimate is a conservative upper bound on the actual footprint:
+    # Algorithm 2's per-node recomputation means fixing deep regions also
+    # fixes their ancestors, so the static sum over-counts (typically a
+    # single-digit factor), but must never *under*-estimate badly.
+    for plan_n, actual_n in zip(plan_rows, actual_rows):
+        if actual_n == 0:
+            continue
+        assert plan_n >= actual_n * 0.8
+        assert plan_n <= actual_n * 12.0
+        benchmark.extra_info.setdefault("ratios", []).append(
+            round(plan_n / actual_n, 2)
+        )

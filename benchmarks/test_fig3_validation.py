@@ -1,0 +1,38 @@
+"""Fig. 3 — connection between representation bias in IBS and unfair
+subgroups (ProPublica, tau_c = 0.1, T = 1, all four models, FPR and FNR).
+
+Paper claim to reproduce: (nearly) every unfair subgroup either belongs to
+the IBS or dominates a significant biased region, and positively skewed
+regions align with high-FPR subgroups.
+"""
+
+from conftest import MODELS, emit
+
+from repro.experiments import run_validation, validation_summary, validation_table
+
+
+def test_fig3_unfair_subgroups_vs_ibs(benchmark, compas):
+    results = benchmark.pedantic(
+        lambda: run_validation(compas, models=MODELS, tau_c=0.1, T=1.0, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(validation_table(results, schema=compas.schema))
+    emit(validation_summary(results))
+
+    total_unfair = sum(r.n_unfair for r in results)
+    total_explained = sum(r.n_explained for r in results)
+    benchmark.extra_info["unfair_subgroups"] = total_unfair
+    benchmark.extra_info["explained"] = total_explained
+
+    assert total_unfair > 0, "the biased COMPAS data must yield unfair subgroups"
+    # Paper: "nearly all unfair subgroups exhibit representation bias".
+    assert total_explained / total_unfair >= 0.85
+
+    # Directional claim: positively skewed regions go with high-FPR groups.
+    for result in results:
+        if result.gamma != "fpr":
+            continue
+        for s in result.subgroups:
+            if s.in_ibs and s.subgroup.gamma_group > s.subgroup.gamma_dataset:
+                assert s.skew_direction >= 0

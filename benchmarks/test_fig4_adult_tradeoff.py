@@ -1,0 +1,19 @@
+"""Fig. 4 — fairness-accuracy trade-off on Adult (tau_c = 0.5, T = 1).
+
+Panels (a)-(c): Original vs Lattice/Leaf/Top with preferential sampling;
+panel (d): the four pre-processing techniques under the Lattice scope.
+"""
+
+from conftest import MODELS, emit
+from tradeoff_common import check_tradeoff_shape
+
+from repro.experiments import run_tradeoff
+
+
+def test_fig4_adult_tradeoff(benchmark, adult):
+    result = benchmark.pedantic(
+        lambda: run_tradeoff(adult, "Adult", tau_c=0.5, T=1.0, models=MODELS, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    check_tradeoff_shape(result, benchmark)

@@ -1,0 +1,17 @@
+"""Fig. 6 — fairness-accuracy trade-off on ProPublica (tau_c = 0.1, T = 1)."""
+
+from conftest import MODELS, emit
+from tradeoff_common import check_tradeoff_shape
+
+from repro.experiments import run_tradeoff
+
+
+def test_fig6_compas_tradeoff(benchmark, compas):
+    result = benchmark.pedantic(
+        lambda: run_tradeoff(
+            compas, "ProPublica", tau_c=0.1, T=1.0, models=MODELS, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    check_tradeoff_shape(result, benchmark)

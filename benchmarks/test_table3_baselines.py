@@ -1,0 +1,51 @@
+"""Table III — comparison with subgroup-unfairness mitigation baselines.
+
+Adult, X = {race, gender}, logistic regression for every pre-processing
+method, fairness-violation metric.  Shapes to hold (paper):
+
+* every baseline except Coverage improves the violation;
+* Reweighting is the strongest pre-processing entry;
+* FairBalance / Fair-SMOTE pay the largest accuracy cost (they force a
+  balanced 1:1 class distribution the test set does not have);
+* Fair-SMOTE and GerryFair are the slow entries.
+"""
+
+from conftest import emit
+
+from repro.experiments import run_baseline_comparison
+
+
+def test_table3_baseline_comparison(benchmark, adult):
+    table = benchmark.pedantic(
+        lambda: run_baseline_comparison(adult, gerryfair_iters=15, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table.table())
+    rows = {r.approach: r for r in table.rows}
+    for name, row in rows.items():
+        benchmark.extra_info[f"{name}_violation"] = round(row.fairness_violation, 4)
+        benchmark.extra_info[f"{name}_accuracy"] = round(row.accuracy, 4)
+
+    original = rows["original"].fairness_violation
+
+    # Mitigating entries must not be worse than the original.
+    for name in ("remedy", "reweighting", "gerryfair"):
+        assert rows[name].fairness_violation <= original + 1e-9, name
+
+    # Coverage addresses representation *count*, not class skew: the paper
+    # finds it does not improve the violation.
+    assert rows["coverage"].fairness_violation >= original - 0.003
+
+    # Reweighting achieves (near) optimal parity in the paper.
+    assert rows["reweighting"].fairness_violation <= rows["remedy"].fairness_violation + 0.01
+
+    # Balanced-distribution methods pay an accuracy price.
+    assert rows["fairbalance"].accuracy <= rows["original"].accuracy
+    assert rows["fair-smote"].accuracy <= rows["original"].accuracy
+
+    # Runtime shape: Fair-SMOTE dominates the pre-processing cost, GerryFair
+    # dominates the lightweight reweighting methods.
+    light = max(rows[n].seconds for n in ("coverage", "fairbalance", "reweighting"))
+    assert rows["fair-smote"].seconds > light
+    assert rows["gerryfair"].seconds > light

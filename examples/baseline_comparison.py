@@ -1,0 +1,40 @@
+"""Baseline shoot-out (Table III): Remedy vs five mitigation baselines.
+
+Adult-like data, protected attributes {race, gender}, logistic regression
+as the downstream learner, evaluated under the GerryFair fairness-violation
+metric — the §V-B4 comparison.
+
+Usage:  python examples/baseline_comparison.py [n_rows]
+"""
+
+import sys
+
+from repro.data.synth import load_adult
+from repro.experiments import run_baseline_comparison
+
+
+def main() -> None:
+    n_rows = int(sys.argv[1]) if len(sys.argv) > 1 else 12_000
+    dataset = load_adult(n_rows, seed=5)
+    print(f"Comparing mitigation approaches on {dataset!r} ...\n")
+    table = run_baseline_comparison(dataset, gerryfair_iters=15, seed=0)
+    print(table.table())
+
+    rows = {r.approach: r for r in table.rows}
+    print("\nReading the table:")
+    print(
+        f"  Remedy cuts the violation "
+        f"{rows['original'].fairness_violation:.4f} -> "
+        f"{rows['remedy'].fairness_violation:.4f}; Coverage does not help "
+        f"({rows['coverage'].fairness_violation:.4f}) because it fixes group "
+        "counts, not class skew."
+    )
+    print(
+        f"  Fair-SMOTE needs {rows['fair-smote'].seconds:.1f}s (kNN synthesis) "
+        f"and GerryFair {rows['gerryfair'].seconds:.1f}s (iterated training), "
+        "while the reweighting methods run in milliseconds."
+    )
+
+
+if __name__ == "__main__":
+    main()

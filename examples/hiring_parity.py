@@ -1,0 +1,84 @@
+"""The paper's §VI statistical-parity scenario, made concrete.
+
+"In a hiring model that considers race and gender as protected attributes,
+the acceptance rate for green females and purple males is 50%, while it is
+0% for green males and purple females.  Analyzing each attribute
+independently would suggest fairness, but our method could detect
+representation bias in each subgroup and help mitigate such biases."
+
+This example builds exactly that dataset, shows that per-attribute
+positive rates look fair while the intersectional ones do not, identifies
+the IBS, remedies it, and re-audits under the statistical-parity statistic
+(positive prediction rate).
+
+Usage:  python examples/hiring_parity.py
+"""
+
+import numpy as np
+
+from repro.audit import find_divergent_subgroups
+from repro.core import Pattern, identify_ibs, remedy_dataset
+from repro.data import train_test_split
+from repro.data.synth import make_checkerboard
+from repro.ml import make_model
+from repro.ml.metrics import positive_rate
+
+
+def main() -> None:
+    dataset = make_checkerboard()
+    train, test = train_test_split(dataset, 0.3, seed=0)
+    model = make_model("dt", seed=0).fit(train)
+    pred = model.predict(test)
+    schema = dataset.schema
+
+    print("Acceptance (positive prediction) rates:")
+    print(f"  overall: {positive_rate(test.y, pred):.3f}")
+    for attr, values in (("race", ("green", "purple")), ("gender", ("male", "female"))):
+        for value in values:
+            mask = Pattern.from_labels(schema, {attr: value}).mask(test)
+            print(f"  {attr}={value:7s}: {positive_rate(test.y, pred, mask):.3f}")
+    print("  -> each attribute alone looks fair.  But intersectionally:")
+    for race in ("green", "purple"):
+        for gender in ("male", "female"):
+            p = Pattern.from_labels(schema, {"race": race, "gender": gender})
+            rate = positive_rate(test.y, pred, p.mask(test))
+            print(f"  ({race}, {gender}): {rate:.3f}")
+
+    # The subgroup auditor under the statistical-parity statistic.
+    divergent = find_divergent_subgroups(test, pred, gamma="positive_rate")
+    worst = divergent[0]
+    print(
+        f"\nMost divergent subgroup under statistical parity: "
+        f"{worst.pattern.describe(schema)} "
+        f"(rate {worst.gamma_group:.3f} vs overall {worst.gamma_dataset:.3f})"
+    )
+
+    # The IBS detects the representation bias behind it ...
+    ibs = identify_ibs(train, tau_c=0.3, T=1.0, k=30)
+    print(f"\nIBS of the training data ({len(ibs)} regions):")
+    for r in ibs[:4]:
+        print(
+            f"  {r.pattern.describe(schema):28s} ratio={r.ratio:5.2f} "
+            f"vs neighbourhood {r.neighbor_ratio:5.2f}"
+        )
+
+    # ... and remedying it narrows the intersectional acceptance gap.
+    remedied = remedy_dataset(train, tau_c=0.3, technique="massaging", seed=0).dataset
+    fair_pred = make_model("dt", seed=0).fit(remedied).predict(test)
+
+    def parity_gap(predictions: np.ndarray) -> float:
+        rates = []
+        for race in ("green", "purple"):
+            for gender in ("male", "female"):
+                p = Pattern.from_labels(schema, {"race": race, "gender": gender})
+                rates.append(positive_rate(test.y, predictions, p.mask(test)))
+        return max(rates) - min(rates)
+
+    print(
+        f"\nIntersectional acceptance-rate gap: "
+        f"{parity_gap(pred):.3f} before remedy, {parity_gap(fair_pred):.3f} after."
+    )
+
+
+if __name__ == "__main__":
+    main()

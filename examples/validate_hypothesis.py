@@ -1,0 +1,35 @@
+"""Hypothesis 1 validation (Fig. 3): unfair subgroups trace back to the IBS.
+
+Trains all four downstream classifiers on the COMPAS-like data, mines the
+unfair subgroups of each model's test predictions under FPR and FNR, and
+checks how many are explained by the training data's Implicit Biased Set —
+either by being a biased region themselves (the paper's grey marking) or by
+dominating one (blue marking).
+
+Usage:  python examples/validate_hypothesis.py
+"""
+
+from repro.data.synth import load_compas
+from repro.experiments import run_validation, validation_summary, validation_table
+
+
+def main() -> None:
+    dataset = load_compas()
+    print(f"Validating Hypothesis 1 on {dataset!r} (tau_c=0.1, T=1) ...\n")
+    results = run_validation(
+        dataset, models=("dt", "rf", "lg", "nn"), tau_c=0.1, T=1.0, seed=0
+    )
+    print(validation_table(results, schema=dataset.schema))
+    print()
+    print(validation_summary(results))
+
+    total = sum(r.n_unfair for r in results)
+    explained = sum(r.n_explained for r in results)
+    print(
+        f"\n{explained}/{total} unfair subgroups across all models and both "
+        f"statistics are explained by representation bias in the IBS."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro — reproduction of "Mitigating Subgroup Unfairness in Machine
+Learning Classifiers: A Data-Driven Approach" (Lin, Gupta, Jagadish; ICDE
+2024).
+
+The package identifies *Implicit Biased Sets* (intersectional regions of the
+protected-attribute space whose class distribution diverges from their
+neighbourhood) in training data and remedies them with pre-processing
+sampling techniques, mitigating subgroup unfairness of any downstream
+classifier.  See README.md for a tour and DESIGN.md for the architecture.
+
+Quickstart::
+
+    from repro import RemedyPipeline, RemedyConfig
+    from repro.data import train_test_split
+    from repro.data.synth import load_compas
+
+    train, test = train_test_split(load_compas(), test_fraction=0.3, seed=0)
+    pipeline = RemedyPipeline(RemedyConfig(tau_c=0.1, T=1.0))
+    model = pipeline.fit_model(train, model="dt")
+    predictions = model.predict(test)
+"""
+
+from repro.core import (
+    Hierarchy,
+    Pattern,
+    RegionReport,
+    RegionUpdate,
+    RemedyConfig,
+    RemedyPipeline,
+    RemedyResult,
+    identify_ibs,
+    remedy_dataset,
+)
+from repro.data import Dataset, Schema, train_test_split
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Pattern",
+    "Hierarchy",
+    "RegionReport",
+    "RegionUpdate",
+    "RemedyConfig",
+    "RemedyPipeline",
+    "RemedyResult",
+    "identify_ibs",
+    "remedy_dataset",
+    "Dataset",
+    "Schema",
+    "train_test_split",
+    "__version__",
+]

@@ -1,0 +1,69 @@
+"""Fairness auditing: subgroup mining, fairness index, violation metric."""
+
+from repro.audit.comparison import FairnessDiff, SubgroupDelta, compare_predictions
+from repro.audit.divergence import Divergence, subgroup_divergence
+from repro.audit.divexplorer import (
+    SubgroupReport,
+    find_divergent_subgroups,
+    unfair_subgroups,
+)
+from repro.audit.intersectionality import (
+    IntersectionalityReport,
+    LevelProfile,
+    divergence_profile,
+    intersectionality_gap,
+)
+from repro.audit.frequent import (
+    FrequentPattern,
+    brute_force_frequent_patterns,
+    iter_pattern_masks,
+    mine_frequent_patterns,
+)
+from repro.audit.fairness_index import (
+    DEFAULT_ALPHA,
+    DEFAULT_SUPPORT_FLOOR,
+    fairness_index,
+    fairness_index_from_reports,
+)
+from repro.audit.significance import bernoulli_t_test, welch_t_test
+from repro.audit.slicefinder import (
+    ProblematicSlice,
+    effect_size,
+    find_problematic_slices,
+)
+from repro.audit.violation import (
+    fairness_violation,
+    fairness_violation_from_reports,
+    worst_subgroup,
+)
+
+__all__ = [
+    "compare_predictions",
+    "FairnessDiff",
+    "SubgroupDelta",
+    "Divergence",
+    "subgroup_divergence",
+    "SubgroupReport",
+    "find_divergent_subgroups",
+    "unfair_subgroups",
+    "fairness_index",
+    "FrequentPattern",
+    "mine_frequent_patterns",
+    "brute_force_frequent_patterns",
+    "iter_pattern_masks",
+    "fairness_index_from_reports",
+    "DEFAULT_ALPHA",
+    "DEFAULT_SUPPORT_FLOOR",
+    "fairness_violation",
+    "fairness_violation_from_reports",
+    "worst_subgroup",
+    "welch_t_test",
+    "bernoulli_t_test",
+    "ProblematicSlice",
+    "find_problematic_slices",
+    "effect_size",
+    "divergence_profile",
+    "intersectionality_gap",
+    "IntersectionalityReport",
+    "LevelProfile",
+]

@@ -1,0 +1,124 @@
+"""Before/after comparison of two prediction sets, subgroup by subgroup.
+
+The natural question after applying a remedy is *which* subgroups got
+better and whether any got worse.  :func:`compare_predictions` aligns the
+divergence reports of two prediction vectors over the same test data and
+returns per-subgroup deltas, plus aggregate counts, renderable as a text
+table — the "fairness diff" of a mitigation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.audit.divexplorer import find_divergent_subgroups
+from repro.core.pattern import Pattern
+from repro.data.dataset import Dataset
+from repro.ml.metrics import FPR
+
+
+@dataclass(frozen=True)
+class SubgroupDelta:
+    """One subgroup's divergence before vs. after."""
+
+    pattern: Pattern
+    size: int
+    divergence_before: float
+    divergence_after: float
+
+    @property
+    def delta(self) -> float:
+        """Negative = improved (divergence shrank)."""
+        return self.divergence_after - self.divergence_before
+
+
+@dataclass(frozen=True)
+class FairnessDiff:
+    """Aligned subgroup deltas between two prediction sets."""
+
+    gamma: str
+    deltas: tuple[SubgroupDelta, ...]
+
+    @property
+    def n_improved(self) -> int:
+        return sum(1 for d in self.deltas if d.delta < -1e-12)
+
+    @property
+    def n_worsened(self) -> int:
+        return sum(1 for d in self.deltas if d.delta > 1e-12)
+
+    @property
+    def total_divergence_change(self) -> float:
+        return float(sum(d.delta for d in self.deltas))
+
+    def worst_regressions(self, n: int = 5) -> list[SubgroupDelta]:
+        """The subgroups that got most worse (largest positive delta)."""
+        return sorted(self.deltas, key=lambda d: -d.delta)[:n]
+
+    def table(self, schema, top: int = 10) -> str:
+        from repro.experiments.reporting import format_table
+
+        ranked = sorted(self.deltas, key=lambda d: d.delta)
+        shown = ranked[:top] + [d for d in ranked[-top:] if d not in ranked[:top]]
+        rows = [
+            (
+                d.pattern.describe(schema),
+                d.size,
+                d.divergence_before,
+                d.divergence_after,
+                d.delta,
+            )
+            for d in shown
+        ]
+        return format_table(
+            ("subgroup", "size", "before", "after", "delta"),
+            rows,
+            precision=3,
+            title=(
+                f"Fairness diff ({self.gamma}): {self.n_improved} improved, "
+                f"{self.n_worsened} worsened, total change "
+                f"{self.total_divergence_change:+.3f}"
+            ),
+        )
+
+
+def compare_predictions(
+    test: Dataset,
+    pred_before: np.ndarray,
+    pred_after: np.ndarray,
+    gamma: str = FPR,
+    attrs: Sequence[str] | None = None,
+    min_size: int = 30,
+) -> FairnessDiff:
+    """Align divergence reports of two prediction vectors on ``test``.
+
+    Subgroups whose statistic is defined in only one of the two runs are
+    dropped (no meaningful delta exists for them).
+    """
+    before = {
+        r.pattern: r
+        for r in find_divergent_subgroups(
+            test, pred_before, gamma=gamma, attrs=attrs, min_size=min_size
+        )
+    }
+    after = {
+        r.pattern: r
+        for r in find_divergent_subgroups(
+            test, pred_after, gamma=gamma, attrs=attrs, min_size=min_size
+        )
+    }
+    deltas = []
+    for pattern in before.keys() & after.keys():
+        deltas.append(
+            SubgroupDelta(
+                pattern=pattern,
+                size=before[pattern].size,
+                divergence_before=before[pattern].divergence,
+                divergence_after=after[pattern].divergence,
+            )
+        )
+    deltas.sort(key=lambda d: (d.delta, d.pattern.items))
+    return FairnessDiff(gamma=gamma, deltas=tuple(deltas))

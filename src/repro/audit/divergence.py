@@ -1,0 +1,50 @@
+"""Subgroup divergence (paper §II-A, following DivExplorer [26]).
+
+``Δγ_g = |γ_g − γ_D|`` for a model statistic ``γ`` — the behavioural
+distance between a subgroup and the whole dataset.  Definition 1 then calls
+a subgroup ``τ_d``-fair when its divergence is at most ``τ_d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pattern import Pattern
+from repro.data.dataset import Dataset
+from repro.ml.metrics import statistic
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """A subgroup's statistic vs. the dataset's."""
+
+    statistic: str
+    gamma_group: float
+    gamma_dataset: float
+
+    @property
+    def value(self) -> float:
+        """``Δγ_g``; nan when the subgroup statistic is undefined."""
+        if np.isnan(self.gamma_group) or np.isnan(self.gamma_dataset):
+            return float("nan")
+        return abs(self.gamma_group - self.gamma_dataset)
+
+    def is_fair(self, tau_d: float) -> bool:
+        """Definition 1: ``Δγ_g ≤ τ_d`` (an undefined divergence is fair)."""
+        v = self.value
+        return bool(np.isnan(v) or v <= tau_d)
+
+
+def subgroup_divergence(
+    dataset: Dataset,
+    y_pred: np.ndarray,
+    pattern: Pattern,
+    gamma: str,
+) -> Divergence:
+    """Divergence of the subgroup matched by ``pattern`` on test predictions."""
+    mask = pattern.mask(dataset)
+    gamma_g = statistic(gamma, dataset.y, y_pred, mask)
+    gamma_d = statistic(gamma, dataset.y, y_pred)
+    return Divergence(gamma, gamma_g, gamma_d)

@@ -1,0 +1,54 @@
+"""The paper's Fairness Index (§V-A.d).
+
+"The index is calculated as the sum of the divergences for each unfair
+subgroup with a support (as a fraction of the dataset size) over 0.1 and a
+statistically significant divergence (as determined by the t-test).  Lower
+values indicate higher levels of fairness."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.audit.divexplorer import SubgroupReport, find_divergent_subgroups
+from repro.data.dataset import Dataset
+from repro.ml.metrics import FPR
+
+DEFAULT_SUPPORT_FLOOR = 0.1
+DEFAULT_ALPHA = 0.05
+
+
+def fairness_index_from_reports(
+    reports: Sequence[SubgroupReport],
+    min_support: float = DEFAULT_SUPPORT_FLOOR,
+    alpha: float = DEFAULT_ALPHA,
+) -> float:
+    """Sum of divergences over significant subgroups above the support floor."""
+    return float(
+        sum(
+            r.divergence
+            for r in reports
+            if r.support >= min_support and r.is_significant(alpha)
+        )
+    )
+
+
+def fairness_index(
+    dataset: Dataset,
+    y_pred: np.ndarray,
+    gamma: str = FPR,
+    attrs: Sequence[str] | None = None,
+    min_support: float = DEFAULT_SUPPORT_FLOOR,
+    alpha: float = DEFAULT_ALPHA,
+) -> float:
+    """Mine subgroups on the test predictions and aggregate the index.
+
+    Subgroups below ``min_support`` are pruned during mining already, which
+    keeps the index cheap even for six-attribute lattices.
+    """
+    reports = find_divergent_subgroups(
+        dataset, y_pred, gamma=gamma, attrs=attrs, min_support=min_support
+    )
+    return fairness_index_from_reports(reports, min_support=min_support, alpha=alpha)

@@ -1,0 +1,59 @@
+"""Welch's t-test from summary statistics.
+
+The fairness index counts only subgroups whose divergence is statistically
+significant ("as determined by the t-test", §V-A.d).  The subgroup statistic
+and the complement statistic are means of Bernoulli indicators, so a Welch
+two-sample t-test on the indicator populations is computed directly from
+their summary statistics.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy import stats
+
+
+def welch_t_test(
+    mean1: float,
+    var1: float,
+    n1: int,
+    mean2: float,
+    var2: float,
+    n2: int,
+) -> tuple[float, float]:
+    """Two-sided Welch t-test; returns ``(t_statistic, p_value)``.
+
+    Degenerate inputs (a side with fewer than 2 samples, or both variances
+    zero) return ``(0.0, 1.0)`` — never significant — so empty or constant
+    subgroups cannot inflate the fairness index.
+    """
+    if n1 < 2 or n2 < 2:
+        return 0.0, 1.0
+    se_sq = var1 / n1 + var2 / n2
+    if se_sq <= 0:
+        if mean1 == mean2:
+            return 0.0, 1.0
+        return math.inf, 0.0
+    t = (mean1 - mean2) / math.sqrt(se_sq)
+    # Welch–Satterthwaite degrees of freedom.
+    num = se_sq**2
+    den = 0.0
+    if var1 > 0:
+        den += (var1 / n1) ** 2 / (n1 - 1)
+    if var2 > 0:
+        den += (var2 / n2) ** 2 / (n2 - 1)
+    df = num / den if den > 0 else float(n1 + n2 - 2)
+    p = 2.0 * float(stats.t.sf(abs(t), df))
+    return float(t), min(max(p, 0.0), 1.0)
+
+
+def bernoulli_t_test(
+    successes1: int, n1: int, successes2: int, n2: int
+) -> tuple[float, float]:
+    """Welch t-test between two Bernoulli samples given by their counts."""
+    if n1 <= 0 or n2 <= 0:
+        return 0.0, 1.0
+    p1 = successes1 / n1
+    p2 = successes2 / n2
+    return welch_t_test(p1, p1 * (1 - p1), n1, p2, p2 * (1 - p2), n2)

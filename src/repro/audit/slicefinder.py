@@ -1,0 +1,184 @@
+"""SliceFinder-style search for problematic slices (paper reference [10]).
+
+SliceFinder (Chung et al., ICDE 2019) is the other automated tool the paper
+cites for locating subgroups where a model underperforms.  Unlike
+DivExplorer's exhaustive divergence ranking, SliceFinder performs a
+*lattice search* that returns the most **general** slices that are both
+statistically significant and large in *effect size*, expanding a slice
+with further predicates only while it is not yet problematic:
+
+1. start from the level-1 slices (single attribute=value predicates);
+2. a slice is *problematic* when the effect size of its loss against the
+   rest of the data exceeds ``min_effect`` and a Welch t-test rejects equal
+   means at ``alpha``;
+3. problematic slices are reported and **not** expanded (more specific
+   versions add predicates without adding information); non-problematic
+   slices above the support floor are expanded one predicate at a time.
+
+Effect size is the standardised mean difference
+``(mean_slice − mean_rest) / sqrt((var_slice + var_rest) / 2)`` on the
+per-row 0/1 loss, as in the SliceFinder paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import Sequence
+
+import numpy as np
+
+from repro.audit.significance import welch_t_test
+from repro.core.pattern import Pattern
+from repro.data.dataset import Dataset
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class ProblematicSlice:
+    """One slice where the model performs significantly worse."""
+
+    pattern: Pattern
+    size: int
+    slice_loss: float
+    rest_loss: float
+    effect_size: float
+    p_value: float
+
+
+def _loss_stats(loss: np.ndarray, mask: np.ndarray) -> tuple[float, float, int]:
+    selected = loss[mask]
+    if selected.size == 0:
+        return float("nan"), 0.0, 0
+    return float(selected.mean()), float(selected.var()), int(selected.size)
+
+
+def effect_size(
+    mean_slice: float, var_slice: float, mean_rest: float, var_rest: float
+) -> float:
+    """Standardised mean difference of losses (SliceFinder's φ)."""
+    pooled = (var_slice + var_rest) / 2.0
+    if pooled <= 0:
+        return 0.0 if mean_slice == mean_rest else float("inf")
+    return (mean_slice - mean_rest) / sqrt(pooled)
+
+
+def find_problematic_slices(
+    dataset: Dataset,
+    y_pred: np.ndarray,
+    attrs: Sequence[str] | None = None,
+    min_size: int = 30,
+    min_effect: float = 0.3,
+    alpha: float = 0.05,
+    max_level: int | None = None,
+    top_k: int | None = None,
+) -> list[ProblematicSlice]:
+    """Lattice search for the most general problematic slices.
+
+    Returns slices sorted by descending effect size (truncated to ``top_k``
+    if given).  Guaranteed minimality: no returned slice is a strict
+    specialisation of another returned slice.
+    """
+    if attrs is None:
+        attrs = dataset.protected
+    attrs = tuple(attrs)
+    if not attrs:
+        raise DataError("slice search needs at least one attribute")
+    dataset.schema.require_categorical(attrs)
+    y_pred = np.asarray(y_pred)
+    if y_pred.shape != dataset.y.shape:
+        raise DataError("y_pred shape does not match the dataset")
+    if min_size < 1:
+        raise DataError("min_size must be >= 1")
+    max_level = len(attrs) if max_level is None else min(max_level, len(attrs))
+
+    loss = (dataset.y != y_pred).astype(np.float64)
+    n = dataset.n_rows
+    total_sum = float(loss.sum())
+    total_sq = float((loss * loss).sum())
+
+    attr_order = {a: i for i, a in enumerate(attrs)}
+    item_masks = {
+        (attr, code): dataset.column(attr) == code
+        for attr in attrs
+        for code in range(dataset.schema[attr].cardinality)
+    }
+
+    def assess(mask: np.ndarray) -> tuple[float, float, float] | None:
+        """(effect, p, slice_loss) or None when the rest side is empty."""
+        m_s, v_s, n_s = _loss_stats(loss, mask)
+        n_r = n - n_s
+        if n_r == 0 or n_s == 0:
+            return None
+        sum_s = float(loss[mask].sum())
+        m_r = (total_sum - sum_s) / n_r
+        # var = E[x^2] - E[x]^2 for the complement without re-masking.
+        sq_r = (total_sq - sum_s) / n_r  # loss is 0/1 so x^2 == x
+        v_r = max(sq_r - m_r * m_r, 0.0)
+        phi = effect_size(m_s, v_s, m_r, v_r)
+        __, p = welch_t_test(m_s, v_s, n_s, m_r, v_r, n_r)
+        return phi, p, m_s
+
+    found: list[ProblematicSlice] = []
+    found_patterns: list[Pattern] = []
+    frontier: list[tuple[Pattern, np.ndarray]] = []
+
+    # Level 1.
+    for (attr, code), mask in item_masks.items():
+        size = int(mask.sum())
+        if size < min_size:
+            continue
+        pattern = Pattern([(attr, code)])
+        outcome = assess(mask)
+        if outcome is None:
+            continue
+        phi, p, m_s = outcome
+        if phi >= min_effect and p < alpha:
+            found.append(
+                ProblematicSlice(
+                    pattern, size, m_s, (total_sum - loss[mask].sum()) / (n - size),
+                    phi, p,
+                )
+            )
+            found_patterns.append(pattern)
+        else:
+            frontier.append((pattern, mask))
+
+    level = 1
+    while frontier and level < max_level:
+        next_frontier: list[tuple[Pattern, np.ndarray]] = []
+        for pattern, mask in frontier:
+            last = max(pattern.attrs, key=attr_order.__getitem__)
+            for attr in attrs[attr_order[last] + 1 :]:
+                for code in range(dataset.schema[attr].cardinality):
+                    joined = mask & item_masks[(attr, code)]
+                    size = int(joined.sum())
+                    if size < min_size:
+                        continue
+                    extended = pattern.with_value(attr, code)
+                    # Skip specialisations of already-found slices.
+                    if any(
+                        extended.is_dominated_by(f) for f in found_patterns
+                    ):
+                        continue
+                    outcome = assess(joined)
+                    if outcome is None:
+                        continue
+                    phi, p, m_s = outcome
+                    if phi >= min_effect and p < alpha:
+                        rest_loss = (total_sum - loss[joined].sum()) / (n - size)
+                        found.append(
+                            ProblematicSlice(
+                                extended, size, m_s, rest_loss, phi, p
+                            )
+                        )
+                        found_patterns.append(extended)
+                    else:
+                        next_frontier.append((extended, joined))
+        frontier = next_frontier
+        level += 1
+
+    found.sort(key=lambda s: (-s.effect_size, s.pattern.items))
+    if top_k is not None:
+        found = found[:top_k]
+    return found

@@ -1,0 +1,63 @@
+"""GerryFair-style *fairness violation* (paper §V-B4, after Kearns et al.).
+
+"GerryFair utilizes a distinct subgroup fairness metric based on fairness
+violation, defined as the subgroup with the greatest performance divergence
+multiplied by its violated group size."  The Table III comparison evaluates
+every method under this metric, so it lives here in the audit package:
+
+    violation = max_g  Δγ_g · support(g)
+
+over subgroups above a small size floor (tiny groups carry negligible mass
+by construction of the product, but the floor also avoids divergences
+computed from a handful of rows).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.audit.divexplorer import SubgroupReport, find_divergent_subgroups
+from repro.data.dataset import Dataset
+from repro.ml.metrics import FPR
+
+
+def fairness_violation_from_reports(reports: Sequence[SubgroupReport]) -> float:
+    """``max_g divergence(g) * support(g)`` (0.0 when no subgroup qualifies)."""
+    best = 0.0
+    for r in reports:
+        value = r.divergence * r.support
+        if value > best:
+            best = value
+    return best
+
+
+def fairness_violation(
+    dataset: Dataset,
+    y_pred: np.ndarray,
+    gamma: str = FPR,
+    attrs: Sequence[str] | None = None,
+    min_size: int = 30,
+) -> float:
+    """Mine subgroups and return the maximal weighted divergence."""
+    reports = find_divergent_subgroups(
+        dataset, y_pred, gamma=gamma, attrs=attrs, min_size=min_size
+    )
+    return fairness_violation_from_reports(reports)
+
+
+def worst_subgroup(
+    dataset: Dataset,
+    y_pred: np.ndarray,
+    gamma: str = FPR,
+    attrs: Sequence[str] | None = None,
+    min_size: int = 30,
+) -> SubgroupReport | None:
+    """The subgroup attaining the fairness violation (None if none qualify)."""
+    reports = find_divergent_subgroups(
+        dataset, y_pred, gamma=gamma, attrs=attrs, min_size=min_size
+    )
+    if not reports:
+        return None
+    return max(reports, key=lambda r: r.divergence * r.support)

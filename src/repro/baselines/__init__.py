@@ -1,0 +1,22 @@
+"""Subgroup-unfairness mitigation baselines of the paper's §V-A.c."""
+
+from repro.baselines.coverage import (
+    UncoveredPattern,
+    coverage_remedy,
+    find_uncovered_patterns,
+)
+from repro.baselines.fairsmote import fair_smote
+from repro.baselines.gerryfair import GerryFairClassifier
+from repro.baselines.postprocess import GroupThresholdPostprocessor
+from repro.baselines.reweighting import fairbalance_weights, reweighting_weights
+
+__all__ = [
+    "coverage_remedy",
+    "find_uncovered_patterns",
+    "UncoveredPattern",
+    "reweighting_weights",
+    "fairbalance_weights",
+    "fair_smote",
+    "GerryFairClassifier",
+    "GroupThresholdPostprocessor",
+]

@@ -1,0 +1,101 @@
+"""Coverage enhancement baseline (Asudeh et al., ICDE 2018 [4]).
+
+Identifies subgroups of the protected-attribute space that *lack coverage*
+(fewer than ``lambda_threshold`` rows) and augments the dataset so every
+such subgroup reaches the threshold.  Following the paper's §V-A setup,
+"for additional tuples required to augment the coverage of a subgroup g, we
+randomly sampled additional tuples from that subgroup" — i.e. duplication of
+existing rows of g.  Patterns with no support at all cannot be augmented
+this way and are skipped (there is nothing to sample from).
+
+The original work reports *maximal uncovered patterns* (MUPs): uncovered
+patterns none of whose dominating generalisations is uncovered.  We expose
+both the MUP identification and the remedy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.pattern import Pattern
+from repro.data.dataset import Dataset
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class UncoveredPattern:
+    """A pattern below the coverage threshold."""
+
+    pattern: Pattern
+    count: int
+    is_maximal: bool  # no dominating generalisation is also uncovered
+
+
+def find_uncovered_patterns(
+    dataset: Dataset,
+    lambda_threshold: int,
+    attrs: Sequence[str] | None = None,
+) -> list[UncoveredPattern]:
+    """All patterns with ``0 < count < lambda_threshold`` plus MUP flags.
+
+    Empty patterns (count 0) are reported too — they are genuinely uncovered
+    — but the remedy cannot augment them.
+    """
+    if lambda_threshold < 1:
+        raise DataError("lambda_threshold must be >= 1")
+    hierarchy = Hierarchy(dataset, attrs=attrs)
+    uncovered: dict[Pattern, int] = {}
+    for level in hierarchy.levels():
+        for node in hierarchy.nodes_at_level(level):
+            total = node.pos + node.neg
+            flat = np.flatnonzero(total.reshape(-1) < lambda_threshold)
+            for f in flat:
+                coords = (
+                    np.unravel_index(int(f), node.shape) if node.shape else ()
+                )
+                pattern = node.pattern_of(tuple(int(c) for c in coords))
+                uncovered[pattern] = int(total[tuple(int(c) for c in coords)])
+
+    out = []
+    for pattern, count in uncovered.items():
+        # Maximal when no strict generalisation is uncovered.
+        maximal = not any(
+            parent in uncovered
+            for parent in (
+                pattern.drop(a) for a in pattern.attrs if pattern.level > 1
+            )
+        )
+        out.append(UncoveredPattern(pattern, count, maximal))
+    out.sort(key=lambda u: (u.pattern.level, u.pattern.items))
+    return out
+
+
+def coverage_remedy(
+    dataset: Dataset,
+    lambda_threshold: int = 30,
+    attrs: Sequence[str] | None = None,
+    seed: int = 0,
+) -> Dataset:
+    """Augment every non-empty uncovered subgroup up to the threshold.
+
+    Only *maximal* uncovered patterns are augmented directly; filling a MUP
+    also raises the counts of everything it dominates, which mirrors the
+    original coverage-enhancement strategy and avoids over-duplication.
+    """
+    rng = np.random.default_rng(seed)
+    current = dataset
+    for uncovered in find_uncovered_patterns(dataset, lambda_threshold, attrs):
+        if not uncovered.is_maximal or uncovered.count == 0:
+            continue
+        mask = uncovered.pattern.mask(current)
+        idx = np.flatnonzero(mask)
+        deficit = lambda_threshold - idx.size
+        if deficit <= 0:
+            continue
+        chosen = rng.choice(idx, size=deficit, replace=True)
+        current = current.duplicate_rows(chosen)
+    return current

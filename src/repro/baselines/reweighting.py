@@ -1,0 +1,89 @@
+"""Reweighting baseline (Kamiran & Calders, 2012 [19]).
+
+Assigns each training row a weight so that, in the weighted data, subgroup
+membership and label are statistically independent:
+
+    w(g, y) = P(g) * P(y) / P(g, y) = (|g| * |y|) / (n * |g ∧ y|)
+
+Subgroups are the leaf-level cells of the protected-attribute cross product
+(the paper's §V-A applies the method "for each (subgroup, label)
+combination to achieve equivalent class distribution across all
+subgroups").  The downstream learner must accept sample weights — the
+flexibility limitation Table III's discussion calls out.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import DataError
+
+
+def reweighting_weights(
+    dataset: Dataset, attrs: Sequence[str] | None = None
+) -> np.ndarray:
+    """Kamiran–Calders weights per row (mean weight is 1 by construction)."""
+    if attrs is None:
+        attrs = dataset.protected
+    attrs = tuple(attrs)
+    if not attrs:
+        raise DataError("reweighting needs at least one protected attribute")
+    codes, shape = dataset.joint_codes(attrs)
+    n_cells = int(np.prod(shape))
+    n = dataset.n_rows
+
+    group_count = np.bincount(codes, minlength=n_cells).astype(np.float64)
+    label_count = np.array(
+        [dataset.n_negative, dataset.n_positive], dtype=np.float64
+    )
+    joint = np.zeros((n_cells, 2))
+    for label in (0, 1):
+        joint[:, label] = np.bincount(
+            codes[dataset.y == label], minlength=n_cells
+        )
+
+    weights = np.ones(n)
+    y = dataset.y
+    cell_joint = joint[codes, y]
+    expected = group_count[codes] * label_count[y] / n
+    nonzero = cell_joint > 0
+    weights[nonzero] = expected[nonzero] / cell_joint[nonzero]
+    return weights
+
+
+def fairbalance_weights(
+    dataset: Dataset, attrs: Sequence[str] | None = None
+) -> np.ndarray:
+    """FairBalance weights (Yu, Chakraborty & Menzies, 2021 [35]).
+
+    Beyond independence, FairBalance makes the class distribution *balanced*
+    (1:1) inside every subgroup:
+
+        w(g, y) = |g| / (2 * |g ∧ y|)
+
+    so each (group, label) cell carries total weight ``|g| / 2`` — equal and
+    balanced across labels — while each group keeps its original total mass.
+    """
+    if attrs is None:
+        attrs = dataset.protected
+    attrs = tuple(attrs)
+    if not attrs:
+        raise DataError("fairbalance needs at least one protected attribute")
+    codes, shape = dataset.joint_codes(attrs)
+    n_cells = int(np.prod(shape))
+
+    group_count = np.bincount(codes, minlength=n_cells).astype(np.float64)
+    joint = np.zeros((n_cells, 2))
+    for label in (0, 1):
+        joint[:, label] = np.bincount(
+            codes[dataset.y == label], minlength=n_cells
+        )
+
+    weights = np.ones(dataset.n_rows)
+    cell_joint = joint[codes, dataset.y]
+    nonzero = cell_joint > 0
+    weights[nonzero] = group_count[codes][nonzero] / (2.0 * cell_joint[nonzero])
+    return weights

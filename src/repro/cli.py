@@ -1,0 +1,388 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``generate``  write one of the synthetic datasets (plus its schema JSON)
+              to CSV so the other commands — or external tools — can use it;
+``identify``  print the Implicit Biased Set of a CSV (Algorithm 1);
+``remedy``    write a remedied copy of a CSV (Algorithm 2);
+``audit``     train a downstream model on a train CSV, audit subgroup
+              fairness on a test CSV, print unfair subgroups and indexes;
+``experiment``run one of the paper's experiments by id (fig3, fig4, fig5,
+              fig6, fig7, fig8, table3, fig9) on the synthetic data.
+
+Every command that reads a CSV requires the matching ``--schema`` JSON
+(written by ``generate`` or by :func:`repro.data.schema_io.write_schema`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.audit import fairness_index, unfair_subgroups
+from repro.core import identify_ibs, remedy_dataset
+from repro.core.samplers import TECHNIQUES
+from repro.data.dataset import Dataset
+from repro.data.io import read_csv, write_csv
+from repro.data.schema_io import read_schema, write_schema
+from repro.data.split import train_test_split
+from repro.data.synth import load_adult, load_compas, load_lawschool
+from repro.experiments.reporting import format_table
+from repro.ml.metrics import FNR, FPR
+from repro.ml.models import MODEL_NAMES, make_model
+
+DATASETS = {
+    "adult": load_adult,
+    "compas": load_compas,
+    "lawschool": load_lawschool,
+}
+
+
+def _load(csv_path: str, schema_path: str) -> Dataset:
+    schema, protected = read_schema(schema_path)
+    return read_csv(csv_path, schema, protected=protected)
+
+
+# -- subcommand implementations --------------------------------------------------
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    loader = DATASETS[args.dataset]
+    kwargs = {"seed": args.seed}
+    if args.rows is not None:
+        kwargs["n_rows"] = args.rows
+    dataset = loader(**kwargs)
+    out = Path(args.output)
+    write_csv(dataset, out)
+    schema_path = out.with_suffix(".schema.json")
+    write_schema(dataset, schema_path)
+    print(f"wrote {dataset.n_rows} rows to {out} (schema: {schema_path})")
+    return 0
+
+
+def cmd_identify(args: argparse.Namespace) -> int:
+    dataset = _load(args.csv, args.schema)
+    reports = identify_ibs(
+        dataset,
+        args.tau_c,
+        T=args.T,
+        k=args.k,
+        scope=args.scope,
+        method=args.method,
+    )
+    rows = [
+        (
+            r.pattern.describe(dataset.schema),
+            r.size,
+            r.ratio,
+            r.neighbor_ratio,
+            r.difference,
+        )
+        for r in reports
+    ]
+    print(
+        format_table(
+            ("region", "size", "ratio_r", "ratio_rn", "difference"),
+            rows,
+            precision=3,
+            title=f"Implicit Biased Set (tau_c={args.tau_c}, T={args.T}, k={args.k})",
+        )
+    )
+    print(f"\n{len(reports)} biased regions")
+    return 0
+
+
+def cmd_remedy(args: argparse.Namespace) -> int:
+    dataset = _load(args.csv, args.schema)
+    result = remedy_dataset(
+        dataset,
+        args.tau_c,
+        T=args.T,
+        k=args.k,
+        technique=args.technique,
+        scope=args.scope,
+        seed=args.seed,
+    )
+    write_csv(result.dataset, args.output)
+    if args.audit_log:
+        from repro.core.serialize import write_audit_trail
+
+        write_audit_trail(result, args.audit_log)
+        print(f"audit trail written to {args.audit_log}")
+    print(
+        f"remedied {result.n_regions_remedied} regions "
+        f"({result.rows_touched} rows touched); "
+        f"{dataset.n_rows} -> {result.dataset.n_rows} rows written to {args.output}"
+    )
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    train = _load(args.train, args.schema)
+    if args.test:
+        test = _load(args.test, args.schema)
+    else:
+        train, test = train_test_split(train, args.test_fraction, seed=args.seed)
+    model = make_model(args.model, seed=args.seed).fit(train)
+    pred = model.predict(test)
+    acc = float((pred == test.y).mean())
+    print(f"model={args.model}  accuracy={acc:.4f}")
+    for gamma in (FPR, FNR):
+        fi = fairness_index(test, pred, gamma)
+        print(f"fairness index ({gamma.upper()}): {fi:.4f}")
+    unfair = unfair_subgroups(
+        test, pred, gamma=args.gamma, tau_d=args.tau_d, min_size=args.k
+    )
+    rows = [
+        (
+            s.pattern.describe(test.schema),
+            s.size,
+            s.gamma_group,
+            s.gamma_dataset,
+            s.divergence,
+            s.p_value,
+        )
+        for s in unfair
+    ]
+    print()
+    print(
+        format_table(
+            ("subgroup", "size", f"{args.gamma}_g", f"{args.gamma}_D", "divergence", "p"),
+            rows,
+            precision=3,
+            title=f"Unfair subgroups (gamma={args.gamma}, tau_d={args.tau_d})",
+        )
+    )
+    return 0
+
+
+def parse_subgroup(spec: str, schema) -> "Pattern":
+    """Parse 'attr=label,attr=label' into a Pattern using schema domains."""
+    from repro.core import Pattern
+
+    assignment = {}
+    for part in spec.split(","):
+        if "=" not in part:
+            raise SystemExit(f"bad subgroup element {part!r}; use attr=value")
+        attr, label = part.split("=", 1)
+        assignment[attr.strip()] = label.strip()
+    return Pattern.from_labels(schema, assignment)
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core import explain_subgroup
+
+    dataset = _load(args.csv, args.schema)
+    subgroup = parse_subgroup(args.subgroup, dataset.schema)
+    explanation = explain_subgroup(
+        dataset, subgroup, tau_c=args.tau_c, T=args.T, k=args.k
+    )
+    print(explanation.describe(dataset.schema))
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core import plan_remedies, plan_table
+
+    dataset = _load(args.csv, args.schema)
+    plans = plan_remedies(dataset, tau_grid=args.tau_grid, k=args.k)
+    print(plan_table(plans))
+    return 0
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    from repro.data.summary import summarize_dataset, summary_table
+
+    dataset = _load(args.csv, args.schema)
+    print(summary_table(summarize_dataset(dataset, max_regions=args.regions)))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import ReportScale, generate_report
+
+    scale = ReportScale(
+        adult_rows=args.adult_rows,
+        compas_rows=args.compas_rows,
+        lawschool_rows=args.lawschool_rows,
+        models=tuple(args.models),
+        seed=args.seed,
+    )
+    report = generate_report(scale)
+    Path(args.output).write_text(report.to_markdown())
+    total = sum(s.seconds for s in report.sections)
+    print(f"wrote {args.output} ({len(report.sections)} sections, {total:.1f}s)")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    # Imported lazily: the experiment modules pull in every subsystem.
+    from repro.experiments import (
+        identification_vs_attrs,
+        run_baseline_comparison,
+        run_tradeoff,
+        run_validation,
+        speedup_summary,
+        sweep_T,
+        sweep_tau_c,
+        validation_summary,
+        validation_table,
+    )
+
+    rows = args.rows
+    if args.experiment == "fig3":
+        data = load_compas(rows or 6172, seed=11)
+        results = run_validation(data, models=tuple(args.models), seed=args.seed)
+        print(validation_table(results, schema=data.schema))
+        print()
+        print(validation_summary(results))
+    elif args.experiment in ("fig4", "fig5", "fig6"):
+        name, loader, tau = {
+            "fig4": ("Adult", load_adult, 0.5),
+            "fig5": ("Law School", load_lawschool, 0.1),
+            "fig6": ("ProPublica", load_compas, 0.1),
+        }[args.experiment]
+        default_rows = {"fig4": 12000, "fig5": 4590, "fig6": 6172}[args.experiment]
+        data = loader(rows or default_rows)
+        result = run_tradeoff(
+            data, name, tau_c=tau, models=tuple(args.models), seed=args.seed
+        )
+        print(result.table())
+    elif args.experiment == "fig7":
+        data = load_compas(rows or 6172, seed=11)
+        sweep = sweep_tau_c(data, "ProPublica", model=args.models[0], seed=args.seed)
+        print(sweep.table("Fig. 7 — varying tau_c"))
+    elif args.experiment == "fig8":
+        data = load_compas(rows or 6172, seed=11)
+        sweep = sweep_T(data, "ProPublica", tau_c=0.1, model=args.models[0], seed=args.seed)
+        print(sweep.table("Fig. 8 — T = 1 vs T = |X|"))
+    elif args.experiment == "table3":
+        data = load_adult(rows or 12000, seed=5)
+        print(run_baseline_comparison(data, seed=args.seed).table())
+    elif args.experiment == "fig9":
+        result = identification_vs_attrs(n_rows=rows or 10000, attr_grid=(2, 4, 6, 8))
+        print(result.table("#attrs"))
+        print(f"speedups: {speedup_summary(result)}")
+    else:  # pragma: no cover - argparse choices prevent this
+        raise SystemExit(f"unknown experiment {args.experiment}")
+    return 0
+
+
+# -- parser wiring ---------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IBS identification and dataset remedy (ICDE 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write a synthetic dataset to CSV")
+    p.add_argument("dataset", choices=sorted(DATASETS))
+    p.add_argument("output", help="output CSV path")
+    p.add_argument("--rows", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_generate)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--tau-c", dest="tau_c", type=float, default=0.1)
+        p.add_argument("--T", type=float, default=1.0)
+        p.add_argument("--k", type=int, default=30)
+        p.add_argument("--scope", choices=("lattice", "leaf", "top"), default="lattice")
+
+    p = sub.add_parser("identify", help="print the Implicit Biased Set of a CSV")
+    p.add_argument("csv")
+    p.add_argument("--schema", required=True)
+    add_common(p)
+    p.add_argument("--method", choices=("optimized", "naive"), default="optimized")
+    p.set_defaults(func=cmd_identify)
+
+    p = sub.add_parser("remedy", help="write a remedied copy of a CSV")
+    p.add_argument("csv")
+    p.add_argument("output")
+    p.add_argument("--schema", required=True)
+    add_common(p)
+    p.add_argument("--technique", choices=TECHNIQUES, default="preferential")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--audit-log",
+        dest="audit_log",
+        default=None,
+        help="also write a JSON audit trail of the applied updates",
+    )
+    p.set_defaults(func=cmd_remedy)
+
+    p = sub.add_parser("audit", help="train a model and audit subgroup fairness")
+    p.add_argument("train")
+    p.add_argument("--test", default=None, help="test CSV (default: split train)")
+    p.add_argument("--schema", required=True)
+    p.add_argument("--model", choices=MODEL_NAMES, default="dt")
+    p.add_argument("--gamma", choices=("fpr", "fnr", "positive_rate"), default="fpr")
+    p.add_argument("--tau-d", dest="tau_d", type=float, default=0.1)
+    p.add_argument("--k", type=int, default=30)
+    p.add_argument("--test-fraction", dest="test_fraction", type=float, default=0.3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser("explain", help="diagnose one subgroup against the IBS")
+    p.add_argument("csv")
+    p.add_argument("--schema", required=True)
+    p.add_argument(
+        "--subgroup", required=True,
+        help="comma-separated attr=label pairs, e.g. 'race=Afr-Am,sex=Male'",
+    )
+    p.add_argument("--tau-c", dest="tau_c", type=float, default=0.1)
+    p.add_argument("--T", type=float, default=1.0)
+    p.add_argument("--k", type=int, default=30)
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("plan", help="preview remedy footprints over a tau_c grid")
+    p.add_argument("csv")
+    p.add_argument("--schema", required=True)
+    p.add_argument(
+        "--tau-grid", dest="tau_grid", nargs="+", type=float,
+        default=[0.1, 0.3, 0.5],
+    )
+    p.add_argument("--k", type=int, default=30)
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("describe", help="profile a CSV: columns, groups, regions")
+    p.add_argument("csv")
+    p.add_argument("--schema", required=True)
+    p.add_argument("--regions", type=int, default=20)
+    p.set_defaults(func=cmd_describe)
+
+    p = sub.add_parser("report", help="regenerate every artefact into markdown")
+    p.add_argument("output", help="output markdown path")
+    p.add_argument("--adult-rows", dest="adult_rows", type=int, default=12000)
+    p.add_argument("--compas-rows", dest="compas_rows", type=int, default=6172)
+    p.add_argument(
+        "--lawschool-rows", dest="lawschool_rows", type=int, default=4590
+    )
+    p.add_argument("--models", nargs="+", default=["dt", "lg"], choices=MODEL_NAMES)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("experiment", help="run a paper experiment by id")
+    p.add_argument(
+        "experiment",
+        choices=("fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "fig9"),
+    )
+    p.add_argument("--rows", type=int, default=None, help="dataset size override")
+    p.add_argument("--models", nargs="+", default=["dt", "lg"], choices=MODEL_NAMES)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Iterated remedy — addressing the paper's §VI limitation.
+
+"The remedy algorithm does not guarantee achieving an optimal dataset where
+the difference between the imbalance score and that of the neighboring
+region is zero for all regions, as adjustments in one region may impact
+others."  A single Algorithm-2 pass can therefore leave residual biased
+regions.  :func:`remedy_until_converged` re-runs the pass until the IBS is
+empty, stops shrinking, or a pass budget is exhausted — the natural
+fixed-point extension the paper leaves as future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.ibs import METHOD_OPTIMIZED, SCOPE_LATTICE, identify_ibs
+from repro.core.remedy import RemedyResult, remedy_dataset
+from repro.core.samplers import PREFERENTIAL, RegionUpdate
+from repro.data.dataset import Dataset
+from repro.errors import RemedyError
+
+
+@dataclass(frozen=True)
+class ConvergenceResult:
+    """Outcome of an iterated remedy run."""
+
+    dataset: Dataset
+    passes: tuple[RemedyResult, ...]
+    ibs_sizes: tuple[int, ...]  # |IBS| before pass 1, after pass 1, ...
+
+    @property
+    def n_passes(self) -> int:
+        return len(self.passes)
+
+    @property
+    def converged(self) -> bool:
+        """True when the final IBS is empty."""
+        return self.ibs_sizes[-1] == 0
+
+    @property
+    def all_updates(self) -> tuple[RegionUpdate, ...]:
+        return tuple(u for p in self.passes for u in p.updates)
+
+
+def remedy_until_converged(
+    dataset: Dataset,
+    tau_c: float,
+    T: float = 1.0,
+    k: int = 30,
+    technique: str = PREFERENTIAL,
+    scope: str = SCOPE_LATTICE,
+    method: str = METHOD_OPTIMIZED,
+    attrs: Sequence[str] | None = None,
+    seed: int = 0,
+    max_passes: int = 5,
+) -> ConvergenceResult:
+    """Run Algorithm 2 repeatedly until the IBS stops shrinking.
+
+    Stops when (a) the IBS is empty, (b) a pass makes no update, (c) the
+    IBS size fails to decrease (oscillation guard), or (d) ``max_passes``
+    is reached.  Each pass derives a fresh seed so repeated sampling does
+    not replay the same random choices.
+    """
+    if max_passes < 1:
+        raise RemedyError("max_passes must be >= 1")
+
+    current = dataset
+    passes: list[RemedyResult] = []
+    sizes = [
+        len(
+            identify_ibs(
+                current, tau_c, T=T, k=k, scope=scope, method=method, attrs=attrs
+            )
+        )
+    ]
+    for pass_no in range(max_passes):
+        if sizes[-1] == 0:
+            break
+        result = remedy_dataset(
+            current,
+            tau_c,
+            T=T,
+            k=k,
+            technique=technique,
+            scope=scope,
+            method=method,
+            attrs=attrs,
+            seed=seed + pass_no,
+        )
+        passes.append(result)
+        current = result.dataset
+        sizes.append(
+            len(
+                identify_ibs(
+                    current, tau_c, T=T, k=k, scope=scope, method=method, attrs=attrs
+                )
+            )
+        )
+        if result.n_regions_remedied == 0 or sizes[-1] >= sizes[-2]:
+            break
+
+    return ConvergenceResult(
+        dataset=current, passes=tuple(passes), ibs_sizes=tuple(sizes)
+    )

@@ -1,0 +1,179 @@
+"""Explain an unfair subgroup via the training data's IBS.
+
+Fig. 3's analysis — is an unfair subgroup itself a biased region, or does
+it dominate one, and in which direction is the skew — is useful beyond the
+validation experiment: a practitioner auditing a model wants exactly that
+diagnosis for each subgroup the auditor flags.  :func:`explain_subgroup`
+packages it, together with a remedy suggestion (which technique, how many
+rows it would move) derived from Definition 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.ibs import RegionReport, identify_ibs, region_report
+from repro.core.imbalance import is_undefined
+from repro.core.pattern import Pattern
+from repro.core.samplers import _preferential_k
+from repro.data.dataset import Dataset
+from repro.errors import PatternError
+
+
+@dataclass(frozen=True)
+class RemedySuggestion:
+    """What Definition 6 implies for one biased region."""
+
+    pattern: Pattern
+    target_ratio: float
+    preferential_moves: int  # k of Eq. 1 with |p_r| = |n_r| = k
+    direction: str  # "remove positives / add negatives" or the reverse
+
+    @property
+    def summary(self) -> str:
+        return (
+            f"{self.pattern!r}: move ~{self.preferential_moves} rows "
+            f"({self.direction}) toward ratio {self.target_ratio:.2f}"
+        )
+
+
+@dataclass(frozen=True)
+class SubgroupExplanation:
+    """Why a subgroup misbehaves, in the paper's terms."""
+
+    subgroup: Pattern
+    own_region: RegionReport | None  # the subgroup's own imbalance evidence
+    in_ibs: bool
+    dominated_biased: tuple[RegionReport, ...]
+    suggestions: tuple[RemedySuggestion, ...]
+
+    @property
+    def explained(self) -> bool:
+        """True when the IBS accounts for the subgroup (Fig. 3 grey/blue)."""
+        return self.in_ibs or bool(self.dominated_biased)
+
+    @property
+    def skew_direction(self) -> int:
+        """+1 over-positive (FPR-inducing), -1 over-negative, 0 unknown."""
+        if self.in_ibs and self.own_region is not None:
+            return self.own_region.skew_direction
+        if self.dominated_biased:
+            return max(self.dominated_biased, key=lambda r: r.size).skew_direction
+        return 0
+
+    def describe(self, schema) -> str:
+        """Multi-line human-readable diagnosis."""
+        lines = [f"subgroup {self.subgroup.describe(schema)}:"]
+        if self.own_region is not None:
+            r = self.own_region
+            lines.append(
+                f"  imbalance score {r.ratio:.2f} vs neighbourhood "
+                f"{r.neighbor_ratio:.2f} (difference {r.difference:.2f})"
+                + ("  -> in IBS" if self.in_ibs else "")
+            )
+        if self.dominated_biased:
+            lines.append(
+                f"  dominates {len(self.dominated_biased)} biased region(s):"
+            )
+            for r in self.dominated_biased:
+                lines.append(
+                    f"    {r.pattern.describe(schema)} "
+                    f"ratio {r.ratio:.2f} vs {r.neighbor_ratio:.2f}"
+                )
+        if not self.explained:
+            lines.append("  no matching representation bias found in the IBS")
+        for s in self.suggestions:
+            lines.append(f"  remedy: {s.summary}")
+        return "\n".join(lines)
+
+
+def _suggestion_for(report: RegionReport) -> RemedySuggestion | None:
+    target = report.neighbor_ratio
+    if is_undefined(target):
+        return None
+    skew_positive = is_undefined(report.ratio) or report.ratio > target
+    k = _preferential_k(report.pos, report.neg, target, skew_positive)
+    if k == 0:
+        return None
+    direction = (
+        "remove positives / add negatives"
+        if skew_positive
+        else "add positives / remove negatives"
+    )
+    return RemedySuggestion(report.pattern, target, k, direction)
+
+
+def explain_subgroup(
+    train: Dataset,
+    subgroup: Pattern,
+    tau_c: float = 0.1,
+    T: float = 1.0,
+    k: int = 30,
+    ibs: Sequence[RegionReport] | None = None,
+    hierarchy: Hierarchy | None = None,
+) -> SubgroupExplanation:
+    """Diagnose ``subgroup`` against the training data's IBS.
+
+    ``ibs``/``hierarchy`` may be passed in when explaining many subgroups
+    against the same training data (they are recomputed otherwise).
+    """
+    if not subgroup.attrs:
+        raise PatternError("cannot explain the empty (level-0) subgroup")
+    if hierarchy is None:
+        hierarchy = Hierarchy(train)
+    if ibs is None:
+        ibs = identify_ibs(train, tau_c, T=T, k=k, hierarchy=hierarchy)
+
+    own: RegionReport | None = None
+    if frozenset(subgroup.attrs) in hierarchy:
+        node = hierarchy.node(subgroup.attrs)
+        pos, neg = node.counts_of(subgroup)
+        own = region_report(
+            hierarchy, node, subgroup, pos, neg, T, dataset=train
+        )
+
+    by_pattern = {r.pattern for r in ibs}
+    in_ibs = subgroup in by_pattern
+    dominated = tuple(
+        r
+        for r in ibs
+        if r.pattern != subgroup and r.pattern.is_dominated_by(subgroup)
+    )
+
+    suggestions = []
+    if in_ibs and own is not None:
+        suggestion = _suggestion_for(own)
+        if suggestion:
+            suggestions.append(suggestion)
+    for r in dominated:
+        suggestion = _suggestion_for(r)
+        if suggestion:
+            suggestions.append(suggestion)
+
+    return SubgroupExplanation(
+        subgroup=subgroup,
+        own_region=own,
+        in_ibs=in_ibs,
+        dominated_biased=dominated,
+        suggestions=tuple(suggestions),
+    )
+
+
+def explain_unfair_subgroups(
+    train: Dataset,
+    subgroups: Sequence[Pattern],
+    tau_c: float = 0.1,
+    T: float = 1.0,
+    k: int = 30,
+) -> list[SubgroupExplanation]:
+    """Batch :func:`explain_subgroup` with shared IBS/hierarchy computation."""
+    hierarchy = Hierarchy(train)
+    ibs = identify_ibs(train, tau_c, T=T, k=k, hierarchy=hierarchy)
+    return [
+        explain_subgroup(
+            train, subgroup, tau_c=tau_c, T=T, k=k, ibs=ibs, hierarchy=hierarchy
+        )
+        for subgroup in subgroups
+    ]

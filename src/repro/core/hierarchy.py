@@ -1,0 +1,199 @@
+"""The hierarchy of intersectional regions (paper §III, Fig. 1).
+
+Nodes group all patterns sharing the same *deterministic attribute set*;
+a node at level ``d`` holds one cell per value combination of its ``d``
+attributes.  Counts of positives and negatives per cell are materialised as
+``d``-dimensional numpy arrays: the leaf node is one ``bincount`` over the
+dataset's joint codes, and every other node is a marginalisation (axis sum)
+of the leaf — this is the count-sharing that the optimized identification
+algorithm exploits (a dominating region's counts are just a cell of an
+ancestor node's array).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.core.pattern import Pattern
+from repro.errors import PatternError
+
+
+class HierarchyNode:
+    """One node: a deterministic attribute set plus per-cell label counts."""
+
+    def __init__(
+        self,
+        attrs: tuple[str, ...],
+        shape: tuple[int, ...],
+        pos: np.ndarray,
+        neg: np.ndarray,
+    ):
+        self.attrs = attrs
+        self.shape = shape
+        self.pos = pos  # ndarray of shape `shape` (0-d for the root)
+        self.neg = neg
+
+    @property
+    def level(self) -> int:
+        return len(self.attrs)
+
+    @property
+    def n_cells(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    def coords_of(self, pattern: Pattern) -> tuple[int, ...]:
+        """Cell coordinates of ``pattern`` (must cover exactly this node)."""
+        if pattern.attrs != frozenset(self.attrs):
+            raise PatternError(
+                f"pattern {pattern!r} does not belong to node {self.attrs}"
+            )
+        return tuple(pattern.value_of(a) for a in self.attrs)
+
+    def counts_of(self, pattern: Pattern) -> tuple[int, int]:
+        """``(|r+|, |r-|)`` for a pattern of this node."""
+        coords = self.coords_of(pattern)
+        return int(self.pos[coords]), int(self.neg[coords])
+
+    def pattern_of(self, coords: Sequence[int]) -> Pattern:
+        """Pattern for a cell coordinate tuple."""
+        return Pattern(zip(self.attrs, coords))
+
+    def iter_regions(self, min_size: int = 1) -> Iterator[tuple[Pattern, int, int]]:
+        """Yield ``(pattern, |r+|, |r-|)`` for every cell with ≥ min_size rows.
+
+        Matching Problem 1, the paper keeps regions with size strictly
+        greater than ``k``; callers pass ``min_size=k+1``.
+        """
+        total = self.pos + self.neg
+        flat = np.flatnonzero(total.reshape(-1) >= min_size)
+        for f in flat:
+            coords = np.unravel_index(int(f), self.shape) if self.shape else ()
+            coords = tuple(int(c) for c in coords)
+            yield self.pattern_of(coords), int(self.pos[coords]), int(self.neg[coords])
+
+    @property
+    def total_pos(self) -> int:
+        return int(self.pos.sum())
+
+    @property
+    def total_neg(self) -> int:
+        return int(self.neg.sum())
+
+
+class Hierarchy:
+    """All nodes over subsets of the protected attributes of a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset whose label counts populate the nodes.
+    attrs:
+        Attribute universe; defaults to ``dataset.protected``.  Order fixes
+        the canonical attribute order of every node.
+    max_level:
+        Build nodes only up to this level (inclusive); ``None`` builds the
+        full lattice of ``2^|attrs|`` nodes (root included).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        attrs: Sequence[str] | None = None,
+        max_level: int | None = None,
+    ):
+        if attrs is None:
+            attrs = dataset.protected
+        attrs = tuple(attrs)
+        if not attrs:
+            raise PatternError("hierarchy needs at least one attribute")
+        dataset.schema.require_categorical(attrs)
+        self.attrs = attrs
+        self.max_level = len(attrs) if max_level is None else min(max_level, len(attrs))
+        if self.max_level < 1:
+            raise PatternError("max_level must be >= 1")
+
+        # Leaf counts once, then marginalise for every other node.
+        pos_flat, neg_flat, shape = dataset.region_counts(attrs)
+        leaf_pos = pos_flat.reshape(shape)
+        leaf_neg = neg_flat.reshape(shape)
+
+        self._nodes: dict[frozenset[str], HierarchyNode] = {}
+        axis_of = {a: i for i, a in enumerate(attrs)}
+        for level in range(0, self.max_level + 1):
+            for subset in itertools.combinations(attrs, level):
+                drop_axes = tuple(
+                    axis_of[a] for a in attrs if a not in subset
+                )
+                pos = leaf_pos.sum(axis=drop_axes) if drop_axes else leaf_pos
+                neg = leaf_neg.sum(axis=drop_axes) if drop_axes else leaf_neg
+                node_shape = tuple(shape[axis_of[a]] for a in subset)
+                self._nodes[frozenset(subset)] = HierarchyNode(
+                    subset, node_shape, np.asarray(pos), np.asarray(neg)
+                )
+
+    # -- lookup ----------------------------------------------------------------
+    def node(self, attrs: Sequence[str] | frozenset[str]) -> HierarchyNode:
+        """Node for the given deterministic attribute set."""
+        key = frozenset(attrs)
+        try:
+            return self._nodes[key]
+        except KeyError:
+            raise PatternError(
+                f"no hierarchy node for attribute set {sorted(key)}"
+            ) from None
+
+    def __contains__(self, attrs: object) -> bool:
+        if isinstance(attrs, (frozenset, set, tuple, list)):
+            return frozenset(attrs) in self._nodes
+        return False
+
+    @property
+    def root(self) -> HierarchyNode:
+        """The level-0 node (the entire dataset)."""
+        return self._nodes[frozenset()]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    def levels(self) -> range:
+        """Levels with region nodes: 1 .. max_level."""
+        return range(1, self.max_level + 1)
+
+    def nodes_at_level(self, level: int) -> list[HierarchyNode]:
+        """All nodes whose attribute set has the given size."""
+        return [n for key, n in self._nodes.items() if len(key) == level]
+
+    def iter_nodes_bottom_up(self) -> Iterator[HierarchyNode]:
+        """Region nodes from the leaf level down to level 1 (Alg. 1 order)."""
+        for level in range(self.max_level, 0, -1):
+            yield from self.nodes_at_level(level)
+
+    def parents(self, node: HierarchyNode) -> list[HierarchyNode]:
+        """Nodes one level up (one deterministic attribute removed)."""
+        out = []
+        for drop in node.attrs:
+            key = frozenset(node.attrs) - {drop}
+            if key in self._nodes:
+                out.append(self._nodes[key])
+        return out
+
+    def counts_of(self, pattern: Pattern) -> tuple[int, int]:
+        """``(|r+|, |r-|)`` of an arbitrary pattern over hierarchy attrs."""
+        return self.node(pattern.attrs).counts_of(pattern)
+
+    def dominating_counts(
+        self, pattern: Pattern, drop: Sequence[str]
+    ) -> tuple[int, int]:
+        """Counts of the dominating region with ``drop`` attributes removed.
+
+        This is the reuse path of the optimized algorithm: the dominating
+        region's counts are one cell of an ancestor node's array, already
+        materialised.
+        """
+        dominating = pattern.drop_all(drop)
+        return self.node(dominating.attrs).counts_of(dominating)

@@ -1,0 +1,50 @@
+"""Imbalance scores (paper Definition 3) and their comparison semantics.
+
+``ratio_r = |r+| / |r-|`` with the sentinel ``-1`` when a region has no
+negatives.  The paper leaves the comparison of sentinel scores unspecified;
+we pin down conservative semantics (documented in DESIGN.md):
+
+* both scores undefined → difference 0 (two all-positive regions are not
+  evidence of *relative* bias between them),
+* exactly one undefined → difference ``+inf`` (an all-positive region next
+  to a neighbourhood that does contain negatives is maximal skew),
+* both defined → plain absolute difference.
+"""
+
+from __future__ import annotations
+
+import math
+
+RATIO_UNDEFINED = -1.0
+
+
+def imbalance_score(pos: int, neg: int) -> float:
+    """``|r+|/|r-|`` or the ``-1`` sentinel when ``|r-| == 0`` (Def. 3)."""
+    if pos < 0 or neg < 0:
+        raise ValueError(f"counts must be non-negative, got ({pos}, {neg})")
+    if neg == 0:
+        return RATIO_UNDEFINED
+    return pos / neg
+
+
+def is_undefined(ratio: float) -> bool:
+    """True for the sentinel value of :func:`imbalance_score`."""
+    return ratio == RATIO_UNDEFINED
+
+
+def score_difference(ratio_r: float, ratio_rn: float) -> float:
+    """``|ratio_r - ratio_rn|`` with sentinel handling (see module docs)."""
+    r_undef = is_undefined(ratio_r)
+    n_undef = is_undefined(ratio_rn)
+    if r_undef and n_undef:
+        return 0.0
+    if r_undef or n_undef:
+        return math.inf
+    return abs(ratio_r - ratio_rn)
+
+
+def is_biased(ratio_r: float, ratio_rn: float, tau_c: float) -> bool:
+    """Definition 5 membership test: ``|ratio_r - ratio_rn| > tau_c``."""
+    if tau_c < 0:
+        raise ValueError(f"tau_c must be non-negative, got {tau_c}")
+    return score_difference(ratio_r, ratio_rn) > tau_c

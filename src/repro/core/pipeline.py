@@ -1,0 +1,122 @@
+"""High-level public API composing identify → remedy → (optionally) train.
+
+:class:`RemedyPipeline` is the one-stop entry point a downstream user would
+adopt: configure the thresholds once, then call :meth:`identify` to inspect
+the Implicit Biased Set of a training set or :meth:`transform` to obtain the
+remedied training data, and :meth:`fit_model` to train any of the paper's
+downstream classifiers on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.ibs import (
+    DEFAULT_MIN_SIZE,
+    METHOD_OPTIMIZED,
+    METHODS,
+    RegionReport,
+    SCOPE_LATTICE,
+    SCOPES,
+    identify_ibs,
+)
+from repro.core.remedy import RemedyResult, remedy_dataset
+from repro.core.samplers import PREFERENTIAL, TECHNIQUES
+from repro.data.dataset import Dataset
+from repro.errors import ExperimentError
+from repro.ml.models import DatasetClassifier, make_model
+
+
+@dataclass(frozen=True)
+class RemedyConfig:
+    """Hyperparameters of the remedy pipeline (paper defaults)."""
+
+    tau_c: float = 0.1
+    T: float = 1.0
+    k: int = DEFAULT_MIN_SIZE
+    technique: str = PREFERENTIAL
+    scope: str = SCOPE_LATTICE
+    method: str = METHOD_OPTIMIZED
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tau_c < 0:
+            raise ExperimentError("tau_c must be non-negative")
+        if self.T < 1:
+            raise ExperimentError("T must be >= 1")
+        if self.k < 0:
+            raise ExperimentError("k must be non-negative")
+        if self.technique not in TECHNIQUES:
+            raise ExperimentError(
+                f"technique must be one of {TECHNIQUES}, got {self.technique!r}"
+            )
+        if self.scope not in SCOPES:
+            raise ExperimentError(f"scope must be one of {SCOPES}, got {self.scope!r}")
+        if self.method not in METHODS:
+            raise ExperimentError(
+                f"method must be one of {METHODS}, got {self.method!r}"
+            )
+
+
+class RemedyPipeline:
+    """Identify and remedy Implicit Biased Sets on training data."""
+
+    def __init__(
+        self, config: RemedyConfig | None = None, attrs: Sequence[str] | None = None
+    ):
+        self.config = config or RemedyConfig()
+        self.attrs = tuple(attrs) if attrs is not None else None
+        self._last_result: RemedyResult | None = None
+
+    def identify(self, train: Dataset) -> list[RegionReport]:
+        """The IBS of ``train`` under the configured thresholds."""
+        cfg = self.config
+        return identify_ibs(
+            train,
+            cfg.tau_c,
+            T=cfg.T,
+            k=cfg.k,
+            scope=cfg.scope,
+            method=cfg.method,
+            attrs=self.attrs,
+        )
+
+    def transform(self, train: Dataset) -> Dataset:
+        """Remedied copy of ``train`` (the input is untouched)."""
+        cfg = self.config
+        self._last_result = remedy_dataset(
+            train,
+            cfg.tau_c,
+            T=cfg.T,
+            k=cfg.k,
+            technique=cfg.technique,
+            scope=cfg.scope,
+            method=cfg.method,
+            attrs=self.attrs,
+            seed=cfg.seed,
+        )
+        return self._last_result.dataset
+
+    @property
+    def last_result(self) -> RemedyResult:
+        """Full audit of the most recent :meth:`transform` call."""
+        if self._last_result is None:
+            raise ExperimentError("transform() has not been called yet")
+        return self._last_result
+
+    def fit_model(
+        self, train: Dataset, model: str | DatasetClassifier = "dt"
+    ) -> DatasetClassifier:
+        """Remedy ``train`` and fit a downstream classifier on the result.
+
+        ``model`` is a short name (``dt``/``rf``/``lg``/``nn``) or a
+        pre-built :class:`DatasetClassifier`.
+        """
+        remedied = self.transform(train)
+        classifier = (
+            make_model(model, seed=self.config.seed)
+            if isinstance(model, str)
+            else model
+        )
+        return classifier.fit(remedied)

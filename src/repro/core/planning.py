@@ -1,0 +1,110 @@
+"""Remedy planning: preview the cost of a parameter setting without applying.
+
+Choosing ``tau_c`` and ``T`` is the practitioner's main knob (the paper
+spends Figs. 7–8 on it).  :func:`plan_remedies` sweeps a grid and reports,
+for each setting, how many regions would be flagged and an *estimate* of the
+rows the remedy would touch (the Definition-6 move count per region, summed)
+— all read-only, so the sweep is cheap even on large data.
+
+The estimate is a deliberate **upper bound**: Algorithm 2 re-identifies
+regions after every update, and fixing a deep region usually also fixes the
+more general regions that dominate it, so the static per-region sum
+double-counts across lattice levels (typically by a factor of a few).  The
+*ranking* of settings is preserved — which is what a planning sweep is for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.ibs import identify_ibs
+from repro.core.imbalance import is_undefined
+from repro.core.samplers import _preferential_k
+from repro.data.dataset import Dataset
+from repro.errors import RemedyError
+
+
+@dataclass(frozen=True)
+class RemedyPlan:
+    """Projected footprint of one (tau_c, T) setting."""
+
+    tau_c: float
+    T: float
+    n_regions: int
+    estimated_rows_touched: int
+    fraction_of_dataset: float
+
+    def row(self) -> tuple[object, ...]:
+        return (
+            self.tau_c,
+            self.T,
+            self.n_regions,
+            self.estimated_rows_touched,
+            self.fraction_of_dataset,
+        )
+
+
+def estimate_rows_touched(reports) -> int:
+    """Sum of Definition-6 move counts over a set of region reports.
+
+    Uses the preferential-sampling ``k`` (one removal + one duplication per
+    unit) as the canonical per-region cost; uniform samplers move a similar
+    order of rows.  Regions with undefined targets contribute zero (they
+    would be skipped by the remedy).
+    """
+    total = 0
+    for report in reports:
+        target = report.neighbor_ratio
+        if is_undefined(target):
+            continue
+        skew_positive = is_undefined(report.ratio) or report.ratio > target
+        total += 2 * _preferential_k(report.pos, report.neg, target, skew_positive)
+    return total
+
+
+def plan_remedies(
+    dataset: Dataset,
+    tau_grid: Sequence[float] = (0.1, 0.3, 0.5),
+    T_values: Sequence[float] | None = None,
+    k: int = 30,
+    scope: str = "lattice",
+) -> list[RemedyPlan]:
+    """Read-only sweep over (tau_c, T): what would each setting cost?
+
+    Returns plans ordered by the grid, each with the flagged-region count
+    and the estimated touched-row total (as a fraction of the dataset too,
+    which is the quantity that predicts the accuracy cost).  Estimates are
+    conservative upper bounds — see the module docstring.
+    """
+    if dataset.n_rows == 0:
+        raise RemedyError("cannot plan on an empty dataset")
+    if T_values is None:
+        T_values = (1.0, float(len(dataset.protected) or 1))
+    plans = []
+    for T in T_values:
+        for tau_c in tau_grid:
+            reports = identify_ibs(dataset, tau_c, T=T, k=k, scope=scope)
+            touched = estimate_rows_touched(reports)
+            plans.append(
+                RemedyPlan(
+                    tau_c=float(tau_c),
+                    T=float(T),
+                    n_regions=len(reports),
+                    estimated_rows_touched=touched,
+                    fraction_of_dataset=touched / dataset.n_rows,
+                )
+            )
+    return plans
+
+
+def plan_table(plans: Sequence[RemedyPlan]) -> str:
+    """Render plans as a text table."""
+    from repro.experiments.reporting import format_table
+
+    return format_table(
+        ("tau_c", "T", "regions", "est. rows touched", "fraction"),
+        [p.row() for p in plans],
+        precision=3,
+        title="Remedy plans (read-only estimates)",
+    )

@@ -1,0 +1,90 @@
+"""Borderline-instance ranker for preferential sampling and massaging.
+
+§IV-A: both techniques "use a ranker, such as a Naïve Bayes model, to
+identify the borderline instances, which have a higher probability of
+belonging to another class".  The ranker here is the mixed categorical +
+Gaussian naive Bayes of :mod:`repro.ml.naive_bayes`, fitted once on the
+training data; the remedy asks it for the top-k most borderline positives or
+negatives inside a region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import FitError
+from repro.ml.naive_bayes import MixedNaiveBayes
+
+
+class BorderlineRanker:
+    """Ranks rows by their probability of belonging to the opposite class."""
+
+    def __init__(self, alpha: float = 1.0):
+        self._model = MixedNaiveBayes(alpha=alpha)
+        self._fitted = False
+
+    def fit(self, dataset: Dataset) -> "BorderlineRanker":
+        if dataset.n_positive == 0 or dataset.n_negative == 0:
+            raise FitError("ranker needs both classes present in the data")
+        self._model.fit(dataset)
+        self._fitted = True
+        return self
+
+    def positive_scores(self, dataset: Dataset) -> np.ndarray:
+        """P(y=1 | x) for every row."""
+        if not self._fitted:
+            raise FitError("BorderlineRanker must be fitted first")
+        return self._model.predict_proba(dataset)
+
+    def borderline_positives(
+        self,
+        dataset: Dataset,
+        candidate_indices: np.ndarray,
+        k: int,
+        cycle: bool = False,
+    ) -> np.ndarray:
+        """Top-``k`` candidates (positive rows) most likely to be negative.
+
+        Candidates are row indices into ``dataset``; the caller guarantees
+        they are positive instances.  Returns at most ``k`` indices, ranked
+        most-borderline first; ties break on row index for determinism.
+        With ``cycle=True`` and fewer than ``k`` candidates, the ranked list
+        repeats cyclically to exactly ``k`` entries — the Kamiran–Calders
+        behaviour when a class is too small to supply ``k`` distinct
+        duplicates (only meaningful for duplication, never for removal).
+        """
+        return self._top_k(dataset, candidate_indices, k, False, cycle)
+
+    def borderline_negatives(
+        self,
+        dataset: Dataset,
+        candidate_indices: np.ndarray,
+        k: int,
+        cycle: bool = False,
+    ) -> np.ndarray:
+        """Top-``k`` candidates (negative rows) most likely to be positive."""
+        return self._top_k(dataset, candidate_indices, k, True, cycle)
+
+    def _top_k(
+        self,
+        dataset: Dataset,
+        candidate_indices: np.ndarray,
+        k: int,
+        want_positive: bool,
+        cycle: bool,
+    ) -> np.ndarray:
+        candidate_indices = np.asarray(candidate_indices, dtype=np.int64)
+        if k <= 0 or candidate_indices.size == 0:
+            return np.empty(0, dtype=np.int64)
+        scores = self.positive_scores(dataset.take(candidate_indices))
+        keyed = scores if want_positive else 1.0 - scores
+        # Sort by descending borderline score, then ascending index.
+        order = np.lexsort((candidate_indices, -keyed))
+        ranked = candidate_indices[order]
+        if k <= ranked.size:
+            return ranked[:k]
+        if not cycle:
+            return ranked
+        reps = int(np.ceil(k / ranked.size))
+        return np.tile(ranked, reps)[:k]

@@ -1,0 +1,256 @@
+"""The four pre-processing techniques of §IV-A.
+
+Each sampler transforms the class distribution inside one biased region so
+its post-update imbalance score equals the neighbourhood's (Definition 6):
+
+* **oversampling** — duplicate uniformly-chosen minority-class rows,
+* **undersampling** — drop uniformly-chosen majority-class rows,
+* **preferential sampling** — duplicate top-k borderline minority rows and
+  drop top-k borderline majority rows (k per Eq. 1 with ``p_r = -n_r``),
+* **massaging** — flip the labels of top-k borderline majority rows.
+
+A sampler returns the updated dataset plus a :class:`RegionUpdate` audit
+record, or ``None`` when the region cannot be remedied (undefined target
+ratio, or no rows available to move) — Algorithm 2 skips such regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ibs import RegionReport
+from repro.core.imbalance import is_undefined
+from repro.core.pattern import Pattern
+from repro.core.ranker import BorderlineRanker
+from repro.data.dataset import Dataset
+from repro.errors import RemedyError
+
+OVERSAMPLING = "oversampling"
+UNDERSAMPLING = "undersampling"
+PREFERENTIAL = "preferential"
+MASSAGING = "massaging"
+TECHNIQUES = (OVERSAMPLING, UNDERSAMPLING, PREFERENTIAL, MASSAGING)
+
+# Oversampling toward a near-zero target ratio would add unbounded rows; cap
+# additions at this multiple of the region size (documented deviation — the
+# paper's Eq. 1 has no finite solution when ratio_rn = 0 and |r+| > 0).
+MAX_GROWTH_FACTOR = 10
+
+
+@dataclass(frozen=True)
+class RegionUpdate:
+    """Audit record of one region's remedy."""
+
+    pattern: Pattern
+    technique: str
+    added_positives: int = 0
+    added_negatives: int = 0
+    removed_positives: int = 0
+    removed_negatives: int = 0
+    flipped_to_positive: int = 0
+    flipped_to_negative: int = 0
+
+    @property
+    def rows_touched(self) -> int:
+        return (
+            self.added_positives
+            + self.added_negatives
+            + self.removed_positives
+            + self.removed_negatives
+            + self.flipped_to_positive
+            + self.flipped_to_negative
+        )
+
+
+def _region_rows(
+    dataset: Dataset, pattern: Pattern
+) -> tuple[np.ndarray, np.ndarray]:
+    """(positive_indices, negative_indices) of the region's rows."""
+    mask = pattern.mask(dataset)
+    idx = np.flatnonzero(mask)
+    pos_idx = idx[dataset.y[idx] == 1]
+    neg_idx = idx[dataset.y[idx] == 0]
+    return pos_idx, neg_idx
+
+
+def _rounded(value: float) -> int:
+    return int(round(value))
+
+
+def apply_oversampling(
+    dataset: Dataset, report: RegionReport, rng: np.random.Generator
+) -> tuple[Dataset, RegionUpdate] | None:
+    """Duplicate minority-class rows until the region hits the target ratio."""
+    target = report.neighbor_ratio
+    if is_undefined(target):
+        return None
+    pos_idx, neg_idx = _region_rows(dataset, report.pattern)
+    pos, neg = len(pos_idx), len(neg_idx)
+    size = pos + neg
+    skew_positive = is_undefined(report.ratio) or report.ratio > target
+
+    if skew_positive:
+        # Need negatives: |r+| / (|r-| + n) = target.
+        if target > 0:
+            n_add = _rounded(pos / target - neg)
+        else:
+            n_add = MAX_GROWTH_FACTOR * size
+        n_add = min(max(n_add, 0), MAX_GROWTH_FACTOR * size)
+        if n_add == 0 or neg == 0:
+            return None  # nothing to duplicate from
+        chosen = rng.choice(neg_idx, size=n_add, replace=True)
+        update = RegionUpdate(report.pattern, OVERSAMPLING, added_negatives=n_add)
+    else:
+        # Need positives: (|r+| + p) / |r-| = target.
+        n_add = _rounded(target * neg - pos)
+        n_add = min(max(n_add, 0), MAX_GROWTH_FACTOR * size)
+        if n_add == 0 or pos == 0:
+            return None
+        chosen = rng.choice(pos_idx, size=n_add, replace=True)
+        update = RegionUpdate(report.pattern, OVERSAMPLING, added_positives=n_add)
+    return dataset.duplicate_rows(chosen), update
+
+
+def apply_undersampling(
+    dataset: Dataset, report: RegionReport, rng: np.random.Generator
+) -> tuple[Dataset, RegionUpdate] | None:
+    """Drop majority-class rows until the region hits the target ratio."""
+    target = report.neighbor_ratio
+    if is_undefined(target):
+        return None
+    pos_idx, neg_idx = _region_rows(dataset, report.pattern)
+    pos, neg = len(pos_idx), len(neg_idx)
+    skew_positive = is_undefined(report.ratio) or report.ratio > target
+
+    if skew_positive:
+        # Remove positives: (|r+| - p) / |r-| = target.
+        n_rm = _rounded(pos - target * neg)
+        n_rm = min(max(n_rm, 0), pos)
+        if n_rm == 0:
+            return None
+        chosen = rng.choice(pos_idx, size=n_rm, replace=False)
+        update = RegionUpdate(report.pattern, UNDERSAMPLING, removed_positives=n_rm)
+    else:
+        # Remove negatives: |r+| / (|r-| - n) = target.
+        n_rm = _rounded(neg - pos / target) if target > 0 else 0
+        n_rm = min(max(n_rm, 0), neg)
+        if n_rm == 0:
+            return None
+        chosen = rng.choice(neg_idx, size=n_rm, replace=False)
+        update = RegionUpdate(report.pattern, UNDERSAMPLING, removed_negatives=n_rm)
+    return dataset.drop(chosen), update
+
+
+def _preferential_k(pos: int, neg: int, target: float, skew_positive: bool) -> int:
+    """Solve Eq. 1 with |p_r| = |n_r| = k for the combined move count."""
+    if skew_positive:
+        # (pos - k) / (neg + k) = target  =>  k = (pos - target*neg)/(1+target)
+        k = (pos - target * neg) / (1.0 + target)
+    else:
+        # (pos + k) / (neg - k) = target  =>  k = (target*neg - pos)/(1+target)
+        k = (target * neg - pos) / (1.0 + target)
+    return max(_rounded(k), 0)
+
+
+def apply_preferential(
+    dataset: Dataset,
+    report: RegionReport,
+    rng: np.random.Generator,
+    ranker: BorderlineRanker,
+) -> tuple[Dataset, RegionUpdate] | None:
+    """Swap k borderline majority rows for k duplicated borderline minority rows."""
+    target = report.neighbor_ratio
+    if is_undefined(target):
+        return None
+    pos_idx, neg_idx = _region_rows(dataset, report.pattern)
+    pos, neg = len(pos_idx), len(neg_idx)
+    skew_positive = is_undefined(report.ratio) or report.ratio > target
+    k = _preferential_k(pos, neg, target, skew_positive)
+    if k == 0:
+        return None
+
+    if skew_positive:
+        remove = ranker.borderline_positives(dataset, pos_idx, k)
+        duplicate = ranker.borderline_negatives(dataset, neg_idx, k, cycle=True)
+        if remove.size == 0 and duplicate.size == 0:
+            return None
+        update = RegionUpdate(
+            report.pattern,
+            PREFERENTIAL,
+            removed_positives=int(remove.size),
+            added_negatives=int(duplicate.size),
+        )
+    else:
+        remove = ranker.borderline_negatives(dataset, neg_idx, k)
+        duplicate = ranker.borderline_positives(dataset, pos_idx, k, cycle=True)
+        if remove.size == 0 and duplicate.size == 0:
+            return None
+        update = RegionUpdate(
+            report.pattern,
+            PREFERENTIAL,
+            removed_negatives=int(remove.size),
+            added_positives=int(duplicate.size),
+        )
+    # Duplicates are copies of original rows, so append before dropping.
+    out = dataset.append_rows(dataset.take(duplicate)).drop(remove)
+    return out, update
+
+
+def apply_massaging(
+    dataset: Dataset,
+    report: RegionReport,
+    rng: np.random.Generator,
+    ranker: BorderlineRanker,
+) -> tuple[Dataset, RegionUpdate] | None:
+    """Flip the labels of k borderline majority-class rows."""
+    target = report.neighbor_ratio
+    if is_undefined(target):
+        return None
+    pos_idx, neg_idx = _region_rows(dataset, report.pattern)
+    pos, neg = len(pos_idx), len(neg_idx)
+    skew_positive = is_undefined(report.ratio) or report.ratio > target
+    k = _preferential_k(pos, neg, target, skew_positive)
+    if k == 0:
+        return None
+
+    y = dataset.y.copy()
+    if skew_positive:
+        flip = ranker.borderline_positives(dataset, pos_idx, min(k, pos))
+        if flip.size == 0:
+            return None
+        y[flip] = 0
+        update = RegionUpdate(
+            report.pattern, MASSAGING, flipped_to_negative=int(flip.size)
+        )
+    else:
+        flip = ranker.borderline_negatives(dataset, neg_idx, min(k, neg))
+        if flip.size == 0:
+            return None
+        y[flip] = 1
+        update = RegionUpdate(
+            report.pattern, MASSAGING, flipped_to_positive=int(flip.size)
+        )
+    return dataset.with_labels(y), update
+
+
+def apply_technique(
+    technique: str,
+    dataset: Dataset,
+    report: RegionReport,
+    rng: np.random.Generator,
+    ranker: BorderlineRanker | None = None,
+) -> tuple[Dataset, RegionUpdate] | None:
+    """Dispatch by technique name (the ``alg`` input of Algorithm 2)."""
+    if technique == OVERSAMPLING:
+        return apply_oversampling(dataset, report, rng)
+    if technique == UNDERSAMPLING:
+        return apply_undersampling(dataset, report, rng)
+    if technique in (PREFERENTIAL, MASSAGING):
+        if ranker is None:
+            raise RemedyError(f"technique {technique!r} requires a fitted ranker")
+        if technique == PREFERENTIAL:
+            return apply_preferential(dataset, report, rng, ranker)
+        return apply_massaging(dataset, report, rng, ranker)
+    raise RemedyError(f"unknown technique {technique!r}; choose from {TECHNIQUES}")

@@ -1,0 +1,122 @@
+"""JSON serialisation of IBS findings and remedy audit trails.
+
+Regulated deployments need a durable record of *what the preprocessing did
+to the data*: which regions were deemed biased, under which thresholds, and
+exactly how many rows each technique added / removed / relabelled.  These
+helpers serialise :class:`~repro.core.ibs.RegionReport`,
+:class:`~repro.core.samplers.RegionUpdate` and
+:class:`~repro.core.remedy.RemedyResult` to plain JSON and back (pattern
+codes are stored with their attribute names; schema labels are not needed
+to round-trip).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.ibs import RegionReport
+from repro.core.pattern import Pattern
+from repro.core.remedy import RemedyResult
+from repro.core.samplers import RegionUpdate
+from repro.errors import DataError
+
+
+def pattern_to_dict(pattern: Pattern) -> dict:
+    return {"items": [[attr, code] for attr, code in pattern.items]}
+
+
+def pattern_from_dict(payload: dict) -> Pattern:
+    try:
+        return Pattern((str(a), int(c)) for a, c in payload["items"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError(f"malformed pattern payload: {payload!r}") from exc
+
+
+def report_to_dict(report: RegionReport) -> dict:
+    return {
+        "pattern": pattern_to_dict(report.pattern),
+        "pos": report.pos,
+        "neg": report.neg,
+        "ratio": report.ratio,
+        "neighbor_pos": report.neighbor_pos,
+        "neighbor_neg": report.neighbor_neg,
+        "neighbor_ratio": report.neighbor_ratio,
+        "difference": report.difference,
+    }
+
+
+def report_from_dict(payload: dict) -> RegionReport:
+    try:
+        return RegionReport(
+            pattern=pattern_from_dict(payload["pattern"]),
+            pos=int(payload["pos"]),
+            neg=int(payload["neg"]),
+            ratio=float(payload["ratio"]),
+            neighbor_pos=int(payload["neighbor_pos"]),
+            neighbor_neg=int(payload["neighbor_neg"]),
+            neighbor_ratio=float(payload["neighbor_ratio"]),
+            difference=float(payload["difference"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError(f"malformed region report payload: {payload!r}") from exc
+
+
+def update_to_dict(update: RegionUpdate) -> dict:
+    return {
+        "pattern": pattern_to_dict(update.pattern),
+        "technique": update.technique,
+        "added_positives": update.added_positives,
+        "added_negatives": update.added_negatives,
+        "removed_positives": update.removed_positives,
+        "removed_negatives": update.removed_negatives,
+        "flipped_to_positive": update.flipped_to_positive,
+        "flipped_to_negative": update.flipped_to_negative,
+    }
+
+
+def update_from_dict(payload: dict) -> RegionUpdate:
+    try:
+        return RegionUpdate(
+            pattern=pattern_from_dict(payload["pattern"]),
+            technique=str(payload["technique"]),
+            added_positives=int(payload.get("added_positives", 0)),
+            added_negatives=int(payload.get("added_negatives", 0)),
+            removed_positives=int(payload.get("removed_positives", 0)),
+            removed_negatives=int(payload.get("removed_negatives", 0)),
+            flipped_to_positive=int(payload.get("flipped_to_positive", 0)),
+            flipped_to_negative=int(payload.get("flipped_to_negative", 0)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError(f"malformed region update payload: {payload!r}") from exc
+
+
+def audit_trail_to_dict(result: RemedyResult) -> dict:
+    """Full JSON-serialisable audit trail of one remedy run."""
+    return {
+        "n_rows_after": result.dataset.n_rows,
+        "initial_ibs": [report_to_dict(r) for r in result.initial_ibs],
+        "updates": [update_to_dict(u) for u in result.updates],
+        "rows_touched": result.rows_touched,
+    }
+
+
+def write_audit_trail(result: RemedyResult, path: str | Path) -> None:
+    """Persist a remedy's audit trail as JSON."""
+    Path(path).write_text(json.dumps(audit_trail_to_dict(result), indent=2) + "\n")
+
+
+def read_audit_trail(
+    path: str | Path,
+) -> tuple[list[RegionReport], list[RegionUpdate]]:
+    """Load ``(initial_ibs, updates)`` from a persisted audit trail."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise DataError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise DataError(f"{path} does not contain an audit-trail object")
+    reports = [report_from_dict(r) for r in payload.get("initial_ibs", ())]
+    updates = [update_from_dict(u) for u in payload.get("updates", ())]
+    return reports, updates

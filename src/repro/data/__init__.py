@@ -1,0 +1,43 @@
+"""Tabular substrate: columnar datasets, schemas, splitting, discretisation."""
+
+from repro.data.dataset import Dataset, concat
+from repro.data.discretize import (
+    bucketize,
+    bucketize_quantile,
+    bucketize_uniform,
+    default_bin_labels,
+    equal_width_edges,
+    quantile_edges,
+)
+from repro.data.io import read_csv, write_csv
+from repro.data.schema_io import read_schema, schema_from_dict, schema_to_dict, write_schema
+from repro.data.schema import CATEGORICAL, NUMERIC, Column, Schema, schema_from_domains
+from repro.data.split import kfold_indices, train_test_split
+from repro.data.summary import DatasetSummary, summarize_dataset, summary_table
+
+__all__ = [
+    "Dataset",
+    "concat",
+    "Schema",
+    "Column",
+    "schema_from_domains",
+    "CATEGORICAL",
+    "NUMERIC",
+    "train_test_split",
+    "kfold_indices",
+    "bucketize",
+    "bucketize_uniform",
+    "bucketize_quantile",
+    "equal_width_edges",
+    "quantile_edges",
+    "default_bin_labels",
+    "read_csv",
+    "write_csv",
+    "read_schema",
+    "write_schema",
+    "schema_to_dict",
+    "schema_from_dict",
+    "summarize_dataset",
+    "summary_table",
+    "DatasetSummary",
+]

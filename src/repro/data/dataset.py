@@ -1,0 +1,293 @@
+"""Columnar labelled dataset used throughout the library.
+
+The paper's pipeline needs three things from its tabular substrate: boolean
+masks for conjunctive patterns over categorical attributes, fast positive /
+negative counts inside such regions, and cheap row-level edits (duplicate,
+drop, relabel) for the remedy samplers.  :class:`Dataset` provides exactly
+that on top of plain numpy arrays — categorical columns are ``int64`` code
+arrays indexing the column's domain, numeric columns are ``float64``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.schema import Column, Schema
+from repro.errors import DataError, SchemaError
+
+
+class Dataset:
+    """An immutable-by-convention labelled table.
+
+    Parameters
+    ----------
+    schema:
+        Column descriptors.
+    columns:
+        ``{name: ndarray}`` with one 1-D array per schema column, all the
+        same length.  Categorical arrays hold integer codes in
+        ``[0, cardinality)``; numeric arrays hold floats.
+    y:
+        Binary labels (0/1), same length as the columns.
+    protected:
+        Names of the protected attributes (must be categorical columns).
+        These define the intersectional space of the paper.
+
+    Mutating methods (``take``, ``drop``, ``append_rows``, ``with_labels``)
+    return new :class:`Dataset` objects; the underlying arrays of the source
+    are never modified.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Mapping[str, np.ndarray],
+        y: np.ndarray,
+        protected: Sequence[str] = (),
+    ):
+        self.schema = schema
+        y = np.asarray(y)
+        if y.ndim != 1:
+            raise DataError(f"y must be 1-D, got shape {y.shape}")
+        n = y.shape[0]
+        if n and not np.isin(y, (0, 1)).all():
+            raise DataError("labels must be binary 0/1")
+        self.y = y.astype(np.int8, copy=False)
+
+        self._columns: dict[str, np.ndarray] = {}
+        missing = [c.name for c in schema if c.name not in columns]
+        if missing:
+            raise DataError(f"missing arrays for schema columns {missing}")
+        extra = [name for name in columns if name not in schema]
+        if extra:
+            raise DataError(f"arrays {extra} have no schema column")
+        for col in schema:
+            arr = np.asarray(columns[col.name])
+            if arr.ndim != 1 or arr.shape[0] != n:
+                raise DataError(
+                    f"column {col.name!r} must be 1-D of length {n}, "
+                    f"got shape {arr.shape}"
+                )
+            if col.is_categorical:
+                arr = arr.astype(np.int64, copy=False)
+                if n and (arr.min() < 0 or arr.max() >= col.cardinality):
+                    raise DataError(
+                        f"column {col.name!r} has codes outside "
+                        f"[0, {col.cardinality})"
+                    )
+            else:
+                arr = arr.astype(np.float64, copy=False)
+            self._columns[col.name] = arr
+
+        protected = tuple(protected)
+        schema.require_categorical(protected)
+        self.protected = protected
+
+    # -- basic accessors ----------------------------------------------------
+    def __len__(self) -> int:
+        return self.y.shape[0]
+
+    @property
+    def n_rows(self) -> int:
+        return self.y.shape[0]
+
+    @property
+    def n_positive(self) -> int:
+        return int(self.y.sum())
+
+    @property
+    def n_negative(self) -> int:
+        return int(self.n_rows - self.y.sum())
+
+    def column(self, name: str) -> np.ndarray:
+        """The raw array backing column ``name`` (do not mutate)."""
+        if name not in self._columns:
+            raise SchemaError(f"unknown column {name!r}")
+        return self._columns[name]
+
+    def labels_of(self, name: str) -> np.ndarray:
+        """Column values decoded to their string labels (categorical only)."""
+        col = self.schema[name]
+        if not col.is_categorical:
+            raise SchemaError(f"column {name!r} is numeric; has no labels")
+        domain = np.asarray(col.domain, dtype=object)
+        return domain[self._columns[name]]
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(n={self.n_rows}, +={self.n_positive}, -={self.n_negative}, "
+            f"protected={list(self.protected)})"
+        )
+
+    # -- pattern masks and counts --------------------------------------------
+    def mask(self, assignment: Mapping[str, int]) -> np.ndarray:
+        """Boolean mask of rows matching ``{attr: code}`` conjunctively.
+
+        An empty assignment matches every row (the level-0 "entire dataset"
+        region of the hierarchy).
+        """
+        out = np.ones(self.n_rows, dtype=bool)
+        for name, code in assignment.items():
+            col = self.schema[name]
+            if not col.is_categorical:
+                raise SchemaError(f"pattern attribute {name!r} must be categorical")
+            if not 0 <= int(code) < col.cardinality:
+                raise SchemaError(
+                    f"code {code} out of range for column {name!r}"
+                )
+            out &= self._columns[name] == int(code)
+        return out
+
+    def counts(self, assignment: Mapping[str, int]) -> tuple[int, int]:
+        """``(|r+|, |r-|)`` — positive and negative rows matching the pattern."""
+        m = self.mask(assignment)
+        pos = int(self.y[m].sum())
+        return pos, int(m.sum()) - pos
+
+    def joint_codes(self, attrs: Sequence[str]) -> tuple[np.ndarray, tuple[int, ...]]:
+        """Mixed-radix joint code of each row over categorical ``attrs``.
+
+        Returns ``(codes, shape)`` where ``codes[i]`` is the flattened cell
+        index of row ``i`` in the cross-product space of the attribute
+        domains, and ``shape`` is the per-attribute cardinality tuple.  This
+        is the vectorised engine behind hierarchy-level counting: a single
+        ``bincount`` over the joint codes yields the size of every region at
+        once.
+        """
+        self.schema.require_categorical(attrs)
+        shape = self.schema.cardinalities(attrs)
+        if not attrs:
+            return np.zeros(self.n_rows, dtype=np.int64), ()
+        arrays = [self._columns[a] for a in attrs]
+        codes = np.ravel_multi_index(arrays, shape)
+        return codes.astype(np.int64, copy=False), shape
+
+    def region_counts(
+        self, attrs: Sequence[str]
+    ) -> tuple[np.ndarray, np.ndarray, tuple[int, ...]]:
+        """Positive and negative counts of every cell over ``attrs``.
+
+        Returns ``(pos, neg, shape)`` where ``pos``/``neg`` are flat arrays of
+        length ``prod(shape)`` indexed by the mixed-radix joint code.
+        """
+        codes, shape = self.joint_codes(attrs)
+        size = int(np.prod(shape)) if shape else 1
+        pos = np.bincount(codes[self.y == 1], minlength=size)
+        neg = np.bincount(codes[self.y == 0], minlength=size)
+        return pos.astype(np.int64), neg.astype(np.int64), shape
+
+    # -- row-level edits (return new datasets) --------------------------------
+    def take(self, indices: np.ndarray) -> "Dataset":
+        """New dataset with rows at ``indices`` (boolean mask or int index)."""
+        indices = np.asarray(indices)
+        cols = {name: arr[indices] for name, arr in self._columns.items()}
+        return Dataset(self.schema, cols, self.y[indices], self.protected)
+
+    def drop(self, indices: np.ndarray) -> "Dataset":
+        """New dataset with rows at integer ``indices`` removed."""
+        keep = np.ones(self.n_rows, dtype=bool)
+        keep[np.asarray(indices, dtype=np.int64)] = False
+        return self.take(keep)
+
+    def append_rows(self, other: "Dataset") -> "Dataset":
+        """New dataset with ``other``'s rows appended (schemas must match)."""
+        if other.schema != self.schema:
+            raise DataError("cannot append rows with a different schema")
+        cols = {
+            name: np.concatenate([arr, other._columns[name]])
+            for name, arr in self._columns.items()
+        }
+        return Dataset(
+            self.schema, cols, np.concatenate([self.y, other.y]), self.protected
+        )
+
+    def duplicate_rows(self, indices: np.ndarray) -> "Dataset":
+        """New dataset with copies of rows at ``indices`` appended."""
+        return self.append_rows(self.take(np.asarray(indices, dtype=np.int64)))
+
+    def with_labels(self, y: np.ndarray) -> "Dataset":
+        """New dataset sharing columns but with replacement labels ``y``."""
+        return Dataset(self.schema, self._columns, y, self.protected)
+
+    def with_protected(self, protected: Sequence[str]) -> "Dataset":
+        """New dataset view with a different protected-attribute set."""
+        return Dataset(self.schema, self._columns, self.y, protected)
+
+    def copy(self) -> "Dataset":
+        """Deep copy (fresh arrays)."""
+        cols = {name: arr.copy() for name, arr in self._columns.items()}
+        return Dataset(self.schema, cols, self.y.copy(), self.protected)
+
+    # -- model-facing feature matrix ------------------------------------------
+    def feature_matrix(
+        self, features: Sequence[str] | None = None, one_hot: bool = True
+    ) -> np.ndarray:
+        """Dense ``float64`` design matrix over ``features``.
+
+        Categorical columns are one-hot encoded (dropping nothing — the
+        classifiers here do not require full rank) unless ``one_hot`` is
+        False, in which case raw integer codes are emitted, which is what the
+        native-categorical decision tree expects.
+        """
+        if features is None:
+            features = self.schema.names
+        self.schema.require(features)
+        blocks: list[np.ndarray] = []
+        for name in features:
+            col = self.schema[name]
+            arr = self._columns[name]
+            if col.is_categorical and one_hot:
+                block = np.zeros((self.n_rows, col.cardinality))
+                block[np.arange(self.n_rows), arr] = 1.0
+                blocks.append(block)
+            else:
+                blocks.append(arr.astype(np.float64)[:, None])
+        if not blocks:
+            return np.zeros((self.n_rows, 0))
+        return np.hstack(blocks)
+
+    # -- construction helpers --------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema,
+        rows: Iterable[Mapping[str, object]],
+        label_key: str = "label",
+        protected: Sequence[str] = (),
+    ) -> "Dataset":
+        """Build from an iterable of ``{column: label_or_value}`` dicts.
+
+        Categorical values may be given as labels (strings) or codes (ints).
+        """
+        rows = list(rows)
+        columns: dict[str, list[float | int]] = {c.name: [] for c in schema}
+        y: list[int] = []
+        for i, row in enumerate(rows):
+            if label_key not in row:
+                raise DataError(f"row {i} is missing the label key {label_key!r}")
+            y.append(int(row[label_key]))  # type: ignore[arg-type]
+            for col in schema:
+                if col.name not in row:
+                    raise DataError(f"row {i} is missing column {col.name!r}")
+                value = row[col.name]
+                if col.is_categorical and isinstance(value, str):
+                    columns[col.name].append(col.code_of(value))
+                else:
+                    columns[col.name].append(value)  # type: ignore[arg-type]
+        arrays = {name: np.asarray(vals) for name, vals in columns.items()}
+        return cls(schema, arrays, np.asarray(y), protected)
+
+
+def concat(datasets: Sequence[Dataset]) -> Dataset:
+    """Concatenate datasets with identical schemas into one."""
+    if not datasets:
+        raise DataError("concat requires at least one dataset")
+    out = datasets[0]
+    for ds in datasets[1:]:
+        out = out.append_rows(ds)
+    return out
+
+
+__all__ = ["Dataset", "Schema", "Column", "concat"]

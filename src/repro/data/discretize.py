@@ -1,0 +1,100 @@
+"""Bucketisation of numeric columns into categorical ones.
+
+The paper's protected attributes must be categorical ("categorical (or
+discretized) value from a finite data domain", §II-A).  These helpers convert
+a numeric column of a :class:`~repro.data.Dataset` into a categorical column
+whose ordered domain reflects the bin order, so the neighbouring-region
+distance can optionally exploit the ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.schema import CATEGORICAL, Column, Schema
+from repro.errors import DataError, SchemaError
+
+
+def equal_width_edges(values: np.ndarray, n_bins: int) -> np.ndarray:
+    """Interior edges of ``n_bins`` equal-width bins over ``values``."""
+    if n_bins < 2:
+        raise DataError("need at least 2 bins")
+    lo, hi = float(np.min(values)), float(np.max(values))
+    if lo == hi:
+        raise DataError("cannot bin a constant column")
+    return np.linspace(lo, hi, n_bins + 1)[1:-1]
+
+
+def quantile_edges(values: np.ndarray, n_bins: int) -> np.ndarray:
+    """Interior edges of ``n_bins`` (approximately) equal-count bins."""
+    if n_bins < 2:
+        raise DataError("need at least 2 bins")
+    qs = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+    edges = np.quantile(values, qs)
+    if len(np.unique(edges)) != len(edges):
+        raise DataError(
+            "quantile edges are not distinct; reduce n_bins or use equal width"
+        )
+    return edges
+
+
+def default_bin_labels(edges: Sequence[float]) -> tuple[str, ...]:
+    """Human-readable interval labels for a set of interior edges."""
+    edges = list(edges)
+    labels = [f"<{edges[0]:g}"]
+    labels.extend(
+        f"[{edges[i]:g}-{edges[i + 1]:g})" for i in range(len(edges) - 1)
+    )
+    labels.append(f">={edges[-1]:g}")
+    return tuple(labels)
+
+
+def bucketize(
+    dataset: Dataset,
+    name: str,
+    edges: Sequence[float],
+    labels: Sequence[str] | None = None,
+) -> Dataset:
+    """Replace numeric column ``name`` with a categorical binned version.
+
+    ``edges`` are the interior cut points: a value ``v`` falls in bin ``i``
+    where ``i`` counts how many edges are ``<= v``.  The resulting domain has
+    ``len(edges) + 1`` ordered values.
+    """
+    col = dataset.schema[name]
+    if col.is_categorical:
+        raise SchemaError(f"column {name!r} is already categorical")
+    edges = np.asarray(sorted(edges), dtype=np.float64)
+    if edges.size == 0:
+        raise DataError("need at least one edge")
+    if labels is None:
+        labels = default_bin_labels(edges)
+    if len(labels) != edges.size + 1:
+        raise DataError(
+            f"need {edges.size + 1} labels for {edges.size} edges, got {len(labels)}"
+        )
+    codes = np.searchsorted(edges, dataset.column(name), side="right")
+
+    new_cols = []
+    arrays = {}
+    for c in dataset.schema:
+        if c.name == name:
+            new_cols.append(Column(name, CATEGORICAL, tuple(labels)))
+            arrays[name] = codes
+        else:
+            new_cols.append(c)
+            arrays[c.name] = dataset.column(c.name)
+    return Dataset(Schema(new_cols), arrays, dataset.y, dataset.protected)
+
+
+def bucketize_uniform(dataset: Dataset, name: str, n_bins: int) -> Dataset:
+    """Equal-width bucketisation convenience wrapper."""
+    return bucketize(dataset, name, equal_width_edges(dataset.column(name), n_bins))
+
+
+def bucketize_quantile(dataset: Dataset, name: str, n_bins: int) -> Dataset:
+    """Quantile bucketisation convenience wrapper."""
+    return bucketize(dataset, name, quantile_edges(dataset.column(name), n_bins))

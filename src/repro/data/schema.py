@@ -1,0 +1,175 @@
+"""Schema objects describing the columns of a :class:`~repro.data.Dataset`.
+
+A schema is an ordered list of :class:`Column` descriptors.  Categorical
+columns carry an explicit, ordered value *domain*; cell values are stored as
+integer codes indexing into that domain.  Numeric columns store ``float64``
+values directly.  The paper's method operates on categorical (or discretised)
+protected attributes, so the domain order also defines the unit spacing used
+by the neighbouring-region distance (Definition 4 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import SchemaError
+
+CATEGORICAL = "categorical"
+NUMERIC = "numeric"
+_KINDS = (CATEGORICAL, NUMERIC)
+
+
+@dataclass(frozen=True)
+class Column:
+    """Description of one dataset column.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within a schema.
+    kind:
+        Either ``"categorical"`` or ``"numeric"``.
+    domain:
+        For categorical columns, the ordered tuple of value labels.  Cell
+        values are integer codes into this tuple.  Must be empty for numeric
+        columns.
+    """
+
+    name: str
+    kind: str = CATEGORICAL
+    domain: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+        if self.kind not in _KINDS:
+            raise SchemaError(
+                f"column {self.name!r}: kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == CATEGORICAL:
+            if len(self.domain) < 1:
+                raise SchemaError(
+                    f"categorical column {self.name!r} needs a non-empty domain"
+                )
+            if len(set(self.domain)) != len(self.domain):
+                raise SchemaError(
+                    f"categorical column {self.name!r} has duplicate domain values"
+                )
+        elif self.domain:
+            raise SchemaError(f"numeric column {self.name!r} must not have a domain")
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct values (0 for numeric columns)."""
+        return len(self.domain)
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind == CATEGORICAL
+
+    def code_of(self, label: str) -> int:
+        """Return the integer code of ``label`` in this column's domain."""
+        try:
+            return self.domain.index(label)
+        except ValueError:
+            raise SchemaError(
+                f"value {label!r} not in domain of column {self.name!r}: {self.domain}"
+            ) from None
+
+    def label_of(self, code: int) -> str:
+        """Return the label for integer ``code``."""
+        if not 0 <= code < len(self.domain):
+            raise SchemaError(
+                f"code {code} out of range for column {self.name!r} "
+                f"(cardinality {len(self.domain)})"
+            )
+        return self.domain[code]
+
+
+class Schema:
+    """An ordered, name-indexed collection of :class:`Column` objects."""
+
+    def __init__(self, columns: Iterable[Column]):
+        self._columns: tuple[Column, ...] = tuple(columns)
+        names = [c.name for c in self._columns]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names in schema: {dupes}")
+        self._by_name: dict[str, Column] = {c.name: c for c in self._columns}
+
+    # -- container protocol -------------------------------------------------
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r}; schema has {self.names}"
+            ) from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __repr__(self) -> str:
+        cols = ", ".join(
+            f"{c.name}:{c.kind}" + (f"[{c.cardinality}]" if c.is_categorical else "")
+            for c in self._columns
+        )
+        return f"Schema({cols})"
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self._columns)
+
+    @property
+    def categorical_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self._columns if c.is_categorical)
+
+    @property
+    def numeric_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self._columns if not c.is_categorical)
+
+    def require(self, names: Sequence[str]) -> None:
+        """Raise :class:`SchemaError` unless every name exists in the schema."""
+        missing = [n for n in names if n not in self._by_name]
+        if missing:
+            raise SchemaError(f"unknown columns {missing}; schema has {self.names}")
+
+    def require_categorical(self, names: Sequence[str]) -> None:
+        """Raise unless every name exists and is categorical."""
+        self.require(names)
+        bad = [n for n in names if not self._by_name[n].is_categorical]
+        if bad:
+            raise SchemaError(f"columns {bad} are not categorical")
+
+    def cardinalities(self, names: Sequence[str]) -> tuple[int, ...]:
+        """Cardinalities of the given categorical columns, in the given order."""
+        self.require_categorical(names)
+        return tuple(self._by_name[n].cardinality for n in names)
+
+    def subset(self, names: Sequence[str]) -> "Schema":
+        """A new schema containing only ``names``, in the given order."""
+        self.require(names)
+        return Schema(self._by_name[n] for n in names)
+
+
+def schema_from_domains(domains: Mapping[str, Sequence[str]]) -> Schema:
+    """Build an all-categorical schema from a ``{name: labels}`` mapping.
+
+    Convenience used heavily by tests and synthetic generators.
+    """
+    return Schema(
+        Column(name, CATEGORICAL, tuple(labels)) for name, labels in domains.items()
+    )

@@ -1,0 +1,69 @@
+"""JSON persistence for schemas (used by the command-line interface).
+
+A schema file pins down the categorical domains and the protected-attribute
+set of a CSV so runs are reproducible and self-describing::
+
+    {
+      "columns": [
+        {"name": "age", "kind": "categorical", "domain": ["<25", "25-45", ">45"]},
+        {"name": "score", "kind": "numeric"}
+      ],
+      "protected": ["age"]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.data.dataset import Dataset
+from repro.data.schema import CATEGORICAL, NUMERIC, Column, Schema
+from repro.errors import SchemaError
+
+
+def schema_to_dict(schema: Schema, protected: tuple[str, ...] = ()) -> dict:
+    """JSON-serialisable representation of a schema + protected set."""
+    columns = []
+    for col in schema:
+        entry: dict = {"name": col.name, "kind": col.kind}
+        if col.is_categorical:
+            entry["domain"] = list(col.domain)
+        columns.append(entry)
+    return {"columns": columns, "protected": list(protected)}
+
+
+def schema_from_dict(payload: dict) -> tuple[Schema, tuple[str, ...]]:
+    """Inverse of :func:`schema_to_dict`; validates structure."""
+    if not isinstance(payload, dict) or "columns" not in payload:
+        raise SchemaError("schema file must be an object with a 'columns' list")
+    columns = []
+    for entry in payload["columns"]:
+        name = entry.get("name")
+        kind = entry.get("kind", CATEGORICAL)
+        if kind == CATEGORICAL:
+            domain = tuple(entry.get("domain", ()))
+            columns.append(Column(name, CATEGORICAL, domain))
+        elif kind == NUMERIC:
+            columns.append(Column(name, NUMERIC))
+        else:
+            raise SchemaError(f"column {name!r}: unknown kind {kind!r}")
+    protected = tuple(payload.get("protected", ()))
+    schema = Schema(columns)
+    schema.require_categorical(protected)
+    return schema, protected
+
+
+def write_schema(dataset: Dataset, path: str | Path) -> None:
+    """Persist ``dataset``'s schema (and protected set) as JSON."""
+    payload = schema_to_dict(dataset.schema, dataset.protected)
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def read_schema(path: str | Path) -> tuple[Schema, tuple[str, ...]]:
+    """Load a schema JSON written by :func:`write_schema`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{path} is not valid JSON: {exc}") from exc
+    return schema_from_dict(payload)

@@ -1,0 +1,68 @@
+"""Train/test splitting.
+
+The paper randomly splits each dataset 70/30; the test set is never remedied
+(§V-A.a).  The split here is seeded for reproducibility and supports
+stratification on the label so small datasets keep both classes on each side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import DataError
+
+
+def train_test_split(
+    dataset: Dataset,
+    test_fraction: float = 0.3,
+    seed: int = 0,
+    stratify: bool = True,
+) -> tuple[Dataset, Dataset]:
+    """Split ``dataset`` into ``(train, test)``.
+
+    Parameters
+    ----------
+    test_fraction:
+        Fraction of rows assigned to the test side, in (0, 1).
+    seed:
+        Seed for the permutation; identical inputs give identical splits.
+    stratify:
+        When True (default) the split preserves the positive/negative ratio
+        by splitting each class independently.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise DataError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    if dataset.n_rows < 2:
+        raise DataError("need at least two rows to split")
+    rng = np.random.default_rng(seed)
+
+    if stratify:
+        test_idx_parts = []
+        for label in (0, 1):
+            idx = np.flatnonzero(dataset.y == label)
+            rng.shuffle(idx)
+            n_test = int(round(len(idx) * test_fraction))
+            test_idx_parts.append(idx[:n_test])
+        test_idx = np.concatenate(test_idx_parts)
+    else:
+        idx = rng.permutation(dataset.n_rows)
+        test_idx = idx[: int(round(dataset.n_rows * test_fraction))]
+
+    is_test = np.zeros(dataset.n_rows, dtype=bool)
+    is_test[test_idx] = True
+    train, test = dataset.take(~is_test), dataset.take(is_test)
+    if train.n_rows == 0 or test.n_rows == 0:
+        raise DataError("split produced an empty side; adjust test_fraction")
+    return train, test
+
+
+def kfold_indices(n_rows: int, n_folds: int, seed: int = 0) -> list[np.ndarray]:
+    """Shuffled fold index arrays for k-fold cross-validation."""
+    if n_folds < 2:
+        raise DataError("need at least 2 folds")
+    if n_folds > n_rows:
+        raise DataError(f"cannot make {n_folds} folds from {n_rows} rows")
+    rng = np.random.default_rng(seed)
+    idx = rng.permutation(n_rows)
+    return [fold for fold in np.array_split(idx, n_folds)]

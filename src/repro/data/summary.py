@@ -1,0 +1,184 @@
+"""Dataset profiling: the first look an auditor takes at training data.
+
+:func:`summarize_dataset` produces per-column profiles (domains, counts,
+numeric moments), per-protected-attribute class rates, and — the paper's
+lens — the leaf-level region table with imbalance scores, ready to render
+as text via :func:`summary_table` or through the CLI's ``describe`` command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Summary of one column."""
+
+    name: str
+    kind: str
+    cardinality: int  # 0 for numeric
+    top_value: str  # modal label or "-" for numeric
+    top_fraction: float
+    mean: float  # nan for categorical
+    std: float  # nan for categorical
+
+
+@dataclass(frozen=True)
+class GroupRate:
+    """Class rate of one level-1 protected group."""
+
+    attribute: str
+    value: str
+    size: int
+    positive_rate: float
+
+
+@dataclass(frozen=True)
+class RegionRow:
+    """One leaf-level region with its imbalance score."""
+
+    description: str
+    size: int
+    positives: int
+    negatives: int
+    ratio: float
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    n_rows: int
+    n_positive: int
+    n_negative: int
+    protected: tuple[str, ...]
+    columns: tuple[ColumnProfile, ...]
+    group_rates: tuple[GroupRate, ...]
+    leaf_regions: tuple[RegionRow, ...]
+
+
+def summarize_dataset(dataset: Dataset, max_regions: int = 20) -> DatasetSummary:
+    """Profile ``dataset`` (leaf regions truncated to the largest ones)."""
+    columns = []
+    for col in dataset.schema:
+        arr = dataset.column(col.name)
+        if col.is_categorical:
+            counts = np.bincount(arr, minlength=col.cardinality)
+            top = int(np.argmax(counts))
+            columns.append(
+                ColumnProfile(
+                    name=col.name,
+                    kind=col.kind,
+                    cardinality=col.cardinality,
+                    top_value=col.label_of(top),
+                    top_fraction=float(counts[top] / max(dataset.n_rows, 1)),
+                    mean=float("nan"),
+                    std=float("nan"),
+                )
+            )
+        else:
+            columns.append(
+                ColumnProfile(
+                    name=col.name,
+                    kind=col.kind,
+                    cardinality=0,
+                    top_value="-",
+                    top_fraction=float("nan"),
+                    mean=float(arr.mean()) if arr.size else float("nan"),
+                    std=float(arr.std()) if arr.size else float("nan"),
+                )
+            )
+
+    group_rates = []
+    for attr in dataset.protected:
+        col = dataset.schema[attr]
+        for code in range(col.cardinality):
+            mask = dataset.column(attr) == code
+            size = int(mask.sum())
+            rate = float(dataset.y[mask].mean()) if size else float("nan")
+            group_rates.append(
+                GroupRate(attr, col.label_of(code), size, rate)
+            )
+
+    # Imported here: repro.core depends on repro.data, so the summary's use
+    # of the hierarchy must not create an import cycle at package load.
+    from repro.core.hierarchy import Hierarchy
+    from repro.core.imbalance import imbalance_score
+
+    leaf_regions: list[RegionRow] = []
+    if dataset.protected and dataset.n_rows:
+        hierarchy = Hierarchy(dataset, max_level=len(dataset.protected))
+        leaf = hierarchy.node(dataset.protected)
+        rows = sorted(
+            leaf.iter_regions(min_size=1), key=lambda t: -(t[1] + t[2])
+        )
+        for pattern, pos, neg in rows[:max_regions]:
+            leaf_regions.append(
+                RegionRow(
+                    description=pattern.describe(dataset.schema),
+                    size=pos + neg,
+                    positives=pos,
+                    negatives=neg,
+                    ratio=imbalance_score(pos, neg),
+                )
+            )
+
+    return DatasetSummary(
+        n_rows=dataset.n_rows,
+        n_positive=dataset.n_positive,
+        n_negative=dataset.n_negative,
+        protected=dataset.protected,
+        columns=tuple(columns),
+        group_rates=tuple(group_rates),
+        leaf_regions=tuple(leaf_regions),
+    )
+
+
+def summary_table(summary: DatasetSummary) -> str:
+    """Render a :class:`DatasetSummary` as stacked text tables."""
+    from repro.experiments.reporting import format_table
+
+    parts = [
+        f"rows: {summary.n_rows}  (+{summary.n_positive} / -{summary.n_negative})"
+        f"   protected: {', '.join(summary.protected) or '(none)'}"
+    ]
+    parts.append(
+        format_table(
+            ("column", "kind", "card.", "top value", "top frac", "mean", "std"),
+            [
+                (c.name, c.kind, c.cardinality or "-", c.top_value,
+                 c.top_fraction, c.mean, c.std)
+                for c in summary.columns
+            ],
+            precision=3,
+            title="columns",
+        )
+    )
+    if summary.group_rates:
+        parts.append(
+            format_table(
+                ("group", "size", "positive rate"),
+                [
+                    (f"{g.attribute}={g.value}", g.size, g.positive_rate)
+                    for g in summary.group_rates
+                ],
+                precision=3,
+                title="protected groups (level 1)",
+            )
+        )
+    if summary.leaf_regions:
+        parts.append(
+            format_table(
+                ("region", "size", "+", "-", "imbalance"),
+                [
+                    (r.description, r.size, r.positives, r.negatives, r.ratio)
+                    for r in summary.leaf_regions
+                ],
+                precision=2,
+                title="largest leaf regions",
+            )
+        )
+    return "\n\n".join(parts)

@@ -1,0 +1,63 @@
+"""Synthetic stand-ins for the paper's three evaluation datasets.
+
+Real Adult / ProPublica / Law School files are unavailable offline; these
+generators rebuild their schema, marginals, and — the property the method
+depends on — planted region-level class-ratio skew.  See DESIGN.md for the
+substitution rationale.
+"""
+
+from repro.data.synth.adult import (
+    load_adult,
+    load_adult_scalability,
+    adult_config,
+    PROTECTED as ADULT_PROTECTED,
+    SCALABILITY_PROTECTED as ADULT_SCALABILITY_PROTECTED,
+)
+from repro.data.synth.compas import load_compas, compas_config, PROTECTED as COMPAS_PROTECTED
+from repro.data.synth.lawschool import (
+    load_lawschool,
+    lawschool_config,
+    PROTECTED as LAWSCHOOL_PROTECTED,
+)
+from repro.data.synth.scenarios import (
+    make_checkerboard,
+    make_gradient,
+    make_single_biased_region,
+    make_undercoverage,
+)
+from repro.data.synth.generic import (
+    BiasInjection,
+    CategoricalSpec,
+    GeneratorConfig,
+    NumericSpec,
+    build_schema,
+    generate,
+    make_scalability_config,
+    uniform_marginal,
+)
+
+__all__ = [
+    "load_adult",
+    "load_adult_scalability",
+    "load_compas",
+    "load_lawschool",
+    "adult_config",
+    "compas_config",
+    "lawschool_config",
+    "ADULT_PROTECTED",
+    "ADULT_SCALABILITY_PROTECTED",
+    "COMPAS_PROTECTED",
+    "LAWSCHOOL_PROTECTED",
+    "BiasInjection",
+    "CategoricalSpec",
+    "GeneratorConfig",
+    "NumericSpec",
+    "build_schema",
+    "generate",
+    "make_scalability_config",
+    "uniform_marginal",
+    "make_checkerboard",
+    "make_gradient",
+    "make_single_biased_region",
+    "make_undercoverage",
+]

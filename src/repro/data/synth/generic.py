@@ -1,0 +1,256 @@
+"""Seeded synthetic-dataset generator with planted representation bias.
+
+The paper's experiments run on Adult / ProPublica COMPAS / Law School.  Those
+files cannot be downloaded in this environment, so each is rebuilt by a
+generator that reproduces its schema, approximate marginals and — the part
+the method actually depends on — *region-level class-ratio skew*: specific
+intersectional regions of the protected attributes receive a positive rate
+far from their surroundings, which is exactly the "biased sample collection"
+(Implicit Biased Set) mechanism of §II-B.
+
+Generation proceeds in three stages:
+
+1. sample every categorical column independently from its marginal,
+2. assign each row a positive probability — the base rate, overridden by the
+   last matching :class:`BiasInjection` — and draw the binary label,
+3. re-draw *signal* columns conditioned on the label (tilted categorical
+   marginals; class-conditional Gaussians for numeric columns) so that an
+   accuracy-optimised classifier has genuine predictive signal to learn, on
+   top of which the planted region bias induces subgroup FPR/FNR divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.schema import CATEGORICAL, NUMERIC, Column, Schema
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class CategoricalSpec:
+    """A categorical column to generate.
+
+    Parameters
+    ----------
+    name / labels:
+        Column identity and ordered value domain.
+    marginal:
+        Sampling probabilities, one per label (normalised if needed).
+    signal:
+        Label association strength in [0, 1).  With signal ``s`` the
+        label-conditional distribution is tilted linearly along the code
+        axis: higher codes become more likely under ``y=1`` and less likely
+        under ``y=0``.  ``0`` means the column is independent of the label.
+    """
+
+    name: str
+    labels: tuple[str, ...]
+    marginal: tuple[float, ...]
+    signal: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.labels) != len(self.marginal):
+            raise DataError(
+                f"column {self.name!r}: {len(self.labels)} labels but "
+                f"{len(self.marginal)} marginal probabilities"
+            )
+        if len(self.labels) < 1:
+            raise DataError(f"column {self.name!r} needs at least one label")
+        if any(p < 0 for p in self.marginal) or sum(self.marginal) <= 0:
+            raise DataError(f"column {self.name!r}: invalid marginal")
+        if not 0.0 <= self.signal < 1.0:
+            raise DataError(f"column {self.name!r}: signal must be in [0, 1)")
+
+    def probs(self) -> np.ndarray:
+        p = np.asarray(self.marginal, dtype=np.float64)
+        return p / p.sum()
+
+    def conditional_probs(self, label: int) -> np.ndarray:
+        """Marginal tilted by ``signal`` for the given label."""
+        p = self.probs()
+        if self.signal == 0.0 or len(self.labels) == 1:
+            return p
+        k = len(self.labels)
+        # Linear tilt along the code axis, centred so the tilt sums to zero.
+        axis = (np.arange(k) - (k - 1) / 2.0) / max((k - 1) / 2.0, 1.0)
+        direction = axis if label == 1 else -axis
+        tilted = p * (1.0 + self.signal * direction)
+        tilted = np.clip(tilted, 1e-12, None)
+        return tilted / tilted.sum()
+
+
+@dataclass(frozen=True)
+class NumericSpec:
+    """A numeric column drawn from class-conditional Gaussians."""
+
+    name: str
+    mean_negative: float
+    mean_positive: float
+    std: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.std <= 0:
+            raise DataError(f"column {self.name!r}: std must be positive")
+
+
+@dataclass(frozen=True)
+class BiasInjection:
+    """Override the positive rate inside one intersectional region.
+
+    ``assignment`` maps column names to *labels*; rows matching the full
+    conjunction get ``positive_rate`` as their Bernoulli parameter.  When
+    several injections match a row, the one listed last wins — list the most
+    specific regions last.
+    """
+
+    assignment: Mapping[str, str]
+    positive_rate: float
+
+    def __post_init__(self) -> None:
+        if not self.assignment:
+            raise DataError("bias injection needs a non-empty assignment")
+        if not 0.0 <= self.positive_rate <= 1.0:
+            raise DataError(
+                f"positive_rate must be in [0, 1], got {self.positive_rate}"
+            )
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Full recipe for one synthetic dataset."""
+
+    n_rows: int
+    categorical: tuple[CategoricalSpec, ...]
+    numeric: tuple[NumericSpec, ...] = ()
+    protected: tuple[str, ...] = ()
+    base_positive_rate: float = 0.5
+    injections: tuple[BiasInjection, ...] = ()
+    label_noise: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_rows < 1:
+            raise DataError("n_rows must be positive")
+        if not 0.0 < self.base_positive_rate < 1.0:
+            raise DataError("base_positive_rate must be in (0, 1)")
+        if not 0.0 <= self.label_noise < 0.5:
+            raise DataError("label_noise must be in [0, 0.5)")
+        names = [c.name for c in self.categorical] + [n.name for n in self.numeric]
+        if len(set(names)) != len(names):
+            raise DataError("duplicate column names in generator config")
+        cat_names = {c.name for c in self.categorical}
+        missing = [p for p in self.protected if p not in cat_names]
+        if missing:
+            raise DataError(f"protected columns {missing} are not categorical specs")
+        for inj in self.injections:
+            bad = [a for a in inj.assignment if a not in cat_names]
+            if bad:
+                raise DataError(f"injection references unknown columns {bad}")
+
+
+def build_schema(config: GeneratorConfig) -> Schema:
+    """Schema implied by a generator config (categorical first, then numeric)."""
+    cols = [Column(c.name, CATEGORICAL, c.labels) for c in config.categorical]
+    cols.extend(Column(n.name, NUMERIC) for n in config.numeric)
+    return Schema(cols)
+
+
+def generate(config: GeneratorConfig) -> Dataset:
+    """Materialise a dataset from ``config`` (deterministic given the seed)."""
+    rng = np.random.default_rng(config.seed)
+    n = config.n_rows
+    schema = build_schema(config)
+
+    # Stage 1: independent categorical draws.
+    columns: dict[str, np.ndarray] = {}
+    for spec in config.categorical:
+        columns[spec.name] = rng.choice(len(spec.labels), size=n, p=spec.probs())
+
+    # Stage 2: positive probability per row — base rate, then injections in
+    # order (later injections override earlier ones on the rows they match).
+    p_positive = np.full(n, config.base_positive_rate)
+    spec_by_name = {c.name: c for c in config.categorical}
+    for inj in config.injections:
+        match = np.ones(n, dtype=bool)
+        for name, label in inj.assignment.items():
+            code = spec_by_name[name].labels.index(label)
+            match &= columns[name] == code
+        p_positive[match] = inj.positive_rate
+    y = (rng.random(n) < p_positive).astype(np.int8)
+    if config.label_noise > 0.0:
+        flip = rng.random(n) < config.label_noise
+        y = np.where(flip, 1 - y, y)
+
+    # Stage 3: re-draw signal-bearing columns conditioned on the label.
+    for spec in config.categorical:
+        if spec.signal > 0.0:
+            arr = columns[spec.name]
+            for label in (0, 1):
+                idx = np.flatnonzero(y == label)
+                arr[idx] = rng.choice(
+                    len(spec.labels), size=idx.size, p=spec.conditional_probs(label)
+                )
+    for spec in config.numeric:
+        means = np.where(y == 1, spec.mean_positive, spec.mean_negative)
+        columns[spec.name] = rng.normal(means, spec.std)
+
+    return Dataset(schema, columns, y, config.protected)
+
+
+def uniform_marginal(k: int) -> tuple[float, ...]:
+    """Uniform marginal over ``k`` values."""
+    return tuple([1.0 / k] * k)
+
+
+def make_scalability_config(
+    n_rows: int,
+    n_protected: int,
+    cardinality: int = 3,
+    n_biased_regions: int = 6,
+    seed: int = 7,
+) -> GeneratorConfig:
+    """Config for the Fig. 9 scalability sweeps.
+
+    Builds ``n_protected`` categorical protected attributes of the given
+    cardinality, two numeric signal features, and plants ``n_biased_regions``
+    random 2-attribute regions with extreme positive rates (alternating high
+    and low so both FPR- and FNR-style bias is present).
+    """
+    if n_protected < 2:
+        raise DataError("scalability config needs at least 2 protected attrs")
+    rng = np.random.default_rng(seed)
+    cats = tuple(
+        CategoricalSpec(
+            name=f"p{i}",
+            labels=tuple(f"v{j}" for j in range(cardinality)),
+            marginal=uniform_marginal(cardinality),
+        )
+        for i in range(n_protected)
+    )
+    injections = []
+    for b in range(n_biased_regions):
+        i, j = rng.choice(n_protected, size=2, replace=False)
+        assignment = {
+            f"p{i}": f"v{int(rng.integers(cardinality))}",
+            f"p{j}": f"v{int(rng.integers(cardinality))}",
+        }
+        rate = 0.9 if b % 2 == 0 else 0.1
+        injections.append(BiasInjection(assignment, rate))
+    return GeneratorConfig(
+        n_rows=n_rows,
+        categorical=cats,
+        numeric=(
+            NumericSpec("score_a", mean_negative=-0.6, mean_positive=0.6, std=1.0),
+            NumericSpec("score_b", mean_negative=0.2, mean_positive=-0.2, std=1.0),
+        ),
+        protected=tuple(f"p{i}" for i in range(n_protected)),
+        base_positive_rate=0.45,
+        injections=tuple(injections),
+        label_noise=0.05,
+        seed=seed,
+    )

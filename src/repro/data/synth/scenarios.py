@@ -1,0 +1,161 @@
+"""Focused bias scenarios used in examples, ablations and tests.
+
+Each scenario plants one specific pathology the paper discusses, in its
+purest form, so the corresponding mechanism can be demonstrated in
+isolation:
+
+* :func:`make_checkerboard` — §VI's hiring example: per-attribute rates
+  look fair while every intersection is extreme (statistical parity);
+* :func:`make_undercoverage` — cells that are *small* but not class-skewed
+  (what Coverage [4] fixes and the IBS deliberately does not flag);
+* :func:`make_single_biased_region` — exactly one over-positive region in
+  an otherwise uniform space (the minimal Hypothesis-1 instance);
+* :func:`make_gradient` — class rate rising monotonically along an ordered
+  attribute (where the ordinal neighbourhood metric matters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.synth.generic import (
+    BiasInjection,
+    CategoricalSpec,
+    GeneratorConfig,
+    NumericSpec,
+    generate,
+    uniform_marginal,
+)
+from repro.errors import DataError
+
+
+def make_checkerboard(n_rows: int = 8000, seed: int = 17) -> Dataset:
+    """Green/purple × male/female hiring data with checkerboard acceptance.
+
+    Acceptance ≈ 50% for (green, female) and (purple, male), ≈ 2% for the
+    other two cells, so every single-attribute acceptance rate is ≈ 26%
+    while the intersections are maximally disparate — the paper's §VI
+    scenario verbatim.
+    """
+    config = GeneratorConfig(
+        n_rows=n_rows,
+        categorical=(
+            CategoricalSpec("race", ("green", "purple"), (0.5, 0.5)),
+            CategoricalSpec("gender", ("male", "female"), (0.5, 0.5)),
+            CategoricalSpec(
+                "degree", ("none", "bachelor", "master"), (0.3, 0.5, 0.2), signal=0.3
+            ),
+        ),
+        numeric=(NumericSpec("experience", 3.0, 6.0, 3.0),),
+        protected=("race", "gender"),
+        base_positive_rate=0.25,
+        injections=(
+            BiasInjection({"race": "green", "gender": "female"}, 0.50),
+            BiasInjection({"race": "purple", "gender": "male"}, 0.50),
+            BiasInjection({"race": "green", "gender": "male"}, 0.02),
+            BiasInjection({"race": "purple", "gender": "female"}, 0.02),
+        ),
+        label_noise=0.02,
+        seed=seed,
+    )
+    return generate(config)
+
+
+def make_undercoverage(
+    n_rows: int = 3000,
+    starved_fraction: float = 0.01,
+    seed: int = 29,
+) -> Dataset:
+    """Two protected attributes with one *under-covered* (but unskewed) cell.
+
+    The cell ``(g=g0, h=h0)`` receives roughly ``starved_fraction`` of its
+    proportional share of rows, with the *same* class balance as everywhere
+    else.  Coverage-style methods flag it; the IBS must not (no class-ratio
+    divergence) — the distinction behind Table III's Coverage row.
+    """
+    if not 0.0 < starved_fraction <= 1.0:
+        raise DataError("starved_fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    g = rng.integers(0, 3, size=n_rows)
+    h = rng.integers(0, 3, size=n_rows)
+    # Starve the (0, 0) cell by re-rolling most of its rows elsewhere.
+    in_cell = (g == 0) & (h == 0)
+    reroll = in_cell & (rng.random(n_rows) > starved_fraction)
+    g[reroll] = rng.integers(1, 3, size=int(reroll.sum()))
+    h[reroll] = rng.integers(0, 3, size=int(reroll.sum()))
+    y = (rng.random(n_rows) < 0.4).astype(np.int8)  # uniform class balance
+
+    config_schema = GeneratorConfig(
+        n_rows=1,
+        categorical=(
+            CategoricalSpec("g", ("g0", "g1", "g2"), uniform_marginal(3)),
+            CategoricalSpec("h", ("h0", "h1", "h2"), uniform_marginal(3)),
+        ),
+        protected=("g", "h"),
+        seed=seed,
+    )
+    from repro.data.synth.generic import build_schema
+
+    schema = build_schema(config_schema)
+    return Dataset(schema, {"g": g, "h": h}, y, protected=("g", "h"))
+
+
+def make_single_biased_region(
+    n_rows: int = 2000,
+    biased_rate: float = 0.9,
+    base_rate: float = 0.3,
+    seed: int = 31,
+) -> Dataset:
+    """Uniform 3×3 space with exactly one over-positive cell ``(a0, b0)``.
+
+    The minimal instance of Hypothesis 1: one region's class ratio diverges
+    from an otherwise homogeneous neighbourhood.
+    """
+    config = GeneratorConfig(
+        n_rows=n_rows,
+        categorical=(
+            CategoricalSpec("a", ("a0", "a1", "a2"), uniform_marginal(3)),
+            CategoricalSpec("b", ("b0", "b1", "b2"), uniform_marginal(3)),
+        ),
+        numeric=(NumericSpec("f", -0.5, 0.5, 1.0),),
+        protected=("a", "b"),
+        base_positive_rate=base_rate,
+        injections=(BiasInjection({"a": "a0", "b": "b0"}, biased_rate),),
+        seed=seed,
+    )
+    return generate(config)
+
+
+def make_gradient(
+    n_rows: int = 3000,
+    n_levels: int = 5,
+    seed: int = 37,
+) -> Dataset:
+    """Positive rate rising linearly along an *ordered* attribute.
+
+    Along ``level`` (codes 0..n_levels-1) the positive rate climbs from 0.1
+    to 0.9.  Under unit distances every other level is a T=1 neighbour and
+    the extremes look biased against the global mixture; under the ordinal
+    metric only adjacent levels compare, and the smooth gradient stops
+    looking like local bias — the behaviour the §II-B refinement targets.
+    """
+    if n_levels < 3:
+        raise DataError("need at least 3 levels for a gradient")
+    rng = np.random.default_rng(seed)
+    level = rng.integers(0, n_levels, size=n_rows)
+    other = rng.integers(0, 2, size=n_rows)
+    rate = 0.1 + 0.8 * level / (n_levels - 1)
+    y = (rng.random(n_rows) < rate).astype(np.int8)
+
+    from repro.data.schema import Column, Schema
+
+    schema = Schema(
+        [
+            Column("level", "categorical", tuple(f"L{i}" for i in range(n_levels))),
+            Column("other", "categorical", ("o0", "o1")),
+        ]
+    )
+    return Dataset(
+        schema, {"level": level, "other": other}, y, protected=("level", "other")
+    )

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish schema problems from algorithmic misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A dataset schema is malformed or a column reference is invalid."""
+
+
+class DataError(ReproError):
+    """Dataset contents violate an invariant (shape, dtype, label range)."""
+
+
+class PatternError(ReproError):
+    """A region/subgroup pattern is malformed or references unknown values."""
+
+
+class FitError(ReproError):
+    """A model received invalid training input or was used before fitting."""
+
+
+class NotFittedError(FitError):
+    """``predict`` was called on an estimator that has not been fitted."""
+
+
+class RemedyError(ReproError):
+    """The dataset remedy could not be applied to a biased region."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

@@ -1,0 +1,81 @@
+"""Experiment harness: one module per paper table/figure (see DESIGN.md)."""
+
+from repro.experiments.baselines_table import (
+    BaselineRow,
+    BaselineTable,
+    run_baseline_comparison,
+)
+from repro.experiments.params import (
+    DEFAULT_TAU_GRID,
+    SweepPoint,
+    SweepResult,
+    sweep_T,
+    sweep_tau_c,
+)
+from repro.experiments.reporting import format_table, print_table
+from repro.experiments.robustness import (
+    RobustnessResult,
+    SeedOutcome,
+    run_seed_sweep,
+)
+from repro.experiments.runner import (
+    DEFAULT_MODELS,
+    EVAL_HEADERS,
+    EvalResult,
+    evaluate_model,
+    evaluate_remedy,
+)
+from repro.experiments.scalability import (
+    ScalabilityResult,
+    TimingPoint,
+    identification_vs_attrs,
+    identification_vs_size,
+    remedy_vs_attrs,
+    remedy_vs_size,
+    speedup_summary,
+)
+from repro.experiments.tradeoff import TradeoffResult, run_tradeoff
+from repro.experiments.validation import (
+    ExplainedSubgroup,
+    ValidationResult,
+    explain_subgroups,
+    run_validation,
+    validation_summary,
+    validation_table,
+)
+
+__all__ = [
+    "EvalResult",
+    "evaluate_model",
+    "evaluate_remedy",
+    "DEFAULT_MODELS",
+    "EVAL_HEADERS",
+    "run_validation",
+    "ValidationResult",
+    "ExplainedSubgroup",
+    "explain_subgroups",
+    "validation_table",
+    "validation_summary",
+    "run_tradeoff",
+    "TradeoffResult",
+    "sweep_tau_c",
+    "sweep_T",
+    "SweepPoint",
+    "SweepResult",
+    "DEFAULT_TAU_GRID",
+    "run_baseline_comparison",
+    "BaselineRow",
+    "BaselineTable",
+    "identification_vs_attrs",
+    "identification_vs_size",
+    "remedy_vs_attrs",
+    "remedy_vs_size",
+    "speedup_summary",
+    "ScalabilityResult",
+    "TimingPoint",
+    "format_table",
+    "print_table",
+    "run_seed_sweep",
+    "RobustnessResult",
+    "SeedOutcome",
+]

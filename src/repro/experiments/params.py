@@ -1,0 +1,107 @@
+"""Figs. 7 & 8 — parameter sensitivity of the remedy (§V-B3).
+
+* Fig. 7 varies the imbalance threshold ``tau_c`` from 0.1 to 0.9 with
+  ``T = 1`` (decision tree) and reports fairness index (FPR) plus accuracy.
+* Fig. 8 compares ``T = 1`` against ``T = |X|`` and reports the fairness
+  index under FPR and FNR plus accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.pipeline import RemedyConfig
+from repro.core.samplers import PREFERENTIAL
+from repro.data.dataset import Dataset
+from repro.data.split import train_test_split
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import EvalResult, evaluate_model, evaluate_remedy
+
+DEFAULT_TAU_GRID = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point of a parameter sweep."""
+
+    parameter: str
+    value: float
+    result: EvalResult
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    dataset_name: str
+    model: str
+    baseline: EvalResult
+    points: tuple[SweepPoint, ...]
+
+    def table(self, title: str) -> str:
+        headers = ("value", "FI(FPR)", "FI(FNR)", "accuracy")
+        rows = [
+            (
+                "original",
+                self.baseline.fairness_index_fpr,
+                self.baseline.fairness_index_fnr,
+                self.baseline.accuracy,
+            )
+        ]
+        rows.extend(
+            (
+                p.value,
+                p.result.fairness_index_fpr,
+                p.result.fairness_index_fnr,
+                p.result.accuracy,
+            )
+            for p in self.points
+        )
+        return format_table(headers, rows, title=title)
+
+
+def sweep_tau_c(
+    dataset: Dataset,
+    dataset_name: str,
+    tau_grid: Sequence[float] = DEFAULT_TAU_GRID,
+    T: float = 1.0,
+    k: int = 30,
+    model: str = "dt",
+    technique: str = PREFERENTIAL,
+    test_fraction: float = 0.3,
+    seed: int = 0,
+) -> SweepResult:
+    """Fig. 7: fairness index and accuracy as ``tau_c`` varies."""
+    train, test = train_test_split(dataset, test_fraction, seed=seed)
+    baseline = evaluate_model(train, test, model, variant="original", seed=seed)
+    points = []
+    for tau_c in tau_grid:
+        config = RemedyConfig(tau_c=tau_c, T=T, k=k, technique=technique, seed=seed)
+        result = evaluate_remedy(
+            train, test, model, config, variant=f"tau_c={tau_c}"
+        )
+        points.append(SweepPoint("tau_c", float(tau_c), result))
+    return SweepResult(dataset_name, model, baseline, tuple(points))
+
+
+def sweep_T(
+    dataset: Dataset,
+    dataset_name: str,
+    tau_c: float,
+    k: int = 30,
+    model: str = "dt",
+    technique: str = PREFERENTIAL,
+    test_fraction: float = 0.3,
+    seed: int = 0,
+    T_values: Sequence[float] | None = None,
+) -> SweepResult:
+    """Fig. 8: ``T = 1`` vs ``T = |X|`` (or a custom grid)."""
+    train, test = train_test_split(dataset, test_fraction, seed=seed)
+    if T_values is None:
+        T_values = (1.0, float(len(dataset.protected)))
+    baseline = evaluate_model(train, test, model, variant="original", seed=seed)
+    points = []
+    for T in T_values:
+        config = RemedyConfig(tau_c=tau_c, T=T, k=k, technique=technique, seed=seed)
+        result = evaluate_remedy(train, test, model, config, variant=f"T={T}")
+        points.append(SweepPoint("T", float(T), result))
+    return SweepResult(dataset_name, model, baseline, tuple(points))

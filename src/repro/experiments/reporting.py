@@ -1,0 +1,58 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every experiment module returns structured results *and* can print them as
+an aligned text table whose rows mirror the corresponding paper table or
+figure series, so the benchmark harness regenerates the paper's artefacts
+as readable console output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_cell(value: object, precision: int = 4) -> str:
+    """Render one cell: floats rounded, everything else via ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "-"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """ASCII table with aligned columns."""
+    str_rows = [[format_cell(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(sep))
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 4,
+    title: str | None = None,
+) -> None:
+    print(format_table(headers, rows, precision=precision, title=title))

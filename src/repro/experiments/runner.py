@@ -1,0 +1,106 @@
+"""Shared experiment plumbing: train/evaluate one configuration.
+
+Each evaluation fits a downstream classifier on (possibly remedied or
+reweighted) training data, predicts the untouched test set — the paper
+never remedies the test side — and reports accuracy plus the fairness
+index under FPR and FNR.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.audit.fairness_index import fairness_index
+from repro.core.pipeline import RemedyConfig, RemedyPipeline
+from repro.data.dataset import Dataset
+from repro.ml.metrics import FNR, FPR, accuracy
+from repro.ml.models import make_model
+
+DEFAULT_MODELS = ("dt", "rf", "lg", "nn")
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Outcome of one (variant, model) evaluation."""
+
+    variant: str
+    model: str
+    accuracy: float
+    fairness_index_fpr: float
+    fairness_index_fnr: float
+    train_rows: int
+    fit_seconds: float
+
+    def row(self) -> tuple[object, ...]:
+        """Row for the reporting tables."""
+        return (
+            self.variant,
+            self.model,
+            self.fairness_index_fpr,
+            self.fairness_index_fnr,
+            self.accuracy,
+            self.train_rows,
+            self.fit_seconds,
+        )
+
+
+EVAL_HEADERS = (
+    "variant",
+    "model",
+    "FI(FPR)",
+    "FI(FNR)",
+    "accuracy",
+    "train_rows",
+    "fit_s",
+)
+
+
+def evaluate_model(
+    train: Dataset,
+    test: Dataset,
+    model_name: str,
+    variant: str = "original",
+    seed: int = 0,
+    sample_weight: np.ndarray | None = None,
+    audit_attrs: Sequence[str] | None = None,
+) -> EvalResult:
+    """Fit ``model_name`` on ``train`` and audit its test predictions."""
+    start = time.perf_counter()
+    model = make_model(model_name, seed=seed).fit(train, sample_weight=sample_weight)
+    fit_seconds = time.perf_counter() - start
+    pred = model.predict(test)
+    return EvalResult(
+        variant=variant,
+        model=model_name,
+        accuracy=accuracy(test.y, pred),
+        fairness_index_fpr=fairness_index(test, pred, FPR, attrs=audit_attrs),
+        fairness_index_fnr=fairness_index(test, pred, FNR, attrs=audit_attrs),
+        train_rows=train.n_rows,
+        fit_seconds=fit_seconds,
+    )
+
+
+def evaluate_remedy(
+    train: Dataset,
+    test: Dataset,
+    model_name: str,
+    config: RemedyConfig,
+    variant: str | None = None,
+    audit_attrs: Sequence[str] | None = None,
+) -> EvalResult:
+    """Remedy the training data under ``config``, then evaluate."""
+    pipeline = RemedyPipeline(config)
+    remedied = pipeline.transform(train)
+    label = variant or f"remedy[{config.scope},{config.technique}]"
+    return evaluate_model(
+        remedied,
+        test,
+        model_name,
+        variant=label,
+        seed=config.seed,
+        audit_attrs=audit_attrs,
+    )

@@ -1,0 +1,169 @@
+"""Fig. 9 — runtime scalability of IBS identification and remedy (§V-B5).
+
+Four panels, all on the Adult-like data with the protected set extended to
+eight attributes (education and occupation added, as the paper does):
+
+* 9a: IBS identification runtime vs. #protected attributes, naive vs.
+  optimized neighbourhood engine;
+* 9b: remedy runtime vs. #protected attributes per technique (oversampling
+  excluded at the top end — it exhausted memory in the paper);
+* 9c: IBS identification runtime vs. data size at 8 protected attributes;
+* 9d: remedy runtime vs. data size per technique.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.ibs import METHOD_NAIVE, METHOD_OPTIMIZED, identify_ibs
+from repro.core.remedy import remedy_dataset
+from repro.core.samplers import MASSAGING, PREFERENTIAL, UNDERSAMPLING
+from repro.data.dataset import Dataset
+from repro.data.synth.adult import SCALABILITY_PROTECTED, load_adult
+from repro.experiments.reporting import format_table
+
+DEFAULT_ATTR_GRID = (2, 3, 4, 5, 6, 7, 8)
+DEFAULT_SIZE_GRID = (5_000, 10_000, 20_000, 45_222)
+REMEDY_TECHNIQUES = (UNDERSAMPLING, PREFERENTIAL, MASSAGING)
+
+
+@dataclass(frozen=True)
+class TimingPoint:
+    """One measured configuration."""
+
+    x: float  # #attrs or data size
+    label: str  # method or technique
+    seconds: float
+    detail: int  # regions found / regions remedied
+
+
+@dataclass(frozen=True)
+class ScalabilityResult:
+    panel: str
+    points: tuple[TimingPoint, ...]
+
+    def table(self, x_name: str) -> str:
+        headers = (x_name, "variant", "seconds", "regions")
+        rows = [(p.x, p.label, p.seconds, p.detail) for p in self.points]
+        return format_table(rows=rows, headers=headers, title=f"Fig. {self.panel}")
+
+
+def _dataset_for(n_rows: int, seed: int) -> Dataset:
+    return load_adult(n_rows=n_rows, seed=seed).with_protected(
+        SCALABILITY_PROTECTED
+    )
+
+
+def identification_vs_attrs(
+    n_rows: int = 45_222,
+    attr_grid: Sequence[int] = DEFAULT_ATTR_GRID,
+    tau_c: float = 0.5,
+    T: float = 1.0,
+    k: int = 30,
+    seed: int = 5,
+    methods: Sequence[str] = (METHOD_NAIVE, METHOD_OPTIMIZED),
+) -> ScalabilityResult:
+    """Fig. 9a: identification runtime vs. number of protected attributes."""
+    base = _dataset_for(n_rows, seed)
+    points = []
+    for n_attrs in attr_grid:
+        attrs = SCALABILITY_PROTECTED[:n_attrs]
+        for method in methods:
+            start = time.perf_counter()
+            ibs = identify_ibs(base, tau_c, T=T, k=k, method=method, attrs=attrs)
+            seconds = time.perf_counter() - start
+            points.append(TimingPoint(n_attrs, method, seconds, len(ibs)))
+    return ScalabilityResult("9a", tuple(points))
+
+
+def remedy_vs_attrs(
+    n_rows: int = 45_222,
+    attr_grid: Sequence[int] = DEFAULT_ATTR_GRID,
+    tau_c: float = 0.5,
+    T: float = 1.0,
+    k: int = 30,
+    seed: int = 5,
+    techniques: Sequence[str] = REMEDY_TECHNIQUES,
+) -> ScalabilityResult:
+    """Fig. 9b: remedy runtime vs. number of protected attributes.
+
+    Oversampling is excluded by default, as in the paper ("exceeded the
+    memory resource limit"); pass it in ``techniques`` to include it anyway.
+    """
+    base = _dataset_for(n_rows, seed)
+    points = []
+    for n_attrs in attr_grid:
+        attrs = SCALABILITY_PROTECTED[:n_attrs]
+        for technique in techniques:
+            start = time.perf_counter()
+            result = remedy_dataset(
+                base, tau_c, T=T, k=k, technique=technique, attrs=attrs, seed=seed
+            )
+            seconds = time.perf_counter() - start
+            points.append(
+                TimingPoint(n_attrs, technique, seconds, result.n_regions_remedied)
+            )
+    return ScalabilityResult("9b", tuple(points))
+
+
+def identification_vs_size(
+    size_grid: Sequence[int] = DEFAULT_SIZE_GRID,
+    n_attrs: int = 8,
+    tau_c: float = 0.5,
+    T: float = 1.0,
+    k: int = 30,
+    seed: int = 5,
+    methods: Sequence[str] = (METHOD_NAIVE, METHOD_OPTIMIZED),
+) -> ScalabilityResult:
+    """Fig. 9c: identification runtime vs. data size (8 protected attrs)."""
+    attrs = SCALABILITY_PROTECTED[:n_attrs]
+    points = []
+    for n_rows in size_grid:
+        base = _dataset_for(n_rows, seed)
+        for method in methods:
+            start = time.perf_counter()
+            ibs = identify_ibs(base, tau_c, T=T, k=k, method=method, attrs=attrs)
+            seconds = time.perf_counter() - start
+            points.append(TimingPoint(n_rows, method, seconds, len(ibs)))
+    return ScalabilityResult("9c", tuple(points))
+
+
+def remedy_vs_size(
+    size_grid: Sequence[int] = DEFAULT_SIZE_GRID,
+    n_attrs: int = 8,
+    tau_c: float = 0.5,
+    T: float = 1.0,
+    k: int = 30,
+    seed: int = 5,
+    techniques: Sequence[str] = REMEDY_TECHNIQUES,
+) -> ScalabilityResult:
+    """Fig. 9d: remedy runtime vs. data size (8 protected attrs)."""
+    attrs = SCALABILITY_PROTECTED[:n_attrs]
+    points = []
+    for n_rows in size_grid:
+        base = _dataset_for(n_rows, seed)
+        for technique in techniques:
+            start = time.perf_counter()
+            result = remedy_dataset(
+                base, tau_c, T=T, k=k, technique=technique, attrs=attrs, seed=seed
+            )
+            seconds = time.perf_counter() - start
+            points.append(
+                TimingPoint(n_rows, technique, seconds, result.n_regions_remedied)
+            )
+    return ScalabilityResult("9d", tuple(points))
+
+
+def speedup_summary(result: ScalabilityResult) -> dict[float, float]:
+    """naive/optimized runtime ratio per x value (Fig. 9a/9c headline)."""
+    by_x: dict[float, dict[str, float]] = {}
+    for p in result.points:
+        by_x.setdefault(p.x, {})[p.label] = p.seconds
+    out = {}
+    for x, timings in sorted(by_x.items()):
+        if METHOD_NAIVE in timings and METHOD_OPTIMIZED in timings:
+            denom = max(timings[METHOD_OPTIMIZED], 1e-9)
+            out[x] = timings[METHOD_NAIVE] / denom
+    return out

@@ -1,0 +1,179 @@
+"""Fig. 3 — validating Hypothesis 1: unfair subgroups vs. the IBS.
+
+For each downstream model (DT/RF/LG/NN) and statistic (FPR/FNR), the
+experiment trains on the original COMPAS-like data, mines the unfair
+subgroups on the test predictions, and marks each as:
+
+* ``in_ibs`` — the same pattern is a biased region of the *training* data
+  (Fig. 3's grey marking),
+* ``dominates_ibs`` — it strictly dominates at least one significant biased
+  region (Fig. 3's blue marking),
+* unexplained otherwise.
+
+The paper's claim is that (nearly) all unfair subgroups fall in the first
+two buckets, and that positively skewed regions (``ratio_r > ratio_rn``)
+align with high-FPR subgroups while negatively skewed ones align with
+high-FNR subgroups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.audit.divexplorer import SubgroupReport, unfair_subgroups
+from repro.core.ibs import RegionReport, identify_ibs
+from repro.data.dataset import Dataset
+from repro.data.split import train_test_split
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import DEFAULT_MODELS
+from repro.ml.metrics import FNR, FPR
+from repro.ml.models import make_model
+
+
+@dataclass(frozen=True)
+class ExplainedSubgroup:
+    """One unfair subgroup with its IBS explanation."""
+
+    subgroup: SubgroupReport
+    in_ibs: bool
+    dominates_ibs: bool
+    skew_direction: int  # of the matching/dominated region (+1 / -1 / 0)
+
+    @property
+    def explained(self) -> bool:
+        return self.in_ibs or self.dominates_ibs
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Fig. 3 payload for one (model, statistic) pair."""
+
+    model: str
+    gamma: str
+    subgroups: tuple[ExplainedSubgroup, ...]
+    n_ibs: int
+
+    @property
+    def n_unfair(self) -> int:
+        return len(self.subgroups)
+
+    @property
+    def n_explained(self) -> int:
+        return sum(1 for s in self.subgroups if s.explained)
+
+    @property
+    def explained_fraction(self) -> float:
+        if not self.subgroups:
+            return 1.0
+        return self.n_explained / len(self.subgroups)
+
+
+def explain_subgroups(
+    unfair: Sequence[SubgroupReport],
+    ibs: Sequence[RegionReport],
+) -> list[ExplainedSubgroup]:
+    """Match unfair subgroups against IBS membership / dominance."""
+    by_pattern = {r.pattern: r for r in ibs}
+    out = []
+    for subgroup in unfair:
+        matched = by_pattern.get(subgroup.pattern)
+        dominated = [
+            r for r in ibs if r.pattern != subgroup.pattern
+            and r.pattern.is_dominated_by(subgroup.pattern)
+        ]
+        if matched is not None:
+            skew = matched.skew_direction
+        elif dominated:
+            skew = max(dominated, key=lambda r: r.size).skew_direction
+        else:
+            skew = 0
+        out.append(
+            ExplainedSubgroup(
+                subgroup=subgroup,
+                in_ibs=matched is not None,
+                dominates_ibs=bool(dominated),
+                skew_direction=skew,
+            )
+        )
+    return out
+
+
+def run_validation(
+    dataset: Dataset,
+    models: Sequence[str] = DEFAULT_MODELS,
+    gammas: Sequence[str] = (FPR, FNR),
+    tau_c: float = 0.1,
+    T: float = 1.0,
+    k: int = 30,
+    tau_d: float = 0.1,
+    test_fraction: float = 0.3,
+    seed: int = 0,
+) -> list[ValidationResult]:
+    """Run the Fig. 3 experiment (paper parameters: tau_c=0.1, T=1)."""
+    train, test = train_test_split(dataset, test_fraction, seed=seed)
+    ibs = identify_ibs(train, tau_c, T=T, k=k)
+    results = []
+    for model_name in models:
+        model = make_model(model_name, seed=seed).fit(train)
+        pred = model.predict(test)
+        for gamma in gammas:
+            unfair = unfair_subgroups(
+                test, pred, gamma=gamma, tau_d=tau_d, min_size=k
+            )
+            explained = explain_subgroups(unfair, ibs)
+            results.append(
+                ValidationResult(
+                    model=model_name,
+                    gamma=gamma,
+                    subgroups=tuple(explained),
+                    n_ibs=len(ibs),
+                )
+            )
+    return results
+
+
+def validation_table(results: Sequence[ValidationResult], schema=None) -> str:
+    """Fig. 3 as a text table (one row per unfair subgroup)."""
+    headers = (
+        "model",
+        "gamma",
+        "subgroup",
+        "divergence",
+        "in IBS",
+        "dominates IBS",
+        "region skew",
+    )
+    rows = []
+    for result in results:
+        for s in result.subgroups:
+            pattern = (
+                s.subgroup.pattern.describe(schema)
+                if schema is not None
+                else repr(s.subgroup.pattern)
+            )
+            skew = {1: "+ (high ratio)", -1: "- (low ratio)", 0: "-"}[
+                s.skew_direction
+            ]
+            rows.append(
+                (
+                    result.model,
+                    result.gamma,
+                    pattern,
+                    s.subgroup.divergence,
+                    s.in_ibs,
+                    s.dominates_ibs,
+                    skew,
+                )
+            )
+    return format_table(headers, rows, title="Fig. 3 — unfair subgroups vs IBS")
+
+
+def validation_summary(results: Sequence[ValidationResult]) -> str:
+    """Per (model, gamma) explained-fraction summary."""
+    headers = ("model", "gamma", "unfair", "explained", "fraction", "|IBS|")
+    rows = [
+        (r.model, r.gamma, r.n_unfair, r.n_explained, r.explained_fraction, r.n_ibs)
+        for r in results
+    ]
+    return format_table(headers, rows, precision=3, title="Fig. 3 summary")

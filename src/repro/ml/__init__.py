@@ -1,0 +1,89 @@
+"""From-scratch ML substrate: classifiers, metrics, encoding, model search."""
+
+from repro.ml.base import Classifier, check_X, check_Xy
+from repro.ml.calibration import (
+    brier_score,
+    calibration_curve,
+    expected_calibration_error,
+)
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.encoding import DatasetEncoder
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.grid_search import GridSearchResult, grid_search, iter_grid
+from repro.ml.knn import nearest_neighbors, pairwise_sq_distances
+from repro.ml.logistic import LogisticRegressionClassifier
+from repro.ml.metrics import (
+    ACCURACY,
+    ERROR_RATE,
+    FNR,
+    FPR,
+    POSITIVE_RATE,
+    STATISTICS,
+    accuracy,
+    confusion,
+    error_indicator,
+    error_rate,
+    fnr,
+    fpr,
+    positive_rate,
+    statistic,
+    zero_one_loss,
+)
+from repro.ml.models import (
+    MODEL_NAMES,
+    DatasetClassifier,
+    make_estimator,
+    make_model,
+)
+from repro.ml.ranking import group_auc_divergence, roc_auc
+from repro.ml.naive_bayes import (
+    CategoricalNaiveBayes,
+    GaussianNaiveBayes,
+    MixedNaiveBayes,
+)
+from repro.ml.neural import NeuralNetworkClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "Classifier",
+    "check_X",
+    "check_Xy",
+    "DatasetEncoder",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "GradientBoostingClassifier",
+    "LogisticRegressionClassifier",
+    "NeuralNetworkClassifier",
+    "CategoricalNaiveBayes",
+    "GaussianNaiveBayes",
+    "MixedNaiveBayes",
+    "DatasetClassifier",
+    "make_estimator",
+    "make_model",
+    "MODEL_NAMES",
+    "grid_search",
+    "iter_grid",
+    "GridSearchResult",
+    "nearest_neighbors",
+    "pairwise_sq_distances",
+    "accuracy",
+    "confusion",
+    "error_indicator",
+    "error_rate",
+    "fnr",
+    "fpr",
+    "positive_rate",
+    "statistic",
+    "zero_one_loss",
+    "brier_score",
+    "calibration_curve",
+    "expected_calibration_error",
+    "roc_auc",
+    "group_auc_divergence",
+    "ACCURACY",
+    "ERROR_RATE",
+    "FNR",
+    "FPR",
+    "POSITIVE_RATE",
+    "STATISTICS",
+]

@@ -1,0 +1,101 @@
+"""Common estimator interface and input validation for the ML substrate.
+
+Every classifier in :mod:`repro.ml` is a binary classifier over a dense
+``float64`` design matrix with the sklearn-style surface the paper's
+pipeline needs: ``fit(X, y, sample_weight=None)``, ``predict(X)`` and
+``predict_proba(X)`` (returning the positive-class probability as a 1-D
+array).  Sample-weight support is required by the Reweighting and
+FairBalance baselines.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import FitError, NotFittedError
+
+
+def check_Xy(
+    X: np.ndarray, y: np.ndarray, sample_weight: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validate and canonicalise training input.
+
+    Returns ``(X, y, w)`` as float64 / int8 / float64 arrays.  ``w`` is all
+    ones when no sample weight is given.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    if X.ndim != 2:
+        raise FitError(f"X must be 2-D, got shape {X.shape}")
+    if y.ndim != 1 or y.shape[0] != X.shape[0]:
+        raise FitError(
+            f"y must be 1-D with len {X.shape[0]}, got shape {y.shape}"
+        )
+    if X.shape[0] == 0:
+        raise FitError("cannot fit on an empty dataset")
+    if not np.isin(y, (0, 1)).all():
+        raise FitError("labels must be binary 0/1")
+    y = y.astype(np.int8, copy=False)
+    if sample_weight is None:
+        w = np.ones(X.shape[0])
+    else:
+        w = np.asarray(sample_weight, dtype=np.float64)
+        if w.shape != (X.shape[0],):
+            raise FitError(
+                f"sample_weight must have shape ({X.shape[0]},), got {w.shape}"
+            )
+        if (w < 0).any():
+            raise FitError("sample weights must be non-negative")
+        if w.sum() <= 0:
+            raise FitError("sample weights must not all be zero")
+    if not np.isfinite(X).all():
+        raise FitError("X contains NaN or infinite values")
+    return X, y, w
+
+
+def check_X(X: np.ndarray, n_features: int) -> np.ndarray:
+    """Validate prediction input against the fitted feature count."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2 or X.shape[1] != n_features:
+        raise FitError(
+            f"X must be 2-D with {n_features} features, got shape {X.shape}"
+        )
+    return X
+
+
+class Classifier(abc.ABC):
+    """Abstract binary classifier."""
+
+    _n_features: int | None = None
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "Classifier":
+        """Train on ``(X, y)`` and return ``self``."""
+
+    @abc.abstractmethod
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Positive-class probability for each row of ``X`` (1-D array)."""
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Hard 0/1 predictions at the 0.5 threshold."""
+        return (self.predict_proba(X) >= 0.5).astype(np.int8)
+
+    def _require_fitted(self) -> int:
+        if self._n_features is None:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before prediction"
+            )
+        return self._n_features
+
+    def get_params(self) -> dict[str, object]:
+        """Constructor parameters (public attributes set at ``__init__``)."""
+        return {
+            k: v for k, v in vars(self).items() if not k.startswith("_")
+        }

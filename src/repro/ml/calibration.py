@@ -1,0 +1,73 @@
+"""Probability calibration diagnostics.
+
+The remedy changes the training distribution, so a natural question beyond
+the paper's accuracy measurements is whether the downstream model's
+*probabilities* stay calibrated.  These utilities support that ablation:
+
+* :func:`brier_score` — mean squared error of predicted probabilities;
+* :func:`expected_calibration_error` — the standard binned |confidence −
+  accuracy| average (ECE);
+* :func:`calibration_curve` — per-bin mean prediction vs. empirical rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def _checked_probs(y_true: np.ndarray, probs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    probs = np.asarray(probs, dtype=np.float64)
+    if y_true.shape != probs.shape or y_true.ndim != 1:
+        raise DataError(
+            f"y_true {y_true.shape} and probs {probs.shape} must be equal 1-D"
+        )
+    if y_true.size == 0:
+        raise DataError("need at least one prediction")
+    if (probs < 0).any() or (probs > 1).any():
+        raise DataError("probabilities must lie in [0, 1]")
+    return y_true, probs
+
+
+def brier_score(y_true: np.ndarray, probs: np.ndarray) -> float:
+    """``mean((p - y)^2)`` — lower is better, 0.25 is the coin-flip level."""
+    y_true, probs = _checked_probs(y_true, probs)
+    return float(np.mean((probs - y_true) ** 2))
+
+
+def calibration_curve(
+    y_true: np.ndarray, probs: np.ndarray, n_bins: int = 10
+) -> list[tuple[float, float, int]]:
+    """Per-bin ``(mean_predicted, empirical_rate, count)``; empty bins skipped.
+
+    Bins are equal-width over [0, 1]; the right edge is inclusive so a
+    probability of exactly 1.0 lands in the last bin.
+    """
+    if n_bins < 2:
+        raise DataError("need at least 2 bins")
+    y_true, probs = _checked_probs(y_true, probs)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bins = np.clip(np.digitize(probs, edges[1:-1], right=False), 0, n_bins - 1)
+    out = []
+    for b in range(n_bins):
+        sel = bins == b
+        count = int(sel.sum())
+        if count == 0:
+            continue
+        out.append(
+            (float(probs[sel].mean()), float(y_true[sel].mean()), count)
+        )
+    return out
+
+
+def expected_calibration_error(
+    y_true: np.ndarray, probs: np.ndarray, n_bins: int = 10
+) -> float:
+    """Count-weighted mean of per-bin |mean_predicted − empirical_rate|."""
+    curve = calibration_curve(y_true, probs, n_bins=n_bins)
+    total = sum(count for __, __r, count in curve)
+    return float(
+        sum(abs(p - r) * count for p, r, count in curve) / total
+    )

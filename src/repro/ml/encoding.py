@@ -1,0 +1,86 @@
+"""Dataset → design-matrix encoding for the matrix-level classifiers.
+
+The encoder one-hot expands categorical columns and passes numeric columns
+through unchanged (classifiers standardise internally where they need to).
+It is fitted once on the training schema so train and test encode to the
+same column layout — a new dataset with a different schema is rejected.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import FitError, SchemaError
+
+
+class DatasetEncoder:
+    """One-hot + passthrough encoder with a frozen column layout.
+
+    Parameters
+    ----------
+    features:
+        Column names to encode, in order.  ``None`` means every schema
+        column.  The paper's downstream classifiers train on all attributes
+        (protected ones included — e.g. its decision tree splits on race and
+        age), so the default includes them.
+    exclude:
+        Convenience subtraction applied to ``features``.
+    """
+
+    def __init__(
+        self,
+        features: Sequence[str] | None = None,
+        exclude: Sequence[str] = (),
+    ):
+        self._requested = tuple(features) if features is not None else None
+        self._exclude = tuple(exclude)
+        self._fitted = False
+
+    def fit(self, dataset: Dataset) -> "DatasetEncoder":
+        names = (
+            self._requested if self._requested is not None else dataset.schema.names
+        )
+        names = tuple(n for n in names if n not in self._exclude)
+        dataset.schema.require(names)
+        if not names:
+            raise FitError("encoder has no features to encode")
+        self._features = names
+        self._schema = dataset.schema.subset(names)
+        self._fitted = True
+        return self
+
+    @property
+    def features(self) -> tuple[str, ...]:
+        if not self._fitted:
+            raise FitError("encoder must be fitted first")
+        return self._features
+
+    @property
+    def n_output_columns(self) -> int:
+        """Width of the encoded design matrix."""
+        if not self._fitted:
+            raise FitError("encoder must be fitted first")
+        width = 0
+        for col in self._schema:
+            width += col.cardinality if col.is_categorical else 1
+        return width
+
+    def transform(self, dataset: Dataset) -> np.ndarray:
+        """Encode ``dataset`` with the fitted layout."""
+        if not self._fitted:
+            raise FitError("encoder must be fitted first")
+        for col in self._schema:
+            if col.name not in dataset.schema:
+                raise SchemaError(f"dataset is missing encoded column {col.name!r}")
+            other = dataset.schema[col.name]
+            if other != col:
+                raise SchemaError(
+                    f"column {col.name!r} changed between fit and transform"
+                )
+        return dataset.feature_matrix(self._features, one_hot=True)
+
+    def fit_transform(self, dataset: Dataset) -> np.ndarray:
+        return self.fit(dataset).transform(dataset)

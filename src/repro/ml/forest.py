@@ -1,0 +1,101 @@
+"""Random-forest classifier: bagged CART trees with feature subsampling.
+
+Replacement for sklearn's ``RandomForestClassifier`` (the paper's RF
+downstream model).  Each tree is trained on a bootstrap resample —
+implemented as a multinomial reweighting of the original rows, which
+composes correctly with user-supplied sample weights — and probabilities are
+averaged across trees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FitError
+from repro.ml.base import Classifier, check_X, check_Xy
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(Classifier):
+    """Bagging ensemble of :class:`DecisionTreeClassifier`.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth / min_samples_leaf:
+        Passed through to each tree.
+    max_features:
+        Features sampled per split; ``None`` uses ``ceil(sqrt(n_features))``.
+    bootstrap:
+        Draw a bootstrap resample per tree (True, default) or train every
+        tree on the full data (False; trees then differ only via feature
+        subsampling).
+    random_state:
+        Master seed; per-tree seeds are derived deterministically.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: int = 10,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        bootstrap: bool = True,
+        random_state: int = 0,
+    ):
+        if n_estimators < 1:
+            raise FitError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self._trees: list[DecisionTreeClassifier] = []
+        self._n_features: int | None = None
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "RandomForestClassifier":
+        X, y, w = check_Xy(X, y, sample_weight)
+        self._n_features = X.shape[1]
+        n = X.shape[0]
+        max_features = self.max_features
+        if max_features is None:
+            max_features = max(1, int(np.ceil(np.sqrt(self._n_features))))
+        rng = np.random.default_rng(self.random_state)
+
+        self._trees = []
+        for t in range(self.n_estimators):
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                random_state=int(rng.integers(2**31 - 1)),
+            )
+            if self.bootstrap:
+                # Multinomial bootstrap expressed as integer row counts,
+                # multiplied into the incoming sample weights.
+                counts = rng.multinomial(n, np.full(n, 1.0 / n))
+                tree_w = w * counts
+                if tree_w.sum() <= 0:  # pathological resample; fall back
+                    tree_w = w
+                tree.fit(X, y, sample_weight=tree_w)
+            else:
+                tree.fit(X, y, sample_weight=w)
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        n_features = self._require_fitted()
+        X = check_X(X, n_features)
+        if not self._trees:
+            raise FitError("forest has no trees; was fit() interrupted?")
+        probs = np.zeros(X.shape[0])
+        for tree in self._trees:
+            probs += tree.predict_proba(X)
+        return probs / len(self._trees)

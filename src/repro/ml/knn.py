@@ -1,0 +1,63 @@
+"""Brute-force k-nearest-neighbour search.
+
+Used by the Fair-SMOTE baseline (§V-A.c) to find within-group neighbours for
+synthetic-point interpolation, and by its deliberately expensive runtime
+profile in the Table III reproduction.  Distances are Euclidean; computation
+is blocked so memory stays bounded on large inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def pairwise_sq_distances(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between rows of ``A`` and rows of ``B``."""
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[1]:
+        raise DataError(
+            f"incompatible shapes for distance: {A.shape} vs {B.shape}"
+        )
+    # ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b ; clip tiny negatives from
+    # floating-point cancellation.
+    sq = (
+        (A * A).sum(axis=1)[:, None]
+        + (B * B).sum(axis=1)[None, :]
+        - 2.0 * (A @ B.T)
+    )
+    return np.maximum(sq, 0.0)
+
+
+def nearest_neighbors(
+    X: np.ndarray, k: int, block_size: int = 1024
+) -> np.ndarray:
+    """Indices of each row's ``k`` nearest *other* rows (shape ``(n, k)``).
+
+    When fewer than ``k`` other rows exist, the available neighbours are
+    cycled to fill the row, so the result is always rectangular.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    n = X.shape[0]
+    if n < 2:
+        raise DataError("need at least 2 rows for neighbour search")
+    if k < 1:
+        raise DataError("k must be >= 1")
+    k_eff = min(k, n - 1)
+    out = np.empty((n, k), dtype=np.int64)
+    for start in range(0, n, block_size):
+        stop = min(start + block_size, n)
+        d = pairwise_sq_distances(X[start:stop], X)
+        rows = np.arange(start, stop)
+        d[np.arange(stop - start), rows] = np.inf  # exclude self
+        idx = np.argpartition(d, k_eff - 1, axis=1)[:, :k_eff]
+        # Order the k_eff candidates by actual distance for determinism.
+        order = np.argsort(np.take_along_axis(d, idx, axis=1), axis=1)
+        idx = np.take_along_axis(idx, order, axis=1)
+        if k_eff < k:
+            reps = int(np.ceil(k / k_eff))
+            idx = np.tile(idx, (1, reps))[:, :k]
+        out[start:stop] = idx
+    return out

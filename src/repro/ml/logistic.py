@@ -1,0 +1,110 @@
+"""L2-regularised logistic regression fitted by IRLS (Newton) iterations.
+
+Replacement for sklearn's ``LogisticRegression`` — the paper's LG downstream
+model and, importantly, the linear learner used in the Table III comparison
+against GerryFair.  Supports sample weights.  Features are standardised
+internally so the Newton solver is well conditioned regardless of the
+caller's encoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FitError
+from repro.ml.base import Classifier, check_X, check_Xy
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+class LogisticRegressionClassifier(Classifier):
+    """Binary logistic regression.
+
+    Parameters
+    ----------
+    l2:
+        L2 penalty strength on the (standardised) coefficients; the
+        intercept is not penalised.
+    max_iter / tol:
+        IRLS iteration budget and convergence tolerance on the coefficient
+        update norm.
+    """
+
+    def __init__(self, l2: float = 1.0, max_iter: int = 50, tol: float = 1e-6):
+        if l2 < 0:
+            raise FitError("l2 must be non-negative")
+        if max_iter < 1:
+            raise FitError("max_iter must be >= 1")
+        self.l2 = l2
+        self.max_iter = max_iter
+        self.tol = tol
+        self._n_features: int | None = None
+        self._coef: np.ndarray | None = None
+        self._intercept: float = 0.0
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "LogisticRegressionClassifier":
+        X, y, w = check_Xy(X, y, sample_weight)
+        self._n_features = X.shape[1]
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        Z = (X - self._mean) / scale
+
+        n, m = Z.shape
+        beta = np.zeros(m + 1)  # [intercept, coefs]
+        design = np.hstack([np.ones((n, 1)), Z])
+        ridge = np.diag([0.0] + [self.l2] * m)
+        w_norm = w * (n / w.sum())  # keep the ridge strength scale-invariant
+
+        for _ in range(self.max_iter):
+            eta = design @ beta
+            mu = _sigmoid(eta)
+            # IRLS working weights; clip so the Hessian stays invertible.
+            s = np.clip(mu * (1.0 - mu), 1e-6, None) * w_norm
+            grad = design.T @ (w_norm * (y - mu)) - ridge @ beta
+            hess = (design * s[:, None]).T @ design + ridge
+            try:
+                step = np.linalg.solve(hess, grad)
+            except np.linalg.LinAlgError:
+                step = np.linalg.lstsq(hess, grad, rcond=None)[0]
+            beta += step
+            if np.linalg.norm(step) < self.tol:
+                break
+
+        self._intercept = float(beta[0])
+        self._coef = beta[1:]
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        n_features = self._require_fitted()
+        X = check_X(X, n_features)
+        assert self._coef is not None and self._mean is not None
+        Z = (X - self._mean) / self._scale
+        return _sigmoid(Z @ self._coef + self._intercept)
+
+    @property
+    def coef_(self) -> np.ndarray:
+        """Fitted coefficients in the standardised feature space."""
+        self._require_fitted()
+        assert self._coef is not None
+        return self._coef.copy()
+
+    @property
+    def intercept_(self) -> float:
+        self._require_fitted()
+        return self._intercept

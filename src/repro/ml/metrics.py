@@ -1,0 +1,161 @@
+"""Classification statistics used by the fairness measures.
+
+The paper's subgroup fairness (Definition 1) compares a statistic ``gamma``
+computed on a subgroup against the same statistic on the whole dataset.  The
+statistics here all accept an optional boolean ``mask`` restricting the rows
+considered, so ``fpr(y, pred, mask=subgroup_mask)`` is the subgroup FPR and
+``fpr(y, pred)`` is the dataset FPR.
+
+All rate functions return ``nan`` when their denominator is empty (e.g. FPR
+of a subgroup with no negative examples); callers treat ``nan`` statistics
+as undefined rather than zero so empty groups never masquerade as fair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+FPR = "fpr"
+FNR = "fnr"
+ERROR_RATE = "error_rate"
+ACCURACY = "accuracy"
+POSITIVE_RATE = "positive_rate"
+
+STATISTICS = (FPR, FNR, ERROR_RATE, ACCURACY, POSITIVE_RATE)
+
+
+def _checked(
+    y_true: np.ndarray, y_pred: np.ndarray, mask: np.ndarray | None
+) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise DataError(
+            f"y_true {y_true.shape} and y_pred {y_pred.shape} must be equal 1-D"
+        )
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != y_true.shape:
+            raise DataError(f"mask shape {mask.shape} != labels shape {y_true.shape}")
+        y_true, y_pred = y_true[mask], y_pred[mask]
+    return y_true, y_pred
+
+
+def confusion(
+    y_true: np.ndarray, y_pred: np.ndarray, mask: np.ndarray | None = None
+) -> tuple[int, int, int, int]:
+    """``(tp, fp, tn, fn)`` over the (optionally masked) rows."""
+    y_true, y_pred = _checked(y_true, y_pred, mask)
+    tp = int(((y_true == 1) & (y_pred == 1)).sum())
+    fp = int(((y_true == 0) & (y_pred == 1)).sum())
+    tn = int(((y_true == 0) & (y_pred == 0)).sum())
+    fn = int(((y_true == 1) & (y_pred == 0)).sum())
+    return tp, fp, tn, fn
+
+
+def fpr(
+    y_true: np.ndarray, y_pred: np.ndarray, mask: np.ndarray | None = None
+) -> float:
+    """False-positive rate ``Pr[h(x)=1 | y=0]``; nan when no negatives."""
+    __, fp, tn, __ = confusion(y_true, y_pred, mask)
+    negatives = fp + tn
+    return fp / negatives if negatives else float("nan")
+
+
+def fnr(
+    y_true: np.ndarray, y_pred: np.ndarray, mask: np.ndarray | None = None
+) -> float:
+    """False-negative rate ``Pr[h(x)=0 | y=1]``; nan when no positives."""
+    tp, __, __, fn = confusion(y_true, y_pred, mask)
+    positives = tp + fn
+    return fn / positives if positives else float("nan")
+
+
+def accuracy(
+    y_true: np.ndarray, y_pred: np.ndarray, mask: np.ndarray | None = None
+) -> float:
+    """Fraction of correct predictions; nan on an empty selection."""
+    y_true, y_pred = _checked(y_true, y_pred, mask)
+    if y_true.size == 0:
+        return float("nan")
+    return float((y_true == y_pred).mean())
+
+
+def error_rate(
+    y_true: np.ndarray, y_pred: np.ndarray, mask: np.ndarray | None = None
+) -> float:
+    """``P(h(x) != y)``; nan on an empty selection."""
+    acc = accuracy(y_true, y_pred, mask)
+    return float("nan") if np.isnan(acc) else 1.0 - acc
+
+
+def zero_one_loss(
+    y_true: np.ndarray, y_pred: np.ndarray, mask: np.ndarray | None = None
+) -> float:
+    """Absolute count of misclassifications ``sum(I(h(x) != y))`` (§VI)."""
+    y_true, y_pred = _checked(y_true, y_pred, mask)
+    return float((np.asarray(y_true) != np.asarray(y_pred)).sum())
+
+
+def positive_rate(
+    y_true: np.ndarray, y_pred: np.ndarray, mask: np.ndarray | None = None
+) -> float:
+    """``P(h(x)=1)`` — the statistic behind statistical parity (§VI)."""
+    __, y_pred = _checked(y_true, y_pred, mask)
+    if y_pred.size == 0:
+        return float("nan")
+    return float((np.asarray(y_pred) == 1).mean())
+
+
+_STATISTIC_FUNCS = {
+    FPR: fpr,
+    FNR: fnr,
+    ERROR_RATE: error_rate,
+    ACCURACY: accuracy,
+    POSITIVE_RATE: positive_rate,
+}
+
+
+def statistic(
+    name: str,
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> float:
+    """Dispatch a statistic by name (one of :data:`STATISTICS`)."""
+    try:
+        func = _STATISTIC_FUNCS[name]
+    except KeyError:
+        raise DataError(
+            f"unknown statistic {name!r}; choose from {STATISTICS}"
+        ) from None
+    return func(y_true, y_pred, mask)
+
+
+def error_indicator(name: str, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """Per-instance 0/1 indicator whose conditional mean equals the statistic.
+
+    Used by the t-test behind the fairness index: for FPR the indicator is
+    ``h(x)=1`` restricted to true negatives, for FNR ``h(x)=0`` restricted to
+    true positives, etc.  Returns a float array with ``nan`` at rows outside
+    the statistic's conditioning event.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    out = np.full(y_true.shape, np.nan)
+    if name == FPR:
+        sel = y_true == 0
+        out[sel] = (y_pred[sel] == 1).astype(float)
+    elif name == FNR:
+        sel = y_true == 1
+        out[sel] = (y_pred[sel] == 0).astype(float)
+    elif name in (ERROR_RATE, ACCURACY):
+        correct = (y_true == y_pred).astype(float)
+        out = correct if name == ACCURACY else 1.0 - correct
+    elif name == POSITIVE_RATE:
+        out = (y_pred == 1).astype(float)
+    else:
+        raise DataError(f"unknown statistic {name!r}; choose from {STATISTICS}")
+    return out

@@ -1,0 +1,109 @@
+"""Dataset-facing model wrapper and the paper's four downstream classifiers.
+
+:class:`DatasetClassifier` couples a :class:`~repro.ml.encoding.DatasetEncoder`
+with a matrix-level :class:`~repro.ml.base.Classifier` so experiment code can
+say ``model.fit(train); model.predict(test)`` on :class:`~repro.data.Dataset`
+objects directly.  :func:`make_model` builds the paper's DT / RF / LG / NN
+by short name with hyperparameters in the ranges its grid search covers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import FitError
+from repro.ml.base import Classifier
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.encoding import DatasetEncoder
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.logistic import LogisticRegressionClassifier
+from repro.ml.neural import NeuralNetworkClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+# The paper's four downstream classifiers, plus gradient boosting as an
+# extra model-agnosticism check (not part of the paper's evaluation grid).
+MODEL_NAMES = ("dt", "rf", "lg", "nn", "gb")
+
+
+class DatasetClassifier:
+    """Train/predict on datasets instead of raw matrices.
+
+    Parameters
+    ----------
+    estimator:
+        Any matrix-level classifier.
+    features / exclude:
+        Forwarded to :class:`DatasetEncoder`; by default all columns
+        (including protected attributes) are used, matching the paper.
+    """
+
+    def __init__(
+        self,
+        estimator: Classifier,
+        features: Sequence[str] | None = None,
+        exclude: Sequence[str] = (),
+    ):
+        self.estimator = estimator
+        self._encoder = DatasetEncoder(features=features, exclude=exclude)
+        self._fitted = False
+
+    def fit(
+        self, dataset: Dataset, sample_weight: np.ndarray | None = None
+    ) -> "DatasetClassifier":
+        X = self._encoder.fit_transform(dataset)
+        self.estimator.fit(X, dataset.y, sample_weight=sample_weight)
+        self._fitted = True
+        return self
+
+    def predict(self, dataset: Dataset) -> np.ndarray:
+        if not self._fitted:
+            raise FitError("DatasetClassifier must be fitted first")
+        return self.estimator.predict(self._encoder.transform(dataset))
+
+    def predict_proba(self, dataset: Dataset) -> np.ndarray:
+        if not self._fitted:
+            raise FitError("DatasetClassifier must be fitted first")
+        return self.estimator.predict_proba(self._encoder.transform(dataset))
+
+
+_FACTORIES: dict[str, Callable[[int], Classifier]] = {
+    "dt": lambda seed: DecisionTreeClassifier(
+        max_depth=8, min_samples_leaf=5, random_state=seed
+    ),
+    "rf": lambda seed: RandomForestClassifier(
+        n_estimators=15, max_depth=10, min_samples_leaf=3, random_state=seed
+    ),
+    "lg": lambda seed: LogisticRegressionClassifier(l2=1.0),
+    "nn": lambda seed: NeuralNetworkClassifier(
+        hidden_units=32, epochs=20, random_state=seed
+    ),
+    "gb": lambda seed: GradientBoostingClassifier(
+        n_estimators=40, learning_rate=0.2, max_depth=3
+    ),
+}
+
+
+def make_estimator(name: str, seed: int = 0) -> Classifier:
+    """Matrix-level estimator for one of the paper's model short names."""
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise FitError(
+            f"unknown model {name!r}; choose from {MODEL_NAMES}"
+        ) from None
+    return factory(seed)
+
+
+def make_model(
+    name: str,
+    seed: int = 0,
+    features: Sequence[str] | None = None,
+    exclude: Sequence[str] = (),
+) -> DatasetClassifier:
+    """Dataset-facing classifier for 'dt' / 'rf' / 'lg' / 'nn'."""
+    return DatasetClassifier(
+        make_estimator(name, seed), features=features, exclude=exclude
+    )

@@ -1,0 +1,130 @@
+"""Single-hidden-layer MLP classifier trained with mini-batch Adam.
+
+Replacement for sklearn's ``MLPClassifier`` (the paper's NN downstream
+model).  ReLU hidden layer, sigmoid output, weighted binary cross-entropy
+loss (sample weights supported), internal feature standardisation, and a
+fixed seed for reproducible training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FitError
+from repro.ml.base import Classifier, check_X, check_Xy
+from repro.ml.logistic import _sigmoid
+
+
+class NeuralNetworkClassifier(Classifier):
+    """MLP with one ReLU hidden layer.
+
+    Parameters
+    ----------
+    hidden_units:
+        Width of the hidden layer.
+    epochs / batch_size / learning_rate:
+        Adam training schedule.
+    l2:
+        Weight decay applied to both layers' weights (not biases).
+    random_state:
+        Seed for init and batch shuffling.
+    """
+
+    def __init__(
+        self,
+        hidden_units: int = 32,
+        epochs: int = 30,
+        batch_size: int = 256,
+        learning_rate: float = 1e-2,
+        l2: float = 1e-4,
+        random_state: int = 0,
+    ):
+        if hidden_units < 1:
+            raise FitError("hidden_units must be >= 1")
+        if epochs < 1:
+            raise FitError("epochs must be >= 1")
+        if batch_size < 1:
+            raise FitError("batch_size must be >= 1")
+        if learning_rate <= 0:
+            raise FitError("learning_rate must be positive")
+        self.hidden_units = hidden_units
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.random_state = random_state
+        self._n_features: int | None = None
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "NeuralNetworkClassifier":
+        X, y, w = check_Xy(X, y, sample_weight)
+        self._n_features = X.shape[1]
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        Z = (X - self._mean) / scale
+        yf = y.astype(np.float64)
+        w = w * (len(w) / w.sum())
+
+        rng = np.random.default_rng(self.random_state)
+        h = self.hidden_units
+        m = Z.shape[1]
+        # He initialisation for the ReLU layer, small output layer.
+        W1 = rng.normal(0.0, np.sqrt(2.0 / max(m, 1)), size=(m, h))
+        b1 = np.zeros(h)
+        W2 = rng.normal(0.0, np.sqrt(1.0 / h), size=h)
+        b2 = 0.0
+
+        params = [W1, b1, W2, np.array([b2])]
+        m_t = [np.zeros_like(p) for p in params]
+        v_t = [np.zeros_like(p) for p in params]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        n = Z.shape[0]
+
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                xb, yb, wb = Z[idx], yf[idx], w[idx]
+                nb = len(idx)
+
+                pre = xb @ params[0] + params[1]
+                act = np.maximum(pre, 0.0)
+                logits = act @ params[2] + params[3][0]
+                prob = _sigmoid(logits)
+
+                # Gradient of weighted BCE wrt logits is w * (p - y) / n.
+                dlogit = wb * (prob - yb) / nb
+                gW2 = act.T @ dlogit + self.l2 * params[2]
+                gb2 = np.array([dlogit.sum()])
+                dact = np.outer(dlogit, params[2])
+                dpre = dact * (pre > 0)
+                gW1 = xb.T @ dpre + self.l2 * params[0]
+                gb1 = dpre.sum(axis=0)
+
+                step += 1
+                for p, g, mt, vt in zip(params, (gW1, gb1, gW2, gb2), m_t, v_t):
+                    mt *= beta1
+                    mt += (1 - beta1) * g
+                    vt *= beta2
+                    vt += (1 - beta2) * g * g
+                    m_hat = mt / (1 - beta1**step)
+                    v_hat = vt / (1 - beta2**step)
+                    p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+        self._W1, self._b1, self._W2 = params[0], params[1], params[2]
+        self._b2 = float(params[3][0])
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        n_features = self._require_fitted()
+        X = check_X(X, n_features)
+        Z = (X - self._mean) / self._scale
+        act = np.maximum(Z @ self._W1 + self._b1, 0.0)
+        return _sigmoid(act @ self._W2 + self._b2)

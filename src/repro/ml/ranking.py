@@ -1,0 +1,59 @@
+"""Ranking quality metrics: ROC AUC and per-group AUC divergence.
+
+AUC is threshold-free, which makes it a useful companion to the paper's
+FPR/FNR statistics: a remedy that merely moves thresholds leaves AUC
+unchanged, while one that alters what the model *learns* shifts it.  The
+implementation uses the rank-statistic identity
+``AUC = (R_pos − n_pos(n_pos+1)/2) / (n_pos · n_neg)`` with midrank tie
+handling, equivalent to the Mann–Whitney U statistic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def roc_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve; ``nan`` when a class is absent."""
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    if y_true.shape != scores.shape or y_true.ndim != 1:
+        raise DataError(
+            f"y_true {y_true.shape} and scores {scores.shape} must be equal 1-D"
+        )
+    n_pos = int((y_true == 1).sum())
+    n_neg = int((y_true == 0).sum())
+    if n_pos == 0 or n_neg == 0:
+        return float("nan")
+    # Midranks: average rank within tied score groups.
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(len(scores), dtype=np.float64)
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(scores):
+        j = i
+        while j + 1 < len(scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    rank_sum_pos = float(ranks[y_true == 1].sum())
+    u = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return u / (n_pos * n_neg)
+
+
+def group_auc_divergence(
+    y_true: np.ndarray,
+    scores: np.ndarray,
+    mask: np.ndarray,
+) -> float:
+    """``|AUC_group − AUC_dataset|``; nan when either side is undefined."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != np.asarray(y_true).shape:
+        raise DataError("mask shape does not match labels")
+    overall = roc_auc(y_true, scores)
+    group = roc_auc(np.asarray(y_true)[mask], np.asarray(scores)[mask])
+    if np.isnan(overall) or np.isnan(group):
+        return float("nan")
+    return abs(group - overall)

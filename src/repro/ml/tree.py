@@ -1,0 +1,224 @@
+"""CART decision-tree classifier (weighted Gini impurity, threshold splits).
+
+A from-scratch replacement for sklearn's ``DecisionTreeClassifier`` — the
+paper's DT downstream model and the base learner of the random forest.
+Categorical inputs are expected one-hot encoded (see
+:mod:`repro.ml.encoding`), for which threshold splits at 0.5 are exactly
+categorical membership tests.  Supports sample weights (needed by the
+Reweighting / FairBalance baselines) and feature subsampling (needed by the
+forest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FitError
+from repro.ml.base import Classifier, check_X, check_Xy
+
+
+@dataclass
+class _Node:
+    """Internal tree node; leaves have ``feature == -1``."""
+
+    feature: int
+    threshold: float
+    value: float  # weighted positive fraction (used at leaves)
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+def _best_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    w: np.ndarray,
+    feature_indices: np.ndarray,
+    min_samples_leaf: int,
+) -> tuple[int, float, float] | None:
+    """Best ``(feature, threshold, impurity_decrease_proxy)`` or None.
+
+    Scores candidate thresholds by the weighted sum of child Gini impurities
+    (lower is better); the returned proxy is that weighted impurity.
+    """
+    n = X.shape[0]
+    total_w = w.sum()
+    total_p = float((w * y).sum())
+    parent_gini = _gini(total_p, total_w)
+    best: tuple[int, float, float] | None = None
+    best_score = parent_gini * total_w - 1e-12  # must strictly improve
+
+    for j in feature_indices:
+        xj = X[:, j]
+        order = np.argsort(xj, kind="stable")
+        xs = xj[order]
+        ws = w[order]
+        ps = ws * y[order]
+
+        w_left = np.cumsum(ws)[:-1]
+        p_left = np.cumsum(ps)[:-1]
+        w_right = total_w - w_left
+        p_right = total_p - p_left
+
+        # A split between positions i and i+1 is valid when the value
+        # changes there and both children satisfy min_samples_leaf.
+        counts_left = np.arange(1, n)
+        valid = (xs[1:] != xs[:-1]) & (counts_left >= min_samples_leaf)
+        valid &= (n - counts_left) >= min_samples_leaf
+        if not valid.any():
+            continue
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            g_left = 2.0 * (p_left / w_left) * (1.0 - p_left / w_left)
+            g_right = 2.0 * (p_right / w_right) * (1.0 - p_right / w_right)
+        score = w_left * np.nan_to_num(g_left) + w_right * np.nan_to_num(g_right)
+        score = np.where(valid, score, np.inf)
+        i = int(np.argmin(score))
+        if score[i] < best_score:
+            best_score = float(score[i])
+            threshold = float((xs[i] + xs[i + 1]) / 2.0)
+            best = (int(j), threshold, best_score)
+    return best
+
+
+def _gini(weighted_positives: float, total_weight: float) -> float:
+    if total_weight <= 0:
+        return 0.0
+    p = weighted_positives / total_weight
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTreeClassifier(Classifier):
+    """Binary CART tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root at depth 0).
+    min_samples_split / min_samples_leaf:
+        Standard pre-pruning controls, in row counts (not weight).
+    max_features:
+        If set, the number of features sampled (without replacement) per
+        split — used by the random forest.  ``None`` considers all features.
+    random_state:
+        Seed for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        random_state: int = 0,
+    ):
+        if max_depth < 1:
+            raise FitError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise FitError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise FitError("min_samples_leaf must be >= 1")
+        if max_features is not None and max_features < 1:
+            raise FitError("max_features must be >= 1 or None")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._root: _Node | None = None
+        self._n_features: int | None = None
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "DecisionTreeClassifier":
+        X, y, w = check_Xy(X, y, sample_weight)
+        self._n_features = X.shape[1]
+        self._rng = np.random.default_rng(self.random_state)
+        self._root = self._build(X, y, w, depth=0)
+        return self
+
+    def _build(
+        self, X: np.ndarray, y: np.ndarray, w: np.ndarray, depth: int
+    ) -> _Node:
+        total_w = float(w.sum())
+        value = float((w * y).sum() / total_w) if total_w > 0 else 0.5
+        node = _Node(feature=-1, threshold=0.0, value=value)
+        n = X.shape[0]
+        if (
+            depth >= self.max_depth
+            or n < self.min_samples_split
+            or value in (0.0, 1.0)
+            or X.shape[1] == 0
+        ):
+            return node
+
+        if self.max_features is not None and self.max_features < X.shape[1]:
+            feature_indices = self._rng.choice(
+                X.shape[1], size=self.max_features, replace=False
+            )
+        else:
+            feature_indices = np.arange(X.shape[1])
+
+        split = _best_split(X, y, w, feature_indices, self.min_samples_leaf)
+        if split is None:
+            return node
+        feature, threshold, __ = split
+        go_left = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[go_left], y[go_left], w[go_left], depth + 1)
+        node.right = self._build(X[~go_left], y[~go_left], w[~go_left], depth + 1)
+        return node
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        n_features = self._require_fitted()
+        X = check_X(X, n_features)
+        out = np.empty(X.shape[0])
+        self._route(self._root, X, np.arange(X.shape[0]), out)
+        return out
+
+    def _route(
+        self, node: _Node | None, X: np.ndarray, idx: np.ndarray, out: np.ndarray
+    ) -> None:
+        assert node is not None
+        if node.is_leaf or idx.size == 0:
+            out[idx] = node.value
+            return
+        go_left = X[idx, node.feature] <= node.threshold
+        self._route(node.left, X, idx[go_left], out)
+        self._route(node.right, X, idx[~go_left], out)
+
+    # -- introspection (used in tests) ---------------------------------------
+    @property
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        self._require_fitted()
+
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaf nodes in the fitted tree."""
+        self._require_fitted()
+
+        def walk(node: _Node | None) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self._root)

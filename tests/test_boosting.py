@@ -1,0 +1,81 @@
+"""Unit tests for repro.ml.boosting (gradient-boosted trees)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FitError
+from repro.ml import GradientBoostingClassifier
+
+
+def make_nonlinear(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)  # XOR
+    return X, y
+
+
+class TestGradientBoosting:
+    def test_learns_xor(self):
+        X, y = make_nonlinear()
+        model = GradientBoostingClassifier(n_estimators=60, max_depth=3).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.9
+
+    def test_proba_in_unit_interval(self):
+        X, y = make_nonlinear(150)
+        proba = GradientBoostingClassifier(n_estimators=10).fit(X, y).predict_proba(X)
+        assert ((0 < proba) & (proba < 1)).all()
+
+    def test_more_rounds_fit_tighter(self):
+        X, y = make_nonlinear(300, seed=2)
+        weak = GradientBoostingClassifier(n_estimators=3, max_depth=2).fit(X, y)
+        strong = GradientBoostingClassifier(n_estimators=60, max_depth=3).fit(X, y)
+        assert (strong.predict(X) == y).mean() >= (weak.predict(X) == y).mean()
+
+    def test_prior_only_on_constant_features(self):
+        X = np.zeros((40, 2))
+        y = np.array([1] * 30 + [0] * 10)
+        model = GradientBoostingClassifier(n_estimators=5).fit(X, y)
+        p = model.predict_proba(np.zeros((1, 2)))[0]
+        assert p > 0.6  # close to the 0.75 prior
+
+    def test_sample_weights_shift_decision(self):
+        X = np.array([[0.0], [0.0]])
+        y = np.array([0, 1])
+        w = np.array([1.0, 15.0])
+        model = GradientBoostingClassifier(n_estimators=20).fit(X, y, sample_weight=w)
+        assert model.predict(np.array([[0.0]]))[0] == 1
+
+    def test_deterministic(self):
+        X, y = make_nonlinear(200, seed=4)
+        a = GradientBoostingClassifier(n_estimators=10).fit(X, y)
+        b = GradientBoostingClassifier(n_estimators=10).fit(X, y)
+        assert np.allclose(a.predict_proba(X), b.predict_proba(X))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(FitError):
+            GradientBoostingClassifier(n_estimators=0)
+        with pytest.raises(FitError):
+            GradientBoostingClassifier(learning_rate=0.0)
+        with pytest.raises(FitError):
+            GradientBoostingClassifier(max_depth=0)
+        with pytest.raises(FitError):
+            GradientBoostingClassifier(min_samples_leaf=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(FitError):
+            GradientBoostingClassifier().predict(np.zeros((2, 2)))
+
+    def test_remedy_pipeline_works_with_gb(self, compas_small):
+        """Model-agnosticism: the remedy helps gradient boosting too."""
+        from repro.audit import fairness_index
+        from repro.core import remedy_dataset
+        from repro.data import train_test_split
+        from repro.ml import make_model
+
+        train, test = train_test_split(compas_small, 0.3, seed=1)
+        base_pred = make_model("gb", seed=0).fit(train).predict(test)
+        remedied = remedy_dataset(train, 0.1, technique="undersampling").dataset
+        fair_pred = make_model("gb", seed=0).fit(remedied).predict(test)
+        assert fairness_index(test, fair_pred, "fpr") <= fairness_index(
+            test, base_pred, "fpr"
+        )

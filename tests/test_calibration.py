@@ -1,0 +1,86 @@
+"""Unit tests for repro.ml.calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.ml import brier_score, calibration_curve, expected_calibration_error
+
+
+class TestBrierScore:
+    def test_perfect(self):
+        y = np.array([0, 1, 1, 0])
+        assert brier_score(y, y.astype(float)) == 0.0
+
+    def test_worst(self):
+        y = np.array([0, 1])
+        assert brier_score(y, np.array([1.0, 0.0])) == 1.0
+
+    def test_coin_flip(self):
+        y = np.array([0, 1, 0, 1])
+        assert brier_score(y, np.full(4, 0.5)) == pytest.approx(0.25)
+
+    def test_probability_bounds_enforced(self):
+        with pytest.raises(DataError):
+            brier_score(np.array([0, 1]), np.array([0.5, 1.5]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataError):
+            brier_score(np.array([0, 1]), np.array([0.5]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            brier_score(np.array([]), np.array([]))
+
+
+class TestCalibrationCurve:
+    def test_perfectly_calibrated_bins(self):
+        rng = np.random.default_rng(0)
+        probs = rng.random(20_000)
+        y = (rng.random(20_000) < probs).astype(int)
+        curve = calibration_curve(y, probs, n_bins=10)
+        assert len(curve) == 10
+        for mean_p, rate, count in curve:
+            assert count > 0
+            assert abs(mean_p - rate) < 0.05
+
+    def test_empty_bins_skipped(self):
+        y = np.array([0, 1, 1])
+        probs = np.array([0.05, 0.95, 0.92])
+        curve = calibration_curve(y, probs, n_bins=10)
+        assert len(curve) == 2  # only the extreme bins populated
+
+    def test_probability_one_in_last_bin(self):
+        curve = calibration_curve(np.array([1]), np.array([1.0]), n_bins=5)
+        assert len(curve) == 1
+        assert curve[0][0] == 1.0
+
+    def test_counts_sum_to_n(self):
+        rng = np.random.default_rng(1)
+        probs = rng.random(500)
+        y = rng.integers(0, 2, 500)
+        curve = calibration_curve(y, probs)
+        assert sum(c for __, __r, c in curve) == 500
+
+    def test_too_few_bins(self):
+        with pytest.raises(DataError):
+            calibration_curve(np.array([0, 1]), np.array([0.2, 0.8]), n_bins=1)
+
+
+class TestECE:
+    def test_perfect_calibration_near_zero(self):
+        rng = np.random.default_rng(2)
+        probs = rng.random(50_000)
+        y = (rng.random(50_000) < probs).astype(int)
+        assert expected_calibration_error(y, probs) < 0.02
+
+    def test_anti_calibrated_large(self):
+        y = np.array([0] * 500 + [1] * 500)
+        probs = np.concatenate([np.full(500, 0.95), np.full(500, 0.05)])
+        assert expected_calibration_error(y, probs) > 0.8
+
+    def test_bounded_by_one(self):
+        rng = np.random.default_rng(3)
+        probs = rng.random(300)
+        y = rng.integers(0, 2, 300)
+        assert 0.0 <= expected_calibration_error(y, probs) <= 1.0

@@ -1,0 +1,205 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import read_csv, read_schema
+
+
+@pytest.fixture
+def generated(tmp_path):
+    """A small generated COMPAS CSV + schema, shared per test."""
+    csv = tmp_path / "compas.csv"
+    rc = main(["generate", "compas", str(csv), "--rows", "1200", "--seed", "3"])
+    assert rc == 0
+    return csv, csv.with_suffix(".schema.json")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_generate_dataset_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "mnist", "out.csv"])
+
+    def test_remedy_technique_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["remedy", "a.csv", "b.csv", "--schema", "s.json", "--technique", "x"]
+            )
+
+
+class TestGenerate:
+    def test_writes_csv_and_schema(self, generated):
+        csv, schema_path = generated
+        assert csv.exists() and schema_path.exists()
+        schema, protected = read_schema(schema_path)
+        ds = read_csv(csv, schema, protected=protected)
+        assert ds.n_rows == 1200
+        assert ds.protected == ("age", "race", "sex")
+
+    def test_deterministic_given_seed(self, tmp_path):
+        a = tmp_path / "a.csv"
+        b = tmp_path / "b.csv"
+        main(["generate", "compas", str(a), "--rows", "300", "--seed", "9"])
+        main(["generate", "compas", str(b), "--rows", "300", "--seed", "9"])
+        assert a.read_text() == b.read_text()
+
+
+class TestIdentify:
+    def test_prints_regions(self, generated, capsys):
+        csv, schema = generated
+        rc = main(
+            ["identify", str(csv), "--schema", str(schema), "--tau-c", "0.3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Implicit Biased Set" in out
+        assert "biased regions" in out
+
+    def test_naive_method_flag(self, generated, capsys):
+        csv, schema = generated
+        rc = main(
+            [
+                "identify", str(csv), "--schema", str(schema),
+                "--tau-c", "0.3", "--method", "naive",
+            ]
+        )
+        assert rc == 0
+
+
+class TestRemedy:
+    def test_writes_remedied_csv(self, generated, tmp_path, capsys):
+        csv, schema = generated
+        out = tmp_path / "fixed.csv"
+        rc = main(
+            [
+                "remedy", str(csv), str(out), "--schema", str(schema),
+                "--technique", "massaging", "--tau-c", "0.2",
+            ]
+        )
+        assert rc == 0
+        assert out.exists()
+        sch, protected = read_schema(schema)
+        fixed = read_csv(out, sch, protected=protected)
+        original = read_csv(csv, sch, protected=protected)
+        assert fixed.n_rows == original.n_rows  # massaging keeps size
+        assert not np.array_equal(fixed.y, original.y)  # labels flipped
+
+
+class TestAudit:
+    def test_reports_fairness(self, generated, capsys):
+        csv, schema = generated
+        rc = main(
+            ["audit", str(csv), "--schema", str(schema), "--model", "dt"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "accuracy=" in out
+        assert "fairness index (FPR)" in out
+        assert "Unfair subgroups" in out
+
+
+class TestExperiment:
+    def test_fig8_runs(self, capsys):
+        rc = main(["experiment", "fig8", "--rows", "1500", "--models", "dt"])
+        assert rc == 0
+        assert "T = 1 vs T = |X|" in capsys.readouterr().out
+
+    def test_fig9_runs(self, capsys):
+        rc = main(["experiment", "fig9", "--rows", "2000"])
+        assert rc == 0
+        assert "speedups" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_writes_markdown(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        rc = main(
+            [
+                "report", str(out),
+                "--adult-rows", "2000",
+                "--compas-rows", "1200",
+                "--lawschool-rows", "1000",
+                "--models", "dt",
+            ]
+        )
+        assert rc == 0
+        text = out.read_text()
+        assert "Table III" in text and "Fig. 3" in text
+
+
+class TestAuditLog:
+    def test_remedy_writes_audit_trail(self, generated, tmp_path):
+        import json
+
+        csv, schema = generated
+        out = tmp_path / "fixed.csv"
+        log = tmp_path / "trail.json"
+        rc = main(
+            [
+                "remedy", str(csv), str(out), "--schema", str(schema),
+                "--technique", "undersampling", "--tau-c", "0.2",
+                "--audit-log", str(log),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(log.read_text())
+        assert payload["updates"]
+        assert payload["rows_touched"] > 0
+
+
+class TestDescribe:
+    def test_describe_prints_profile(self, generated, capsys):
+        csv, schema = generated
+        rc = main(["describe", str(csv), "--schema", str(schema), "--regions", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "columns" in out
+        assert "largest leaf regions" in out
+        assert "protected groups" in out
+
+
+class TestExplainAndPlan:
+    def test_explain_subgroup(self, generated, capsys):
+        csv, schema = generated
+        rc = main(
+            [
+                "explain", str(csv), "--schema", str(schema),
+                "--subgroup", "race=Afr-Am,sex=Male", "--tau-c", "0.3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "subgroup (race=Afr-Am, sex=Male)" in out
+        assert "imbalance score" in out
+
+    def test_explain_bad_spec(self, generated):
+        csv, schema = generated
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "explain", str(csv), "--schema", str(schema),
+                    "--subgroup", "race-Afr-Am",
+                ]
+            )
+
+    def test_plan_prints_grid(self, generated, capsys):
+        csv, schema = generated
+        rc = main(
+            [
+                "plan", str(csv), "--schema", str(schema),
+                "--tau-grid", "0.2", "0.6",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Remedy plans" in out
+        assert "0.2" in out and "0.6" in out

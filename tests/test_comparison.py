@@ -1,0 +1,76 @@
+"""Unit tests for repro.audit.comparison (fairness diff)."""
+
+import numpy as np
+import pytest
+
+from repro.audit import compare_predictions
+from repro.core import Pattern
+
+
+@pytest.fixture
+def before_after(biased_dataset):
+    """Predictions where the planted cell's FPs are fixed in the 'after'."""
+    rng = np.random.default_rng(3)
+    before = biased_dataset.y.copy()
+    noise = rng.random(biased_dataset.n_rows) < 0.1
+    before = np.where(noise, 1 - before, before)
+    cell = biased_dataset.mask({"a": 0, "b": 0})
+    before[cell] = 1  # all-positive predictions inside the planted cell
+    after = before.copy()
+    after[cell] = biased_dataset.y[cell]  # fixed
+    return before, after
+
+
+class TestComparePredictions:
+    def test_planted_cell_improves(self, biased_dataset, before_after):
+        before, after = before_after
+        diff = compare_predictions(
+            biased_dataset, before, after, gamma="fpr", min_size=10
+        )
+        by_pattern = {d.pattern: d for d in diff.deltas}
+        target = Pattern([("a", 0), ("b", 0)])
+        assert target in by_pattern
+        assert by_pattern[target].delta < 0
+
+    def test_counts_consistent(self, biased_dataset, before_after):
+        before, after = before_after
+        diff = compare_predictions(
+            biased_dataset, before, after, gamma="fpr", min_size=10
+        )
+        assert diff.n_improved + diff.n_worsened <= len(diff.deltas)
+        assert diff.total_divergence_change == pytest.approx(
+            sum(d.delta for d in diff.deltas)
+        )
+
+    def test_identical_predictions_zero_deltas(self, biased_dataset):
+        pred = biased_dataset.y.copy()
+        diff = compare_predictions(biased_dataset, pred, pred, min_size=10)
+        assert diff.n_improved == 0 and diff.n_worsened == 0
+        assert all(d.delta == 0 for d in diff.deltas)
+
+    def test_sorted_most_improved_first(self, biased_dataset, before_after):
+        before, after = before_after
+        diff = compare_predictions(
+            biased_dataset, before, after, gamma="fpr", min_size=10
+        )
+        deltas = [d.delta for d in diff.deltas]
+        assert deltas == sorted(deltas)
+
+    def test_worst_regressions(self, biased_dataset, before_after):
+        before, after = before_after
+        diff = compare_predictions(
+            biased_dataset, before, after, gamma="fpr", min_size=10
+        )
+        regressions = diff.worst_regressions(3)
+        assert len(regressions) <= 3
+        if len(regressions) >= 2:
+            assert regressions[0].delta >= regressions[1].delta
+
+    def test_table_renders(self, biased_dataset, before_after):
+        before, after = before_after
+        diff = compare_predictions(
+            biased_dataset, before, after, gamma="fpr", min_size=10
+        )
+        text = diff.table(biased_dataset.schema)
+        assert "Fairness diff" in text
+        assert "improved" in text

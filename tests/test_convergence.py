@@ -1,0 +1,63 @@
+"""Unit tests for repro.core.convergence (iterated remedy)."""
+
+import numpy as np
+import pytest
+
+from repro.core import identify_ibs, remedy_dataset, remedy_until_converged
+from repro.errors import RemedyError
+
+
+class TestRemedyUntilConverged:
+    def test_at_least_as_good_as_single_pass(self, biased_dataset):
+        single = remedy_dataset(
+            biased_dataset, 0.2, k=10, technique="undersampling", seed=0
+        )
+        single_ibs = len(identify_ibs(single.dataset, 0.2, k=10))
+        multi = remedy_until_converged(
+            biased_dataset, 0.2, k=10, technique="undersampling", seed=0, max_passes=4
+        )
+        assert multi.ibs_sizes[-1] <= single_ibs
+
+    def test_sizes_strictly_decreasing_while_running(self, biased_dataset):
+        result = remedy_until_converged(
+            biased_dataset, 0.2, k=10, technique="massaging", max_passes=5
+        )
+        # Except possibly the final oscillation-guard step, sizes decrease.
+        for before, after in zip(result.ibs_sizes[:-2], result.ibs_sizes[1:-1]):
+            assert after < before
+
+    def test_already_fair_dataset_zero_passes(self, biased_dataset):
+        result = remedy_until_converged(biased_dataset, tau_c=1e9, k=10)
+        assert result.n_passes == 0
+        assert result.converged
+        assert np.array_equal(result.dataset.y, biased_dataset.y)
+
+    def test_max_passes_respected(self, biased_dataset):
+        result = remedy_until_converged(
+            biased_dataset, 0.05, k=10, technique="oversampling", max_passes=2
+        )
+        assert result.n_passes <= 2
+        assert len(result.ibs_sizes) == result.n_passes + 1
+
+    def test_all_updates_concatenates_passes(self, biased_dataset):
+        result = remedy_until_converged(
+            biased_dataset, 0.2, k=10, technique="massaging", max_passes=3
+        )
+        assert len(result.all_updates) == sum(
+            p.n_regions_remedied for p in result.passes
+        )
+
+    def test_input_untouched(self, biased_dataset):
+        y = biased_dataset.y.copy()
+        remedy_until_converged(biased_dataset, 0.2, k=10, technique="massaging")
+        assert np.array_equal(biased_dataset.y, y)
+
+    def test_invalid_max_passes(self, biased_dataset):
+        with pytest.raises(RemedyError):
+            remedy_until_converged(biased_dataset, 0.2, max_passes=0)
+
+    def test_converged_flag_meaning(self, biased_dataset):
+        result = remedy_until_converged(
+            biased_dataset, 0.5, k=10, technique="undersampling", max_passes=6
+        )
+        assert result.converged == (result.ibs_sizes[-1] == 0)

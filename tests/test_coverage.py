@@ -1,0 +1,66 @@
+"""Unit tests for repro.baselines.coverage."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import coverage_remedy, find_uncovered_patterns
+from repro.core import Pattern
+from repro.errors import DataError
+
+
+class TestFindUncovered:
+    def test_finds_small_patterns(self, biased_dataset):
+        # Cells of the 3x2 grid average 50 rows; a 60-row threshold must
+        # flag at least one of them while level-1 groups (~100-150) pass.
+        uncovered = find_uncovered_patterns(biased_dataset, lambda_threshold=60)
+        assert uncovered
+        for u in uncovered:
+            assert u.count < 60
+
+    def test_huge_threshold_everything_uncovered(self, biased_dataset):
+        uncovered = find_uncovered_patterns(biased_dataset, 10**6)
+        # every pattern at every level qualifies: 3 + 2 + 6 = 11
+        assert len(uncovered) == 11
+
+    def test_maximal_flagging(self, biased_dataset):
+        uncovered = find_uncovered_patterns(biased_dataset, 10**6)
+        by_pattern = {u.pattern: u for u in uncovered}
+        # level-1 patterns are always maximal (no uncovered strict parent).
+        assert by_pattern[Pattern([("a", 0)])].is_maximal
+        # a leaf whose parents are both uncovered is not maximal.
+        assert not by_pattern[Pattern([("a", 0), ("b", 0)])].is_maximal
+
+    def test_threshold_validation(self, biased_dataset):
+        with pytest.raises(DataError):
+            find_uncovered_patterns(biased_dataset, 0)
+
+
+class TestCoverageRemedy:
+    def test_reaches_threshold(self, biased_dataset):
+        threshold = 40
+        out = coverage_remedy(biased_dataset, threshold)
+        for u in find_uncovered_patterns(biased_dataset, threshold):
+            if u.count == 0 or not u.is_maximal:
+                continue
+            pos, neg = u.pattern.counts(out)
+            assert pos + neg >= threshold
+
+    def test_only_adds_rows(self, biased_dataset):
+        out = coverage_remedy(biased_dataset, 40)
+        assert out.n_rows >= biased_dataset.n_rows
+
+    def test_already_covered_is_noop(self, biased_dataset):
+        out = coverage_remedy(biased_dataset, 1)
+        assert out.n_rows == biased_dataset.n_rows
+
+    def test_deterministic(self, biased_dataset):
+        a = coverage_remedy(biased_dataset, 40, seed=3)
+        b = coverage_remedy(biased_dataset, 40, seed=3)
+        assert a.n_rows == b.n_rows
+        assert np.array_equal(a.y, b.y)
+
+    def test_empty_cells_skipped(self, compas_small):
+        # Thresholds high enough that some intersectional cells are empty;
+        # the remedy must not crash and must not invent rows from nothing.
+        out = coverage_remedy(compas_small, 50)
+        assert out.n_rows >= compas_small.n_rows

@@ -1,0 +1,184 @@
+"""Unit tests for repro.data.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data import Column, Dataset, Schema, concat, schema_from_domains
+from repro.errors import DataError, SchemaError
+
+
+class TestConstruction:
+    def test_basic_counts(self, toy_dataset):
+        assert toy_dataset.n_rows == 12
+        assert toy_dataset.n_positive + toy_dataset.n_negative == 12
+
+    def test_non_binary_labels_rejected(self, toy_schema):
+        cols = {"age": np.zeros(2, int), "sex": np.zeros(2, int), "score": np.zeros(2)}
+        with pytest.raises(DataError):
+            Dataset(toy_schema, cols, np.array([0, 2]))
+
+    def test_missing_column_rejected(self, toy_schema):
+        with pytest.raises(DataError):
+            Dataset(toy_schema, {"age": np.zeros(2, int)}, np.zeros(2, int))
+
+    def test_extra_column_rejected(self, toy_schema):
+        cols = {
+            "age": np.zeros(2, int),
+            "sex": np.zeros(2, int),
+            "score": np.zeros(2),
+            "ghost": np.zeros(2),
+        }
+        with pytest.raises(DataError):
+            Dataset(toy_schema, cols, np.zeros(2, int))
+
+    def test_code_out_of_range_rejected(self, toy_schema):
+        cols = {"age": np.array([9, 0]), "sex": np.zeros(2, int), "score": np.zeros(2)}
+        with pytest.raises(DataError):
+            Dataset(toy_schema, cols, np.zeros(2, int))
+
+    def test_length_mismatch_rejected(self, toy_schema):
+        cols = {"age": np.zeros(3, int), "sex": np.zeros(2, int), "score": np.zeros(2)}
+        with pytest.raises(DataError):
+            Dataset(toy_schema, cols, np.zeros(2, int))
+
+    def test_protected_must_be_categorical(self, toy_schema):
+        cols = {"age": np.zeros(2, int), "sex": np.zeros(2, int), "score": np.zeros(2)}
+        with pytest.raises(SchemaError):
+            Dataset(toy_schema, cols, np.zeros(2, int), protected=("score",))
+
+    def test_empty_dataset_allowed(self, toy_schema):
+        cols = {"age": np.zeros(0, int), "sex": np.zeros(0, int), "score": np.zeros(0)}
+        ds = Dataset(toy_schema, cols, np.zeros(0, int))
+        assert ds.n_rows == 0
+
+
+class TestMasksAndCounts:
+    def test_empty_assignment_matches_all(self, toy_dataset):
+        assert toy_dataset.mask({}).all()
+
+    def test_single_attr_mask(self, toy_dataset):
+        mask = toy_dataset.mask({"age": 0})
+        assert mask.sum() == 4
+
+    def test_conjunction_mask(self, toy_dataset):
+        mask = toy_dataset.mask({"age": 0, "sex": 0})
+        assert mask.sum() == 4
+
+    def test_counts(self, toy_dataset):
+        pos, neg = toy_dataset.counts({"age": 0, "sex": 0})
+        assert (pos, neg) == (4, 0)
+
+    def test_mask_numeric_attr_rejected(self, toy_dataset):
+        with pytest.raises(SchemaError):
+            toy_dataset.mask({"score": 1})
+
+    def test_mask_code_out_of_range(self, toy_dataset):
+        with pytest.raises(SchemaError):
+            toy_dataset.mask({"age": 99})
+
+    def test_region_counts_match_masks(self, toy_dataset):
+        pos, neg, shape = toy_dataset.region_counts(("age", "sex"))
+        assert shape == (3, 2)
+        for a in range(3):
+            for s in range(2):
+                expected = toy_dataset.counts({"age": a, "sex": s})
+                flat = np.ravel_multi_index((a, s), shape)
+                assert (int(pos[flat]), int(neg[flat])) == expected
+
+    def test_joint_codes_total(self, toy_dataset):
+        codes, shape = toy_dataset.joint_codes(("age", "sex"))
+        assert codes.shape == (12,)
+        assert codes.max() < np.prod(shape)
+
+
+class TestRowEdits:
+    def test_take_bool_mask(self, toy_dataset):
+        sub = toy_dataset.take(toy_dataset.y == 1)
+        assert sub.n_rows == toy_dataset.n_positive
+        assert sub.n_negative == 0
+
+    def test_drop(self, toy_dataset):
+        out = toy_dataset.drop(np.array([0, 1]))
+        assert out.n_rows == 10
+
+    def test_duplicate_rows(self, toy_dataset):
+        out = toy_dataset.duplicate_rows(np.array([0, 0, 1]))
+        assert out.n_rows == 15
+
+    def test_append_rows_schema_mismatch(self, toy_dataset):
+        other_schema = schema_from_domains({"z": ("v",)})
+        other = Dataset(other_schema, {"z": np.zeros(1, int)}, np.zeros(1, int))
+        with pytest.raises(DataError):
+            toy_dataset.append_rows(other)
+
+    def test_with_labels(self, toy_dataset):
+        flipped = toy_dataset.with_labels(1 - toy_dataset.y)
+        assert flipped.n_positive == toy_dataset.n_negative
+        # Original untouched.
+        assert toy_dataset.y.sum() != flipped.y.sum() or toy_dataset.n_rows == 0
+
+    def test_with_protected(self, toy_dataset):
+        view = toy_dataset.with_protected(("age",))
+        assert view.protected == ("age",)
+        assert toy_dataset.protected == ("age", "sex")
+
+    def test_copy_is_deep(self, toy_dataset):
+        dup = toy_dataset.copy()
+        dup.y[0] = 1 - dup.y[0]
+        assert dup.y[0] != toy_dataset.y[0]
+
+    def test_edits_do_not_mutate_source(self, toy_dataset):
+        before = toy_dataset.n_rows
+        toy_dataset.drop(np.array([0]))
+        toy_dataset.duplicate_rows(np.array([0]))
+        assert toy_dataset.n_rows == before
+
+
+class TestFeatureMatrix:
+    def test_one_hot_width(self, toy_dataset):
+        X = toy_dataset.feature_matrix()
+        assert X.shape == (12, 3 + 2 + 1)
+
+    def test_one_hot_rows_sum(self, toy_dataset):
+        X = toy_dataset.feature_matrix(["age"])
+        assert np.allclose(X.sum(axis=1), 1.0)
+
+    def test_codes_mode(self, toy_dataset):
+        X = toy_dataset.feature_matrix(["age", "sex"], one_hot=False)
+        assert X.shape == (12, 2)
+        assert X.max() == 2
+
+    def test_labels_of(self, toy_dataset):
+        labels = toy_dataset.labels_of("sex")
+        assert set(labels) <= {"m", "f"}
+
+    def test_labels_of_numeric_rejected(self, toy_dataset):
+        with pytest.raises(SchemaError):
+            toy_dataset.labels_of("score")
+
+
+class TestFromRowsAndConcat:
+    def test_from_rows_with_labels_and_codes(self, toy_schema):
+        rows = [
+            {"age": "young", "sex": 1, "score": 0.5, "label": 1},
+            {"age": 2, "sex": "m", "score": -0.5, "label": 0},
+        ]
+        ds = Dataset.from_rows(toy_schema, rows, protected=("age",))
+        assert ds.n_rows == 2
+        assert ds.column("age").tolist() == [0, 2]
+
+    def test_from_rows_missing_label(self, toy_schema):
+        with pytest.raises(DataError):
+            Dataset.from_rows(toy_schema, [{"age": 0, "sex": 0, "score": 0.0}])
+
+    def test_from_rows_missing_column(self, toy_schema):
+        with pytest.raises(DataError):
+            Dataset.from_rows(toy_schema, [{"age": 0, "label": 1}])
+
+    def test_concat(self, toy_dataset):
+        merged = concat([toy_dataset, toy_dataset])
+        assert merged.n_rows == 24
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(DataError):
+            concat([])

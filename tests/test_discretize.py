@@ -1,0 +1,96 @@
+"""Unit tests for repro.data.discretize."""
+
+import numpy as np
+import pytest
+
+from repro.data import Column, Dataset, Schema
+from repro.data.discretize import (
+    bucketize,
+    bucketize_quantile,
+    bucketize_uniform,
+    default_bin_labels,
+    equal_width_edges,
+    quantile_edges,
+)
+from repro.errors import DataError, SchemaError
+
+
+@pytest.fixture
+def numeric_dataset():
+    schema = Schema([Column("x", "numeric"), Column("g", "categorical", ("a", "b"))])
+    values = np.array([0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+    g = np.array([0, 1, 0, 1, 0, 1, 0, 1])
+    y = np.array([0, 1, 0, 1, 0, 1, 0, 1])
+    return Dataset(schema, {"x": values, "g": g}, y, protected=("g",))
+
+
+class TestEdges:
+    def test_equal_width(self):
+        edges = equal_width_edges(np.array([0.0, 10.0]), 4)
+        assert np.allclose(edges, [2.5, 5.0, 7.5])
+
+    def test_equal_width_constant_column(self):
+        with pytest.raises(DataError):
+            equal_width_edges(np.array([3.0, 3.0]), 2)
+
+    def test_quantile_edges_monotone(self):
+        edges = quantile_edges(np.arange(100.0), 4)
+        assert np.all(np.diff(edges) > 0)
+
+    def test_quantile_duplicate_edges_rejected(self):
+        with pytest.raises(DataError):
+            quantile_edges(np.array([1.0] * 50 + [2.0]), 4)
+
+    def test_too_few_bins(self):
+        with pytest.raises(DataError):
+            equal_width_edges(np.array([0.0, 1.0]), 1)
+
+
+class TestBucketize:
+    def test_bucketize_produces_categorical(self, numeric_dataset):
+        out = bucketize(numeric_dataset, "x", edges=[2.0, 5.0])
+        col = out.schema["x"]
+        assert col.is_categorical
+        assert col.cardinality == 3
+        # 0,1 -> bin 0 ; 2,3,4 -> bin 1 ; 5,6,7 -> bin 2
+        assert out.column("x").tolist() == [0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_bucketize_custom_labels(self, numeric_dataset):
+        out = bucketize(numeric_dataset, "x", [4.0], labels=["lo", "hi"])
+        assert out.schema["x"].domain == ("lo", "hi")
+
+    def test_bucketize_wrong_label_count(self, numeric_dataset):
+        with pytest.raises(DataError):
+            bucketize(numeric_dataset, "x", [4.0], labels=["only-one"])
+
+    def test_bucketize_categorical_rejected(self, numeric_dataset):
+        with pytest.raises(SchemaError):
+            bucketize(numeric_dataset, "g", [0.5])
+
+    def test_bucketize_preserves_other_columns(self, numeric_dataset):
+        out = bucketize(numeric_dataset, "x", [4.0])
+        assert np.array_equal(out.column("g"), numeric_dataset.column("g"))
+        assert np.array_equal(out.y, numeric_dataset.y)
+        assert out.protected == ("g",)
+
+    def test_bucketize_uniform(self, numeric_dataset):
+        out = bucketize_uniform(numeric_dataset, "x", 4)
+        assert out.schema["x"].cardinality == 4
+
+    def test_bucketize_quantile_balanced(self, numeric_dataset):
+        out = bucketize_quantile(numeric_dataset, "x", 2)
+        counts = np.bincount(out.column("x"))
+        assert abs(int(counts[0]) - int(counts[1])) <= 1
+
+    def test_bucketized_column_usable_as_protected(self, numeric_dataset):
+        out = bucketize(numeric_dataset, "x", [4.0])
+        view = out.with_protected(("g", "x"))
+        assert view.protected == ("g", "x")
+
+    def test_default_bin_labels(self):
+        labels = default_bin_labels([2.0, 5.0])
+        assert labels == ("<2", "[2-5)", ">=5")
+
+    def test_no_edges_rejected(self, numeric_dataset):
+        with pytest.raises(DataError):
+            bucketize(numeric_dataset, "x", [])

@@ -1,0 +1,130 @@
+"""Unit tests for repro.audit.divexplorer and repro.audit.divergence."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.audit import (
+    Divergence,
+    find_divergent_subgroups,
+    subgroup_divergence,
+    unfair_subgroups,
+)
+from repro.core import Pattern
+from repro.errors import DataError
+from repro.ml.metrics import fpr
+
+
+class TestDivergenceObject:
+    def test_value(self):
+        d = Divergence("fpr", 0.369, 0.276)
+        assert d.value == pytest.approx(0.093)
+
+    def test_paper_example_2(self):
+        # g1 diverges by 0.724 (> 0.1), g2 by 0.093 (<= 0.1).
+        g1 = Divergence("fpr", 1.0, 0.276)
+        g2 = Divergence("fpr", 0.369, 0.276)
+        assert not g1.is_fair(0.1)
+        assert g2.is_fair(0.1)
+
+    def test_nan_is_fair(self):
+        assert Divergence("fpr", float("nan"), 0.2).is_fair(0.0)
+        assert math.isnan(Divergence("fpr", float("nan"), 0.2).value)
+
+
+class TestSubgroupDivergence:
+    def test_matches_manual_fpr(self, biased_dataset):
+        rng = np.random.default_rng(1)
+        pred = rng.integers(0, 2, biased_dataset.n_rows)
+        p = Pattern([("a", 0)])
+        d = subgroup_divergence(biased_dataset, pred, p, "fpr")
+        mask = p.mask(biased_dataset)
+        assert d.gamma_group == pytest.approx(fpr(biased_dataset.y, pred, mask))
+        assert d.gamma_dataset == pytest.approx(fpr(biased_dataset.y, pred))
+
+
+class TestFindDivergentSubgroups:
+    @pytest.fixture
+    def predictions(self, biased_dataset):
+        """Predictions with a planted FPR spike in (a=0, b=0)."""
+        rng = np.random.default_rng(7)
+        pred = biased_dataset.y.copy()
+        # flip 10% of everything, plus predict-positive for all of cell (0,0)
+        noise = rng.random(biased_dataset.n_rows) < 0.1
+        pred = np.where(noise, 1 - pred, pred)
+        cell = biased_dataset.mask({"a": 0, "b": 0})
+        pred[cell] = 1
+        return pred
+
+    def test_planted_unfair_cell_found(self, biased_dataset, predictions):
+        reports = find_divergent_subgroups(biased_dataset, predictions, "fpr")
+        by_pattern = {r.pattern: r for r in reports}
+        target = Pattern([("a", 0), ("b", 0)])
+        assert target in by_pattern
+        assert by_pattern[target].gamma_group == 1.0
+
+    def test_sorted_by_divergence(self, biased_dataset, predictions):
+        reports = find_divergent_subgroups(biased_dataset, predictions, "fpr")
+        divs = [r.divergence for r in reports]
+        assert divs == sorted(divs, reverse=True)
+
+    def test_support_and_size_consistent(self, biased_dataset, predictions):
+        for r in find_divergent_subgroups(biased_dataset, predictions, "fpr"):
+            assert r.support == pytest.approx(r.size / biased_dataset.n_rows)
+            assert r.n_conditioning <= r.size
+
+    def test_min_support_prunes(self, biased_dataset, predictions):
+        all_groups = find_divergent_subgroups(biased_dataset, predictions, "fpr")
+        big = find_divergent_subgroups(
+            biased_dataset, predictions, "fpr", min_support=0.3
+        )
+        assert len(big) < len(all_groups)
+        assert all(r.support >= 0.3 for r in big)
+
+    def test_max_level_restricts_lattice(self, biased_dataset, predictions):
+        level1 = find_divergent_subgroups(
+            biased_dataset, predictions, "fpr", max_level=1
+        )
+        assert all(r.pattern.level == 1 for r in level1)
+
+    def test_gamma_group_matches_metric(self, biased_dataset, predictions):
+        for r in find_divergent_subgroups(biased_dataset, predictions, "fpr"):
+            mask = r.pattern.mask(biased_dataset)
+            assert r.gamma_group == pytest.approx(
+                fpr(biased_dataset.y, predictions, mask)
+            )
+
+    def test_fnr_statistic(self, biased_dataset, predictions):
+        reports = find_divergent_subgroups(biased_dataset, predictions, "fnr")
+        assert reports  # some divergence exists
+        assert all(0 <= r.gamma_group <= 1 for r in reports)
+
+    def test_positive_rate_statistic(self, biased_dataset, predictions):
+        """Statistical parity support (§VI)."""
+        reports = find_divergent_subgroups(
+            biased_dataset, predictions, "positive_rate"
+        )
+        assert all(r.n_conditioning == r.size for r in reports)
+
+    def test_pred_shape_mismatch(self, biased_dataset):
+        with pytest.raises(DataError):
+            find_divergent_subgroups(biased_dataset, np.zeros(3), "fpr")
+
+    def test_no_attrs_rejected(self, biased_dataset):
+        with pytest.raises(DataError):
+            find_divergent_subgroups(
+                biased_dataset.with_protected(()), np.zeros(biased_dataset.n_rows)
+            )
+
+    def test_unfair_subgroups_filters(self, biased_dataset, predictions):
+        unfair = unfair_subgroups(
+            biased_dataset, predictions, "fpr", tau_d=0.1, alpha=0.05
+        )
+        assert all(r.divergence > 0.1 and r.p_value < 0.05 for r in unfair)
+
+    def test_perfect_predictions_have_no_unfair_groups(self, biased_dataset):
+        unfair = unfair_subgroups(
+            biased_dataset, biased_dataset.y.copy(), "fpr", tau_d=0.05
+        )
+        assert unfair == []

@@ -1,0 +1,149 @@
+"""Failure-injection and degenerate-input tests across the pipeline.
+
+DESIGN.md commits to exercising the awkward corners: single protected
+attributes, cardinality-1 domains, all-positive / all-negative regions,
+unreachable remedy targets, and thresholds that exclude everything.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Hierarchy,
+    Pattern,
+    identify_ibs,
+    optimized_neighbor_counts,
+    remedy_dataset,
+)
+from repro.data import Column, Dataset, Schema, schema_from_domains
+from repro.errors import PatternError
+
+
+def make_dataset(a_codes, y, domains=("v0", "v1", "v2")):
+    schema = schema_from_domains({"a": domains})
+    return Dataset(
+        schema,
+        {"a": np.asarray(a_codes)},
+        np.asarray(y),
+        protected=("a",),
+    )
+
+
+class TestSingleAttributePipeline:
+    """The paper's |X| = 1 theoretical case, end to end."""
+
+    def test_identify_and_remedy(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 3, 300)
+        p = np.where(a == 0, 0.9, 0.3)
+        y = (rng.random(300) < p).astype(int)
+        ds = make_dataset(a, y)
+        ibs = identify_ibs(ds, tau_c=0.5, k=20)
+        assert Pattern([("a", 0)]) in {r.pattern for r in ibs}
+        result = remedy_dataset(ds, 0.5, k=20, technique="massaging")
+        assert result.n_regions_remedied >= 1
+        after = identify_ibs(result.dataset, tau_c=0.5, k=20)
+        assert len(after) < len(ibs)
+
+    def test_neighborhood_is_complement(self):
+        ds = make_dataset([0, 0, 1, 1, 2, 2], [1, 1, 0, 0, 1, 0])
+        h = Hierarchy(ds)
+        # Complement of (a=0): rows with a in {1, 2} -> labels [0, 0, 1, 0].
+        npos, nneg = optimized_neighbor_counts(h, Pattern([("a", 0)]), 1.0)
+        assert (npos, nneg) == (1, 3)
+
+
+class TestDegenerateDomains:
+    def test_cardinality_one_attribute(self):
+        """A domain with a single value: the region has no neighbours."""
+        ds = make_dataset([0, 0, 0, 0], [1, 0, 1, 0], domains=("only",))
+        h = Hierarchy(ds)
+        npos, nneg = optimized_neighbor_counts(h, Pattern([("a", 0)]), 1.0)
+        assert (npos, nneg) == (0, 0)
+        # An empty neighbourhood gives the -1 sentinel ratio; the region is
+        # only flagged when its own side has negatives (inf difference).
+        ibs = identify_ibs(ds, tau_c=0.1, k=1)
+        assert all(math.isinf(r.difference) for r in ibs)
+
+    def test_all_positive_dataset(self):
+        ds = make_dataset([0, 1, 2, 0, 1, 2], [1] * 6)
+        # Every ratio is the -1 sentinel; sentinel-vs-sentinel is not biased.
+        assert identify_ibs(ds, tau_c=0.0, k=1) == []
+
+    def test_all_negative_dataset(self):
+        ds = make_dataset([0, 1, 2, 0, 1, 2], [0] * 6)
+        # All ratios are 0; no divergence anywhere.
+        assert identify_ibs(ds, tau_c=0.0, k=1) == []
+
+
+class TestUnreachableTargets:
+    def test_oversampling_capped_toward_zero_target(self):
+        """Target ratio 0 with positives present: additions are capped."""
+        rng = np.random.default_rng(1)
+        a = np.concatenate([np.zeros(40, int), rng.integers(1, 3, 200)])
+        y = np.concatenate([np.ones(40, int), np.zeros(200, int)])
+        ds = make_dataset(a, y)
+        result = remedy_dataset(ds, tau_c=0.5, k=10, technique="oversampling")
+        from repro.core.samplers import MAX_GROWTH_FACTOR
+
+        for update in result.updates:
+            region_size_before = sum(
+                1 for code in ds.column("a") if code == update.pattern.value_of("a")
+            )
+            assert update.rows_touched <= MAX_GROWTH_FACTOR * region_size_before
+
+    def test_undersampling_toward_zero_target_removes_all_positives(self):
+        a = np.concatenate([np.zeros(40, int), np.ones(200, int)])
+        y = np.concatenate([np.ones(40, int), np.zeros(200, int)])
+        ds = make_dataset(a, y, domains=("v0", "v1"))
+        result = remedy_dataset(ds, tau_c=0.5, k=10, technique="undersampling")
+        pos, neg = Pattern([("a", 0)]).counts(result.dataset)
+        assert pos == 0  # ratio target was 0; all positives removed
+
+    def test_massaging_on_pure_region_skipped_or_bounded(self):
+        """An all-positive region next to all-negatives: flips happen but
+        never exceed the region."""
+        a = np.concatenate([np.zeros(50, int), np.ones(50, int)])
+        y = np.concatenate([np.ones(50, int), np.zeros(50, int)])
+        ds = make_dataset(a, y, domains=("v0", "v1"))
+        result = remedy_dataset(ds, tau_c=0.1, k=10, technique="massaging")
+        assert result.dataset.n_rows == 100
+        for update in result.updates:
+            assert update.rows_touched <= 50
+
+
+class TestThresholdExtremes:
+    def test_k_above_dataset_size(self, biased_dataset):
+        assert identify_ibs(biased_dataset, 0.0, k=biased_dataset.n_rows) == []
+
+    def test_T_larger_than_lattice(self, biased_dataset):
+        """T beyond |X| clamps to the full-node neighbourhood."""
+        a = identify_ibs(biased_dataset, 0.2, T=50.0, k=10)
+        b = identify_ibs(
+            biased_dataset, 0.2, T=float(len(biased_dataset.protected)), k=10
+        )
+        assert {r.pattern for r in a} == {r.pattern for r in b}
+
+    def test_T_below_one_rejected(self, biased_dataset):
+        with pytest.raises(PatternError):
+            identify_ibs(biased_dataset, 0.2, T=0.5, k=10)
+
+
+class TestMixedSchemaEdge:
+    def test_numeric_only_features_with_protected_categorical(self):
+        """A dataset whose only non-protected features are numeric flows
+        through remedy + ranker (the NB ranker must handle this shape)."""
+        rng = np.random.default_rng(2)
+        schema = Schema(
+            [
+                Column("g", "categorical", ("x", "y")),
+                Column("f", "numeric"),
+            ]
+        )
+        g = rng.integers(0, 2, 200)
+        y = (rng.random(200) < np.where(g == 0, 0.85, 0.25)).astype(int)
+        ds = Dataset(schema, {"g": g, "f": rng.normal(size=200)}, y, protected=("g",))
+        result = remedy_dataset(ds, tau_c=0.3, k=10, technique="preferential")
+        assert result.n_regions_remedied >= 1

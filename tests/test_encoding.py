@@ -1,0 +1,72 @@
+"""Unit tests for repro.ml.encoding (DatasetEncoder)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FitError, SchemaError
+from repro.ml import DatasetEncoder
+
+
+class TestEncoder:
+    def test_default_uses_all_columns(self, toy_dataset):
+        enc = DatasetEncoder().fit(toy_dataset)
+        assert enc.features == ("age", "sex", "score")
+        assert enc.n_output_columns == 3 + 2 + 1
+
+    def test_transform_shape(self, toy_dataset):
+        X = DatasetEncoder().fit_transform(toy_dataset)
+        assert X.shape == (12, 6)
+
+    def test_one_hot_block_is_indicator(self, toy_dataset):
+        X = DatasetEncoder(features=["sex"]).fit_transform(toy_dataset)
+        assert np.allclose(X.sum(axis=1), 1.0)
+        assert set(np.unique(X)) <= {0.0, 1.0}
+
+    def test_exclude(self, toy_dataset):
+        enc = DatasetEncoder(exclude=["score"]).fit(toy_dataset)
+        assert "score" not in enc.features
+
+    def test_feature_subset_ordering(self, toy_dataset):
+        enc = DatasetEncoder(features=["score", "age"]).fit(toy_dataset)
+        assert enc.features == ("score", "age")
+
+    def test_transform_before_fit(self, toy_dataset):
+        with pytest.raises(FitError):
+            DatasetEncoder().transform(toy_dataset)
+
+    def test_unknown_feature(self, toy_dataset):
+        with pytest.raises(SchemaError):
+            DatasetEncoder(features=["ghost"]).fit(toy_dataset)
+
+    def test_empty_feature_set_rejected(self, toy_dataset):
+        with pytest.raises(FitError):
+            DatasetEncoder(features=["score"], exclude=["score"]).fit(toy_dataset)
+
+    def test_changed_domain_rejected_at_transform(self, toy_dataset):
+        from repro.data import Column, Dataset, Schema
+
+        enc = DatasetEncoder(features=["sex"]).fit(toy_dataset)
+        other_schema = Schema(
+            [
+                Column("age", "categorical", ("young", "mid", "old")),
+                Column("sex", "categorical", ("m", "f", "x")),  # extra value
+                Column("score", "numeric"),
+            ]
+        )
+        other = Dataset(
+            other_schema,
+            {
+                "age": toy_dataset.column("age"),
+                "sex": toy_dataset.column("sex"),
+                "score": toy_dataset.column("score"),
+            },
+            toy_dataset.y,
+        )
+        with pytest.raises(SchemaError):
+            enc.transform(other)
+
+    def test_transform_same_layout_on_subset(self, toy_dataset):
+        enc = DatasetEncoder().fit(toy_dataset)
+        sub = toy_dataset.take(np.array([0, 5, 11]))
+        X = enc.transform(sub)
+        assert X.shape == (3, enc.n_output_columns)

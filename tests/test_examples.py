@@ -1,0 +1,60 @@
+"""Smoke-run the example scripts: they must stay executable end to end.
+
+Each example is executed in-process via ``runpy`` with a patched
+``sys.argv`` (small row counts where the script accepts one), asserting it
+completes and prints its headline lines.  The slowest examples
+(``regenerate_report``, full-size ``validate_hypothesis``) are covered by
+their own dedicated tests elsewhere and skipped here.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, name: str, argv: list[str] | None = None) -> str:
+    monkeypatch.setattr(sys, "argv", [name] + (argv or []))
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "quickstart.py")
+        assert "Implicit Biased Set" in out
+        assert "Fairness index improved" in out
+
+    def test_compas_case_study(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "compas_case_study.py")
+        assert "Example 1" in out
+        assert "Case 1" in out
+        assert "Example 8" in out
+        assert "-> region IS in the IBS" in out
+
+    def test_hiring_parity(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "hiring_parity.py")
+        assert "each attribute alone looks fair" in out
+        assert "Intersectional acceptance-rate gap" in out
+
+    def test_adult_tradeoff_small(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "adult_tradeoff.py", ["2500"])
+        assert "trade-off" in out
+        assert "Reading the table" in out
+
+    def test_baseline_comparison_small(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "baseline_comparison.py", ["2500"])
+        assert "Table III" in out
+        assert "gerryfair" in out
+
+    def test_audit_toolkit(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "audit_toolkit.py")
+        assert "DivExplorer lens" in out
+        assert "SliceFinder lens" in out
+        assert "Fairness diff" in out
+        assert "intersectionality gap" in out

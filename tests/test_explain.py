@@ -1,0 +1,93 @@
+"""Unit tests for repro.core.explain (subgroup unfairness diagnosis)."""
+
+import pytest
+
+from repro.core import (
+    Pattern,
+    explain_subgroup,
+    explain_unfair_subgroups,
+    identify_ibs,
+)
+from repro.data.synth import make_single_biased_region
+from repro.errors import PatternError
+
+
+@pytest.fixture(scope="module")
+def planted():
+    return make_single_biased_region(2500, seed=3)
+
+
+class TestExplainSubgroup:
+    def test_biased_region_is_explained_directly(self, planted):
+        region = Pattern.from_labels(planted.schema, {"a": "a0", "b": "b0"})
+        explanation = explain_subgroup(planted, region, tau_c=0.3, k=20)
+        assert explanation.in_ibs
+        assert explanation.explained
+        assert explanation.skew_direction == +1  # over-positive
+        assert explanation.own_region is not None
+        assert explanation.own_region.ratio > explanation.own_region.neighbor_ratio
+
+    def test_parent_explained_via_dominance(self, planted):
+        parent = Pattern.from_labels(planted.schema, {"a": "a0"})
+        explanation = explain_subgroup(planted, parent, tau_c=0.5, k=20)
+        # The parent itself may or may not clear tau_c, but it must dominate
+        # the planted leaf region.
+        leaf = Pattern.from_labels(planted.schema, {"a": "a0", "b": "b0"})
+        assert any(r.pattern == leaf for r in explanation.dominated_biased)
+        assert explanation.explained
+
+    def test_unbiased_region_unexplained(self, planted):
+        calm = Pattern.from_labels(planted.schema, {"a": "a2", "b": "b2"})
+        explanation = explain_subgroup(planted, calm, tau_c=0.3, k=20)
+        assert not explanation.in_ibs
+        assert not explanation.dominated_biased
+        assert not explanation.explained
+        assert explanation.skew_direction == 0
+
+    def test_suggestions_target_neighbor_ratio(self, planted):
+        region = Pattern.from_labels(planted.schema, {"a": "a0", "b": "b0"})
+        explanation = explain_subgroup(planted, region, tau_c=0.3, k=20)
+        assert explanation.suggestions
+        s = explanation.suggestions[0]
+        assert s.pattern == region
+        assert s.preferential_moves > 0
+        assert "remove positives" in s.direction
+        assert s.target_ratio == pytest.approx(
+            explanation.own_region.neighbor_ratio
+        )
+
+    def test_describe_renders(self, planted):
+        region = Pattern.from_labels(planted.schema, {"a": "a0", "b": "b0"})
+        text = explain_subgroup(planted, region, tau_c=0.3, k=20).describe(
+            planted.schema
+        )
+        assert "in IBS" in text
+        assert "remedy:" in text
+
+    def test_empty_pattern_rejected(self, planted):
+        with pytest.raises(PatternError):
+            explain_subgroup(planted, Pattern())
+
+    def test_precomputed_ibs_reused(self, planted):
+        ibs = identify_ibs(planted, 0.3, k=20)
+        region = Pattern.from_labels(planted.schema, {"a": "a0", "b": "b0"})
+        a = explain_subgroup(planted, region, tau_c=0.3, k=20, ibs=ibs)
+        b = explain_subgroup(planted, region, tau_c=0.3, k=20)
+        assert a.in_ibs == b.in_ibs
+        assert a.dominated_biased == b.dominated_biased
+
+
+class TestBatchExplain:
+    def test_batch_matches_single(self, planted):
+        subgroups = [
+            Pattern.from_labels(planted.schema, {"a": "a0", "b": "b0"}),
+            Pattern.from_labels(planted.schema, {"a": "a1"}),
+        ]
+        batch = explain_unfair_subgroups(planted, subgroups, tau_c=0.3, k=20)
+        assert len(batch) == 2
+        singles = [
+            explain_subgroup(planted, s, tau_c=0.3, k=20) for s in subgroups
+        ]
+        for got, want in zip(batch, singles):
+            assert got.in_ibs == want.in_ibs
+            assert got.explained == want.explained

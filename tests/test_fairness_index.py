@@ -1,0 +1,96 @@
+"""Unit tests for repro.audit.fairness_index and repro.audit.violation."""
+
+import numpy as np
+import pytest
+
+from repro.audit import (
+    fairness_index,
+    fairness_index_from_reports,
+    fairness_violation,
+    fairness_violation_from_reports,
+    find_divergent_subgroups,
+    worst_subgroup,
+)
+from repro.audit.divexplorer import SubgroupReport
+from repro.core import Pattern
+
+
+def make_report(divergence, support, p_value, n=100):
+    return SubgroupReport(
+        pattern=Pattern([("a", 0)]),
+        size=int(support * n),
+        support=support,
+        n_conditioning=50,
+        gamma_group=0.5 + divergence,
+        gamma_dataset=0.5,
+        divergence=divergence,
+        p_value=p_value,
+    )
+
+
+class TestFairnessIndexFromReports:
+    def test_sums_qualifying_reports(self):
+        reports = [
+            make_report(0.3, 0.5, 0.01),
+            make_report(0.2, 0.2, 0.001),
+            make_report(0.9, 0.05, 0.001),  # support below floor
+            make_report(0.9, 0.5, 0.5),  # not significant
+        ]
+        assert fairness_index_from_reports(reports) == pytest.approx(0.5)
+
+    def test_empty_is_zero(self):
+        assert fairness_index_from_reports([]) == 0.0
+
+    def test_alpha_controls_significance(self):
+        reports = [make_report(0.3, 0.5, 0.04)]
+        assert fairness_index_from_reports(reports, alpha=0.05) > 0
+        assert fairness_index_from_reports(reports, alpha=0.01) == 0.0
+
+
+class TestFairnessIndexEndToEnd:
+    def test_perfect_predictions_index_zero(self, biased_dataset):
+        assert fairness_index(biased_dataset, biased_dataset.y.copy(), "fpr") == 0.0
+
+    def test_planted_bias_raises_index(self, biased_dataset):
+        pred = biased_dataset.y.copy()
+        cell = biased_dataset.mask({"a": 0})
+        pred[cell] = 1  # FPs across a large subgroup
+        assert fairness_index(biased_dataset, pred, "fpr") > 0.1
+
+    def test_index_non_negative(self, compas_small):
+        rng = np.random.default_rng(0)
+        pred = rng.integers(0, 2, compas_small.n_rows)
+        assert fairness_index(compas_small, pred, "fpr") >= 0.0
+        assert fairness_index(compas_small, pred, "fnr") >= 0.0
+
+
+class TestViolation:
+    def test_from_reports_takes_max_product(self):
+        reports = [
+            make_report(0.3, 0.5, 0.01),  # 0.15
+            make_report(0.8, 0.1, 0.01),  # 0.08
+        ]
+        assert fairness_violation_from_reports(reports) == pytest.approx(0.15)
+
+    def test_empty_reports(self):
+        assert fairness_violation_from_reports([]) == 0.0
+
+    def test_worst_subgroup_attains_violation(self, biased_dataset):
+        pred = biased_dataset.y.copy()
+        pred[biased_dataset.mask({"a": 0})] = 1
+        violation = fairness_violation(biased_dataset, pred, "fpr", min_size=10)
+        worst = worst_subgroup(biased_dataset, pred, "fpr", min_size=10)
+        assert worst is not None
+        assert worst.divergence * worst.support == pytest.approx(violation)
+
+    def test_worst_subgroup_none_when_nothing_qualifies(self, biased_dataset):
+        pred = biased_dataset.y.copy()
+        assert (
+            worst_subgroup(biased_dataset, pred, "fpr", min_size=10**6) is None
+        )
+
+    def test_perfect_predictions_zero_violation(self, biased_dataset):
+        assert (
+            fairness_violation(biased_dataset, biased_dataset.y.copy(), "fpr")
+            == 0.0
+        )

@@ -1,0 +1,73 @@
+"""Unit tests for repro.baselines.fairsmote."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import fair_smote
+from repro.errors import DataError
+
+
+class TestFairSmote:
+    def test_balances_all_cells(self, biased_dataset):
+        out = fair_smote(biased_dataset, seed=0)
+        codes, shape = out.joint_codes(out.protected)
+        cell_label = codes * 2 + out.y
+        counts = np.bincount(cell_label, minlength=2 * int(np.prod(shape)))
+        present = counts[counts > 0]
+        # every populated (cell, label) reaches the common target
+        assert present.min() == present.max()
+
+    def test_never_removes_rows(self, biased_dataset):
+        out = fair_smote(biased_dataset)
+        assert out.n_rows >= biased_dataset.n_rows
+
+    def test_original_rows_preserved_as_prefix(self, biased_dataset):
+        out = fair_smote(biased_dataset)
+        n = biased_dataset.n_rows
+        assert np.array_equal(out.y[:n], biased_dataset.y)
+        assert np.array_equal(out.column("a")[:n], biased_dataset.column("a"))
+
+    def test_synthetic_rows_stay_in_their_cell(self, compas_small):
+        """Protected values of synthetic rows must match an existing cell
+        because neighbours are drawn within the cell."""
+        small = compas_small.take(np.arange(500))
+        out = fair_smote(small.with_protected(("race", "sex")), seed=1)
+        orig_cells = set(
+            zip(small.column("race").tolist(), small.column("sex").tolist())
+        )
+        new_cells = set(
+            zip(out.column("race").tolist(), out.column("sex").tolist())
+        )
+        assert new_cells <= orig_cells
+
+    def test_numeric_interpolation_within_range(self, compas_small):
+        small = compas_small.take(np.arange(400)).with_protected(("sex",))
+        out = fair_smote(small, seed=2)
+        col = "days_in_jail"
+        assert out.column(col).min() >= small.column(col).min() - 1e-9
+        assert out.column(col).max() <= small.column(col).max() + 1e-9
+
+    def test_deterministic(self, biased_dataset):
+        a = fair_smote(biased_dataset, seed=5)
+        b = fair_smote(biased_dataset, seed=5)
+        assert a.n_rows == b.n_rows
+        assert np.array_equal(a.y, b.y)
+
+    def test_no_attrs_rejected(self, biased_dataset):
+        with pytest.raises(DataError):
+            fair_smote(biased_dataset.with_protected(()))
+
+    def test_single_row_cell_duplicated(self):
+        """A (cell, label) combo with one row is filled by duplication."""
+        from repro.data import Dataset, schema_from_domains
+
+        schema = schema_from_domains({"g": ("a", "b")})
+        ds = Dataset(
+            schema,
+            {"g": np.array([0, 0, 0, 0, 1])},
+            np.array([1, 1, 1, 0, 1]),
+            protected=("g",),
+        )
+        out = fair_smote(ds, seed=0)
+        # target = 3 (max cell count); cell (g=1, y=1) had 1 row -> +2 dupes
+        assert out.counts({"g": 1}) == (3, 0)

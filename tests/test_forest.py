@@ -1,0 +1,62 @@
+"""Unit tests for repro.ml.forest."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FitError
+from repro.ml import RandomForestClassifier
+
+
+def make_data(n=300, seed=1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 5))
+    y = ((X[:, 0] + X[:, 1] - 0.3 * X[:, 2]) > 0).astype(int)
+    return X, y
+
+
+class TestForest:
+    def test_beats_chance(self):
+        X, y = make_data()
+        model = RandomForestClassifier(n_estimators=10, max_depth=6).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.85
+
+    def test_proba_is_tree_average(self):
+        X, y = make_data(100)
+        model = RandomForestClassifier(n_estimators=5, max_depth=4).fit(X, y)
+        manual = np.mean([t.predict_proba(X) for t in model._trees], axis=0)
+        assert np.allclose(model.predict_proba(X), manual)
+
+    def test_deterministic_given_seed(self):
+        X, y = make_data()
+        a = RandomForestClassifier(n_estimators=5, random_state=3).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=3).fit(X, y)
+        assert np.allclose(a.predict_proba(X), b.predict_proba(X))
+
+    def test_seed_changes_model(self):
+        X, y = make_data()
+        a = RandomForestClassifier(n_estimators=5, random_state=1).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=2).fit(X, y)
+        assert not np.allclose(a.predict_proba(X), b.predict_proba(X))
+
+    def test_no_bootstrap_mode(self):
+        X, y = make_data(150)
+        model = RandomForestClassifier(
+            n_estimators=4, bootstrap=False, max_depth=5
+        ).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.85
+
+    def test_sample_weights_respected(self):
+        X = np.array([[0.0], [0.0]])
+        y = np.array([0, 1])
+        model = RandomForestClassifier(n_estimators=9, max_depth=2).fit(
+            X, y, sample_weight=np.array([1.0, 20.0])
+        )
+        assert model.predict(np.array([[0.0]]))[0] == 1
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(FitError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(FitError):
+            RandomForestClassifier().predict(np.zeros((2, 3)))

@@ -1,0 +1,96 @@
+"""Unit tests for repro.audit.frequent (Apriori frequent-pattern mining)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.audit import (
+    brute_force_frequent_patterns,
+    iter_pattern_masks,
+    mine_frequent_patterns,
+)
+from repro.core import Pattern
+from repro.data import Dataset, schema_from_domains
+from repro.errors import DataError
+
+
+class TestMining:
+    def test_matches_brute_force(self, biased_dataset):
+        for min_count in (1, 10, 50, 120):
+            apriori = mine_frequent_patterns(biased_dataset, min_count)
+            brute = brute_force_frequent_patterns(biased_dataset, min_count)
+            assert [(f.pattern, f.count) for f in apriori] == [
+                (f.pattern, f.count) for f in brute
+            ]
+
+    def test_counts_match_masks(self, biased_dataset):
+        frequent = mine_frequent_patterns(biased_dataset, 20)
+        for fp, mask in iter_pattern_masks(biased_dataset, frequent):
+            assert fp.count == int(mask.sum())
+
+    def test_support_antimonotone(self, compas_small):
+        """Every frequent pattern's generalisations are also frequent."""
+        frequent = mine_frequent_patterns(compas_small, 100)
+        patterns = {f.pattern for f in frequent}
+        counts = {f.pattern: f.count for f in frequent}
+        for pattern in patterns:
+            for attr in pattern.attrs:
+                if pattern.level > 1:
+                    parent = pattern.drop(attr)
+                    assert parent in patterns
+                    assert counts[parent] >= counts[pattern]
+
+    def test_min_count_filters(self, biased_dataset):
+        loose = mine_frequent_patterns(biased_dataset, 1)
+        tight = mine_frequent_patterns(biased_dataset, 100)
+        assert len(tight) < len(loose)
+        assert all(f.count >= 100 for f in tight)
+
+    def test_max_level(self, compas_small):
+        level1 = mine_frequent_patterns(compas_small, 30, max_level=1)
+        assert all(f.pattern.level == 1 for f in level1)
+
+    def test_custom_attrs(self, compas_small):
+        frequent = mine_frequent_patterns(compas_small, 30, attrs=("race",))
+        assert all(f.pattern.attrs == {"race"} for f in frequent)
+
+    def test_support_fraction(self, biased_dataset):
+        frequent = mine_frequent_patterns(biased_dataset, 50)
+        for f in frequent:
+            assert f.support(biased_dataset.n_rows) == pytest.approx(
+                f.count / biased_dataset.n_rows
+            )
+
+    def test_huge_min_count_empty(self, biased_dataset):
+        assert mine_frequent_patterns(biased_dataset, 10**6) == []
+
+    def test_invalid_min_count(self, biased_dataset):
+        with pytest.raises(DataError):
+            mine_frequent_patterns(biased_dataset, 0)
+
+    def test_no_attrs_rejected(self, biased_dataset):
+        with pytest.raises(DataError):
+            mine_frequent_patterns(biased_dataset.with_protected(()), 10)
+
+
+class TestMiningProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(0, 5000),
+        st.integers(2, 4),
+        st.integers(20, 80),
+        st.integers(1, 30),
+    )
+    def test_apriori_equals_brute_force_random(self, seed, n_attrs, n_rows, min_count):
+        rng = np.random.default_rng(seed)
+        names = [f"x{i}" for i in range(n_attrs)]
+        schema = schema_from_domains({n: ("a", "b", "c") for n in names})
+        columns = {n: rng.integers(0, 3, size=n_rows) for n in names}
+        ds = Dataset(
+            schema, columns, rng.integers(0, 2, size=n_rows), protected=tuple(names)
+        )
+        apriori = mine_frequent_patterns(ds, min_count)
+        brute = brute_force_frequent_patterns(ds, min_count)
+        assert [(f.pattern, f.count) for f in apriori] == [
+            (f.pattern, f.count) for f in brute
+        ]

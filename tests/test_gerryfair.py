@@ -1,0 +1,65 @@
+"""Unit tests for repro.baselines.gerryfair."""
+
+import numpy as np
+import pytest
+
+from repro.audit import fairness_violation
+from repro.baselines import GerryFairClassifier
+from repro.errors import FitError
+
+
+class TestGerryFair:
+    def test_reduces_training_violation(self, compas_small):
+        gf = GerryFairClassifier(max_iters=6, gamma=0.0).fit(compas_small)
+        history = gf.violation_history
+        assert len(history) >= 2
+        assert history[-1] <= history[0]
+
+    def test_predictions_binary(self, compas_small):
+        gf = GerryFairClassifier(max_iters=3).fit(compas_small)
+        pred = gf.predict(compas_small)
+        assert set(np.unique(pred)) <= {0, 1}
+
+    def test_proba_in_unit_interval(self, compas_small):
+        gf = GerryFairClassifier(max_iters=3).fit(compas_small)
+        p = gf.predict_proba(compas_small)
+        assert ((0 <= p) & (p <= 1)).all()
+
+    def test_early_stop_on_loose_gamma(self, compas_small):
+        gf = GerryFairClassifier(max_iters=20, gamma=10.0).fit(compas_small)
+        assert len(gf.violation_history) == 1  # stops after first audit
+
+    def test_fnr_statistic_supported(self, compas_small):
+        gf = GerryFairClassifier(max_iters=3, statistic="fnr").fit(compas_small)
+        assert gf.predict(compas_small).shape == (compas_small.n_rows,)
+
+    def test_accuracy_reasonable(self, compas_small):
+        gf = GerryFairClassifier(max_iters=4).fit(compas_small)
+        acc = (gf.predict(compas_small) == compas_small.y).mean()
+        assert acc > 0.55
+
+    def test_violation_comparable_to_unconstrained(self, compas_small):
+        from repro.ml import make_model
+
+        plain = make_model("lg").fit(compas_small).predict(compas_small)
+        gf = GerryFairClassifier(max_iters=8, gamma=0.0).fit(compas_small)
+        fair_pred = gf.predict(compas_small)
+        v_plain = fairness_violation(compas_small, plain, "fpr", min_size=30)
+        v_fair = fairness_violation(compas_small, fair_pred, "fpr", min_size=30)
+        assert v_fair <= v_plain + 0.01  # in-sample, should not be worse
+
+    def test_unfitted_raises(self, compas_small):
+        with pytest.raises(FitError):
+            GerryFairClassifier().predict(compas_small)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(FitError):
+            GerryFairClassifier(gamma=-1.0)
+        with pytest.raises(FitError):
+            GerryFairClassifier(max_iters=0)
+        with pytest.raises(FitError):
+            GerryFairClassifier(statistic="accuracy")
+
+    def test_custom_attrs(self, compas_small):
+        gf = GerryFairClassifier(max_iters=2).fit(compas_small, attrs=("race",))
+        assert gf.predict(compas_small).shape == (compas_small.n_rows,)

@@ -1,0 +1,47 @@
+"""Unit tests for repro.core.graph (hierarchy <-> networkx bridge)."""
+
+import networkx as nx
+
+from repro.core import Hierarchy, hierarchy_to_networkx, lattice_stats
+
+
+class TestHierarchyGraph:
+    def test_node_count_matches_lattice(self, biased_dataset):
+        h = Hierarchy(biased_dataset)
+        graph = hierarchy_to_networkx(h)
+        assert graph.number_of_nodes() == h.n_nodes  # includes the root
+
+    def test_is_dag(self, compas_small):
+        graph = hierarchy_to_networkx(Hierarchy(compas_small))
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_edges_point_one_level_up(self, compas_small):
+        graph = hierarchy_to_networkx(Hierarchy(compas_small))
+        for child, parent in graph.edges():
+            assert graph.nodes[child]["level"] == graph.nodes[parent]["level"] + 1
+
+    def test_every_node_reaches_root(self, compas_small):
+        graph = hierarchy_to_networkx(Hierarchy(compas_small))
+        for node in graph.nodes():
+            if node == "(dataset)":
+                continue
+            assert nx.has_path(graph, node, "(dataset)")
+
+    def test_edge_count_is_child_choose_one(self, compas_small):
+        """A level-d node has exactly d parents."""
+        graph = hierarchy_to_networkx(Hierarchy(compas_small))
+        for node, data in graph.nodes(data=True):
+            assert graph.out_degree(node) == data["level"]
+
+    def test_counts_annotated(self, biased_dataset):
+        graph = hierarchy_to_networkx(Hierarchy(biased_dataset))
+        for __, data in graph.nodes(data=True):
+            assert data["total_pos"] == biased_dataset.n_positive
+            assert data["total_neg"] == biased_dataset.n_negative
+
+    def test_lattice_stats(self, compas_small):
+        h = Hierarchy(compas_small)
+        stats = lattice_stats(h)
+        assert stats["n_nodes"] == h.n_nodes
+        assert stats["max_level"] == len(compas_small.protected)
+        assert stats["n_cells"] >= stats["n_nodes"]

@@ -1,0 +1,70 @@
+"""Unit tests for repro.ml.grid_search."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier, grid_search, iter_grid
+
+
+def make_data(n=150, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = (X[:, 0] > 0).astype(int)
+    return X, y
+
+
+class TestIterGrid:
+    def test_cartesian_product(self):
+        grid = {"a": [1, 2], "b": ["x", "y", "z"]}
+        combos = list(iter_grid(grid))
+        assert len(combos) == 6
+        assert {"a": 2, "b": "z"} in combos
+
+    def test_empty_grid(self):
+        assert list(iter_grid({})) == [{}]
+
+
+class TestGridSearch:
+    def test_finds_best_depth(self):
+        X, y = make_data()
+        result = grid_search(
+            lambda max_depth: DecisionTreeClassifier(max_depth=max_depth),
+            {"max_depth": [1, 4]},
+            X,
+            y,
+            n_folds=3,
+        )
+        assert result.best_params["max_depth"] in (1, 4)
+        assert 0.5 < result.best_score <= 1.0
+        assert len(result.scores) == 2
+
+    def test_best_score_is_max(self):
+        X, y = make_data()
+        result = grid_search(
+            lambda max_depth: DecisionTreeClassifier(max_depth=max_depth),
+            {"max_depth": [1, 2, 6]},
+            X,
+            y,
+        )
+        assert result.best_score == pytest.approx(
+            max(s for __, s in result.scores)
+        )
+
+    def test_deterministic(self):
+        X, y = make_data()
+        a = grid_search(
+            lambda max_depth: DecisionTreeClassifier(max_depth=max_depth),
+            {"max_depth": [2, 3]},
+            X,
+            y,
+            seed=1,
+        )
+        b = grid_search(
+            lambda max_depth: DecisionTreeClassifier(max_depth=max_depth),
+            {"max_depth": [2, 3]},
+            X,
+            y,
+            seed=1,
+        )
+        assert a.best_params == b.best_params
+        assert a.scores == b.scores

@@ -1,0 +1,106 @@
+"""Unit tests for repro.core.hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.core import Hierarchy, Pattern
+from repro.errors import PatternError
+
+
+class TestStructure:
+    def test_node_count_full_lattice(self, toy_dataset):
+        h = Hierarchy(toy_dataset)  # 2 protected attrs -> 2^2 nodes incl root
+        assert h.n_nodes == 4
+
+    def test_levels(self, toy_dataset):
+        h = Hierarchy(toy_dataset)
+        assert list(h.levels()) == [1, 2]
+
+    def test_max_level_limits_nodes(self, biased_dataset):
+        h = Hierarchy(biased_dataset, max_level=1)
+        assert h.max_level == 1
+        assert len(h.nodes_at_level(1)) == 2
+        with pytest.raises(PatternError):
+            h.node(("a", "b"))
+
+    def test_needs_attribute(self, toy_dataset):
+        with pytest.raises(PatternError):
+            Hierarchy(toy_dataset, attrs=())
+
+    def test_bottom_up_order(self, toy_dataset):
+        h = Hierarchy(toy_dataset)
+        levels = [n.level for n in h.iter_nodes_bottom_up()]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_parents(self, toy_dataset):
+        h = Hierarchy(toy_dataset)
+        leaf = h.node(("age", "sex"))
+        parents = h.parents(leaf)
+        assert {p.attrs for p in parents} == {("age",), ("sex",)}
+
+    def test_root_counts(self, toy_dataset):
+        h = Hierarchy(toy_dataset)
+        assert h.root.total_pos == toy_dataset.n_positive
+        assert h.root.total_neg == toy_dataset.n_negative
+
+
+class TestCounts:
+    def test_node_counts_match_dataset(self, biased_dataset):
+        h = Hierarchy(biased_dataset)
+        for level in h.levels():
+            for node in h.nodes_at_level(level):
+                for pattern, pos, neg in node.iter_regions(min_size=1):
+                    assert (pos, neg) == biased_dataset.counts(pattern.assignment)
+
+    def test_marginalisation_consistency(self, biased_dataset):
+        """Each node's totals must equal the dataset totals."""
+        h = Hierarchy(biased_dataset)
+        for level in h.levels():
+            for node in h.nodes_at_level(level):
+                assert node.total_pos == biased_dataset.n_positive
+                assert node.total_neg == biased_dataset.n_negative
+
+    def test_counts_of_pattern(self, toy_dataset):
+        h = Hierarchy(toy_dataset)
+        p = Pattern([("age", 0), ("sex", 0)])
+        assert h.counts_of(p) == (4, 0)
+
+    def test_coords_of_wrong_node(self, toy_dataset):
+        h = Hierarchy(toy_dataset)
+        node = h.node(("age",))
+        with pytest.raises(PatternError):
+            node.coords_of(Pattern([("sex", 0)]))
+
+    def test_iter_regions_min_size_filters(self, toy_dataset):
+        h = Hierarchy(toy_dataset)
+        node = h.node(("age", "sex"))
+        all_regions = list(node.iter_regions(min_size=1))
+        big_regions = list(node.iter_regions(min_size=4))
+        assert len(big_regions) < len(all_regions)
+        assert all(pos + neg >= 4 for __, pos, neg in big_regions)
+
+    def test_dominating_counts(self, toy_dataset):
+        h = Hierarchy(toy_dataset)
+        p = Pattern([("age", 0), ("sex", 0)])
+        assert h.dominating_counts(p, ["sex"]) == toy_dataset.counts({"age": 0})
+        assert h.dominating_counts(p, ["age", "sex"]) == (
+            toy_dataset.n_positive,
+            toy_dataset.n_negative,
+        )
+
+    def test_unknown_node_lookup(self, toy_dataset):
+        h = Hierarchy(toy_dataset)
+        with pytest.raises(PatternError):
+            h.node(("ghost",))
+
+    def test_contains(self, toy_dataset):
+        h = Hierarchy(toy_dataset)
+        assert ("age",) in h
+        assert ("ghost",) not in h
+        assert "age" not in h  # only collections are keys
+
+    def test_pattern_of_roundtrip(self, toy_dataset):
+        h = Hierarchy(toy_dataset)
+        node = h.node(("age", "sex"))
+        p = node.pattern_of((2, 1))
+        assert node.coords_of(p) == (2, 1)

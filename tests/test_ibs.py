@@ -1,0 +1,108 @@
+"""Unit tests for repro.core.ibs (Problem 1 / Algorithm 1)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    Hierarchy,
+    Pattern,
+    dominated_biased_regions,
+    ibs_patterns,
+    identify_ibs,
+    scope_levels,
+)
+from repro.errors import PatternError
+
+
+class TestIdentify:
+    def test_planted_region_found(self, biased_dataset):
+        ibs = identify_ibs(biased_dataset, tau_c=0.5, T=1.0, k=10)
+        assert Pattern([("a", 0), ("b", 0)]) in ibs_patterns(ibs)
+
+    def test_reports_are_consistent(self, biased_dataset):
+        for report in identify_ibs(biased_dataset, tau_c=0.1, T=1.0, k=10):
+            assert report.size == report.pos + report.neg
+            assert report.difference > 0.1
+            if report.ratio != -1.0 and report.neighbor_ratio != -1.0:
+                assert report.difference == pytest.approx(
+                    abs(report.ratio - report.neighbor_ratio)
+                )
+
+    def test_size_filter_excludes_small_regions(self, biased_dataset):
+        ibs = identify_ibs(biased_dataset, tau_c=0.0, T=1.0, k=40)
+        assert all(r.size > 40 for r in ibs)
+
+    def test_huge_k_empty_result(self, biased_dataset):
+        assert identify_ibs(biased_dataset, tau_c=0.0, k=10_000) == []
+
+    def test_huge_tau_empty_result(self, biased_dataset):
+        ibs = identify_ibs(biased_dataset, tau_c=1e9, T=1.0, k=10)
+        assert all(math.isinf(r.difference) for r in ibs)
+
+    def test_methods_agree(self, biased_dataset):
+        naive = identify_ibs(biased_dataset, 0.2, k=10, method="naive")
+        opt = identify_ibs(biased_dataset, 0.2, k=10, method="optimized")
+        assert ibs_patterns(naive) == ibs_patterns(opt)
+
+    def test_unknown_method_rejected(self, biased_dataset):
+        with pytest.raises(PatternError):
+            identify_ibs(biased_dataset, 0.2, method="quantum")
+
+    def test_prebuilt_hierarchy_reused(self, biased_dataset):
+        h = Hierarchy(biased_dataset)
+        a = identify_ibs(biased_dataset, 0.2, k=10, hierarchy=h)
+        b = identify_ibs(biased_dataset, 0.2, k=10)
+        assert ibs_patterns(a) == ibs_patterns(b)
+
+    def test_custom_attrs_override_protected(self, biased_dataset):
+        ibs = identify_ibs(biased_dataset, 0.0, k=10, attrs=("a",))
+        assert all(r.pattern.attrs == {"a"} for r in ibs)
+
+    def test_sorted_within_level_by_difference(self, biased_dataset):
+        ibs = identify_ibs(biased_dataset, 0.0, T=1.0, k=10)
+        by_level: dict[int, list[float]] = {}
+        for r in ibs:
+            by_level.setdefault(r.pattern.level, []).append(r.difference)
+        for diffs in by_level.values():
+            assert diffs == sorted(diffs, reverse=True)
+
+
+class TestScopes:
+    def test_scope_levels(self, biased_dataset):
+        h = Hierarchy(biased_dataset)
+        assert scope_levels(h, "lattice") == [2, 1]
+        assert scope_levels(h, "leaf") == [2]
+        assert scope_levels(h, "top") == [1]
+        with pytest.raises(PatternError):
+            scope_levels(h, "middle")
+
+    def test_leaf_scope_only_leaf_patterns(self, biased_dataset):
+        ibs = identify_ibs(biased_dataset, 0.0, k=10, scope="leaf")
+        assert all(r.pattern.level == 2 for r in ibs)
+
+    def test_top_scope_only_level_one(self, biased_dataset):
+        ibs = identify_ibs(biased_dataset, 0.0, k=10, scope="top")
+        assert all(r.pattern.level == 1 for r in ibs)
+
+    def test_lattice_is_union_of_leaf_and_top(self, biased_dataset):
+        lattice = ibs_patterns(identify_ibs(biased_dataset, 0.1, k=10))
+        leaf = ibs_patterns(identify_ibs(biased_dataset, 0.1, k=10, scope="leaf"))
+        top = ibs_patterns(identify_ibs(biased_dataset, 0.1, k=10, scope="top"))
+        assert leaf | top == lattice  # two-level lattice here
+
+
+class TestSkewAndDominance:
+    def test_skew_direction(self, biased_dataset):
+        ibs = identify_ibs(biased_dataset, 0.3, T=1.0, k=10)
+        planted = next(
+            r for r in ibs if r.pattern == Pattern([("a", 0), ("b", 0)])
+        )
+        assert planted.skew_direction == +1  # excess positives
+
+    def test_dominated_biased_regions(self, biased_dataset):
+        ibs = identify_ibs(biased_dataset, 0.3, T=1.0, k=10)
+        subgroup = Pattern([("a", 0)])
+        dominated = dominated_biased_regions(subgroup, ibs)
+        assert all(r.pattern.is_dominated_by(subgroup) for r in dominated)
+        assert any(r.pattern == Pattern([("a", 0), ("b", 0)]) for r in dominated)

@@ -1,0 +1,69 @@
+"""Unit tests for repro.core.imbalance (Definitions 3 and 5)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    RATIO_UNDEFINED,
+    imbalance_score,
+    is_biased,
+    is_undefined,
+    score_difference,
+)
+
+
+class TestImbalanceScore:
+    def test_paper_example_4(self):
+        # 882 positives / 397 negatives -> 2.22 (Example 4).
+        assert imbalance_score(882, 397) == pytest.approx(2.2217, abs=1e-3)
+
+    def test_zero_negatives_sentinel(self):
+        assert imbalance_score(5, 0) == RATIO_UNDEFINED
+        assert is_undefined(imbalance_score(5, 0))
+
+    def test_zero_positives(self):
+        assert imbalance_score(0, 7) == 0.0
+
+    def test_zero_both_is_sentinel(self):
+        assert imbalance_score(0, 0) == RATIO_UNDEFINED
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            imbalance_score(-1, 2)
+        with pytest.raises(ValueError):
+            imbalance_score(1, -2)
+
+
+class TestScoreDifference:
+    def test_plain_difference(self):
+        assert score_difference(2.2, 0.64) == pytest.approx(1.56)
+
+    def test_symmetric(self):
+        assert score_difference(0.5, 2.0) == score_difference(2.0, 0.5)
+
+    def test_both_undefined(self):
+        assert score_difference(RATIO_UNDEFINED, RATIO_UNDEFINED) == 0.0
+
+    def test_one_undefined_is_infinite(self):
+        assert math.isinf(score_difference(RATIO_UNDEFINED, 0.5))
+        assert math.isinf(score_difference(0.5, RATIO_UNDEFINED))
+
+
+class TestIsBiased:
+    def test_paper_example_6(self):
+        # ratio_r = 2.2, ratio_rn = 0.64, tau_c = 0.3 -> biased.
+        assert is_biased(2.2, 0.64, 0.3)
+
+    def test_below_threshold(self):
+        assert not is_biased(0.7, 0.64, 0.3)
+
+    def test_equal_scores_never_biased(self):
+        assert not is_biased(1.0, 1.0, 0.0)
+
+    def test_undefined_vs_defined_always_biased(self):
+        assert is_biased(RATIO_UNDEFINED, 0.5, 100.0)
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ValueError):
+            is_biased(1.0, 2.0, -0.1)

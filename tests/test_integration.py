@@ -1,0 +1,100 @@
+"""End-to-end integration tests across packages.
+
+Each test exercises the full published workflow the paper describes:
+generate data → split → identify IBS → remedy → train any classifier →
+audit subgroup fairness on untouched test data.
+"""
+
+import numpy as np
+import pytest
+
+from repro import RemedyConfig, RemedyPipeline
+from repro.audit import fairness_index, unfair_subgroups
+from repro.core import identify_ibs, remedy_dataset
+from repro.data import train_test_split, read_csv, write_csv
+from repro.data.synth import load_compas, load_lawschool
+from repro.ml import make_model
+
+
+class TestFullWorkflow:
+    @pytest.mark.parametrize("model_name", ["dt", "lg"])
+    def test_remedy_improves_fairness_index(self, compas_small, model_name):
+        """The paper's headline: remedy lowers the fairness index under both
+        FPR and FNR with a bounded accuracy cost, for any classifier."""
+        train, test = train_test_split(compas_small, 0.3, seed=1)
+
+        base = make_model(model_name, seed=0).fit(train)
+        base_pred = base.predict(test)
+        base_fi = fairness_index(test, base_pred, "fpr")
+        base_acc = (base_pred == test.y).mean()
+
+        pipeline = RemedyPipeline(RemedyConfig(tau_c=0.1, T=1.0, seed=0))
+        remedied = pipeline.transform(train)
+        fair = make_model(model_name, seed=0).fit(remedied)
+        fair_pred = fair.predict(test)
+        fair_fi = fairness_index(test, fair_pred, "fpr")
+        fair_acc = (fair_pred == test.y).mean()
+
+        assert fair_fi < base_fi
+        assert base_acc - fair_acc < 0.1  # paper: accuracy drop < 0.1
+
+    def test_remedy_mitigates_both_statistics_simultaneously(self, compas_small):
+        """§V-B2: remedying both skew directions improves FPR and FNR."""
+        train, test = train_test_split(compas_small, 0.3, seed=2)
+        base_pred = make_model("dt", seed=0).fit(train).predict(test)
+        remedied = remedy_dataset(train, 0.1, technique="preferential").dataset
+        fair_pred = make_model("dt", seed=0).fit(remedied).predict(test)
+        assert fairness_index(test, fair_pred, "fpr") <= fairness_index(
+            test, base_pred, "fpr"
+        )
+        assert fairness_index(test, fair_pred, "fnr") <= fairness_index(
+            test, base_pred, "fnr"
+        )
+
+    def test_unfair_subgroup_count_drops(self, compas_small):
+        train, test = train_test_split(compas_small, 0.3, seed=3)
+        base_pred = make_model("dt", seed=0).fit(train).predict(test)
+        remedied = remedy_dataset(train, 0.1, technique="undersampling").dataset
+        fair_pred = make_model("dt", seed=0).fit(remedied).predict(test)
+        n_before = len(unfair_subgroups(test, base_pred, "fpr", tau_d=0.1, min_size=30))
+        n_after = len(unfair_subgroups(test, fair_pred, "fpr", tau_d=0.1, min_size=30))
+        assert n_after <= n_before
+
+    def test_test_set_never_modified(self, compas_small):
+        train, test = train_test_split(compas_small, 0.3, seed=4)
+        y_before = test.y.copy()
+        RemedyPipeline(RemedyConfig(tau_c=0.1)).transform(train)
+        assert np.array_equal(test.y, y_before)
+
+    def test_lawschool_workflow(self):
+        ds = load_lawschool(1500, seed=8)
+        train, test = train_test_split(ds, 0.3, seed=0)
+        pipeline = RemedyPipeline(RemedyConfig(tau_c=0.1, technique="massaging"))
+        model = pipeline.fit_model(train, "lg")
+        pred = model.predict(test)
+        assert (pred == test.y).mean() > 0.5
+
+
+class TestPersistenceRoundTrip:
+    def test_remedied_dataset_survives_csv(self, compas_small, tmp_path):
+        remedied = remedy_dataset(compas_small, 0.1, technique="undersampling").dataset
+        path = tmp_path / "remedied.csv"
+        write_csv(remedied, path)
+        back = read_csv(path, remedied.schema, protected=remedied.protected)
+        assert back.n_rows == remedied.n_rows
+        # IBS identification agrees on the round-tripped data.
+        a = {r.pattern for r in identify_ibs(remedied, 0.1)}
+        b = {r.pattern for r in identify_ibs(back, 0.1)}
+        assert a == b
+
+
+class TestDeterminism:
+    def test_whole_pipeline_deterministic(self):
+        def run():
+            ds = load_compas(1200, seed=5)
+            train, test = train_test_split(ds, 0.3, seed=0)
+            remedied = remedy_dataset(train, 0.1, technique="preferential", seed=9)
+            pred = make_model("dt", seed=0).fit(remedied.dataset).predict(test)
+            return fairness_index(test, pred, "fpr"), remedied.dataset.n_rows
+
+        assert run() == run()

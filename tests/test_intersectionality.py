@@ -1,0 +1,80 @@
+"""Unit tests for repro.audit.intersectionality."""
+
+import numpy as np
+import pytest
+
+from repro.audit import divergence_profile, intersectionality_gap
+from repro.data.synth import make_checkerboard
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def checkerboard_predictions():
+    """Checkerboard data + predictions following the planted pattern.
+
+    Predicting positive on the two "hot" cells gives extreme positive-rate
+    divergence at level 2 but nearly none at level 1.
+    """
+    ds = make_checkerboard(6000, seed=2)
+    pred = np.zeros(ds.n_rows, dtype=np.int8)
+    hot = (ds.mask({"race": 0, "gender": 1})) | (ds.mask({"race": 1, "gender": 0}))
+    pred[hot] = 1
+    return ds, pred
+
+
+class TestDivergenceProfile:
+    def test_levels_cover_protected_set(self, checkerboard_predictions):
+        ds, pred = checkerboard_predictions
+        report = divergence_profile(ds, pred, gamma="positive_rate")
+        assert [p.level for p in report.profiles] == [1, 2]
+
+    def test_checkerboard_gap_is_large(self, checkerboard_predictions):
+        """Level-1 groups all sit near the overall rate; level-2 cells are
+        extreme — the gap detects Example 1's regime."""
+        ds, pred = checkerboard_predictions
+        report = divergence_profile(ds, pred, gamma="positive_rate")
+        assert report.profile(1).max_divergence < 0.1
+        assert report.profile(2).max_divergence > 0.4
+        assert report.gap > 0.3
+
+    def test_gap_wrapper_matches(self, checkerboard_predictions):
+        ds, pred = checkerboard_predictions
+        report = divergence_profile(ds, pred, gamma="positive_rate")
+        assert intersectionality_gap(ds, pred, gamma="positive_rate") == (
+            pytest.approx(report.gap)
+        )
+
+    def test_worst_subgroup_recorded(self, checkerboard_predictions):
+        ds, pred = checkerboard_predictions
+        report = divergence_profile(ds, pred, gamma="positive_rate")
+        worst = report.profile(2).worst
+        assert worst is not None
+        assert worst.divergence == report.profile(2).max_divergence
+        assert worst.pattern.level == 2
+
+    def test_uniform_predictions_have_no_gap(self, checkerboard_predictions):
+        ds, __ = checkerboard_predictions
+        pred = np.ones(ds.n_rows, dtype=np.int8)
+        report = divergence_profile(ds, pred, gamma="positive_rate")
+        assert report.gap == pytest.approx(0.0)
+        assert report.profile(1).max_divergence == pytest.approx(0.0)
+
+    def test_min_size_prunes_levels(self, checkerboard_predictions):
+        ds, pred = checkerboard_predictions
+        report = divergence_profile(
+            ds, pred, gamma="positive_rate", min_size=10**6
+        )
+        assert all(p.n_subgroups == 0 for p in report.profiles)
+        assert report.gap == 0.0
+
+    def test_unknown_level_raises(self, checkerboard_predictions):
+        ds, pred = checkerboard_predictions
+        report = divergence_profile(ds, pred, gamma="positive_rate")
+        with pytest.raises(DataError):
+            report.profile(9)
+
+    def test_mean_bounded_by_max(self, checkerboard_predictions):
+        ds, pred = checkerboard_predictions
+        report = divergence_profile(ds, pred, gamma="positive_rate")
+        for p in report.profiles:
+            assert p.mean_divergence <= p.max_divergence + 1e-12

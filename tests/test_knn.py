@@ -1,0 +1,70 @@
+"""Unit tests for repro.ml.knn."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.ml import nearest_neighbors, pairwise_sq_distances
+
+
+class TestPairwiseDistances:
+    def test_matches_manual(self):
+        A = np.array([[0.0, 0.0], [1.0, 1.0]])
+        B = np.array([[1.0, 0.0]])
+        d = pairwise_sq_distances(A, B)
+        assert d[0, 0] == pytest.approx(1.0)
+        assert d[1, 0] == pytest.approx(1.0)
+
+    def test_self_distance_zero(self):
+        A = np.random.default_rng(0).normal(size=(10, 4))
+        d = pairwise_sq_distances(A, A)
+        assert np.allclose(np.diag(d), 0.0, atol=1e-9)
+
+    def test_never_negative(self):
+        A = np.random.default_rng(1).normal(size=(50, 3)) * 1e6
+        assert (pairwise_sq_distances(A, A) >= 0).all()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataError):
+            pairwise_sq_distances(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+class TestNearestNeighbors:
+    def test_finds_true_neighbour(self):
+        X = np.array([[0.0], [0.1], [5.0], [5.1]])
+        nn = nearest_neighbors(X, k=1)
+        assert nn[0, 0] == 1
+        assert nn[1, 0] == 0
+        assert nn[2, 0] == 3
+        assert nn[3, 0] == 2
+
+    def test_excludes_self(self):
+        X = np.random.default_rng(2).normal(size=(20, 2))
+        nn = nearest_neighbors(X, k=3)
+        for i in range(20):
+            assert i not in nn[i]
+
+    def test_sorted_by_distance(self):
+        X = np.array([[0.0], [1.0], [3.0], [10.0]])
+        nn = nearest_neighbors(X, k=3)
+        assert nn[0].tolist() == [1, 2, 3]
+
+    def test_k_larger_than_population_cycles(self):
+        X = np.array([[0.0], [1.0]])
+        nn = nearest_neighbors(X, k=4)
+        assert nn.shape == (2, 4)
+        assert set(nn[0]) == {1}
+
+    def test_blocked_matches_unblocked(self):
+        X = np.random.default_rng(3).normal(size=(30, 3))
+        a = nearest_neighbors(X, k=4, block_size=7)
+        b = nearest_neighbors(X, k=4, block_size=1000)
+        assert np.array_equal(a, b)
+
+    def test_too_few_rows(self):
+        with pytest.raises(DataError):
+            nearest_neighbors(np.zeros((1, 2)), k=1)
+
+    def test_bad_k(self):
+        with pytest.raises(DataError):
+            nearest_neighbors(np.zeros((3, 2)), k=0)

@@ -1,0 +1,82 @@
+"""Unit tests for repro.ml.logistic (IRLS logistic regression)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FitError, NotFittedError
+from repro.ml import LogisticRegressionClassifier
+from repro.ml.logistic import _sigmoid
+
+
+def make_logit_data(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    logits = 2.0 * X[:, 0] - 1.0 * X[:, 1]
+    y = (rng.random(n) < _sigmoid(logits)).astype(int)
+    return X, y
+
+
+class TestSigmoid:
+    def test_extremes_stable(self):
+        z = np.array([-1000.0, 0.0, 1000.0])
+        s = _sigmoid(z)
+        assert s[0] == pytest.approx(0.0, abs=1e-12)
+        assert s[1] == pytest.approx(0.5)
+        assert s[2] == pytest.approx(1.0, abs=1e-12)
+
+    def test_monotone(self):
+        z = np.linspace(-5, 5, 50)
+        assert (np.diff(_sigmoid(z)) > 0).all()
+
+
+class TestFit:
+    def test_recovers_signal(self):
+        X, y = make_logit_data()
+        model = LogisticRegressionClassifier(l2=0.1).fit(X, y)
+        acc = (model.predict(X) == y).mean()
+        assert acc > 0.75  # Bayes-optimal is ~0.85 on this noisy logit data
+        # Dominant coefficient is feature 0 with positive sign.
+        coefs = model.coef_
+        assert abs(coefs[0]) > abs(coefs[2])
+        assert coefs[0] > 0 and coefs[1] < 0
+
+    def test_constant_feature_handled(self):
+        X = np.column_stack([np.ones(50), np.linspace(-1, 1, 50)])
+        y = (X[:, 1] > 0).astype(int)
+        model = LogisticRegressionClassifier().fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_l2_shrinks_coefficients(self):
+        X, y = make_logit_data(300)
+        loose = LogisticRegressionClassifier(l2=0.01).fit(X, y)
+        tight = LogisticRegressionClassifier(l2=100.0).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_sample_weights_shift_prior(self):
+        X = np.zeros((10, 1))
+        y = np.array([0] * 5 + [1] * 5)
+        w = np.array([1.0] * 5 + [10.0] * 5)
+        model = LogisticRegressionClassifier().fit(X, y, sample_weight=w)
+        assert model.predict_proba(np.zeros((1, 1)))[0] > 0.7
+
+    def test_separable_does_not_blow_up(self):
+        X = np.array([[-1.0], [-0.5], [0.5], [1.0]])
+        y = np.array([0, 0, 1, 1])
+        model = LogisticRegressionClassifier(l2=1.0, max_iter=100).fit(X, y)
+        assert np.isfinite(model.coef_).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegressionClassifier().predict(np.zeros((1, 2)))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(FitError):
+            LogisticRegressionClassifier(l2=-1.0)
+        with pytest.raises(FitError):
+            LogisticRegressionClassifier(max_iter=0)
+
+    def test_deterministic(self):
+        X, y = make_logit_data(200)
+        a = LogisticRegressionClassifier().fit(X, y)
+        b = LogisticRegressionClassifier().fit(X, y)
+        assert np.allclose(a.predict_proba(X), b.predict_proba(X))

@@ -1,0 +1,122 @@
+"""Unit tests for repro.ml.metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.ml.metrics import (
+    STATISTICS,
+    accuracy,
+    confusion,
+    error_indicator,
+    error_rate,
+    fnr,
+    fpr,
+    positive_rate,
+    statistic,
+)
+
+Y_TRUE = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+Y_PRED = np.array([0, 0, 1, 1, 1, 1, 1, 0])
+
+
+class TestConfusion:
+    def test_basic(self):
+        tp, fp, tn, fn = confusion(Y_TRUE, Y_PRED)
+        assert (tp, fp, tn, fn) == (3, 2, 2, 1)
+
+    def test_masked(self):
+        mask = Y_TRUE == 0
+        tp, fp, tn, fn = confusion(Y_TRUE, Y_PRED, mask)
+        assert (tp, fp, tn, fn) == (0, 2, 2, 0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataError):
+            confusion(Y_TRUE, Y_PRED[:4])
+
+    def test_mask_shape_mismatch(self):
+        with pytest.raises(DataError):
+            confusion(Y_TRUE, Y_PRED, np.ones(3, dtype=bool))
+
+
+class TestRates:
+    def test_fpr(self):
+        assert fpr(Y_TRUE, Y_PRED) == pytest.approx(0.5)
+
+    def test_fnr(self):
+        assert fnr(Y_TRUE, Y_PRED) == pytest.approx(0.25)
+
+    def test_accuracy(self):
+        assert accuracy(Y_TRUE, Y_PRED) == pytest.approx(5 / 8)
+
+    def test_error_rate_complements_accuracy(self):
+        assert error_rate(Y_TRUE, Y_PRED) == pytest.approx(1 - accuracy(Y_TRUE, Y_PRED))
+
+    def test_positive_rate(self):
+        assert positive_rate(Y_TRUE, Y_PRED) == pytest.approx(5 / 8)
+
+    def test_fpr_nan_without_negatives(self):
+        assert math.isnan(fpr(np.ones(4, int), np.ones(4, int)))
+
+    def test_fnr_nan_without_positives(self):
+        assert math.isnan(fnr(np.zeros(4, int), np.zeros(4, int)))
+
+    def test_empty_mask_gives_nan(self):
+        mask = np.zeros(8, dtype=bool)
+        assert math.isnan(accuracy(Y_TRUE, Y_PRED, mask))
+
+    def test_statistic_dispatch(self):
+        for name in STATISTICS:
+            value = statistic(name, Y_TRUE, Y_PRED)
+            assert isinstance(value, float)
+
+    def test_statistic_unknown(self):
+        with pytest.raises(DataError):
+            statistic("f1", Y_TRUE, Y_PRED)
+
+
+class TestErrorIndicator:
+    def test_fpr_indicator_mean_equals_fpr(self):
+        ind = error_indicator("fpr", Y_TRUE, Y_PRED)
+        assert np.nanmean(ind) == pytest.approx(fpr(Y_TRUE, Y_PRED))
+        # Positives have no FPR indicator.
+        assert np.isnan(ind[Y_TRUE == 1]).all()
+
+    def test_fnr_indicator_mean_equals_fnr(self):
+        ind = error_indicator("fnr", Y_TRUE, Y_PRED)
+        assert np.nanmean(ind) == pytest.approx(fnr(Y_TRUE, Y_PRED))
+
+    def test_error_rate_indicator(self):
+        ind = error_indicator("error_rate", Y_TRUE, Y_PRED)
+        assert ind.mean() == pytest.approx(error_rate(Y_TRUE, Y_PRED))
+
+    def test_accuracy_indicator(self):
+        ind = error_indicator("accuracy", Y_TRUE, Y_PRED)
+        assert ind.mean() == pytest.approx(accuracy(Y_TRUE, Y_PRED))
+
+    def test_positive_rate_indicator(self):
+        ind = error_indicator("positive_rate", Y_TRUE, Y_PRED)
+        assert ind.mean() == pytest.approx(positive_rate(Y_TRUE, Y_PRED))
+
+    def test_unknown_statistic(self):
+        with pytest.raises(DataError):
+            error_indicator("f1", Y_TRUE, Y_PRED)
+
+
+class TestZeroOneLoss:
+    def test_counts_misclassifications(self):
+        from repro.ml.metrics import zero_one_loss
+
+        assert zero_one_loss(Y_TRUE, Y_PRED) == 3.0
+
+    def test_masked(self):
+        from repro.ml.metrics import zero_one_loss
+
+        assert zero_one_loss(Y_TRUE, Y_PRED, Y_TRUE == 0) == 2.0
+
+    def test_perfect_predictions(self):
+        from repro.ml.metrics import zero_one_loss
+
+        assert zero_one_loss(Y_TRUE, Y_TRUE) == 0.0

@@ -1,0 +1,62 @@
+"""Unit tests for repro.ml.models (DatasetClassifier and factory)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FitError
+from repro.ml import MODEL_NAMES, DatasetClassifier, make_estimator, make_model
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_all_names_resolve(self, name):
+        assert make_estimator(name) is not None
+
+    def test_case_insensitive(self):
+        assert make_estimator("DT") is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(FitError):
+            make_estimator("svm")
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_fit_predict_on_dataset(self, name, compas_small):
+        model = make_model(name, seed=0)
+        model.fit(compas_small)
+        pred = model.predict(compas_small)
+        assert pred.shape == (compas_small.n_rows,)
+        assert (pred == compas_small.y).mean() > 0.55  # beats chance
+
+    def test_exclude_protected_features(self, compas_small):
+        model = make_model("lg", exclude=compas_small.protected)
+        model.fit(compas_small)
+        assert model.predict(compas_small).shape == (compas_small.n_rows,)
+
+
+class TestDatasetClassifier:
+    def test_predict_before_fit(self, compas_small):
+        model = DatasetClassifier(DecisionTreeClassifier())
+        with pytest.raises(FitError):
+            model.predict(compas_small)
+
+    def test_proba_before_fit(self, compas_small):
+        model = DatasetClassifier(DecisionTreeClassifier())
+        with pytest.raises(FitError):
+            model.predict_proba(compas_small)
+
+    def test_sample_weight_passthrough(self, compas_small):
+        # Weighting everything to the positive class must raise positives.
+        w = np.where(compas_small.y == 1, 25.0, 1.0)
+        model = DatasetClassifier(DecisionTreeClassifier(max_depth=2))
+        model.fit(compas_small, sample_weight=w)
+        heavy_rate = model.predict(compas_small).mean()
+        model2 = DatasetClassifier(DecisionTreeClassifier(max_depth=2))
+        model2.fit(compas_small)
+        assert heavy_rate >= model2.predict(compas_small).mean()
+
+    def test_proba_matches_threshold(self, compas_small):
+        model = make_model("dt").fit(compas_small)
+        pred = model.predict(compas_small)
+        proba = model.predict_proba(compas_small)
+        assert np.array_equal(pred, (proba >= 0.5).astype(np.int8))

@@ -1,0 +1,101 @@
+"""Unit tests for repro.ml.naive_bayes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FitError
+from repro.ml import CategoricalNaiveBayes, GaussianNaiveBayes, MixedNaiveBayes
+
+
+class TestCategoricalNB:
+    def test_learns_association(self):
+        # Feature 0 perfectly predicts the label.
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]] * 10, dtype=float)
+        y = np.array([0, 0, 1, 1] * 10)
+        model = CategoricalNaiveBayes(cardinalities=(2, 2)).fit(X, y)
+        assert (model.predict(X) == y).all()
+
+    def test_prior_dominates_with_uninformative_features(self):
+        X = np.zeros((10, 1))
+        y = np.array([1] * 8 + [0] * 2)
+        model = CategoricalNaiveBayes(cardinalities=(1,)).fit(X, y)
+        assert model.predict_proba(np.zeros((1, 1)))[0] > 0.7
+
+    def test_laplace_smoothing_avoids_zero(self):
+        X = np.array([[0], [0]], dtype=float)
+        y = np.array([0, 1])
+        model = CategoricalNaiveBayes(cardinalities=(2,)).fit(X, y)
+        p = model.predict_proba(np.array([[1.0]]))  # unseen value
+        assert 0 < p[0] < 1
+
+    def test_weights_shift_prior(self):
+        X = np.zeros((4, 1))
+        y = np.array([0, 0, 1, 1])
+        w = np.array([1.0, 1.0, 10.0, 10.0])
+        model = CategoricalNaiveBayes(cardinalities=(1,)).fit(X, y, sample_weight=w)
+        assert model.predict_proba(np.zeros((1, 1)))[0] > 0.8
+
+    def test_non_integer_codes_rejected(self):
+        with pytest.raises(FitError):
+            CategoricalNaiveBayes(cardinalities=(2,)).fit(
+                np.array([[0.5]]), np.array([1])
+            )
+
+    def test_cardinality_mismatch_rejected(self):
+        with pytest.raises(FitError):
+            CategoricalNaiveBayes(cardinalities=(2, 2)).fit(
+                np.zeros((3, 1)), np.array([0, 1, 0])
+            )
+
+    def test_code_out_of_domain_rejected(self):
+        with pytest.raises(FitError):
+            CategoricalNaiveBayes(cardinalities=(2,)).fit(
+                np.array([[5.0]]), np.array([1])
+            )
+
+    def test_invalid_alpha(self):
+        with pytest.raises(FitError):
+            CategoricalNaiveBayes(cardinalities=(2,), alpha=0.0)
+
+
+class TestGaussianNB:
+    def test_separates_gaussians(self):
+        rng = np.random.default_rng(0)
+        X0 = rng.normal(-2, 1, size=(100, 2))
+        X1 = rng.normal(2, 1, size=(100, 2))
+        X = np.vstack([X0, X1])
+        y = np.array([0] * 100 + [1] * 100)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_zero_variance_feature_smoothed(self):
+        X = np.column_stack([np.ones(20), np.linspace(-1, 1, 20)])
+        y = (X[:, 1] > 0).astype(int)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert np.isfinite(model.predict_proba(X)).all()
+
+    def test_weights_respected(self):
+        X = np.array([[-1.0], [1.0], [1.0]])
+        y = np.array([0, 1, 1])
+        model = GaussianNaiveBayes().fit(X, y, sample_weight=np.array([10.0, 1, 1]))
+        assert model.predict(np.array([[-1.0]]))[0] == 0
+
+
+class TestMixedNB:
+    def test_fits_dataset_directly(self, compas_small):
+        model = MixedNaiveBayes().fit(compas_small)
+        p = model.predict_proba(compas_small)
+        assert p.shape == (compas_small.n_rows,)
+        assert ((0 <= p) & (p <= 1)).all()
+        # Better than chance on its own training data.
+        acc = ((p >= 0.5).astype(int) == compas_small.y).mean()
+        assert acc > 0.55
+
+    def test_unfitted_raises(self, compas_small):
+        with pytest.raises(FitError):
+            MixedNaiveBayes().predict_proba(compas_small)
+
+    def test_categorical_only_dataset(self, biased_dataset):
+        model = MixedNaiveBayes().fit(biased_dataset)
+        p = model.predict_proba(biased_dataset)
+        assert np.isfinite(p).all()

@@ -1,0 +1,64 @@
+"""Unit tests for repro.ml.neural (MLP classifier)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FitError
+from repro.ml import NeuralNetworkClassifier
+
+
+def xor_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestNeuralNetwork:
+    def test_learns_xor(self):
+        """A nonlinear boundary a linear model cannot fit."""
+        X, y = xor_data()
+        model = NeuralNetworkClassifier(
+            hidden_units=16, epochs=60, learning_rate=2e-2, random_state=0
+        ).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.9
+
+    def test_proba_in_unit_interval(self):
+        X, y = xor_data(100)
+        proba = NeuralNetworkClassifier(epochs=5).fit(X, y).predict_proba(X)
+        assert ((0 <= proba) & (proba <= 1)).all()
+
+    def test_deterministic_given_seed(self):
+        X, y = xor_data(150)
+        a = NeuralNetworkClassifier(epochs=5, random_state=4).fit(X, y)
+        b = NeuralNetworkClassifier(epochs=5, random_state=4).fit(X, y)
+        assert np.allclose(a.predict_proba(X), b.predict_proba(X))
+
+    def test_sample_weights_tip_constant_input(self):
+        X = np.zeros((20, 1))
+        y = np.array([0] * 10 + [1] * 10)
+        w = np.array([1.0] * 10 + [12.0] * 10)
+        model = NeuralNetworkClassifier(
+            epochs=300, learning_rate=5e-2, random_state=0
+        ).fit(X, y, sample_weight=w)
+        assert model.predict_proba(np.zeros((1, 1)))[0] > 0.6
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(FitError):
+            NeuralNetworkClassifier(hidden_units=0)
+        with pytest.raises(FitError):
+            NeuralNetworkClassifier(epochs=0)
+        with pytest.raises(FitError):
+            NeuralNetworkClassifier(batch_size=0)
+        with pytest.raises(FitError):
+            NeuralNetworkClassifier(learning_rate=0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(FitError):
+            NeuralNetworkClassifier().predict(np.zeros((2, 2)))
+
+    def test_constant_feature_no_nan(self):
+        X = np.hstack([np.ones((60, 1)), np.linspace(-1, 1, 60)[:, None]])
+        y = (X[:, 1] > 0).astype(int)
+        model = NeuralNetworkClassifier(epochs=10).fit(X, y)
+        assert np.isfinite(model.predict_proba(X)).all()

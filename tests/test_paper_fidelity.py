@@ -1,0 +1,140 @@
+"""Paper-fidelity checks: the numbered claims, at full COMPAS-like scale.
+
+Each test pins one of the paper's concrete claims on the full-size
+synthetic ProPublica stand-in (6,172 rows).  These complement the
+benchmarks: they run inside the plain test suite so a bare ``pytest
+tests/`` already verifies the reproduction's headline stories.
+"""
+
+import numpy as np
+import pytest
+
+from repro.audit import fairness_index, unfair_subgroups
+from repro.core import Hierarchy, Pattern, identify_ibs, region_report, remedy_dataset
+from repro.data import train_test_split
+from repro.data.synth import load_compas
+from repro.experiments import run_validation
+from repro.ml import make_model
+from repro.ml.metrics import fpr
+
+
+@pytest.fixture(scope="module")
+def compas_full():
+    return load_compas(6172, seed=11)
+
+
+@pytest.fixture(scope="module")
+def dt_predictions(compas_full):
+    train, test = train_test_split(compas_full, 0.3, seed=0)
+    pred = make_model("dt", seed=0).fit(train).predict(test)
+    return train, test, pred
+
+
+class TestExample1:
+    """Per-attribute FPR looks fair; an intersection does not."""
+
+    def test_gender_fpr_close_to_overall(self, dt_predictions):
+        __, test, pred = dt_predictions
+        overall = fpr(test.y, pred)
+        for sex in ("Male", "Female"):
+            mask = Pattern.from_labels(test.schema, {"sex": sex}).mask(test)
+            assert abs(fpr(test.y, pred, mask) - overall) < 0.06
+
+    def test_intersection_diverges(self, dt_predictions):
+        __, test, pred = dt_predictions
+        overall = fpr(test.y, pred)
+        target = Pattern.from_labels(
+            test.schema, {"race": "Afr-Am", "age": "<25"}
+        )
+        assert fpr(test.y, pred, target.mask(test)) > overall + 0.08
+
+
+class TestExample4And6:
+    """The running region is heavily positive and lands in the IBS."""
+
+    def test_region_over_positive(self, compas_full):
+        pattern = Pattern.from_labels(
+            compas_full.schema, {"age": "25-45", "priors": ">3"}
+        )
+        pos, neg = pattern.counts(compas_full)
+        assert pos / neg > 2.0  # the paper's 2.22 regime
+
+    def test_region_is_ibs_member(self, compas_full):
+        hierarchy = Hierarchy(compas_full, attrs=("age", "priors"))
+        node = hierarchy.node(("age", "priors"))
+        pattern = Pattern.from_labels(
+            compas_full.schema, {"age": "25-45", "priors": ">3"}
+        )
+        pos, neg = node.counts_of(pattern)
+        report = region_report(hierarchy, node, pattern, pos, neg, T=1.0)
+        assert report.difference > 0.3  # Example 6's tau_c
+        assert report.ratio > report.neighbor_ratio
+
+
+class TestCase1:
+    """The biased region's subgroup FPR far exceeds the overall FPR."""
+
+    def test_region_fpr_elevated(self, compas_full):
+        train, test = train_test_split(compas_full, 0.3, seed=0)
+        model = make_model("dt", seed=0).fit(train)
+        pred = model.predict(test)
+        region = Pattern.from_labels(
+            test.schema, {"age": "25-45", "priors": ">3"}
+        )
+        overall = fpr(test.y, pred)
+        inside = fpr(test.y, pred, region.mask(test))
+        assert inside > overall + 0.2
+
+
+class TestHypothesis1:
+    """Fig. 3's headline on the full data: most unfair subgroups trace to IBS."""
+
+    def test_explained_fraction(self, compas_full):
+        results = run_validation(compas_full, models=("dt", "lg"), seed=0)
+        total = sum(r.n_unfair for r in results)
+        explained = sum(r.n_explained for r in results)
+        assert total > 0
+        assert explained / total >= 0.85
+
+    def test_fpr_skew_direction(self, compas_full):
+        """Regions with ratio_r > ratio_rn associate with high-FPR subgroups."""
+        results = run_validation(compas_full, models=("dt",), seed=0)
+        fpr_result = next(r for r in results if r.gamma == "fpr")
+        for s in fpr_result.subgroups:
+            if s.in_ibs and s.subgroup.gamma_group > s.subgroup.gamma_dataset:
+                assert s.skew_direction >= 0
+
+
+class TestHeadlineRemedy:
+    """The paper's bottom line, asserted at full scale."""
+
+    def test_remedy_improves_both_statistics(self, dt_predictions):
+        train, test, base_pred = dt_predictions
+        remedied = remedy_dataset(
+            train, 0.1, technique="preferential", seed=0
+        ).dataset
+        fair_pred = make_model("dt", seed=0).fit(remedied).predict(test)
+        for gamma in ("fpr", "fnr"):
+            assert fairness_index(test, fair_pred, gamma) < fairness_index(
+                test, base_pred, gamma
+            )
+
+    def test_accuracy_cost_below_bound(self, dt_predictions):
+        train, test, base_pred = dt_predictions
+        remedied = remedy_dataset(
+            train, 0.1, technique="preferential", seed=0
+        ).dataset
+        fair_pred = make_model("dt", seed=0).fit(remedied).predict(test)
+        base_acc = float((base_pred == test.y).mean())
+        fair_acc = float((fair_pred == test.y).mean())
+        assert base_acc - fair_acc < 0.1
+
+    def test_unfair_subgroup_count_shrinks(self, dt_predictions):
+        train, test, base_pred = dt_predictions
+        remedied = remedy_dataset(
+            train, 0.1, technique="undersampling", seed=0
+        ).dataset
+        fair_pred = make_model("dt", seed=0).fit(remedied).predict(test)
+        before = len(unfair_subgroups(test, base_pred, "fpr", tau_d=0.1, min_size=30))
+        after = len(unfair_subgroups(test, fair_pred, "fpr", tau_d=0.1, min_size=30))
+        assert after < before

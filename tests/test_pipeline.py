@@ -1,0 +1,70 @@
+"""Unit tests for repro.core.pipeline (public RemedyPipeline API)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RemedyConfig, RemedyPipeline, identify_ibs
+from repro.errors import ExperimentError
+
+
+class TestRemedyConfig:
+    def test_defaults_match_paper(self):
+        cfg = RemedyConfig()
+        assert cfg.tau_c == 0.1
+        assert cfg.T == 1.0
+        assert cfg.k == 30
+        assert cfg.technique == "preferential"
+        assert cfg.scope == "lattice"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tau_c": -0.1},
+            {"T": 0.5},
+            {"k": -1},
+            {"technique": "bogus"},
+            {"scope": "bogus"},
+            {"method": "bogus"},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ExperimentError):
+            RemedyConfig(**kwargs)
+
+
+class TestRemedyPipeline:
+    def test_identify_matches_direct_call(self, biased_dataset):
+        pipeline = RemedyPipeline(RemedyConfig(tau_c=0.3, k=10))
+        via_pipeline = {r.pattern for r in pipeline.identify(biased_dataset)}
+        direct = {
+            r.pattern for r in identify_ibs(biased_dataset, 0.3, T=1.0, k=10)
+        }
+        assert via_pipeline == direct
+
+    def test_transform_reduces_ibs(self, biased_dataset):
+        pipeline = RemedyPipeline(RemedyConfig(tau_c=0.3, k=10, technique="massaging"))
+        remedied = pipeline.transform(biased_dataset)
+        before = len(pipeline.identify(biased_dataset))
+        after = len(pipeline.identify(remedied))
+        assert after < before
+
+    def test_last_result_available_after_transform(self, biased_dataset):
+        pipeline = RemedyPipeline(RemedyConfig(tau_c=0.3, k=10))
+        pipeline.transform(biased_dataset)
+        assert pipeline.last_result.n_regions_remedied >= 1
+
+    def test_last_result_before_transform_raises(self):
+        with pytest.raises(ExperimentError):
+            RemedyPipeline().last_result
+
+    def test_fit_model_end_to_end(self, compas_small):
+        pipeline = RemedyPipeline(RemedyConfig(tau_c=0.1, k=30, technique="massaging"))
+        model = pipeline.fit_model(compas_small, model="dt")
+        pred = model.predict(compas_small)
+        assert pred.shape == (compas_small.n_rows,)
+        assert set(np.unique(pred)) <= {0, 1}
+
+    def test_custom_attrs(self, biased_dataset):
+        pipeline = RemedyPipeline(RemedyConfig(tau_c=0.1, k=10), attrs=("a",))
+        reports = pipeline.identify(biased_dataset)
+        assert all(r.pattern.attrs == {"a"} for r in reports)

@@ -1,0 +1,95 @@
+"""Unit tests for repro.core.planning (read-only remedy plans)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    estimate_rows_touched,
+    identify_ibs,
+    plan_remedies,
+    plan_table,
+    remedy_dataset,
+)
+from repro.errors import RemedyError
+
+
+class TestPlanRemedies:
+    def test_grid_shape(self, biased_dataset):
+        plans = plan_remedies(
+            biased_dataset, tau_grid=(0.1, 0.5), T_values=(1.0, 2.0), k=10
+        )
+        assert len(plans) == 4
+        assert {(p.tau_c, p.T) for p in plans} == {
+            (0.1, 1.0), (0.1, 2.0), (0.5, 1.0), (0.5, 2.0)
+        }
+
+    def test_region_counts_match_identify(self, biased_dataset):
+        plans = plan_remedies(biased_dataset, tau_grid=(0.3,), T_values=(1.0,), k=10)
+        direct = identify_ibs(biased_dataset, 0.3, T=1.0, k=10)
+        assert plans[0].n_regions == len(direct)
+
+    def test_monotone_in_tau(self, biased_dataset):
+        plans = plan_remedies(
+            biased_dataset, tau_grid=(0.1, 0.5, 1.5), T_values=(1.0,), k=10
+        )
+        counts = [p.n_regions for p in plans]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_read_only(self, biased_dataset):
+        y_before = biased_dataset.y.copy()
+        n_before = biased_dataset.n_rows
+        plan_remedies(biased_dataset, k=10)
+        assert biased_dataset.n_rows == n_before
+        assert np.array_equal(biased_dataset.y, y_before)
+
+    def test_fraction_consistent(self, biased_dataset):
+        for plan in plan_remedies(biased_dataset, k=10):
+            assert plan.fraction_of_dataset == pytest.approx(
+                plan.estimated_rows_touched / biased_dataset.n_rows
+            )
+
+    def test_estimate_correlates_with_actual_ps_moves(self, biased_dataset):
+        """The estimate is the PS move count, so it should be within a
+        factor of the rows the PS remedy actually touches on pass one."""
+        plans = plan_remedies(
+            biased_dataset, tau_grid=(0.3,), T_values=(1.0,), k=10
+        )
+        actual = remedy_dataset(
+            biased_dataset, 0.3, k=10, technique="preferential", seed=0
+        ).rows_touched
+        estimate = plans[0].estimated_rows_touched
+        assert estimate > 0
+        # The estimate is a conservative upper bound: the remedy recomputes
+        # per node, so fixing deep regions also fixes their ancestors.
+        assert estimate >= actual * 0.8
+        assert estimate <= max(actual, 1) * 12
+
+    def test_empty_dataset_rejected(self, toy_schema):
+        from repro.data import Dataset
+
+        empty = Dataset(
+            toy_schema,
+            {"age": np.zeros(0, int), "sex": np.zeros(0, int), "score": np.zeros(0)},
+            np.zeros(0, int),
+            protected=("age", "sex"),
+        )
+        with pytest.raises(RemedyError):
+            plan_remedies(empty)
+
+    def test_table_renders(self, biased_dataset):
+        text = plan_table(plan_remedies(biased_dataset, k=10))
+        assert "Remedy plans" in text
+        assert "tau_c" in text
+
+
+class TestEstimateRowsTouched:
+    def test_zero_for_empty_ibs(self):
+        assert estimate_rows_touched([]) == 0
+
+    def test_skips_undefined_targets(self, biased_dataset):
+        reports = identify_ibs(biased_dataset, 0.3, k=10)
+        # Manually poison a report's target and check it contributes 0.
+        from dataclasses import replace
+
+        poisoned = [replace(reports[0], neighbor_ratio=-1.0)]
+        assert estimate_rows_touched(poisoned) == 0

@@ -1,0 +1,95 @@
+"""Unit tests for repro.baselines.postprocess (per-group thresholds)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GroupThresholdPostprocessor
+from repro.data import train_test_split
+from repro.data.synth import load_compas
+from repro.errors import DataError, FitError, NotFittedError
+from repro.ml import make_model
+from repro.ml.metrics import fpr
+
+
+@pytest.fixture(scope="module")
+def scored_data():
+    ds = load_compas(4000, seed=11).with_protected(("race", "sex"))
+    train, test = train_test_split(ds, 0.4, seed=0)
+    model = make_model("lg", seed=0).fit(train)
+    return test, model.predict_proba(test)
+
+
+class TestFit:
+    def test_narrows_group_fpr_spread(self, scored_data):
+        test, scores = scored_data
+        default_pred = (scores >= 0.5).astype(np.int8)
+        post = GroupThresholdPostprocessor("fpr", min_group_size=30)
+        adjusted = post.fit(test, scores).predict(test, scores)
+
+        codes, shape = test.joint_codes(test.protected)
+
+        def spread(pred):
+            rates = []
+            for cell in np.unique(codes):
+                sel = codes == cell
+                if sel.sum() < 30:
+                    continue
+                rate = fpr(test.y, pred, sel)
+                if not np.isnan(rate):
+                    rates.append(rate)
+            return max(rates) - min(rates)
+
+        assert spread(adjusted) <= spread(default_pred) + 1e-9
+
+    def test_thresholds_exposed(self, scored_data):
+        test, scores = scored_data
+        post = GroupThresholdPostprocessor("fpr").fit(test, scores)
+        assert post.thresholds
+        assert all(0.0 <= t <= 1.0 + 1e-6 for t in post.thresholds.values())
+
+    def test_small_groups_keep_default_threshold(self, scored_data):
+        test, scores = scored_data
+        post = GroupThresholdPostprocessor("fpr", min_group_size=10**6)
+        adjusted = post.fit(test, scores).predict(test, scores)
+        assert np.array_equal(adjusted, (scores >= 0.5).astype(np.int8))
+
+    def test_fnr_statistic(self, scored_data):
+        test, scores = scored_data
+        post = GroupThresholdPostprocessor("fnr").fit(test, scores)
+        pred = post.predict(test, scores)
+        assert set(np.unique(pred)) <= {0, 1}
+
+    def test_validation(self, scored_data):
+        test, scores = scored_data
+        with pytest.raises(FitError):
+            GroupThresholdPostprocessor("accuracy")
+        with pytest.raises(FitError):
+            GroupThresholdPostprocessor(min_group_size=0)
+        with pytest.raises(DataError):
+            GroupThresholdPostprocessor().fit(test, scores[:5])
+        with pytest.raises(DataError):
+            GroupThresholdPostprocessor().fit(
+                test.with_protected(()), scores
+            )
+
+    def test_unfitted_predict(self, scored_data):
+        test, scores = scored_data
+        with pytest.raises(NotFittedError):
+            GroupThresholdPostprocessor().predict(test, scores)
+        with pytest.raises(NotFittedError):
+            GroupThresholdPostprocessor().thresholds
+
+    def test_deterministic(self, scored_data):
+        test, scores = scored_data
+        a = GroupThresholdPostprocessor("fpr").fit(test, scores).thresholds
+        b = GroupThresholdPostprocessor("fpr").fit(test, scores).thresholds
+        assert a == b
+
+    def test_predict_on_fresh_split(self, scored_data):
+        """Thresholds fitted on one split apply to another."""
+        test, scores = scored_data
+        half = test.n_rows // 2
+        first, second = test.take(np.arange(half)), test.take(np.arange(half, test.n_rows))
+        post = GroupThresholdPostprocessor("fpr").fit(first, scores[:half])
+        pred = post.predict(second, scores[half:])
+        assert pred.shape == (second.n_rows,)

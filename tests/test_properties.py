@@ -1,0 +1,236 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These pin the algebraic properties the paper's algorithms rely on:
+
+* naive and optimized neighbourhood counting are extensionally equal on
+  arbitrary datasets and thresholds (the §III-B optimisation is exact);
+* hierarchy marginalisation conserves counts;
+* samplers land the remedied region's imbalance score on its target;
+* pattern dominance is a partial order;
+* metric identities (FPR/FNR decompositions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Hierarchy,
+    Pattern,
+    hamming_budget,
+    imbalance_score,
+    inclusion_exclusion_coefficients,
+    naive_neighbor_counts,
+    optimized_neighbor_counts,
+    score_difference,
+)
+from repro.data import Dataset, schema_from_domains
+from repro.ml.metrics import accuracy, confusion, error_rate, fnr, fpr
+
+
+# -- dataset strategy ----------------------------------------------------------
+
+@st.composite
+def small_datasets(draw):
+    """Random categorical dataset with 2-3 protected attrs, 20-120 rows."""
+    n_attrs = draw(st.integers(2, 3))
+    cards = [draw(st.integers(2, 4)) for __ in range(n_attrs)]
+    n_rows = draw(st.integers(20, 120))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    names = [f"x{i}" for i in range(n_attrs)]
+    schema = schema_from_domains(
+        {name: tuple(f"v{j}" for j in range(card)) for name, card in zip(names, cards)}
+    )
+    columns = {
+        name: rng.integers(0, card, size=n_rows)
+        for name, card in zip(names, cards)
+    }
+    y = rng.integers(0, 2, size=n_rows)
+    return Dataset(schema, columns, y, protected=tuple(names))
+
+
+# -- neighbourhood equivalence ---------------------------------------------------
+
+class TestNeighborhoodEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(small_datasets(), st.floats(1.0, 3.0))
+    def test_naive_equals_optimized(self, dataset, T):
+        h = Hierarchy(dataset)
+        for level in h.levels():
+            for node in h.nodes_at_level(level):
+                for pattern, __, __n in node.iter_regions(min_size=1):
+                    assert naive_neighbor_counts(
+                        node, pattern, T
+                    ) == optimized_neighbor_counts(h, pattern, T)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_datasets())
+    def test_neighborhood_bounded_by_node(self, dataset):
+        h = Hierarchy(dataset)
+        for level in h.levels():
+            for node in h.nodes_at_level(level):
+                for pattern, pos, neg in node.iter_regions(min_size=1):
+                    npos, nneg = optimized_neighbor_counts(h, pattern, 1.0)
+                    assert 0 <= npos <= node.total_pos - pos
+                    assert 0 <= nneg <= node.total_neg - neg
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_datasets())
+    def test_full_T_neighborhood_is_complement(self, dataset):
+        h = Hierarchy(dataset)
+        T = float(len(dataset.protected))
+        for level in h.levels():
+            for node in h.nodes_at_level(level):
+                for pattern, pos, neg in node.iter_regions(min_size=1):
+                    npos, nneg = optimized_neighbor_counts(h, pattern, T)
+                    assert (npos, nneg) == (
+                        node.total_pos - pos,
+                        node.total_neg - neg,
+                    )
+
+
+class TestCoefficients:
+    @given(st.integers(1, 8), st.integers(1, 8))
+    def test_budget_one_always_paper_formula(self, d, budget):
+        budget = min(budget, d)
+        coeffs = inclusion_exclusion_coefficients(d, budget)
+        assert len(coeffs) == budget + 1
+        if budget == 1:
+            assert coeffs == [-d, 1]
+
+    @given(st.floats(1.0, 10.0), st.integers(1, 8))
+    def test_hamming_budget_bounds(self, T, d):
+        b = hamming_budget(T, d)
+        assert 1 <= b <= d
+
+
+# -- hierarchy conservation --------------------------------------------------------
+
+class TestHierarchyConservation:
+    @settings(max_examples=30, deadline=None)
+    @given(small_datasets())
+    def test_every_node_conserves_totals(self, dataset):
+        h = Hierarchy(dataset)
+        for level in h.levels():
+            for node in h.nodes_at_level(level):
+                assert node.total_pos == dataset.n_positive
+                assert node.total_neg == dataset.n_negative
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_datasets())
+    def test_node_counts_match_masks(self, dataset):
+        h = Hierarchy(dataset)
+        node = h.node(dataset.protected)
+        for pattern, pos, neg in node.iter_regions(min_size=1):
+            assert (pos, neg) == dataset.counts(pattern.assignment)
+
+
+# -- imbalance score algebra ----------------------------------------------------
+
+class TestImbalanceAlgebra:
+    @given(st.integers(0, 1000), st.integers(0, 1000))
+    def test_score_definition(self, pos, neg):
+        score = imbalance_score(pos, neg)
+        if neg == 0:
+            assert score == -1.0
+        else:
+            assert score == pos / neg
+
+    @given(
+        st.integers(0, 500), st.integers(0, 500),
+        st.integers(0, 500), st.integers(0, 500),
+    )
+    def test_difference_symmetric_and_nonnegative(self, p1, n1, p2, n2):
+        a = imbalance_score(p1, n1)
+        b = imbalance_score(p2, n2)
+        assert score_difference(a, b) == score_difference(b, a)
+        assert score_difference(a, b) >= 0
+        assert score_difference(a, a) == 0
+
+
+# -- sampler postconditions ---------------------------------------------------------
+
+class TestSamplerPostconditions:
+    @settings(max_examples=25, deadline=None)
+    @given(small_datasets(), st.sampled_from(["oversampling", "undersampling"]))
+    def test_uniform_samplers_hit_target(self, dataset, technique):
+        """Definition 6 up to integer rounding: after an (unclamped) update
+        toward target ``t``, the linear form of Eq. 1 holds within half a
+        row: ``|new_pos - t * new_neg| <= 0.5 * max(1, t)``.  (The *ratio*
+        error can be large when few rows remain; the linear form is the
+        exact statement of what rounding ``p_r``/``n_r`` guarantees.)"""
+        from repro.core import apply_technique, region_report
+        from repro.core.samplers import MAX_GROWTH_FACTOR
+
+        h = Hierarchy(dataset)
+        node = h.node(dataset.protected)
+        rng = np.random.default_rng(0)
+        for pattern, pos, neg in node.iter_regions(min_size=4):
+            report = region_report(h, node, pattern, pos, neg, 1.0)
+            t = report.neighbor_ratio
+            if t < 0 or report.difference == 0:
+                continue
+            outcome = apply_technique(technique, dataset, report, rng)
+            if outcome is None:
+                continue
+            out, update = outcome
+            if update.rows_touched >= MAX_GROWTH_FACTOR * report.size:
+                continue  # oversampling hit its growth cap; Eq. 1 unreachable
+            new_pos, new_neg = pattern.counts(out)
+            assert abs(new_pos - t * new_neg) <= 0.5 * max(1.0, t) + 1e-6
+            break  # one region per generated dataset keeps the test fast
+
+
+# -- pattern dominance is a partial order ---------------------------------------------
+
+patterns = st.builds(
+    Pattern,
+    st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c", "d"]), st.integers(0, 3)),
+        max_size=4,
+        unique_by=lambda t: t[0],
+    ),
+)
+
+
+class TestDominanceOrder:
+    @given(patterns)
+    def test_reflexive(self, p):
+        assert p.is_dominated_by(p)
+
+    @given(patterns, patterns)
+    def test_antisymmetric(self, p, q):
+        if p.is_dominated_by(q) and q.is_dominated_by(p):
+            assert p == q
+
+    @given(patterns, patterns, patterns)
+    def test_transitive(self, p, q, r):
+        if p.is_dominated_by(q) and q.is_dominated_by(r):
+            assert p.is_dominated_by(r)
+
+    @given(patterns)
+    def test_drop_generalises(self, p):
+        for attr in p.attrs:
+            assert p.is_dominated_by(p.drop(attr))
+
+
+# -- metric identities ------------------------------------------------------------
+
+class TestMetricIdentities:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(2, 200), st.integers(0, 10_000))
+    def test_confusion_partitions(self, n, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, n)
+        pred = rng.integers(0, 2, n)
+        tp, fp, tn, fn = confusion(y, pred)
+        assert tp + fp + tn + fn == n
+        assert accuracy(y, pred) == pytest.approx((tp + tn) / n)
+        assert error_rate(y, pred) == pytest.approx((fp + fn) / n)
+        if fp + tn > 0:
+            assert fpr(y, pred) == pytest.approx(fp / (fp + tn))
+        if tp + fn > 0:
+            assert fnr(y, pred) == pytest.approx(fn / (tp + fn))

@@ -1,0 +1,161 @@
+"""Property-based tests, part 2: remedy, auditing and weighting invariants.
+
+Complements ``test_properties.py`` with invariants over the higher layers:
+the remedy's effect on imbalance differences, the auditor's counts versus
+direct mask computation, the CSV round-trip, and the independence property
+of the reweighting baselines — all over randomly generated datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.audit import find_divergent_subgroups
+from repro.baselines import fairbalance_weights, reweighting_weights
+from repro.core import Hierarchy, identify_ibs, remedy_dataset
+from repro.data import Dataset, read_csv, schema_from_domains, write_csv
+from repro.ml.metrics import statistic
+
+
+@st.composite
+def labelled_datasets(draw, min_rows=30, max_rows=150):
+    """Random 2-attribute categorical dataset with both classes present."""
+    card_a = draw(st.integers(2, 4))
+    card_b = draw(st.integers(2, 3))
+    n_rows = draw(st.integers(min_rows, max_rows))
+    seed = draw(st.integers(0, 100_000))
+    rng = np.random.default_rng(seed)
+    schema = schema_from_domains(
+        {
+            "a": tuple(f"a{i}" for i in range(card_a)),
+            "b": tuple(f"b{i}" for i in range(card_b)),
+        }
+    )
+    y = rng.integers(0, 2, size=n_rows)
+    y[0], y[1] = 0, 1  # both classes guaranteed
+    return Dataset(
+        schema,
+        {"a": rng.integers(0, card_a, n_rows), "b": rng.integers(0, card_b, n_rows)},
+        y,
+        protected=("a", "b"),
+    )
+
+
+class TestRemedyProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(labelled_datasets(), st.sampled_from(["undersampling", "massaging"]))
+    def test_leaf_remedy_hits_recorded_targets(self, dataset, technique):
+        """Leaf-scope updates leave each region's rows under its own control
+        (cells are disjoint), so every updated region's post-remedy ratio
+        must land near the neighbourhood target recorded at identification
+        time — Definition 6 made checkable.  (Lattice-scope passes interact
+        across levels; the paper's §VI limitation means no such guarantee
+        holds there, which is why this property pins the leaf scope.)"""
+        tau_c = 0.3
+        targets = {
+            r.pattern: r.neighbor_ratio
+            for r in identify_ibs(dataset, tau_c, k=5, scope="leaf")
+        }
+        result = remedy_dataset(
+            dataset, tau_c, k=5, technique=technique, scope="leaf", seed=0
+        )
+        for update in result.updates:
+            target = targets.get(update.pattern)
+            if target is None or target < 0:
+                continue
+            pos, neg = update.pattern.counts(result.dataset)
+            if pos == 0 and neg == 0:
+                continue
+            # Linear form of Eq. 1: rounding k by <= 0.5 moves
+            # (new_pos - t*new_neg) by at most 0.5*(1+t) for the flip/swap
+            # techniques and 0.5*max(1, t) for the uniform ones; use the
+            # larger bound uniformly.
+            assert abs(pos - target * neg) <= 0.5 * (1.0 + target) + 1e-6
+
+    @settings(max_examples=20, deadline=None)
+    @given(labelled_datasets())
+    def test_massaging_conserves_rows_and_columns(self, dataset):
+        result = remedy_dataset(dataset, 0.3, k=5, technique="massaging", seed=0)
+        assert result.dataset.n_rows == dataset.n_rows
+        assert np.array_equal(result.dataset.column("a"), dataset.column("a"))
+        assert np.array_equal(result.dataset.column("b"), dataset.column("b"))
+
+    @settings(max_examples=20, deadline=None)
+    @given(labelled_datasets())
+    def test_undersampling_only_removes(self, dataset):
+        result = remedy_dataset(dataset, 0.3, k=5, technique="undersampling", seed=0)
+        assert result.dataset.n_rows <= dataset.n_rows
+
+
+class TestAuditorProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(labelled_datasets(), st.sampled_from(["fpr", "fnr", "error_rate"]))
+    def test_reported_statistics_match_masks(self, dataset, gamma):
+        rng = np.random.default_rng(1)
+        pred = rng.integers(0, 2, dataset.n_rows)
+        for report in find_divergent_subgroups(dataset, pred, gamma=gamma):
+            mask = report.pattern.mask(dataset)
+            direct = statistic(gamma, dataset.y, pred, mask)
+            assert report.gamma_group == pytest.approx(direct)
+
+    @settings(max_examples=15, deadline=None)
+    @given(labelled_datasets())
+    def test_subgroup_count_matches_lattice(self, dataset):
+        """Every populated cell of every subset appears exactly once."""
+        pred = dataset.y.copy()
+        reports = find_divergent_subgroups(dataset, pred, gamma="error_rate")
+        patterns = [r.pattern for r in reports]
+        assert len(patterns) == len(set(patterns))
+        h = Hierarchy(dataset)
+        expected = sum(
+            1
+            for level in h.levels()
+            for node in h.nodes_at_level(level)
+            for __ in node.iter_regions(min_size=1)
+        )
+        assert len(patterns) == expected
+
+
+class TestWeightingProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(labelled_datasets())
+    def test_reweighting_enforces_independence(self, dataset):
+        # Kamiran-Calders: in every mixed cell the *weighted* positive rate
+        # equals the original global rate P(y=1) (single-class cells keep
+        # unit weights and are excluded by construction).
+        w = reweighting_weights(dataset)
+        codes, shape = dataset.joint_codes(dataset.protected)
+        overall = dataset.n_positive / dataset.n_rows
+        for cell in np.unique(codes):
+            sel = codes == cell
+            if not ((dataset.y[sel] == 1).any() and (dataset.y[sel] == 0).any()):
+                continue
+            rate = w[sel & (dataset.y == 1)].sum() / w[sel].sum()
+            assert rate == pytest.approx(overall, abs=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(labelled_datasets())
+    def test_fairbalance_is_balanced(self, dataset):
+        w = fairbalance_weights(dataset)
+        codes, __ = dataset.joint_codes(dataset.protected)
+        for cell in np.unique(codes):
+            sel = codes == cell
+            pos = sel & (dataset.y == 1)
+            neg = sel & (dataset.y == 0)
+            if pos.any() and neg.any():
+                assert w[pos].sum() == pytest.approx(w[neg].sum(), rel=1e-9)
+
+
+class TestPersistenceProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(labelled_datasets())
+    def test_csv_roundtrip_identity(self, tmp_path_factory, dataset):
+        path = tmp_path_factory.mktemp("csv") / "data.csv"
+        write_csv(dataset, path)
+        back = read_csv(path, dataset.schema, protected=dataset.protected)
+        assert back.n_rows == dataset.n_rows
+        assert np.array_equal(back.y, dataset.y)
+        assert np.array_equal(back.column("a"), dataset.column("a"))
+        assert np.array_equal(back.column("b"), dataset.column("b"))

@@ -1,0 +1,46 @@
+"""Public-API hygiene: every exported name exists and imports cleanly."""
+
+import importlib
+
+import pytest
+
+PACKAGES = (
+    "repro",
+    "repro.data",
+    "repro.data.synth",
+    "repro.ml",
+    "repro.core",
+    "repro.audit",
+    "repro.baselines",
+    "repro.experiments",
+)
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+class TestPublicApi:
+    def test_imports(self, package):
+        importlib.import_module(package)
+
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        exported = getattr(module, "__all__", [])
+        for name in exported:
+            assert hasattr(module, name), f"{package}.__all__ lists missing {name}"
+
+    def test_no_duplicate_exports(self, package):
+        module = importlib.import_module(package)
+        exported = list(getattr(module, "__all__", []))
+        assert len(exported) == len(set(exported))
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_cli_module_importable():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    assert parser.prog == "repro"

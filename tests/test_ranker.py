@@ -1,0 +1,65 @@
+"""Unit tests for repro.core.ranker (borderline-instance ranking)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BorderlineRanker
+from repro.errors import FitError
+
+
+class TestRanker:
+    def test_fit_requires_both_classes(self, biased_dataset):
+        all_pos = biased_dataset.take(biased_dataset.y == 1)
+        with pytest.raises(FitError):
+            BorderlineRanker().fit(all_pos)
+
+    def test_unfitted_raises(self, biased_dataset):
+        with pytest.raises(FitError):
+            BorderlineRanker().positive_scores(biased_dataset)
+
+    def test_scores_shape_and_range(self, biased_dataset):
+        ranker = BorderlineRanker().fit(biased_dataset)
+        scores = ranker.positive_scores(biased_dataset)
+        assert scores.shape == (biased_dataset.n_rows,)
+        assert ((0 <= scores) & (scores <= 1)).all()
+
+    def test_scores_correlate_with_labels(self, compas_small):
+        ranker = BorderlineRanker().fit(compas_small)
+        scores = ranker.positive_scores(compas_small)
+        assert scores[compas_small.y == 1].mean() > scores[compas_small.y == 0].mean()
+
+    def test_borderline_positives_ranking(self, biased_dataset):
+        ranker = BorderlineRanker().fit(biased_dataset)
+        pos_idx = np.flatnonzero(biased_dataset.y == 1)
+        top = ranker.borderline_positives(biased_dataset, pos_idx, 5)
+        assert len(top) == 5
+        scores = ranker.positive_scores(biased_dataset)
+        # Selected positives must have the *lowest* positive scores.
+        threshold = np.sort(scores[pos_idx])[4]
+        assert (scores[top] <= threshold + 1e-12).all()
+
+    def test_borderline_negatives_ranking(self, biased_dataset):
+        ranker = BorderlineRanker().fit(biased_dataset)
+        neg_idx = np.flatnonzero(biased_dataset.y == 0)
+        top = ranker.borderline_negatives(biased_dataset, neg_idx, 5)
+        scores = ranker.positive_scores(biased_dataset)
+        threshold = np.sort(scores[neg_idx])[::-1][4]
+        assert (scores[top] >= threshold - 1e-12).all()
+
+    def test_k_larger_than_candidates(self, biased_dataset):
+        ranker = BorderlineRanker().fit(biased_dataset)
+        idx = np.array([0, 1, 2])
+        top = ranker.borderline_positives(biased_dataset, idx, 100)
+        assert len(top) == 3
+
+    def test_k_zero_or_empty(self, biased_dataset):
+        ranker = BorderlineRanker().fit(biased_dataset)
+        assert ranker.borderline_positives(biased_dataset, np.array([1, 2]), 0).size == 0
+        assert ranker.borderline_positives(biased_dataset, np.array([], dtype=int), 5).size == 0
+
+    def test_deterministic(self, biased_dataset):
+        ranker = BorderlineRanker().fit(biased_dataset)
+        idx = np.flatnonzero(biased_dataset.y == 1)
+        a = ranker.borderline_positives(biased_dataset, idx, 7)
+        b = ranker.borderline_positives(biased_dataset, idx, 7)
+        assert np.array_equal(a, b)

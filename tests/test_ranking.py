@@ -1,0 +1,82 @@
+"""Unit tests for repro.ml.ranking (ROC AUC)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.ml import group_auc_divergence, roc_auc
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(y, scores) == 1.0
+
+    def test_inverted_separation(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc(y, scores) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 10_000)
+        scores = rng.random(10_000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.02)
+
+    def test_ties_get_midrank(self):
+        # One positive and one negative with identical scores -> AUC 0.5.
+        y = np.array([0, 1])
+        scores = np.array([0.5, 0.5])
+        assert roc_auc(y, scores) == pytest.approx(0.5)
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 200)
+        y[:2] = [0, 1]
+        scores = rng.random(200)
+        pos = scores[y == 1]
+        neg = scores[y == 0]
+        wins = (pos[:, None] > neg[None, :]).sum()
+        ties = (pos[:, None] == neg[None, :]).sum()
+        expected = (wins + 0.5 * ties) / (len(pos) * len(neg))
+        assert roc_auc(y, scores) == pytest.approx(expected)
+
+    def test_single_class_nan(self):
+        assert math.isnan(roc_auc(np.ones(5, int), np.random.rand(5)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataError):
+            roc_auc(np.array([0, 1]), np.array([0.5]))
+
+    def test_model_auc_beats_chance(self, compas_small):
+        from repro.data import train_test_split
+        from repro.ml import make_model
+
+        train, test = train_test_split(compas_small, 0.3, seed=0)
+        scores = make_model("lg").fit(train).predict_proba(test)
+        assert roc_auc(test.y, scores) > 0.6
+
+
+class TestGroupAucDivergence:
+    def test_zero_for_identical_distribution(self):
+        rng = np.random.default_rng(2)
+        n = 20_000
+        y = rng.integers(0, 2, n)
+        scores = np.where(y == 1, rng.normal(1, 1, n), rng.normal(0, 1, n))
+        mask = rng.random(n) < 0.5  # random group: same score distribution
+        assert group_auc_divergence(y, scores, mask) < 0.02
+
+    def test_nan_for_single_class_group(self):
+        y = np.array([0, 1, 1, 1])
+        scores = np.array([0.1, 0.9, 0.8, 0.7])
+        mask = np.array([False, True, True, True])  # group has no negatives
+        assert math.isnan(group_auc_divergence(y, scores, mask))
+
+    def test_mask_shape_checked(self):
+        with pytest.raises(DataError):
+            group_auc_divergence(
+                np.array([0, 1]), np.array([0.1, 0.9]), np.array([True])
+            )

@@ -1,0 +1,107 @@
+"""Unit tests for repro.core.remedy (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import identify_ibs, remedy_dataset
+from repro.core.samplers import TECHNIQUES
+from repro.errors import RemedyError
+
+
+class TestRemedy:
+    @pytest.mark.parametrize("technique", TECHNIQUES)
+    def test_reduces_ibs(self, biased_dataset, technique):
+        before = identify_ibs(biased_dataset, tau_c=0.3, T=1.0, k=10)
+        result = remedy_dataset(
+            biased_dataset, tau_c=0.3, T=1.0, k=10, technique=technique, seed=1
+        )
+        after = identify_ibs(result.dataset, tau_c=0.3, T=1.0, k=10)
+        assert len(after) < len(before)
+        assert result.n_regions_remedied > 0
+
+    def test_input_not_modified(self, biased_dataset):
+        y_before = biased_dataset.y.copy()
+        n_before = biased_dataset.n_rows
+        remedy_dataset(biased_dataset, tau_c=0.1, k=10, technique="massaging")
+        assert biased_dataset.n_rows == n_before
+        assert np.array_equal(biased_dataset.y, y_before)
+
+    def test_initial_ibs_recorded(self, biased_dataset):
+        result = remedy_dataset(biased_dataset, tau_c=0.3, k=10)
+        direct = identify_ibs(biased_dataset, tau_c=0.3, k=10)
+        assert {r.pattern for r in result.initial_ibs} == {
+            r.pattern for r in direct
+        }
+
+    def test_deterministic_given_seed(self, biased_dataset):
+        a = remedy_dataset(biased_dataset, 0.3, k=10, technique="undersampling", seed=5)
+        b = remedy_dataset(biased_dataset, 0.3, k=10, technique="undersampling", seed=5)
+        assert a.dataset.n_rows == b.dataset.n_rows
+        assert np.array_equal(a.dataset.y, b.dataset.y)
+        assert a.updates == b.updates
+
+    def test_unknown_technique(self, biased_dataset):
+        with pytest.raises(RemedyError):
+            remedy_dataset(biased_dataset, 0.3, technique="alchemy")
+
+    def test_empty_dataset_rejected(self, toy_schema):
+        from repro.data import Dataset
+
+        empty = Dataset(
+            toy_schema,
+            {"age": np.zeros(0, int), "sex": np.zeros(0, int), "score": np.zeros(0)},
+            np.zeros(0, int),
+            protected=("age", "sex"),
+        )
+        with pytest.raises(RemedyError):
+            remedy_dataset(empty, 0.3)
+
+    def test_huge_tau_is_noop(self, biased_dataset):
+        result = remedy_dataset(biased_dataset, tau_c=1e9, k=10, technique="massaging")
+        assert result.n_regions_remedied == 0
+        assert np.array_equal(result.dataset.y, biased_dataset.y)
+
+    def test_scope_leaf_only_touches_leaf_regions(self, biased_dataset):
+        result = remedy_dataset(
+            biased_dataset, tau_c=0.3, k=10, scope="leaf", technique="massaging"
+        )
+        assert all(u.pattern.level == 2 for u in result.updates)
+
+    def test_scope_top_only_touches_level_one(self, biased_dataset):
+        result = remedy_dataset(
+            biased_dataset, tau_c=0.1, k=10, scope="top", technique="massaging"
+        )
+        assert all(u.pattern.level == 1 for u in result.updates)
+
+    def test_rows_touched_accounting(self, biased_dataset):
+        result = remedy_dataset(biased_dataset, 0.3, k=10, technique="massaging")
+        changed = int((result.dataset.y != biased_dataset.y).sum())
+        assert changed == result.rows_touched
+
+    def test_massaging_preserves_row_count(self, biased_dataset):
+        result = remedy_dataset(biased_dataset, 0.3, k=10, technique="massaging")
+        assert result.dataset.n_rows == biased_dataset.n_rows
+
+    def test_custom_attrs(self, biased_dataset):
+        result = remedy_dataset(
+            biased_dataset, 0.1, k=10, attrs=("a",), technique="undersampling"
+        )
+        assert all(u.pattern.attrs == {"a"} for u in result.updates)
+
+    def test_remedied_differences_shrink(self, biased_dataset):
+        """Post-remedy, the planted region's difference must have shrunk."""
+        from repro.core import Pattern, Hierarchy, region_report
+
+        pattern = Pattern([("a", 0), ("b", 0)])
+        before_h = Hierarchy(biased_dataset)
+        node = before_h.node(("a", "b"))
+        before = region_report(
+            before_h, node, pattern, *node.counts_of(pattern), 1.0
+        )
+        result = remedy_dataset(
+            biased_dataset, 0.3, T=1.0, k=10, technique="undersampling"
+        )
+        after_h = Hierarchy(result.dataset)
+        node = after_h.node(("a", "b"))
+        after = region_report(after_h, node, pattern, *node.counts_of(pattern), 1.0)
+        assert after.difference < before.difference

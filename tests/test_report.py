@@ -1,0 +1,53 @@
+"""Tests for repro.experiments.report (one-shot report generator)."""
+
+import pytest
+
+from repro.experiments.report import Report, ReportScale, generate_report
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    scale = ReportScale(
+        adult_rows=3000,
+        compas_rows=1500,
+        lawschool_rows=1200,
+        models=("dt",),
+        scalability_rows=2000,
+        scalability_attrs=(2, 4),
+    )
+    return generate_report(scale)
+
+
+class TestGenerateReport:
+    def test_all_sections_present(self, small_report):
+        titles = [s.title for s in small_report.sections]
+        for artefact in (
+            "Table II",
+            "Fig. 3",
+            "Fig. 4",
+            "Fig. 5",
+            "Fig. 6",
+            "Fig. 7",
+            "Fig. 8",
+            "Table III",
+            "Fig. 9a",
+        ):
+            assert any(artefact in t for t in titles), artefact
+
+    def test_sections_timed(self, small_report):
+        assert all(s.seconds >= 0 for s in small_report.sections)
+
+    def test_markdown_renders_every_section(self, small_report):
+        md = small_report.to_markdown()
+        assert md.startswith("# Regenerated evaluation artefacts")
+        for section in small_report.sections:
+            assert section.title in md
+        assert md.count("```") == 2 * len(small_report.sections)
+
+    def test_scale_recorded(self, small_report):
+        assert "Adult=3000" in small_report.to_markdown()
+
+    def test_empty_report_markdown(self):
+        report = Report(ReportScale())
+        md = report.to_markdown()
+        assert "Regenerated evaluation artefacts" in md

@@ -1,0 +1,40 @@
+"""Unit tests for repro.experiments.reporting."""
+
+from repro.experiments.reporting import format_cell, format_table
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(0.123456, precision=3) == "0.123"
+
+    def test_nan_renders_dash(self):
+        assert format_cell(float("nan")) == "-"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_other_types(self):
+        assert format_cell(42) == "42"
+        assert format_cell("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(("name", "v"), [("a", 1.0), ("longer", 2.0)])
+        lines = out.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all same width
+
+    def test_title(self):
+        out = format_table(("x",), [(1,)], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_header_and_separator(self):
+        out = format_table(("col",), [(1,)])
+        lines = out.splitlines()
+        assert lines[0].strip() == "col"
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_empty_rows(self):
+        out = format_table(("a", "b"), [])
+        assert "a" in out and "b" in out

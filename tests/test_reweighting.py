@@ -1,0 +1,88 @@
+"""Unit tests for repro.baselines.reweighting (Reweighting and FairBalance)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import fairbalance_weights, reweighting_weights
+from repro.errors import DataError
+
+
+class TestReweighting:
+    def test_weighted_independence(self, biased_dataset):
+        """After weighting, P_w(y=1 | g) is the same for every subgroup."""
+        w = reweighting_weights(biased_dataset)
+        codes, shape = biased_dataset.joint_codes(biased_dataset.protected)
+        overall = (
+            w[biased_dataset.y == 1].sum() / w.sum()
+        )
+        for cell in range(int(np.prod(shape))):
+            sel = codes == cell
+            if sel.sum() == 0:
+                continue
+            cell_pos = w[sel & (biased_dataset.y == 1)].sum()
+            cell_total = w[sel].sum()
+            if cell_total > 0 and (sel & (biased_dataset.y == 1)).any() and (
+                sel & (biased_dataset.y == 0)
+            ).any():
+                assert cell_pos / cell_total == pytest.approx(overall, abs=1e-9)
+
+    def test_group_mass_preserved(self, biased_dataset):
+        w = reweighting_weights(biased_dataset)
+        codes, shape = biased_dataset.joint_codes(biased_dataset.protected)
+        for cell in range(int(np.prod(shape))):
+            sel = codes == cell
+            if sel.any() and (biased_dataset.y[sel] == 1).any() and (
+                biased_dataset.y[sel] == 0
+            ).any():
+                assert w[sel].sum() == pytest.approx(sel.sum(), rel=1e-9)
+
+    def test_weights_positive(self, biased_dataset):
+        assert (reweighting_weights(biased_dataset) > 0).all()
+
+    def test_custom_attrs(self, biased_dataset):
+        w = reweighting_weights(biased_dataset, attrs=("a",))
+        assert w.shape == (biased_dataset.n_rows,)
+
+    def test_no_attrs_rejected(self, biased_dataset):
+        with pytest.raises(DataError):
+            reweighting_weights(biased_dataset.with_protected(()))
+
+
+class TestFairBalance:
+    def test_balanced_classes_per_group(self, biased_dataset):
+        """Each group's positive and negative weighted mass is equal."""
+        w = fairbalance_weights(biased_dataset)
+        codes, shape = biased_dataset.joint_codes(biased_dataset.protected)
+        y = biased_dataset.y
+        for cell in range(int(np.prod(shape))):
+            sel = codes == cell
+            if (sel & (y == 1)).any() and (sel & (y == 0)).any():
+                pos_mass = w[sel & (y == 1)].sum()
+                neg_mass = w[sel & (y == 0)].sum()
+                assert pos_mass == pytest.approx(neg_mass, rel=1e-9)
+
+    def test_group_mass_preserved(self, biased_dataset):
+        w = fairbalance_weights(biased_dataset)
+        codes, __ = biased_dataset.joint_codes(biased_dataset.protected)
+        for cell in np.unique(codes):
+            sel = codes == cell
+            y = biased_dataset.y[sel]
+            if (y == 1).any() and (y == 0).any():
+                assert w[sel].sum() == pytest.approx(sel.sum(), rel=1e-9)
+
+    def test_single_class_cell_halved(self, toy_dataset):
+        # Cell (young, m) is all-positive: w = |g| / (2 |g ∧ y|) = 1/2, so
+        # the lone class carries exactly half the balanced target mass.
+        w = fairbalance_weights(toy_dataset)
+        cell = toy_dataset.mask({"age": 0, "sex": 0})
+        assert np.allclose(w[cell], 0.5)
+
+    def test_weights_shift_downstream_model(self, compas_small):
+        from repro.ml import make_model
+
+        w = fairbalance_weights(compas_small)
+        plain = make_model("lg").fit(compas_small).predict(compas_small)
+        weighted = (
+            make_model("lg").fit(compas_small, sample_weight=w).predict(compas_small)
+        )
+        assert not np.array_equal(plain, weighted)

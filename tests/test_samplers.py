@@ -1,0 +1,190 @@
+"""Unit tests for repro.core.samplers (the four §IV-A techniques)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BorderlineRanker,
+    Hierarchy,
+    Pattern,
+    apply_technique,
+    imbalance_score,
+    region_report,
+)
+from repro.core.samplers import (
+    MASSAGING,
+    OVERSAMPLING,
+    PREFERENTIAL,
+    UNDERSAMPLING,
+    _preferential_k,
+)
+from repro.errors import RemedyError
+
+
+def make_report(dataset, pattern, T=1.0):
+    h = Hierarchy(dataset)
+    node = h.node(tuple(sorted(pattern.attrs)))
+    pos, neg = node.counts_of(pattern)
+    return region_report(h, node, pattern, pos, neg, T)
+
+
+@pytest.fixture
+def planted(biased_dataset):
+    return Pattern([("a", 0), ("b", 0)])
+
+
+def post_ratio(dataset, pattern):
+    pos, neg = pattern.counts(dataset)
+    return imbalance_score(pos, neg)
+
+
+class TestUpdateCountMath:
+    def test_paper_example_8_preferential(self):
+        # (882 - k) / (397 + k) = 0.64  =>  k ~ 384 (the paper rounds).
+        k = _preferential_k(882, 397, 0.64, skew_positive=True)
+        assert k == pytest.approx(384, abs=1)
+
+    def test_preferential_k_other_direction(self):
+        # (10 + k) / (90 - k) = 1  =>  k = 40.
+        k = _preferential_k(10, 90, 1.0, skew_positive=False)
+        assert k == 40
+
+    def test_preferential_k_never_negative(self):
+        assert _preferential_k(1, 100, 1.0, skew_positive=True) == 0
+
+
+class TestOversampling:
+    def test_moves_ratio_to_target(self, biased_dataset, planted):
+        report = make_report(biased_dataset, planted)
+        rng = np.random.default_rng(0)
+        out, update = apply_technique(OVERSAMPLING, biased_dataset, report, rng)
+        achieved = post_ratio(out, planted)
+        assert achieved == pytest.approx(report.neighbor_ratio, abs=0.1)
+        assert update.added_negatives > 0 or update.added_positives > 0
+        assert out.n_rows > biased_dataset.n_rows
+
+    def test_only_adds_rows(self, biased_dataset, planted):
+        report = make_report(biased_dataset, planted)
+        out, update = apply_technique(
+            OVERSAMPLING, biased_dataset, report, np.random.default_rng(0)
+        )
+        assert update.removed_positives == update.removed_negatives == 0
+        assert out.n_rows == biased_dataset.n_rows + update.rows_touched
+
+    def test_rows_outside_region_untouched(self, biased_dataset, planted):
+        report = make_report(biased_dataset, planted)
+        out, __ = apply_technique(
+            OVERSAMPLING, biased_dataset, report, np.random.default_rng(0)
+        )
+        outside = ~planted.mask(out)
+        orig_outside = ~planted.mask(biased_dataset)
+        assert outside.sum() == orig_outside.sum()
+
+
+class TestUndersampling:
+    def test_moves_ratio_to_target(self, biased_dataset, planted):
+        report = make_report(biased_dataset, planted)
+        out, update = apply_technique(
+            UNDERSAMPLING, biased_dataset, report, np.random.default_rng(0)
+        )
+        achieved = post_ratio(out, planted)
+        assert achieved == pytest.approx(report.neighbor_ratio, abs=0.1)
+        assert out.n_rows < biased_dataset.n_rows
+
+    def test_only_removes_rows(self, biased_dataset, planted):
+        report = make_report(biased_dataset, planted)
+        out, update = apply_technique(
+            UNDERSAMPLING, biased_dataset, report, np.random.default_rng(0)
+        )
+        assert update.added_positives == update.added_negatives == 0
+
+
+class TestPreferential:
+    def test_moves_ratio_and_keeps_size(self, biased_dataset, planted):
+        report = make_report(biased_dataset, planted)
+        ranker = BorderlineRanker().fit(biased_dataset)
+        out, update = apply_technique(
+            PREFERENTIAL, biased_dataset, report, np.random.default_rng(0), ranker
+        )
+        achieved = post_ratio(out, planted)
+        assert achieved == pytest.approx(report.neighbor_ratio, abs=0.2)
+        # PS removes k and adds k: total size approximately preserved.
+        assert abs(out.n_rows - biased_dataset.n_rows) <= max(
+            1, abs(update.added_negatives - update.removed_positives)
+        )
+
+    def test_requires_ranker(self, biased_dataset, planted):
+        report = make_report(biased_dataset, planted)
+        with pytest.raises(RemedyError):
+            apply_technique(
+                PREFERENTIAL, biased_dataset, report, np.random.default_rng(0)
+            )
+
+
+class TestMassaging:
+    def test_moves_ratio_without_size_change(self, biased_dataset, planted):
+        report = make_report(biased_dataset, planted)
+        ranker = BorderlineRanker().fit(biased_dataset)
+        out, update = apply_technique(
+            MASSAGING, biased_dataset, report, np.random.default_rng(0), ranker
+        )
+        assert out.n_rows == biased_dataset.n_rows
+        achieved = post_ratio(out, planted)
+        assert achieved == pytest.approx(report.neighbor_ratio, abs=0.2)
+        assert update.flipped_to_negative > 0
+
+    def test_total_flips_bounded_by_region(self, biased_dataset, planted):
+        report = make_report(biased_dataset, planted)
+        ranker = BorderlineRanker().fit(biased_dataset)
+        out, update = apply_technique(
+            MASSAGING, biased_dataset, report, np.random.default_rng(0), ranker
+        )
+        changed = int((out.y != biased_dataset.y).sum())
+        assert changed == update.rows_touched
+        assert changed <= report.size
+
+
+class TestEdgeCases:
+    def test_unknown_technique(self, biased_dataset, planted):
+        report = make_report(biased_dataset, planted)
+        with pytest.raises(RemedyError):
+            apply_technique("shuffle", biased_dataset, report, np.random.default_rng(0))
+
+    def test_undefined_target_skipped(self, biased_dataset, planted):
+        """A neighbourhood with no negatives (-1 target) cannot be remedied."""
+        report = make_report(biased_dataset, planted)
+        fake = type(report)(
+            pattern=report.pattern,
+            pos=report.pos,
+            neg=report.neg,
+            ratio=report.ratio,
+            neighbor_pos=10,
+            neighbor_neg=0,
+            neighbor_ratio=-1.0,
+            difference=float("inf"),
+        )
+        assert (
+            apply_technique(OVERSAMPLING, biased_dataset, fake, np.random.default_rng(0))
+            is None
+        )
+
+    def test_already_balanced_region_noop(self, biased_dataset):
+        """A region already at its neighbourhood ratio yields no update."""
+        pattern = Pattern([("a", 1), ("b", 0)])
+        report = make_report(biased_dataset, pattern)
+        balanced = type(report)(
+            pattern=pattern,
+            pos=report.pos,
+            neg=report.neg,
+            ratio=report.ratio,
+            neighbor_pos=report.pos,
+            neighbor_neg=report.neg,
+            neighbor_ratio=report.ratio,
+            difference=0.0,
+        )
+        assert (
+            apply_technique(
+                UNDERSAMPLING, biased_dataset, balanced, np.random.default_rng(0)
+            )
+            is None
+        )

@@ -1,0 +1,104 @@
+"""Unit tests for repro.data.synth.scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import find_uncovered_patterns
+from repro.core import Pattern, identify_ibs, naive_neighbor_counts, Hierarchy
+from repro.core.imbalance import imbalance_score
+from repro.data.synth import (
+    make_checkerboard,
+    make_gradient,
+    make_single_biased_region,
+    make_undercoverage,
+)
+from repro.errors import DataError
+
+
+class TestCheckerboard:
+    def test_per_attribute_rates_balanced(self):
+        ds = make_checkerboard(6000, seed=1)
+        overall = ds.n_positive / ds.n_rows
+        for attr in ("race", "gender"):
+            for code in (0, 1):
+                mask = ds.mask({attr: code})
+                rate = ds.y[mask].mean()
+                assert abs(rate - overall) < 0.05
+
+    def test_intersections_extreme(self):
+        ds = make_checkerboard(6000, seed=1)
+        hot = ds.y[ds.mask({"race": 0, "gender": 1})].mean()
+        cold = ds.y[ds.mask({"race": 0, "gender": 0})].mean()
+        assert hot > 0.4 and cold < 0.1
+
+    def test_all_cells_in_ibs(self):
+        ds = make_checkerboard(6000, seed=1)
+        patterns = {r.pattern for r in identify_ibs(ds, 0.3, k=30)}
+        for race in (0, 1):
+            for gender in (0, 1):
+                assert Pattern([("race", race), ("gender", gender)]) in patterns
+
+
+class TestUndercoverage:
+    def test_cell_is_starved(self):
+        ds = make_undercoverage(3000, starved_fraction=0.02, seed=2)
+        pos, neg = ds.counts({"g": 0, "h": 0})
+        assert pos + neg < 30
+
+    def test_uncovered_but_not_biased(self):
+        """The distinction behind Table III: Coverage flags it, IBS doesn't."""
+        ds = make_undercoverage(3000, starved_fraction=0.02, seed=2)
+        uncovered = {u.pattern for u in find_uncovered_patterns(ds, 30)}
+        assert Pattern([("g", 0), ("h", 0)]) in uncovered
+        # The starved cell is too small to clear the IBS size floor, and the
+        # rest of the data is class-balanced, so the IBS is (near) empty.
+        ibs = identify_ibs(ds, tau_c=0.3, k=30)
+        assert Pattern([("g", 0), ("h", 0)]) not in {r.pattern for r in ibs}
+
+    def test_fraction_validated(self):
+        with pytest.raises(DataError):
+            make_undercoverage(starved_fraction=0.0)
+
+
+class TestSingleBiasedRegion:
+    def test_exactly_one_leaf_region_biased(self):
+        ds = make_single_biased_region(4000, seed=3)
+        leaf_ibs = [
+            r for r in identify_ibs(ds, tau_c=1.0, k=30) if r.pattern.level == 2
+        ]
+        assert len(leaf_ibs) == 1
+        assert leaf_ibs[0].pattern == Pattern([("a", 0), ("b", 0)])
+
+    def test_rates_as_configured(self):
+        ds = make_single_biased_region(4000, biased_rate=0.85, base_rate=0.25, seed=3)
+        hot = ds.y[ds.mask({"a": 0, "b": 0})].mean()
+        rest = ds.y[~ds.mask({"a": 0, "b": 0})].mean()
+        assert hot > 0.75
+        assert abs(rest - 0.25) < 0.05
+
+
+class TestGradient:
+    def test_rate_monotone_in_level(self):
+        ds = make_gradient(6000, n_levels=5, seed=4)
+        rates = [ds.y[ds.mask({"level": i})].mean() for i in range(5)]
+        assert all(b > a for a, b in zip(rates[:-1], rates[1:]))
+
+    def test_ordinal_metric_sees_smaller_gap_at_extremes(self):
+        """Under ordinal T=1 the top level compares only to its neighbour,
+        so its imbalance difference is smaller than under unit distances."""
+        ds = make_gradient(6000, n_levels=5, seed=4)
+        h = Hierarchy(ds, attrs=("level",))
+        node = h.node(("level",))
+        top = Pattern([("level", 4)])
+        pos, neg = node.counts_of(top)
+        ratio = imbalance_score(pos, neg)
+
+        unit = naive_neighbor_counts(node, top, 1.0, metric="euclidean-unit")
+        ordinal = naive_neighbor_counts(node, top, 1.0, metric="ordinal")
+        unit_diff = abs(ratio - imbalance_score(*unit))
+        ordinal_diff = abs(ratio - imbalance_score(*ordinal))
+        assert ordinal_diff < unit_diff
+
+    def test_needs_three_levels(self):
+        with pytest.raises(DataError):
+            make_gradient(n_levels=2)

@@ -1,0 +1,107 @@
+"""Unit tests for repro.data.schema."""
+
+import pytest
+
+from repro.data.schema import (
+    CATEGORICAL,
+    NUMERIC,
+    Column,
+    Schema,
+    schema_from_domains,
+)
+from repro.errors import SchemaError
+
+
+class TestColumn:
+    def test_categorical_roundtrip(self):
+        col = Column("race", CATEGORICAL, ("a", "b", "c"))
+        assert col.cardinality == 3
+        assert col.code_of("b") == 1
+        assert col.label_of(2) == "c"
+
+    def test_numeric_has_no_domain(self):
+        col = Column("age", NUMERIC)
+        assert not col.is_categorical
+        assert col.cardinality == 0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", CATEGORICAL, ("x",))
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("x", "weird", ("a",))
+
+    def test_categorical_needs_domain(self):
+        with pytest.raises(SchemaError):
+            Column("x", CATEGORICAL, ())
+
+    def test_duplicate_domain_values_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("x", CATEGORICAL, ("a", "a"))
+
+    def test_numeric_with_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("x", NUMERIC, ("a",))
+
+    def test_code_of_unknown_label(self):
+        col = Column("x", CATEGORICAL, ("a", "b"))
+        with pytest.raises(SchemaError):
+            col.code_of("z")
+
+    def test_label_of_out_of_range(self):
+        col = Column("x", CATEGORICAL, ("a", "b"))
+        with pytest.raises(SchemaError):
+            col.label_of(5)
+        with pytest.raises(SchemaError):
+            col.label_of(-1)
+
+
+class TestSchema:
+    def test_lookup_and_iteration(self):
+        schema = schema_from_domains({"a": ("x", "y"), "b": ("p", "q", "r")})
+        assert len(schema) == 2
+        assert schema.names == ("a", "b")
+        assert schema["b"].cardinality == 3
+        assert "a" in schema and "z" not in schema
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a", CATEGORICAL, ("x",)), Column("a", NUMERIC)])
+
+    def test_unknown_column_lookup(self):
+        schema = schema_from_domains({"a": ("x",)})
+        with pytest.raises(SchemaError):
+            schema["missing"]
+
+    def test_require(self):
+        schema = schema_from_domains({"a": ("x",), "b": ("y",)})
+        schema.require(["a", "b"])
+        with pytest.raises(SchemaError):
+            schema.require(["a", "nope"])
+
+    def test_require_categorical_rejects_numeric(self):
+        schema = Schema([Column("a", CATEGORICAL, ("x",)), Column("n", NUMERIC)])
+        with pytest.raises(SchemaError):
+            schema.require_categorical(["n"])
+
+    def test_cardinalities_order(self):
+        schema = schema_from_domains({"a": ("x", "y"), "b": ("p", "q", "r")})
+        assert schema.cardinalities(["b", "a"]) == (3, 2)
+
+    def test_subset_preserves_order(self):
+        schema = schema_from_domains({"a": ("x",), "b": ("y",), "c": ("z",)})
+        sub = schema.subset(["c", "a"])
+        assert sub.names == ("c", "a")
+
+    def test_categorical_and_numeric_names(self):
+        schema = Schema([Column("a", CATEGORICAL, ("x",)), Column("n", NUMERIC)])
+        assert schema.categorical_names == ("a",)
+        assert schema.numeric_names == ("n",)
+
+    def test_equality(self):
+        s1 = schema_from_domains({"a": ("x", "y")})
+        s2 = schema_from_domains({"a": ("x", "y")})
+        s3 = schema_from_domains({"a": ("x", "z")})
+        assert s1 == s2
+        assert s1 != s3

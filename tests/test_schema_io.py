@@ -1,0 +1,59 @@
+"""Unit tests for repro.data.schema_io (schema JSON round-trip)."""
+
+import json
+
+import pytest
+
+from repro.data import read_schema, schema_from_dict, schema_to_dict, write_schema
+from repro.errors import SchemaError
+
+
+class TestRoundTrip:
+    def test_roundtrip(self, toy_dataset, tmp_path):
+        path = tmp_path / "schema.json"
+        write_schema(toy_dataset, path)
+        schema, protected = read_schema(path)
+        assert schema == toy_dataset.schema
+        assert protected == toy_dataset.protected
+
+    def test_dict_roundtrip(self, toy_dataset):
+        payload = schema_to_dict(toy_dataset.schema, toy_dataset.protected)
+        schema, protected = schema_from_dict(payload)
+        assert schema == toy_dataset.schema
+        assert protected == toy_dataset.protected
+
+    def test_json_is_stable(self, toy_dataset, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_schema(toy_dataset, a)
+        write_schema(toy_dataset, b)
+        assert a.read_text() == b.read_text()
+
+
+class TestValidation:
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(SchemaError):
+            read_schema(path)
+
+    def test_missing_columns_key(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"protected": []}))
+        with pytest.raises(SchemaError):
+            read_schema(path)
+
+    def test_unknown_kind(self):
+        with pytest.raises(SchemaError):
+            schema_from_dict({"columns": [{"name": "x", "kind": "blob"}]})
+
+    def test_protected_must_be_categorical(self):
+        payload = {
+            "columns": [{"name": "x", "kind": "numeric"}],
+            "protected": ["x"],
+        }
+        with pytest.raises(SchemaError):
+            schema_from_dict(payload)
+
+    def test_categorical_without_domain(self):
+        with pytest.raises(SchemaError):
+            schema_from_dict({"columns": [{"name": "x", "kind": "categorical"}]})

@@ -1,0 +1,88 @@
+"""Unit tests for repro.core.serialize (JSON audit trails)."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    Pattern,
+    pattern_from_dict,
+    pattern_to_dict,
+    read_audit_trail,
+    remedy_dataset,
+    report_from_dict,
+    report_to_dict,
+    update_from_dict,
+    update_to_dict,
+    write_audit_trail,
+)
+from repro.core.ibs import identify_ibs
+from repro.errors import DataError
+
+
+class TestPatternRoundTrip:
+    def test_roundtrip(self):
+        p = Pattern([("race", 1), ("age", 0)])
+        assert pattern_from_dict(pattern_to_dict(p)) == p
+
+    def test_empty_pattern(self):
+        assert pattern_from_dict(pattern_to_dict(Pattern())) == Pattern()
+
+    def test_malformed(self):
+        with pytest.raises(DataError):
+            pattern_from_dict({"nope": []})
+        with pytest.raises(DataError):
+            pattern_from_dict({"items": [["a"]]})
+
+
+class TestReportAndUpdateRoundTrip:
+    def test_report_roundtrip(self, biased_dataset):
+        for report in identify_ibs(biased_dataset, 0.2, k=10):
+            back = report_from_dict(report_to_dict(report))
+            assert back == report
+
+    def test_update_roundtrip(self, biased_dataset):
+        result = remedy_dataset(biased_dataset, 0.2, k=10, technique="massaging")
+        for update in result.updates:
+            assert update_from_dict(update_to_dict(update)) == update
+
+    def test_malformed_report(self):
+        with pytest.raises(DataError):
+            report_from_dict({"pattern": {"items": []}})
+
+    def test_malformed_update(self):
+        with pytest.raises(DataError):
+            update_from_dict({"technique": "x"})
+
+
+class TestAuditTrail:
+    def test_write_read_roundtrip(self, biased_dataset, tmp_path):
+        result = remedy_dataset(
+            biased_dataset, 0.2, k=10, technique="undersampling", seed=1
+        )
+        path = tmp_path / "trail.json"
+        write_audit_trail(result, path)
+        reports, updates = read_audit_trail(path)
+        assert tuple(reports) == result.initial_ibs
+        assert tuple(updates) == result.updates
+
+    def test_json_structure(self, biased_dataset, tmp_path):
+        result = remedy_dataset(biased_dataset, 0.2, k=10, technique="massaging")
+        path = tmp_path / "trail.json"
+        write_audit_trail(result, path)
+        payload = json.loads(path.read_text())
+        assert payload["rows_touched"] == result.rows_touched
+        assert payload["n_rows_after"] == result.dataset.n_rows
+        assert len(payload["updates"]) == result.n_regions_remedied
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        with pytest.raises(DataError):
+            read_audit_trail(path)
+
+    def test_wrong_top_level_type(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(DataError):
+            read_audit_trail(path)

@@ -1,0 +1,58 @@
+"""Unit tests for repro.audit.significance."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.audit import bernoulli_t_test, welch_t_test
+
+
+class TestWelch:
+    def test_matches_scipy_on_raw_samples(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 1.0, 40)
+        b = rng.normal(0.7, 1.5, 60)
+        t_ours, p_ours = welch_t_test(
+            a.mean(), a.var(ddof=0), len(a), b.mean(), b.var(ddof=0), len(b)
+        )
+        t_ref, p_ref = stats.ttest_ind(a, b, equal_var=False)
+        # ddof conventions differ slightly; allow loose tolerance.
+        assert t_ours == pytest.approx(t_ref, rel=0.05)
+        assert p_ours == pytest.approx(p_ref, rel=0.2, abs=0.01)
+
+    def test_identical_means_not_significant(self):
+        t, p = welch_t_test(0.5, 0.25, 100, 0.5, 0.25, 100)
+        assert t == 0.0
+        assert p == 1.0
+
+    def test_tiny_samples_never_significant(self):
+        assert welch_t_test(0.0, 0.0, 1, 1.0, 0.0, 100) == (0.0, 1.0)
+
+    def test_zero_variance_different_means(self):
+        t, p = welch_t_test(0.0, 0.0, 50, 1.0, 0.0, 50)
+        assert math.isinf(t)
+        assert p == 0.0
+
+    def test_large_gap_significant(self):
+        __, p = welch_t_test(0.9, 0.09, 200, 0.1, 0.09, 200)
+        assert p < 1e-6
+
+
+class TestBernoulli:
+    def test_obvious_difference(self):
+        __, p = bernoulli_t_test(90, 100, 10, 100)
+        assert p < 1e-6
+
+    def test_no_difference(self):
+        __, p = bernoulli_t_test(50, 100, 500, 1000)
+        assert p > 0.9
+
+    def test_empty_side(self):
+        assert bernoulli_t_test(0, 0, 5, 10) == (0.0, 1.0)
+
+    def test_p_value_bounds(self):
+        for s1, n1, s2, n2 in [(1, 3, 2, 5), (0, 10, 10, 10), (7, 7, 0, 7)]:
+            __, p = bernoulli_t_test(s1, n1, s2, n2)
+            assert 0.0 <= p <= 1.0

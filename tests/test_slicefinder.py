@@ -1,0 +1,109 @@
+"""Unit tests for repro.audit.slicefinder."""
+
+import numpy as np
+import pytest
+
+from repro.audit import ProblematicSlice, effect_size, find_problematic_slices
+from repro.core import Pattern
+from repro.data.synth import make_single_biased_region
+from repro.errors import DataError
+
+
+@pytest.fixture
+def planted_error_slice():
+    """Dataset + predictions wrong mostly inside cell (a=0, b=0)."""
+    ds = make_single_biased_region(3000, seed=5)
+    pred = ds.y.copy()
+    cell = ds.mask({"a": 0, "b": 0})
+    rng = np.random.default_rng(0)
+    flip = cell & (rng.random(ds.n_rows) < 0.6)
+    pred[flip] = 1 - pred[flip]
+    return ds, pred, cell
+
+
+class TestEffectSize:
+    def test_zero_when_equal(self):
+        assert effect_size(0.3, 0.21, 0.3, 0.21) == 0.0
+
+    def test_sign_follows_difference(self):
+        assert effect_size(0.5, 0.25, 0.1, 0.09) > 0
+        assert effect_size(0.1, 0.09, 0.5, 0.25) < 0
+
+    def test_degenerate_variance(self):
+        assert effect_size(1.0, 0.0, 0.0, 0.0) == float("inf")
+        assert effect_size(0.5, 0.0, 0.5, 0.0) == 0.0
+
+
+class TestFindProblematicSlices:
+    def test_finds_general_slices_first(self, planted_error_slice):
+        ds, pred, __ = planted_error_slice
+        slices = find_problematic_slices(ds, pred, min_effect=0.3)
+        patterns = {s.pattern for s in slices}
+        # The error mass lives in (a=0, b=0); the most general problematic
+        # slices are its two level-1 projections.
+        assert Pattern([("a", 0)]) in patterns
+        assert Pattern([("b", 0)]) in patterns
+
+    def test_no_returned_slice_specialises_another(self, planted_error_slice):
+        ds, pred, __ = planted_error_slice
+        slices = find_problematic_slices(ds, pred, min_effect=0.3)
+        for s in slices:
+            for t in slices:
+                if s.pattern != t.pattern:
+                    assert not s.pattern.is_dominated_by(t.pattern)
+
+    def test_perfect_model_yields_nothing(self, planted_error_slice):
+        ds, __, __m = planted_error_slice
+        assert find_problematic_slices(ds, ds.y.copy(), min_effect=0.1) == []
+
+    def test_loss_statistics_correct(self, planted_error_slice):
+        ds, pred, __ = planted_error_slice
+        loss = (ds.y != pred).astype(float)
+        for s in find_problematic_slices(ds, pred, min_effect=0.3):
+            mask = s.pattern.mask(ds)
+            assert s.size == int(mask.sum())
+            assert s.slice_loss == pytest.approx(loss[mask].mean())
+            assert s.rest_loss == pytest.approx(loss[~mask].mean())
+            assert s.effect_size >= 0.3
+            assert s.p_value < 0.05
+
+    def test_sorted_by_effect(self, planted_error_slice):
+        ds, pred, __ = planted_error_slice
+        slices = find_problematic_slices(ds, pred, min_effect=0.1)
+        effects = [s.effect_size for s in slices]
+        assert effects == sorted(effects, reverse=True)
+
+    def test_top_k(self, planted_error_slice):
+        ds, pred, __ = planted_error_slice
+        assert len(find_problematic_slices(ds, pred, min_effect=0.1, top_k=1)) <= 1
+
+    def test_min_size_pruning(self, planted_error_slice):
+        ds, pred, __ = planted_error_slice
+        slices = find_problematic_slices(ds, pred, min_effect=0.1, min_size=500)
+        assert all(s.size >= 500 for s in slices)
+
+    def test_max_level(self, planted_error_slice):
+        ds, pred, __ = planted_error_slice
+        slices = find_problematic_slices(ds, pred, min_effect=0.01, max_level=1)
+        assert all(s.pattern.level == 1 for s in slices)
+
+    def test_validation(self, planted_error_slice):
+        ds, pred, __ = planted_error_slice
+        with pytest.raises(DataError):
+            find_problematic_slices(ds, pred[:5])
+        with pytest.raises(DataError):
+            find_problematic_slices(ds.with_protected(()), pred)
+        with pytest.raises(DataError):
+            find_problematic_slices(ds, pred, min_size=0)
+
+    def test_level2_found_when_projections_clean(self):
+        """Errors split across two level-1 values only align at level 2."""
+        ds = make_single_biased_region(4000, seed=9)
+        pred = ds.y.copy()
+        rng = np.random.default_rng(1)
+        # Flip errors in (a=0, b=1) only; a=0 and b=1 projections dilute it.
+        cell = ds.mask({"a": 0, "b": 1})
+        flip = cell & (rng.random(ds.n_rows) < 0.9)
+        pred[flip] = 1 - pred[flip]
+        slices = find_problematic_slices(ds, pred, min_effect=1.0)
+        assert Pattern([("a", 0), ("b", 1)]) in {s.pattern for s in slices}

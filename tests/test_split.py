@@ -1,0 +1,76 @@
+"""Unit tests for repro.data.split."""
+
+import numpy as np
+import pytest
+
+from repro.data import train_test_split, kfold_indices
+from repro.errors import DataError
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, biased_dataset):
+        train, test = train_test_split(biased_dataset, 0.3, seed=0)
+        assert train.n_rows + test.n_rows == biased_dataset.n_rows
+        assert abs(test.n_rows - 0.3 * biased_dataset.n_rows) <= 2
+
+    def test_deterministic(self, biased_dataset):
+        a = train_test_split(biased_dataset, 0.3, seed=5)
+        b = train_test_split(biased_dataset, 0.3, seed=5)
+        assert np.array_equal(a[0].y, b[0].y)
+        assert np.array_equal(a[1].column("a"), b[1].column("a"))
+
+    def test_seed_changes_split(self, biased_dataset):
+        a = train_test_split(biased_dataset, 0.3, seed=1)[1]
+        b = train_test_split(biased_dataset, 0.3, seed=2)[1]
+        assert not np.array_equal(a.column("a"), b.column("a"))
+
+    def test_stratified_preserves_ratio(self, biased_dataset):
+        train, test = train_test_split(biased_dataset, 0.3, seed=0, stratify=True)
+        whole = biased_dataset.n_positive / biased_dataset.n_rows
+        assert abs(train.n_positive / train.n_rows - whole) < 0.05
+        assert abs(test.n_positive / test.n_rows - whole) < 0.05
+
+    def test_unstratified_also_works(self, biased_dataset):
+        train, test = train_test_split(biased_dataset, 0.5, seed=0, stratify=False)
+        assert train.n_rows + test.n_rows == biased_dataset.n_rows
+
+    def test_protected_preserved(self, biased_dataset):
+        train, test = train_test_split(biased_dataset, 0.3, seed=0)
+        assert train.protected == biased_dataset.protected
+        assert test.protected == biased_dataset.protected
+
+    def test_bad_fraction(self, biased_dataset):
+        with pytest.raises(DataError):
+            train_test_split(biased_dataset, 0.0)
+        with pytest.raises(DataError):
+            train_test_split(biased_dataset, 1.0)
+
+    def test_no_row_lost_or_duplicated(self, biased_dataset):
+        train, test = train_test_split(biased_dataset, 0.3, seed=0)
+        merged = np.sort(
+            np.concatenate([train.column("a") * 10 + train.y, test.column("a") * 10 + test.y])
+        )
+        original = np.sort(biased_dataset.column("a") * 10 + biased_dataset.y)
+        assert np.array_equal(merged, original)
+
+
+class TestKFold:
+    def test_partition(self):
+        folds = kfold_indices(10, 3, seed=0)
+        assert len(folds) == 3
+        all_idx = np.sort(np.concatenate(folds))
+        assert np.array_equal(all_idx, np.arange(10))
+
+    def test_deterministic(self):
+        a = kfold_indices(20, 4, seed=9)
+        b = kfold_indices(20, 4, seed=9)
+        for fa, fb in zip(a, b):
+            assert np.array_equal(fa, fb)
+
+    def test_too_many_folds(self):
+        with pytest.raises(DataError):
+            kfold_indices(3, 5)
+
+    def test_too_few_folds(self):
+        with pytest.raises(DataError):
+            kfold_indices(10, 1)

@@ -1,0 +1,72 @@
+"""Unit tests for repro.data.summary (dataset profiling)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data import summarize_dataset, summary_table
+
+
+class TestSummarize:
+    def test_header_counts(self, biased_dataset):
+        s = summarize_dataset(biased_dataset)
+        assert s.n_rows == biased_dataset.n_rows
+        assert s.n_positive == biased_dataset.n_positive
+        assert s.protected == biased_dataset.protected
+
+    def test_column_profiles(self, toy_dataset):
+        s = summarize_dataset(toy_dataset)
+        by_name = {c.name: c for c in s.columns}
+        assert by_name["age"].cardinality == 3
+        assert by_name["age"].top_value in ("young", "mid", "old")
+        assert math.isnan(by_name["age"].mean)
+        assert by_name["score"].cardinality == 0
+        assert by_name["score"].mean == pytest.approx(
+            float(toy_dataset.column("score").mean())
+        )
+
+    def test_top_fraction_correct(self, biased_dataset):
+        s = summarize_dataset(biased_dataset)
+        col = next(c for c in s.columns if c.name == "a")
+        counts = np.bincount(biased_dataset.column("a"))
+        assert col.top_fraction == pytest.approx(
+            counts.max() / biased_dataset.n_rows
+        )
+
+    def test_group_rates(self, biased_dataset):
+        s = summarize_dataset(biased_dataset)
+        for g in s.group_rates:
+            code = biased_dataset.schema[g.attribute].code_of(g.value)
+            mask = biased_dataset.column(g.attribute) == code
+            assert g.size == int(mask.sum())
+            assert g.positive_rate == pytest.approx(
+                float(biased_dataset.y[mask].mean())
+            )
+
+    def test_leaf_regions_sorted_by_size(self, biased_dataset):
+        s = summarize_dataset(biased_dataset)
+        sizes = [r.size for r in s.leaf_regions]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_max_regions_truncates(self, biased_dataset):
+        s = summarize_dataset(biased_dataset, max_regions=2)
+        assert len(s.leaf_regions) == 2
+
+    def test_region_counts_match_dataset(self, biased_dataset):
+        s = summarize_dataset(biased_dataset)
+        assert sum(r.size for r in s.leaf_regions) <= biased_dataset.n_rows
+
+
+class TestSummaryTable:
+    def test_renders_all_sections(self, biased_dataset):
+        text = summary_table(summarize_dataset(biased_dataset))
+        assert "columns" in text
+        assert "protected groups" in text
+        assert "largest leaf regions" in text
+        assert str(biased_dataset.n_rows) in text
+
+    def test_no_protected_attrs_still_renders(self, biased_dataset):
+        view = biased_dataset.with_protected(())
+        text = summary_table(summarize_dataset(view))
+        assert "protected: (none)" in text

@@ -1,0 +1,170 @@
+"""Tests for the synthetic dataset generators (repro.data.synth)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Hierarchy, Pattern, identify_ibs
+from repro.data.synth import (
+    BiasInjection,
+    CategoricalSpec,
+    GeneratorConfig,
+    NumericSpec,
+    generate,
+    load_adult,
+    load_adult_scalability,
+    load_compas,
+    load_lawschool,
+    make_scalability_config,
+    uniform_marginal,
+)
+from repro.errors import DataError
+
+
+class TestSpecs:
+    def test_marginal_length_mismatch(self):
+        with pytest.raises(DataError):
+            CategoricalSpec("x", ("a", "b"), (1.0,))
+
+    def test_negative_marginal(self):
+        with pytest.raises(DataError):
+            CategoricalSpec("x", ("a", "b"), (-0.5, 1.5))
+
+    def test_signal_out_of_range(self):
+        with pytest.raises(DataError):
+            CategoricalSpec("x", ("a", "b"), (0.5, 0.5), signal=1.5)
+
+    def test_conditional_probs_tilt_direction(self):
+        spec = CategoricalSpec("x", ("a", "b", "c"), (1 / 3,) * 3, signal=0.5)
+        p_pos = spec.conditional_probs(1)
+        p_neg = spec.conditional_probs(0)
+        assert p_pos[-1] > p_neg[-1]  # high codes favoured under y=1
+        assert np.isclose(p_pos.sum(), 1.0)
+
+    def test_zero_signal_is_marginal(self):
+        spec = CategoricalSpec("x", ("a", "b"), (0.7, 0.3))
+        assert np.allclose(spec.conditional_probs(1), spec.probs())
+
+    def test_numeric_spec_bad_std(self):
+        with pytest.raises(DataError):
+            NumericSpec("x", 0.0, 1.0, std=0.0)
+
+    def test_injection_validation(self):
+        with pytest.raises(DataError):
+            BiasInjection({}, 0.5)
+        with pytest.raises(DataError):
+            BiasInjection({"x": "a"}, 1.5)
+
+
+class TestGenerate:
+    def test_deterministic(self):
+        cfg = make_scalability_config(500, 3, seed=3)
+        a, b = generate(cfg), generate(cfg)
+        assert np.array_equal(a.y, b.y)
+        assert np.array_equal(a.column("p0"), b.column("p0"))
+
+    def test_injection_rate_respected(self):
+        cfg = GeneratorConfig(
+            n_rows=4000,
+            categorical=(CategoricalSpec("g", ("a", "b"), (0.5, 0.5)),),
+            protected=("g",),
+            base_positive_rate=0.2,
+            injections=(BiasInjection({"g": "b"}, 0.9),),
+            seed=0,
+        )
+        ds = generate(cfg)
+        in_b = ds.mask({"g": 1})
+        assert ds.y[in_b].mean() > 0.8
+        assert ds.y[~in_b].mean() < 0.3
+
+    def test_later_injection_wins(self):
+        cfg = GeneratorConfig(
+            n_rows=3000,
+            categorical=(
+                CategoricalSpec("g", ("a", "b"), (0.5, 0.5)),
+                CategoricalSpec("h", ("x", "y"), (0.5, 0.5)),
+            ),
+            protected=("g", "h"),
+            base_positive_rate=0.5,
+            injections=(
+                BiasInjection({"g": "b"}, 0.9),
+                BiasInjection({"g": "b", "h": "y"}, 0.05),
+            ),
+            seed=1,
+        )
+        ds = generate(cfg)
+        specific = ds.mask({"g": 1, "h": 1})
+        assert ds.y[specific].mean() < 0.15
+
+    def test_unknown_injection_column(self):
+        with pytest.raises(DataError):
+            GeneratorConfig(
+                n_rows=10,
+                categorical=(CategoricalSpec("g", ("a",), (1.0,)),),
+                injections=(BiasInjection({"zz": "a"}, 0.5),),
+            )
+
+    def test_numeric_signal_separates_classes(self):
+        cfg = GeneratorConfig(
+            n_rows=2000,
+            categorical=(CategoricalSpec("g", ("a", "b"), (0.5, 0.5)),),
+            numeric=(NumericSpec("s", -1.0, 1.0, 0.5),),
+            protected=("g",),
+            seed=2,
+        )
+        ds = generate(cfg)
+        assert ds.column("s")[ds.y == 1].mean() > ds.column("s")[ds.y == 0].mean()
+
+    def test_uniform_marginal(self):
+        assert sum(uniform_marginal(4)) == pytest.approx(1.0)
+
+
+class TestNamedDatasets:
+    def test_compas_shape(self):
+        ds = load_compas(1500, seed=9)
+        assert ds.n_rows == 1500
+        assert ds.protected == ("age", "race", "sex")
+        assert len(ds.schema) == 7  # 6 categorical + 1 numeric
+
+    def test_compas_running_example_region_is_biased(self, compas_small):
+        """The paper's Example 4/6 region (age=25-45, priors>3) must be an
+        over-positive region relative to its neighbourhood."""
+        schema = compas_small.schema
+        pattern = Pattern.from_labels(schema, {"age": "25-45", "priors": ">3"})
+        h = Hierarchy(compas_small, attrs=("age", "priors"))
+        pos, neg = h.counts_of(pattern)
+        assert pos > neg  # heavily positive, as in the paper
+
+    def test_compas_has_ibs(self, compas_small):
+        ibs = identify_ibs(compas_small, tau_c=0.1, T=1.0, k=30)
+        assert len(ibs) > 0
+
+    def test_adult_shape(self):
+        ds = load_adult(3000, seed=4)
+        assert ds.n_rows == 3000
+        assert len(ds.protected) == 6
+        assert len(ds.schema) == 13  # Table II: |A| = 13
+
+    def test_adult_scalability_protected_set(self):
+        ds = load_adult_scalability(1000, seed=4)
+        assert len(ds.protected) == 8
+        assert "education" in ds.protected and "occupation" in ds.protected
+
+    def test_adult_positive_rate_realistic(self):
+        ds = load_adult(20000, seed=5)
+        rate = ds.n_positive / ds.n_rows
+        assert 0.15 < rate < 0.35  # real Adult is ~0.25
+
+    def test_lawschool_balanced(self):
+        ds = load_lawschool(2000, seed=3)
+        assert ds.n_rows == 2000
+        assert abs(ds.n_positive - ds.n_negative) <= 1
+        assert len(ds.protected) == 4
+
+    def test_lawschool_has_12_attributes(self):
+        ds = load_lawschool(500, seed=3)
+        assert len(ds.schema) == 12
+
+    def test_generators_deterministic_across_calls(self):
+        a = load_compas(800, seed=11)
+        b = load_compas(800, seed=11)
+        assert np.array_equal(a.y, b.y)

@@ -1,0 +1,40 @@
+"""Unit tests for repro.ml.tuning (paper §V-A.b grid search)."""
+
+import pytest
+
+from repro.errors import FitError
+from repro.ml.tuning import DEFAULT_GRIDS, tune_model
+
+
+class TestTuneModel:
+    def test_returns_fitted_model_and_trace(self, compas_small):
+        model, result = tune_model(
+            "dt", compas_small, grid={"max_depth": (2, 6)}, n_folds=2
+        )
+        pred = model.predict(compas_small)
+        assert pred.shape == (compas_small.n_rows,)
+        assert result.best_params["max_depth"] in (2, 6)
+        assert len(result.scores) == 2
+
+    def test_best_params_used(self, compas_small):
+        model, result = tune_model(
+            "dt", compas_small, grid={"max_depth": (3,)}, n_folds=2
+        )
+        assert model.estimator.max_depth == 3
+
+    def test_lg_default_grid(self, compas_small):
+        model, result = tune_model("lg", compas_small, n_folds=2)
+        assert "l2" in result.best_params
+        acc = (model.predict(compas_small) == compas_small.y).mean()
+        assert acc > 0.55
+
+    def test_unknown_model(self, compas_small):
+        with pytest.raises(FitError):
+            tune_model("svm", compas_small)
+
+    def test_default_grids_cover_all_models(self):
+        assert set(DEFAULT_GRIDS) == {"dt", "rf", "lg", "nn", "gb"}
+
+    def test_case_insensitive(self, compas_small):
+        model, __ = tune_model("DT", compas_small, grid={"max_depth": (4,)}, n_folds=2)
+        assert model is not None
