@@ -1,12 +1,15 @@
 # Development workflow shortcuts.
 
-.PHONY: install test bench bench-full examples report clean
+.PHONY: install test lint bench bench-full examples report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	pytest tests/
+
+lint:
+	PYTHONPATH=src python -m repro.analysis src/repro --baseline analysis-baseline.json
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

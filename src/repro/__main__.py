@@ -5,4 +5,7 @@ import sys
 from repro.cli import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `repro audit ... | head`
+        sys.exit(141)

@@ -1,0 +1,75 @@
+"""Static analysis enforcing the repo's determinism, dependency and API
+contracts (see docs/static_analysis.md).
+
+A small AST-walking engine (:mod:`repro.analysis.engine`) dispatches each
+node to pluggable rules; the shipped rules R001–R006 gate forbidden
+imports, global-RNG usage, mutable defaults, bare asserts, public-API
+drift and set iteration in result-producing code.  Findings ratchet via a
+JSON baseline (:mod:`repro.analysis.baseline`) and are reported by
+``python -m repro.analysis`` / ``repro analyze``
+(:mod:`repro.analysis.runner`).
+"""
+
+from repro.analysis.baseline import (
+    BaselineDiff,
+    diff_against_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import (
+    Analyzer,
+    FileContext,
+    Finding,
+    PARSE_ERROR_ID,
+    ProjectContext,
+    Rule,
+    SEVERITIES,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    analyze_paths,
+    iter_python_files,
+    module_all,
+    suppressed_rules_by_line,
+)
+from repro.analysis.rules import (
+    BareAssertRule,
+    ForbiddenImportRule,
+    MutableDefaultRule,
+    PublicApiContractRule,
+    RULE_CLASSES,
+    RULE_IDS,
+    SANCTIONED_PACKAGES,
+    SetIterationRule,
+    UnseededRandomnessRule,
+    default_rules,
+)
+
+__all__ = [
+    "Analyzer",
+    "FileContext",
+    "Finding",
+    "ProjectContext",
+    "Rule",
+    "analyze_paths",
+    "iter_python_files",
+    "module_all",
+    "suppressed_rules_by_line",
+    "SEVERITIES",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "PARSE_ERROR_ID",
+    "BaselineDiff",
+    "load_baseline",
+    "write_baseline",
+    "diff_against_baseline",
+    "BareAssertRule",
+    "ForbiddenImportRule",
+    "MutableDefaultRule",
+    "PublicApiContractRule",
+    "SetIterationRule",
+    "UnseededRandomnessRule",
+    "RULE_CLASSES",
+    "RULE_IDS",
+    "SANCTIONED_PACKAGES",
+    "default_rules",
+]

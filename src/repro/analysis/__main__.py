@@ -1,0 +1,11 @@
+"""Module entry point: ``python -m repro.analysis <paths> ...``."""
+
+import sys
+
+from repro.analysis.runner import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `... --format json | head`
+        sys.exit(141)

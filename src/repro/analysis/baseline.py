@@ -1,0 +1,103 @@
+"""Baseline (ratchet) mechanism for analysis findings.
+
+A baseline file records the fingerprints of known, tolerated findings so
+the analyzer can gate on *new* violations only.  The workflow:
+
+* ``python -m repro.analysis src/repro --baseline analysis-baseline.json``
+  fails iff a finding is not in the baseline;
+* ``--update-baseline`` rewrites the file with the current findings;
+* entries whose finding disappeared are reported as *stale* so the
+  baseline only ever shrinks (the ratchet).
+
+Fingerprints exclude line/column (see :meth:`Finding.fingerprint`) so a
+baselined finding survives unrelated edits to the same file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import Finding
+from repro.errors import AnalysisError
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineDiff:
+    """Findings split against a baseline: new, tolerated, and stale entries."""
+
+    new: tuple[Finding, ...]
+    baselined: tuple[Finding, ...]
+    stale: tuple[str, ...]
+
+
+def load_baseline(path: Path | str) -> frozenset[str]:
+    """Read a baseline file into a set of fingerprints.
+
+    A missing file is an empty baseline; a malformed one raises
+    :class:`AnalysisError` (silently ignoring it would un-gate the build).
+    """
+    path = Path(path)
+    if not path.exists():
+        return frozenset()
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise AnalysisError(f"baseline {path} is malformed: missing 'entries'")
+    entries = payload["entries"]
+    if not isinstance(entries, list):
+        raise AnalysisError(f"baseline {path} is malformed: 'entries' not a list")
+    fingerprints: set[str] = set()
+    for entry in entries:
+        try:
+            fingerprints.add(
+                f"{entry['path']}::{entry['rule']}::{entry['message']}"
+            )
+        except (TypeError, KeyError) as exc:
+            raise AnalysisError(
+                f"baseline {path} has a malformed entry: {entry!r}"
+            ) from exc
+    return frozenset(fingerprints)
+
+
+def write_baseline(path: Path | str, findings: Sequence[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count.
+
+    Entries are stored human-readably (path / rule / message) and sorted so
+    the file diffs cleanly under version control.
+    """
+    entries = sorted(
+        {
+            (f.path, f.rule_id, f.message)
+            for f in findings
+        }
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"path": p, "rule": r, "message": m} for p, r, m in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return len(entries)
+
+
+def diff_against_baseline(
+    findings: Sequence[Finding], baseline: frozenset[str]
+) -> BaselineDiff:
+    """Split ``findings`` into new vs baselined, and spot stale entries."""
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    seen: set[str] = set()
+    for finding in findings:
+        fp = finding.fingerprint()
+        seen.add(fp)
+        (baselined if fp in baseline else new).append(finding)
+    stale = tuple(sorted(baseline - seen))
+    return BaselineDiff(new=tuple(new), baselined=tuple(baselined), stale=stale)

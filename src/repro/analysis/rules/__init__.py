@@ -1,0 +1,55 @@
+"""Repo-specific analysis rules (R001–R006) and their registry."""
+
+from __future__ import annotations
+
+from repro.analysis.rules.api import PublicApiContractRule
+from repro.analysis.rules.asserts import BareAssertRule
+from repro.analysis.rules.defaults import MutableDefaultRule
+from repro.analysis.rules.imports import SANCTIONED_PACKAGES, ForbiddenImportRule
+from repro.analysis.rules.iteration import RESULT_SUBPACKAGES, SetIterationRule
+from repro.analysis.rules.randomness import SEEDABLE_CONSTRUCTORS, UnseededRandomnessRule
+
+from repro.analysis.engine import Rule
+from repro.errors import AnalysisError as _AnalysisError
+
+#: Every rule class shipped with the analyzer, in rule-id order.
+RULE_CLASSES: tuple[type[Rule], ...] = (
+    ForbiddenImportRule,
+    UnseededRandomnessRule,
+    MutableDefaultRule,
+    BareAssertRule,
+    PublicApiContractRule,
+    SetIterationRule,
+)
+
+RULE_IDS: tuple[str, ...] = tuple(cls.rule_id for cls in RULE_CLASSES)
+
+
+def default_rules(only: tuple[str, ...] | None = None) -> tuple[Rule, ...]:
+    """Instantiate the default rule set, optionally restricted to ``only`` ids."""
+    if only is not None:
+        unknown = sorted(set(only) - set(RULE_IDS))
+        if unknown:
+            raise _AnalysisError(f"unknown rule ids: {', '.join(unknown)}")
+    rules = tuple(cls() for cls in RULE_CLASSES)
+    if only is None:
+        return rules
+    wanted = set(only)
+    return tuple(rule for rule in rules if rule.rule_id in wanted)
+
+
+__all__ = [
+    "Rule",
+    "ForbiddenImportRule",
+    "UnseededRandomnessRule",
+    "MutableDefaultRule",
+    "BareAssertRule",
+    "PublicApiContractRule",
+    "SetIterationRule",
+    "SANCTIONED_PACKAGES",
+    "SEEDABLE_CONSTRUCTORS",
+    "RESULT_SUBPACKAGES",
+    "RULE_CLASSES",
+    "RULE_IDS",
+    "default_rules",
+]

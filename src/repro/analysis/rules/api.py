@@ -1,0 +1,147 @@
+"""R005 — public-API contract.
+
+Two complementary checks keep the package's export surface honest:
+
+* **``__all__`` drift** in package ``__init__`` modules: every name listed
+  in ``__all__`` must actually be bound in the module (stale entries are
+  errors), and every public name imported at package level must appear in
+  ``__all__`` (silent exports are warnings).
+* **Documentation contract** in ordinary modules: any top-level function or
+  class whose name is re-exported through some package's ``__all__`` (the
+  project-wide export surface from :class:`ProjectContext`) must carry a
+  docstring; exported functions must additionally annotate every parameter
+  and the return type.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import (
+    FileContext,
+    Finding,
+    Rule,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    module_all,
+)
+
+
+class PublicApiContractRule(Rule):
+    """Flag ``__all__`` drift and undocumented / unannotated exports."""
+
+    rule_id = "R005"
+    description = (
+        "__all__ must match real bindings; exported defs need docstrings "
+        "and full annotations"
+    )
+    severity = SEVERITY_ERROR
+    interests = ()
+
+    def end_file(self, ctx: FileContext) -> Iterable[Finding]:
+        """Run both checks on the finished file."""
+        if ctx.is_package_init:
+            yield from self._check_init(ctx)
+        else:
+            yield from self._check_module(ctx)
+
+    # -- package __init__ ----------------------------------------------------
+
+    def _check_init(self, ctx: FileContext) -> Iterable[Finding]:
+        bound: set[str] = set()
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                if isinstance(node, ast.ImportFrom) and node.module == "__future__":
+                    continue  # __future__ features are not re-exports
+                for alias in node.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        bound.add(target.id)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    bound.add(node.target.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+        exported = module_all(ctx.tree)
+        if exported is None:
+            yield self.finding(
+                ctx,
+                ctx.tree,
+                "package __init__ defines no literal __all__; the public "
+                "surface is implicit",
+                severity=SEVERITY_WARNING,
+            )
+            return
+        for name in exported:
+            if name not in bound:
+                yield self.finding(
+                    ctx,
+                    ctx.tree,
+                    f"{name!r} is listed in __all__ but never "
+                    f"imported or defined in this package __init__",
+                )
+        listed = set(exported)
+        for name in sorted(bound):
+            if name.startswith("_") or name in listed:
+                continue
+            yield self.finding(
+                ctx,
+                ctx.tree,
+                f"{name!r} is imported at package level but missing from "
+                f"__all__",
+                severity=SEVERITY_WARNING,
+            )
+
+    # -- ordinary modules ----------------------------------------------------
+
+    def _check_module(self, ctx: FileContext) -> Iterable[Finding]:
+        exported = ctx.project.exported_names
+        if not exported:
+            return
+        for node in ctx.tree.body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if node.name.startswith("_") or node.name not in exported:
+                continue
+            kind = "class" if isinstance(node, ast.ClassDef) else "function"
+            if ast.get_docstring(node) is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"exported {kind} {node.name!r} has no docstring",
+                )
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_signature(node, ctx)
+
+    def _check_signature(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef, ctx: FileContext
+    ) -> Iterable[Finding]:
+        args = node.args
+        params = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        missing = [
+            p.arg
+            for p in params
+            if p.annotation is None and p.arg not in ("self", "cls")
+        ]
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append("*" + args.vararg.arg)
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append("**" + args.kwarg.arg)
+        if missing:
+            yield self.finding(
+                ctx,
+                node,
+                f"exported function {node.name!r} has unannotated "
+                f"parameters: {', '.join(missing)}",
+            )
+        if node.returns is None:
+            yield self.finding(
+                ctx,
+                node,
+                f"exported function {node.name!r} has no return annotation",
+            )

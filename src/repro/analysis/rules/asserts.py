@@ -1,0 +1,33 @@
+"""R004 — bare ``assert`` in library code.
+
+``assert`` disappears under ``python -O`` and raises an untyped
+``AssertionError`` callers cannot distinguish from test failures.  Library
+code must raise the typed exceptions from :mod:`repro.errors`
+(``NotFittedError``, ``InternalError``, ...) so invariant violations stay
+observable and catchable in production.  Tests are the right home for
+``assert`` and are simply not analysed by ``make lint``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import FileContext, Finding, Rule, SEVERITY_ERROR
+
+
+class BareAssertRule(Rule):
+    """Flag every ``assert`` statement in analysed (library) files."""
+
+    rule_id = "R004"
+    description = "library code must raise typed exceptions, not assert"
+    severity = SEVERITY_ERROR
+    interests = (ast.Assert,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        yield self.finding(
+            ctx,
+            node,
+            "bare assert in library code; raise a typed exception from "
+            "repro.errors instead",
+        )

@@ -1,0 +1,58 @@
+"""R003 — mutable default arguments.
+
+``def f(xs=[])`` shares one list across every call; the same trap applies
+to dict/set literals, comprehensions and bare ``list()``/``dict()``/
+``set()`` constructor calls in default position.  Defaults must be
+immutable (use ``None`` + an in-body fallback).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import FileContext, Finding, Rule, SEVERITY_ERROR
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray", "defaultdict"})
+
+
+class MutableDefaultRule(Rule):
+    """Flag list/dict/set (literal or constructor) default arguments."""
+
+    rule_id = "R003"
+    description = "default argument values must be immutable"
+    severity = SEVERITY_ERROR
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        args = node.args  # type: ignore[union-attr]
+        defaults = list(args.defaults) + [d for d in args.kw_defaults if d is not None]
+        name = getattr(node, "name", "<lambda>")
+        for default in defaults:
+            if isinstance(default, _MUTABLE_LITERALS):
+                yield self.finding(
+                    ctx,
+                    default,
+                    f"mutable default argument in {name!r}; use None and "
+                    f"build the value inside the function",
+                )
+            elif (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CONSTRUCTORS
+            ):
+                yield self.finding(
+                    ctx,
+                    default,
+                    f"mutable default argument ({default.func.id}()) in "
+                    f"{name!r}; use None and build the value inside the "
+                    f"function",
+                )

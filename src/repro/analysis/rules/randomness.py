@@ -1,0 +1,145 @@
+"""R002 — unseeded / global-state randomness.
+
+Every stochastic step in the pipeline (sampling remedies, train/test
+splits, synthetic data) must flow through ``np.random.default_rng(seed)``
+or an explicitly passed ``Generator`` so runs are reproducible.  The rule
+flags the two ways global RNG state sneaks in:
+
+* legacy ``np.random.<fn>()`` calls (``rand``, ``randint``, ``seed``, ...)
+  that read or mutate numpy's hidden global state;
+* the stdlib ``random`` module in any form.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import FileContext, Finding, Rule, SEVERITY_ERROR
+
+#: Attributes of ``numpy.random`` that construct explicit, seedable state.
+SEEDABLE_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+class UnseededRandomnessRule(Rule):
+    """Flag global-state RNG usage (legacy numpy API, stdlib random)."""
+
+    rule_id = "R002"
+    description = (
+        "randomness must use np.random.default_rng(seed) or a passed "
+        "Generator, never global RNG state"
+    )
+    severity = SEVERITY_ERROR
+    interests = (ast.Import, ast.ImportFrom, ast.Call)
+
+    def begin_file(self, ctx: FileContext) -> None:
+        """Reset the per-file alias tables."""
+        self._numpy_aliases: set[str] = set()
+        self._numpy_random_aliases: set[str] = set()
+        self._stdlib_random_aliases: set[str] = set()
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if isinstance(node, ast.Import):
+            yield from self._visit_import(node, ctx)
+        elif isinstance(node, ast.ImportFrom):
+            yield from self._visit_import_from(node, ctx)
+        elif isinstance(node, ast.Call):
+            yield from self._visit_call(node, ctx)
+
+    def _visit_import(self, node: ast.Import, ctx: FileContext) -> Iterable[Finding]:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "numpy":
+                self._numpy_aliases.add(bound)
+            elif alias.name == "numpy.random":
+                if alias.asname:
+                    self._numpy_random_aliases.add(alias.asname)
+                else:
+                    self._numpy_aliases.add("numpy")
+            elif alias.name == "random":
+                self._stdlib_random_aliases.add(bound)
+        return ()
+
+    def _visit_import_from(
+        self, node: ast.ImportFrom, ctx: FileContext
+    ) -> Iterable[Finding]:
+        if node.level:
+            return
+        if node.module == "random":
+            yield self.finding(
+                ctx,
+                node,
+                "stdlib 'random' uses global RNG state; use "
+                "np.random.default_rng(seed) instead",
+            )
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in SEEDABLE_CONSTRUCTORS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"numpy.random.{alias.name} uses the legacy global "
+                        f"RNG; use np.random.default_rng(seed) instead",
+                    )
+        elif node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self._numpy_random_aliases.add(alias.asname or "random")
+
+    def _visit_call(self, node: ast.Call, ctx: FileContext) -> Iterable[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        attr = func.attr
+        value = func.value
+        # np.random.<fn>(...) — three-deep attribute chain.
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self._numpy_aliases
+        ):
+            yield from self._check_numpy_attr(node, attr, ctx)
+        # npr.<fn>(...) where npr aliases numpy.random.
+        elif isinstance(value, ast.Name) and value.id in self._numpy_random_aliases:
+            yield from self._check_numpy_attr(node, attr, ctx)
+        # random.<fn>(...) on the stdlib module.
+        elif isinstance(value, ast.Name) and value.id in self._stdlib_random_aliases:
+            yield self.finding(
+                ctx,
+                node,
+                f"stdlib random.{attr} uses global RNG state; use "
+                f"np.random.default_rng(seed) instead",
+            )
+
+    def _check_numpy_attr(
+        self, node: ast.Call, attr: str, ctx: FileContext
+    ) -> Iterable[Finding]:
+        if attr in SEEDABLE_CONSTRUCTORS:
+            return
+        if attr == "seed":
+            yield self.finding(
+                ctx,
+                node,
+                "np.random.seed mutates global RNG state; construct "
+                "np.random.default_rng(seed) instead",
+            )
+        else:
+            yield self.finding(
+                ctx,
+                node,
+                f"np.random.{attr} uses the legacy global RNG; use "
+                f"np.random.default_rng(seed) or a passed Generator",
+            )

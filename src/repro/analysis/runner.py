@@ -1,0 +1,181 @@
+"""Command-line runner: ``python -m repro.analysis`` / ``repro analyze``.
+
+Exit status is the gate: 0 when every finding is baselined (or none
+exist), 1 when new findings appear, 2 on usage/configuration errors.
+Output is either compiler-style text or a SARIF-lite JSON document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import (
+    diff_against_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import Finding, analyze_paths
+from repro.analysis.rules import RULE_CLASSES, default_rules
+from repro.errors import AnalysisError
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+FORMAT_TEXT = "text"
+FORMAT_JSON = "json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the analysis runner."""
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description=(
+            "AST-based static analysis enforcing the repo's determinism, "
+            "dependency and API contracts"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyse (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="JSON baseline of tolerated findings (missing file = empty)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline with the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=(FORMAT_TEXT, FORMAT_JSON),
+        default=FORMAT_TEXT,
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the available rules and exit",
+    )
+    return parser
+
+
+def list_rules() -> str:
+    """Human-readable table of the registered rules."""
+    lines = []
+    for cls in RULE_CLASSES:
+        lines.append(f"{cls.rule_id}  [{cls.severity:7s}]  {cls.description}")
+    return "\n".join(lines)
+
+
+def render_text(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    stale: Sequence[str],
+) -> str:
+    """Render findings as compiler-style lines plus a summary."""
+    lines = [f.format() for f in new]
+    summary = (
+        f"{len(new)} new finding{'s' if len(new) != 1 else ''}, "
+        f"{len(baselined)} baselined, {len(stale)} stale baseline "
+        f"entr{'ies' if len(stale) != 1 else 'y'}"
+    )
+    for fingerprint in stale:
+        lines.append(f"stale baseline entry (fixed? run --update-baseline): {fingerprint}")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    stale: Sequence[str],
+) -> str:
+    """Render findings as a SARIF-lite JSON document."""
+    payload = {
+        "version": "repro-analysis/1",
+        "rules": [
+            {
+                "id": cls.rule_id,
+                "severity": cls.severity,
+                "description": cls.description,
+            }
+            for cls in RULE_CLASSES
+        ],
+        "findings": [f.to_dict() for f in new],
+        "baselined": [f.to_dict() for f in baselined],
+        "staleBaselineEntries": list(stale),
+        "summary": {
+            "new": len(new),
+            "baselined": len(baselined),
+            "stale": len(stale),
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def run(
+    paths: Sequence[str],
+    baseline_path: str | None = None,
+    update_baseline: bool = False,
+    output_format: str = FORMAT_TEXT,
+    rule_ids: Sequence[str] | None = None,
+    stream: object = None,
+) -> int:
+    """Analyse ``paths`` and report; returns the process exit code."""
+    out = stream if stream is not None else sys.stdout
+    try:
+        rules = default_rules(tuple(rule_ids) if rule_ids is not None else None)
+        findings = analyze_paths([Path(p) for p in paths], rules)
+        if update_baseline:
+            if baseline_path is None:
+                raise AnalysisError("--update-baseline requires --baseline")
+            count = write_baseline(baseline_path, findings)
+            print(
+                f"baseline {baseline_path} updated ({count} entr"
+                f"{'ies' if count != 1 else 'y'})",
+                file=out,
+            )
+            return EXIT_CLEAN
+        baseline = (
+            load_baseline(baseline_path) if baseline_path is not None else frozenset()
+        )
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    diff = diff_against_baseline(findings, baseline)
+    renderer = render_json if output_format == FORMAT_JSON else render_text
+    print(renderer(diff.new, diff.baselined, diff.stale), file=out)
+    return EXIT_FINDINGS if diff.new else EXIT_CLEAN
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro.analysis``."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return EXIT_CLEAN
+    rule_ids = None
+    if args.rules is not None:
+        rule_ids = tuple(part.strip() for part in args.rules.split(",") if part.strip())
+    return run(
+        args.paths,
+        baseline_path=args.baseline,
+        update_baseline=args.update_baseline,
+        output_format=args.format,
+        rule_ids=rule_ids,
+    )

@@ -9,7 +9,9 @@ Commands
 ``audit``     train a downstream model on a train CSV, audit subgroup
               fairness on a test CSV, print unfair subgroups and indexes;
 ``experiment``run one of the paper's experiments by id (fig3, fig4, fig5,
-              fig6, fig7, fig8, table3, fig9) on the synthetic data.
+              fig6, fig7, fig8, table3, fig9) on the synthetic data;
+``analyze``   run the repo's static-analysis rules (R001–R006) over Python
+              sources, gated by an optional baseline file.
 
 Every command that reads a CSV requires the matching ``--schema`` JSON
 (written by ``generate`` or by :func:`repro.data.schema_io.write_schema`).
@@ -270,6 +272,24 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import list_rules, run
+
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    rule_ids = None
+    if args.rules is not None:
+        rule_ids = tuple(part.strip() for part in args.rules.split(",") if part.strip())
+    return run(
+        args.paths,
+        baseline_path=args.baseline,
+        update_baseline=args.update_baseline,
+        output_format=args.format,
+        rule_ids=rule_ids,
+    )
+
+
 # -- parser wiring ---------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -364,6 +384,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--models", nargs="+", default=["dt", "lg"], choices=MODEL_NAMES)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "analyze", help="static-analysis pass over Python sources (R001-R006)"
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyse (default: src/repro)",
+    )
+    p.add_argument("--baseline", default=None, help="JSON baseline of tolerated findings")
+    p.add_argument(
+        "--update-baseline", dest="update_baseline", action="store_true",
+        help="rewrite the baseline with the current findings",
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--rules", default=None, help="comma-separated rule ids to run")
+    p.add_argument(
+        "--list-rules", dest="list_rules", action="store_true",
+        help="print the available rules and exit",
+    )
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("experiment", help="run a paper experiment by id")
     p.add_argument(

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.ibs import identify_ibs
+from repro.core.ibs import RegionReport, identify_ibs
 from repro.core.imbalance import is_undefined
 from repro.core.samplers import _preferential_k
 from repro.data.dataset import Dataset
@@ -45,7 +45,7 @@ class RemedyPlan:
         )
 
 
-def estimate_rows_touched(reports) -> int:
+def estimate_rows_touched(reports: Sequence[RegionReport]) -> int:
     """Sum of Definition-6 move counts over a set of region reports.
 
     Uses the preferential-sampling ``k`` (one removal + one duplication per

@@ -24,10 +24,12 @@ from repro.errors import DataError
 
 
 def pattern_to_dict(pattern: Pattern) -> dict:
+    """Serialise a :class:`Pattern` to a JSON-ready dict."""
     return {"items": [[attr, code] for attr, code in pattern.items]}
 
 
 def pattern_from_dict(payload: dict) -> Pattern:
+    """Rebuild a :class:`Pattern` from :func:`pattern_to_dict` output."""
     try:
         return Pattern((str(a), int(c)) for a, c in payload["items"])
     except (KeyError, TypeError, ValueError) as exc:
@@ -35,6 +37,7 @@ def pattern_from_dict(payload: dict) -> Pattern:
 
 
 def report_to_dict(report: RegionReport) -> dict:
+    """Serialise a :class:`RegionReport` to a JSON-ready dict."""
     return {
         "pattern": pattern_to_dict(report.pattern),
         "pos": report.pos,
@@ -48,6 +51,7 @@ def report_to_dict(report: RegionReport) -> dict:
 
 
 def report_from_dict(payload: dict) -> RegionReport:
+    """Rebuild a :class:`RegionReport` from :func:`report_to_dict` output."""
     try:
         return RegionReport(
             pattern=pattern_from_dict(payload["pattern"]),
@@ -64,6 +68,7 @@ def report_from_dict(payload: dict) -> RegionReport:
 
 
 def update_to_dict(update: RegionUpdate) -> dict:
+    """Serialise a :class:`RegionUpdate` to a JSON-ready dict."""
     return {
         "pattern": pattern_to_dict(update.pattern),
         "technique": update.technique,
@@ -77,6 +82,7 @@ def update_to_dict(update: RegionUpdate) -> dict:
 
 
 def update_from_dict(payload: dict) -> RegionUpdate:
+    """Rebuild a :class:`RegionUpdate` from :func:`update_to_dict` output."""
     try:
         return RegionUpdate(
             pattern=pattern_from_dict(payload["pattern"]),

@@ -51,6 +51,8 @@ class RegionRow:
 
 @dataclass(frozen=True)
 class DatasetSummary:
+    """Full profile of a dataset: label balance, columns, groups, regions."""
+
     n_rows: int
     n_positive: int
     n_negative: int

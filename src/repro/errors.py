@@ -38,3 +38,11 @@ class RemedyError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis engine was misconfigured or hit unreadable input."""
+
+
+class InternalError(ReproError):
+    """An internal invariant was violated; indicates a bug in the library."""

@@ -39,6 +39,8 @@ class BaselineRow:
 
 @dataclass(frozen=True)
 class BaselineTable:
+    """All Table III rows, renderable in the paper's listing order."""
+
     rows: tuple[BaselineRow, ...]
 
     def table(self) -> str:

@@ -32,6 +32,8 @@ class SweepPoint:
 
 @dataclass(frozen=True)
 class SweepResult:
+    """A full parameter sweep: the unremedied baseline plus every grid point."""
+
     dataset_name: str
     model: str
     baseline: EvalResult

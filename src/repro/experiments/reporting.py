@@ -55,4 +55,5 @@ def print_table(
     precision: int = 4,
     title: str | None = None,
 ) -> None:
+    """Format ``rows`` with :func:`format_table` and print to stdout."""
     print(format_table(headers, rows, precision=precision, title=title))

@@ -45,6 +45,8 @@ class SeedOutcome:
 
 @dataclass(frozen=True)
 class RobustnessResult:
+    """Seed-sweep outcome: per-seed remedy effects on one dataset/model."""
+
     dataset_name: str
     model: str
     gamma: str

@@ -41,6 +41,8 @@ class TimingPoint:
 
 @dataclass(frozen=True)
 class ScalabilityResult:
+    """Timing curve for one Fig. 9 panel (seconds vs. size or #attrs)."""
+
     panel: str
     points: tuple[TimingPoint, ...]
 

@@ -24,6 +24,7 @@ from typing import Sequence
 from repro.audit.divexplorer import SubgroupReport, unfair_subgroups
 from repro.core.ibs import RegionReport, identify_ibs
 from repro.data.dataset import Dataset
+from repro.data.schema import Schema
 from repro.data.split import train_test_split
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import DEFAULT_MODELS
@@ -133,7 +134,9 @@ def run_validation(
     return results
 
 
-def validation_table(results: Sequence[ValidationResult], schema=None) -> str:
+def validation_table(
+    results: Sequence[ValidationResult], schema: Schema | None = None
+) -> str:
     """Fig. 3 as a text table (one row per unfair subgroup)."""
     headers = (
         "model",

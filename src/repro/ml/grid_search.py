@@ -10,12 +10,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.data.split import kfold_indices
-from repro.errors import FitError
+from repro.errors import FitError, InternalError
 from repro.ml.base import Classifier
 from repro.ml.metrics import accuracy
 
@@ -29,7 +29,7 @@ class GridSearchResult:
     scores: tuple[tuple[dict[str, object], float], ...]
 
 
-def iter_grid(grid: Mapping[str, Sequence[object]]):
+def iter_grid(grid: Mapping[str, Sequence[object]]) -> Iterator[dict[str, object]]:
     """Yield every parameter combination of ``grid`` as a dict."""
     if not grid:
         yield {}
@@ -77,5 +77,6 @@ def grid_search(
         if mean_score > best_score:
             best_score = mean_score
             best_params = params
-    assert best_params is not None
+    if best_params is None:
+        raise InternalError("grid search finished without selecting parameters")
     return GridSearchResult(best_params, best_score, tuple(scores))

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import FitError
+from repro.errors import FitError, NotFittedError
 from repro.ml.base import Classifier, check_X, check_Xy
 
 
@@ -93,7 +93,8 @@ class LogisticRegressionClassifier(Classifier):
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         n_features = self._require_fitted()
         X = check_X(X, n_features)
-        assert self._coef is not None and self._mean is not None
+        if self._coef is None or self._mean is None:
+            raise NotFittedError("predict_proba called before fit")
         Z = (X - self._mean) / self._scale
         return _sigmoid(Z @ self._coef + self._intercept)
 
@@ -101,7 +102,8 @@ class LogisticRegressionClassifier(Classifier):
     def coef_(self) -> np.ndarray:
         """Fitted coefficients in the standardised feature space."""
         self._require_fitted()
-        assert self._coef is not None
+        if self._coef is None:
+            raise NotFittedError("coef_ accessed before fit")
         return self._coef.copy()
 
     @property

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import FitError
+from repro.errors import FitError, InternalError
 from repro.ml.base import Classifier, check_X, check_Xy
 
 
@@ -188,7 +188,8 @@ class DecisionTreeClassifier(Classifier):
     def _route(
         self, node: _Node | None, X: np.ndarray, idx: np.ndarray, out: np.ndarray
     ) -> None:
-        assert node is not None
+        if node is None:
+            raise InternalError("decision tree routing reached a missing node")
         if node.is_leaf or idx.size == 0:
             out[idx] = node.value
             return

@@ -1,0 +1,9 @@
+"""Fixture (under a ``core/`` path): deterministic iteration (R006 silent)."""
+
+
+def collect(names: list) -> list:
+    out = []
+    for name in sorted(set(names)):
+        out.append(name)
+    doubled = [n * 2 for n in (1, 2, 3)]
+    return out + doubled

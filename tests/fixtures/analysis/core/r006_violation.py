@@ -1,0 +1,10 @@
+"""Fixture (under a ``core/`` path): set iteration (R006 fires 3 times)."""
+
+
+def collect(names: list) -> list:
+    out = []
+    for name in set(names):
+        out.append(name)
+    doubled = [n * 2 for n in {1, 2, 3}]
+    merged = [x for x in set(names) | {0}]
+    return out + doubled + merged

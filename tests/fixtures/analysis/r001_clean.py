@@ -1,0 +1,16 @@
+"""Fixture: only stdlib and sanctioned imports (R001 silent)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import scipy.stats
+from networkx import DiGraph
+
+from repro.errors import ReproError
+
+
+def values() -> list:
+    return [json, math, np, scipy.stats, DiGraph, ReproError]

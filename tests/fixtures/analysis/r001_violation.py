@@ -1,0 +1,11 @@
+"""Fixture: imports outside the sanctioned envelope (R001 fires thrice)."""
+
+import pandas
+
+import torch.nn.functional
+
+from sklearn.linear_model import LogisticRegression
+
+
+def frame() -> object:
+    return pandas.DataFrame(), torch.nn.functional, LogisticRegression

@@ -1,0 +1,13 @@
+"""Fixture: seeded, explicit-Generator randomness (R002 silent)."""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def sample(n: int, seed: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    other = default_rng(seed + 1)
+    return rng.random(n) + other.integers(0, 2, size=n)

@@ -1,0 +1,15 @@
+"""Fixture: global-state randomness in every flavour (R002 fires 6 times)."""
+
+import random
+
+import numpy as np
+from random import shuffle
+from numpy.random import rand
+
+
+def sample(n: int) -> object:
+    np.random.seed(0)
+    a = np.random.rand(n)
+    b = random.random()
+    c = random.choice([1, 2, 3])
+    return a, b, c, shuffle, rand

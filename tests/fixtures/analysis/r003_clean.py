@@ -1,0 +1,10 @@
+"""Fixture: immutable defaults only (R003 silent)."""
+
+from __future__ import annotations
+
+
+def immutable(xs: tuple = (), label: str = "x", limit: int | None = None) -> list:
+    out = list(xs)
+    if limit is not None:
+        out = out[:limit]
+    return out

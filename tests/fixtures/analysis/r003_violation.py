@@ -1,0 +1,17 @@
+"""Fixture: mutable default arguments (R003 fires 4 times)."""
+
+
+def literal_list(xs=[]):
+    return xs
+
+
+def literal_dict(mapping={"a": 1}):
+    return mapping
+
+
+def constructor_call(seen=set()):
+    return seen
+
+
+def keyword_only(*, acc=list()):
+    return acc

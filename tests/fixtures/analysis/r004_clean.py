@@ -1,0 +1,9 @@
+"""Fixture: typed exceptions instead of asserts (R004 silent)."""
+
+from repro.errors import DataError
+
+
+def checked(x: int) -> int:
+    if x < 0:
+        raise DataError("x must be non-negative")
+    return x

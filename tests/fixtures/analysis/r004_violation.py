@@ -1,0 +1,12 @@
+"""Fixture: bare asserts in library-style code (R004 fires twice)."""
+
+
+def checked(x: int) -> int:
+    assert x >= 0
+    return x
+
+
+class Holder:
+    def get(self) -> int:
+        assert hasattr(self, "_value"), "not initialised"
+        return self._value

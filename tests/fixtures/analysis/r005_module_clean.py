@@ -1,0 +1,12 @@
+"""Fixture module: exported defs honouring the documentation contract."""
+
+from __future__ import annotations
+
+
+def exported_fn(a: int, b: int = 2) -> int:
+    """Add ``a`` and ``b``."""
+    return a + b
+
+
+class ExportedThing:
+    """A documented exported class."""

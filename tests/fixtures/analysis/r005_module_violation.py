@@ -1,0 +1,23 @@
+"""Fixture module: exported defs breaking the documentation contract.
+
+Analysed with a ProjectContext exporting ``exported_fn`` and
+``ExportedThing``; ``exported_fn`` lacks a docstring, annotations and a
+return type, ``ExportedThing`` lacks a docstring, and ``_private`` plus
+``unexported`` must stay unflagged.
+"""
+
+
+def exported_fn(a, b=2):
+    return a + b
+
+
+class ExportedThing:
+    pass
+
+
+def _private(x):
+    return x
+
+
+def unexported(x):
+    return x

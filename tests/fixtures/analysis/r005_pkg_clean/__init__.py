@@ -1,0 +1,13 @@
+"""Fixture package: __all__ exactly matches the public bindings."""
+
+from __future__ import annotations
+
+from json import dumps as render
+from os.path import join as _join  # private helper, legitimately unlisted
+
+VERSION = "1.0"
+
+__all__ = [
+    "render",
+    "VERSION",
+]

@@ -1,0 +1,9 @@
+"""Fixture package: __all__ drift (stale entry + unlisted import)."""
+
+from json import dumps
+from os.path import join
+
+__all__ = [
+    "dumps",
+    "vanished_helper",  # stale: never imported or defined here
+]

@@ -1,0 +1,5 @@
+"""Fixture (NOT under core/ or audit/): set iteration is tolerated here."""
+
+
+def collect(names: list) -> list:
+    return [name for name in set(names)]

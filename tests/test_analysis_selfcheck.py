@@ -1,0 +1,54 @@
+"""Tier-1 gate: the repo's own source tree must be clean under its own
+static analyzer (modulo the checked-in baseline, which is empty)."""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+from repro.analysis import analyze_paths, default_rules, load_baseline
+from repro.analysis.runner import EXIT_CLEAN, run
+from repro.cli import main as repro_main
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src" / "repro"
+BASELINE = REPO / "analysis-baseline.json"
+
+
+def test_source_tree_clean_against_baseline():
+    findings = analyze_paths([SRC], default_rules())
+    baseline = load_baseline(BASELINE)
+    new = [f for f in findings if f.fingerprint() not in baseline]
+    assert new == [], "new analysis findings:\n" + "\n".join(
+        f.format() for f in new
+    )
+
+
+def test_runner_gate_exits_clean():
+    out = io.StringIO()
+    assert (
+        run([str(SRC)], baseline_path=str(BASELINE), stream=out) == EXIT_CLEAN
+    ), out.getvalue()
+
+
+def test_json_report_is_clean_and_well_formed():
+    out = io.StringIO()
+    rc = run([str(SRC)], baseline_path=str(BASELINE), output_format="json", stream=out)
+    payload = json.loads(out.getvalue())
+    assert rc == EXIT_CLEAN
+    assert payload["summary"]["new"] == 0
+    assert payload["findings"] == []
+    assert len(payload["rules"]) == 6
+
+
+def test_cli_analyze_subcommand(capsys):
+    rc = repro_main(["analyze", str(SRC), "--baseline", str(BASELINE)])
+    captured = capsys.readouterr()
+    assert rc == 0, captured.out
+    assert "0 new findings" in captured.out
+
+
+def test_checked_in_baseline_is_empty():
+    """The ratchet starts at zero: nothing in the tree is grandfathered."""
+    assert load_baseline(BASELINE) == frozenset()

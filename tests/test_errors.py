@@ -1,0 +1,85 @@
+"""Direct tests for the repro.errors exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    DataError,
+    ExperimentError,
+    FitError,
+    InternalError,
+    NotFittedError,
+    PatternError,
+    RemedyError,
+    ReproError,
+    SchemaError,
+)
+
+LEAF_TYPES = (
+    SchemaError,
+    DataError,
+    PatternError,
+    FitError,
+    NotFittedError,
+    RemedyError,
+    ExperimentError,
+    AnalysisError,
+    InternalError,
+)
+
+
+@pytest.mark.parametrize("exc_type", LEAF_TYPES)
+def test_every_error_derives_from_repro_error(exc_type):
+    assert issubclass(exc_type, ReproError)
+    assert issubclass(exc_type, Exception)
+
+
+@pytest.mark.parametrize("exc_type", LEAF_TYPES)
+def test_message_formatting(exc_type):
+    exc = exc_type("column 'age' is unknown")
+    assert str(exc) == "column 'age' is unknown"
+    assert repr(exc) == f"{exc_type.__name__}(\"column 'age' is unknown\")"
+
+
+@pytest.mark.parametrize("exc_type", LEAF_TYPES)
+def test_catchable_as_repro_error(exc_type):
+    with pytest.raises(ReproError):
+        raise exc_type("boom")
+
+
+def test_not_fitted_is_a_fit_error():
+    assert issubclass(NotFittedError, FitError)
+    with pytest.raises(FitError):
+        raise NotFittedError("predict before fit")
+
+
+def test_hierarchy_distinguishes_siblings():
+    with pytest.raises(SchemaError):
+        raise SchemaError("x")
+    assert not issubclass(SchemaError, DataError)
+    assert not issubclass(AnalysisError, InternalError)
+
+
+def test_chaining_preserves_cause():
+    try:
+        try:
+            raise KeyError("pattern")
+        except KeyError as inner:
+            raise DataError("malformed payload") from inner
+    except DataError as exc:
+        assert isinstance(exc.__cause__, KeyError)
+
+
+def test_library_raises_typed_not_fitted():
+    """The R004 remediation in ml/: unfitted models raise NotFittedError."""
+    import numpy as np
+
+    from repro.ml import LogisticRegressionClassifier
+
+    model = LogisticRegressionClassifier()
+    with pytest.raises(NotFittedError):
+        model.predict_proba(np.zeros((2, 2)))
+    with pytest.raises(NotFittedError):
+        model.coef_
