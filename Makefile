@@ -1,6 +1,6 @@
 # Development workflow shortcuts.
 
-.PHONY: install test lint bench bench-full examples report clean
+.PHONY: install test lint bench bench-full bench-ibs examples report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -16,6 +16,10 @@ bench:
 
 bench-full:
 	REPRO_BENCH_FULL=1 pytest benchmarks/ --benchmark-only -s
+
+bench-ibs:
+	PYTHONPATH=src pytest benchmarks/test_engine_comparison.py \
+		--benchmark-only --benchmark-json=BENCH_ibs.json -s
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

@@ -1,0 +1,91 @@
+"""Engine comparison — naive vs. optimized vs. vectorized identification.
+
+Times all three neighbourhood engines on the Adult-like data at 4, 6, and
+8 protected attributes (the Fig. 9a axis) and records the raw seconds plus
+speedup ratios in benchmark ``extra_info``.  ``make bench-ibs`` runs this
+file with ``--benchmark-json=BENCH_ibs.json`` so later PRs can ratchet
+against the recorded trajectory; the acceptance floor asserted here is
+vectorized ≥ 5× optimized at 8 attributes (measured ~15×; see
+``docs/performance.md``).
+"""
+
+import os
+import time
+
+import pytest
+
+from conftest import emit
+
+from repro.core import (
+    METHOD_NAIVE,
+    METHOD_OPTIMIZED,
+    METHOD_VECTORIZED,
+    identify_ibs,
+)
+from repro.data.synth.adult import SCALABILITY_PROTECTED, load_adult
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+N_ROWS = 45_222 if FULL else 12_000
+TAU_C = 0.5
+K = 30
+
+
+@pytest.fixture(scope="module")
+def adult8():
+    return load_adult(N_ROWS, seed=5).with_protected(SCALABILITY_PROTECTED)
+
+
+def _best_seconds(fn, repeats=3):
+    """Best-of-N wall-clock seconds for one call of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("n_attrs", (4, 6, 8))
+def test_engine_comparison(benchmark, adult8, n_attrs):
+    attrs = SCALABILITY_PROTECTED[:n_attrs]
+
+    def run(method):
+        return identify_ibs(adult8, TAU_C, k=K, method=method, attrs=attrs)
+
+    # The benchmarked subject is the vectorized engine; the others are
+    # timed best-of-N below so one JSON record carries the whole comparison.
+    reports = benchmark(lambda: run(METHOD_VECTORIZED))
+    assert reports == run(METHOD_OPTIMIZED), "engines disagree; timings void"
+
+    t_vec = _best_seconds(lambda: run(METHOD_VECTORIZED))
+    t_opt = _best_seconds(lambda: run(METHOD_OPTIMIZED))
+    # The naive engine recounts every neighbour from raw data (§III-A);
+    # one repetition is plenty to place it on the chart.
+    t_naive = _best_seconds(lambda: run(METHOD_NAIVE), repeats=1)
+
+    speedup_vs_opt = t_opt / max(t_vec, 1e-9)
+    speedup_vs_naive = t_naive / max(t_vec, 1e-9)
+    benchmark.extra_info.update(
+        {
+            "n_attrs": n_attrs,
+            "n_rows": N_ROWS,
+            "regions_found": len(reports),
+            "naive_seconds": round(t_naive, 4),
+            "optimized_seconds": round(t_opt, 4),
+            "vectorized_seconds": round(t_vec, 4),
+            "speedup_vs_optimized": round(speedup_vs_opt, 2),
+            "speedup_vs_naive": round(speedup_vs_naive, 2),
+        }
+    )
+    emit(
+        f"{n_attrs} attrs / {N_ROWS} rows: naive {t_naive:.3f}s, "
+        f"optimized {t_opt:.3f}s, vectorized {t_vec:.3f}s "
+        f"({speedup_vs_opt:.1f}x vs optimized, "
+        f"{speedup_vs_naive:.1f}x vs naive)"
+    )
+
+    assert speedup_vs_opt > 1.0, "vectorized must beat the scalar engine"
+    if n_attrs == 8:
+        assert speedup_vs_opt >= 5.0, (
+            "acceptance floor: vectorized >= 5x optimized at 8 attributes"
+        )

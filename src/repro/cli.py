@@ -25,7 +25,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.audit import fairness_index, unfair_subgroups
-from repro.core import identify_ibs, remedy_dataset
+from repro.core import METHOD_OPTIMIZED, METHODS, identify_ibs, remedy_dataset
 from repro.core.samplers import TECHNIQUES
 from repro.data.dataset import Dataset
 from repro.data.io import read_csv, write_csv
@@ -105,6 +105,7 @@ def cmd_remedy(args: argparse.Namespace) -> int:
         k=args.k,
         technique=args.technique,
         scope=args.scope,
+        method=args.method,
         seed=args.seed,
     )
     write_csv(result.dataset, args.output)
@@ -316,7 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("csv")
     p.add_argument("--schema", required=True)
     add_common(p)
-    p.add_argument("--method", choices=("optimized", "naive"), default="optimized")
+    p.add_argument("--method", choices=METHODS, default=METHOD_OPTIMIZED)
     p.set_defaults(func=cmd_identify)
 
     p = sub.add_parser("remedy", help="write a remedied copy of a CSV")
@@ -325,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--schema", required=True)
     add_common(p)
     p.add_argument("--technique", choices=TECHNIQUES, default="preferential")
+    p.add_argument("--method", choices=METHODS, default=METHOD_OPTIMIZED)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--audit-log",

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core.hierarchy import Hierarchy
 from repro.core.ibs import METHOD_OPTIMIZED, SCOPE_LATTICE, identify_ibs
 from repro.core.remedy import RemedyResult, remedy_dataset
 from repro.core.samplers import PREFERENTIAL, RegionUpdate
@@ -60,17 +61,23 @@ def remedy_until_converged(
     Stops when (a) the IBS is empty, (b) a pass makes no update, (c) the
     IBS size fails to decrease (oscillation guard), or (d) ``max_passes``
     is reached.  Each pass derives a fresh seed so repeated sampling does
-    not replay the same random choices.
+    not replay the same random choices.  The hierarchy is built once and
+    threaded through every pass: each :func:`remedy_dataset` call keeps it
+    incrementally up to date and hands it back via
+    :attr:`RemedyResult.hierarchy`, so neither the between-pass IBS checks
+    nor the passes themselves rebuild it from scratch.
     """
     if max_passes < 1:
         raise RemedyError("max_passes must be >= 1")
 
     current = dataset
+    hierarchy = Hierarchy(current, attrs=attrs)
     passes: list[RemedyResult] = []
     sizes = [
         len(
             identify_ibs(
-                current, tau_c, T=T, k=k, scope=scope, method=method, attrs=attrs
+                current, tau_c, T=T, k=k, scope=scope, method=method,
+                attrs=attrs, hierarchy=hierarchy,
             )
         )
     ]
@@ -87,13 +94,16 @@ def remedy_until_converged(
             method=method,
             attrs=attrs,
             seed=seed + pass_no,
+            hierarchy=hierarchy,
         )
         passes.append(result)
         current = result.dataset
+        hierarchy = result.hierarchy
         sizes.append(
             len(
                 identify_ibs(
-                    current, tau_c, T=T, k=k, scope=scope, method=method, attrs=attrs
+                    current, tau_c, T=T, k=k, scope=scope, method=method,
+                    attrs=attrs, hierarchy=hierarchy,
                 )
             )
         )

@@ -5,9 +5,20 @@ a node at level ``d`` holds one cell per value combination of its ``d``
 attributes.  Counts of positives and negatives per cell are materialised as
 ``d``-dimensional numpy arrays: the leaf node is one ``bincount`` over the
 dataset's joint codes, and every other node is a marginalisation (axis sum)
-of the leaf — this is the count-sharing that the optimized identification
-algorithm exploits (a dominating region's counts are just a cell of an
-ancestor node's array).
+of a one-level-deeper node — this is the count-sharing that the optimized
+and vectorized identification algorithms exploit (a dominating region's
+counts are just a cell of an ancestor node's array).
+
+Two cost-relevant properties (see ``docs/performance.md``):
+
+* **Construction** marginalises each node from its *smallest* already-built
+  one-level-deeper superset, one axis at a time, instead of summing the full
+  leaf array for every one of the ``2^d`` nodes; the per-node cost decays
+  geometrically with the level instead of staying at ``O(leaf cells)``.
+* **Incremental updates**: :meth:`Hierarchy.apply_count_delta` folds a
+  leaf-granular count change confined to one region's slice into every node
+  in place, so the remedy loop can keep one hierarchy current across
+  iterations instead of rebuilding it from scratch after every update.
 """
 
 from __future__ import annotations
@@ -116,24 +127,54 @@ class Hierarchy:
         if self.max_level < 1:
             raise PatternError("max_level must be >= 1")
 
-        # Leaf counts once, then marginalise for every other node.
+        # Leaf counts once; every other node is built by marginalising its
+        # smallest already-built one-level-deeper superset a single axis at
+        # a time (geometrically cheaper than summing the full leaf array for
+        # each of the 2^d nodes).
         pos_flat, neg_flat, shape = dataset.region_counts(attrs)
         leaf_pos = pos_flat.reshape(shape)
         leaf_neg = neg_flat.reshape(shape)
 
         self._nodes: dict[frozenset[str], HierarchyNode] = {}
+        self._levels: dict[int, list[HierarchyNode]] = {}
         axis_of = {a: i for i, a in enumerate(attrs)}
-        for level in range(0, self.max_level + 1):
+        self._card = {a: shape[axis_of[a]] for a in attrs}
+
+        # Deepest stored level comes straight from the leaf array (it *is*
+        # the leaf array when max_level == len(attrs)).
+        for subset in itertools.combinations(attrs, self.max_level):
+            drop_axes = tuple(axis_of[a] for a in attrs if a not in subset)
+            pos = leaf_pos.sum(axis=drop_axes) if drop_axes else leaf_pos
+            neg = leaf_neg.sum(axis=drop_axes) if drop_axes else leaf_neg
+            self._add_node(subset, np.asarray(pos), np.asarray(neg))
+
+        for level in range(self.max_level - 1, -1, -1):
             for subset in itertools.combinations(attrs, level):
-                drop_axes = tuple(
-                    axis_of[a] for a in attrs if a not in subset
+                spare = min(
+                    (a for a in attrs if a not in subset),
+                    key=lambda a: (self._card[a], axis_of[a]),
                 )
-                pos = leaf_pos.sum(axis=drop_axes) if drop_axes else leaf_pos
-                neg = leaf_neg.sum(axis=drop_axes) if drop_axes else leaf_neg
-                node_shape = tuple(shape[axis_of[a]] for a in subset)
-                self._nodes[frozenset(subset)] = HierarchyNode(
-                    subset, node_shape, np.asarray(pos), np.asarray(neg)
+                parent_attrs = tuple(
+                    a for a in attrs if a in subset or a == spare
                 )
+                parent = self._nodes[frozenset(parent_attrs)]
+                axis = parent_attrs.index(spare)
+                self._add_node(
+                    subset, parent.pos.sum(axis=axis), parent.neg.sum(axis=axis)
+                )
+
+    def _add_node(
+        self, subset: tuple[str, ...], pos: np.ndarray, neg: np.ndarray
+    ) -> None:
+        """Register one node in the lookup dict and the level index."""
+        node = HierarchyNode(
+            subset,
+            tuple(self._card[a] for a in subset),
+            np.asarray(pos),
+            np.asarray(neg),
+        )
+        self._nodes[frozenset(subset)] = node
+        self._levels.setdefault(len(subset), []).append(node)
 
     # -- lookup ----------------------------------------------------------------
     def node(self, attrs: Sequence[str] | frozenset[str]) -> HierarchyNode:
@@ -165,8 +206,12 @@ class Hierarchy:
         return range(1, self.max_level + 1)
 
     def nodes_at_level(self, level: int) -> list[HierarchyNode]:
-        """All nodes whose attribute set has the given size."""
-        return [n for key, n in self._nodes.items() if len(key) == level]
+        """All nodes whose attribute set has the given size.
+
+        Served from a level index built at construction time (no scan of
+        the full node dict); nodes appear in canonical combination order.
+        """
+        return list(self._levels.get(level, ()))
 
     def iter_nodes_bottom_up(self) -> Iterator[HierarchyNode]:
         """Region nodes from the leaf level down to level 1 (Alg. 1 order)."""
@@ -185,6 +230,68 @@ class Hierarchy:
     def counts_of(self, pattern: Pattern) -> tuple[int, int]:
         """``(|r+|, |r-|)`` of an arbitrary pattern over hierarchy attrs."""
         return self.node(pattern.attrs).counts_of(pattern)
+
+    # -- incremental updates ---------------------------------------------------
+    def _free_attrs(self, pattern: Pattern) -> tuple[str, ...]:
+        """Hierarchy attributes the pattern leaves non-deterministic."""
+        fixed = pattern.attrs
+        unknown = fixed - set(self.attrs)
+        if unknown:
+            raise PatternError(
+                f"pattern attributes {sorted(unknown)} are not hierarchy "
+                f"attributes {list(self.attrs)}"
+            )
+        return tuple(a for a in self.attrs if a not in fixed)
+
+    def region_leaf_counts(
+        self, dataset: Dataset, pattern: Pattern
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Leaf-granular ``(pos, neg)`` count arrays of ``pattern``'s slice.
+
+        The arrays are indexed by the pattern's *free* attributes (hierarchy
+        attributes it does not fix, in canonical order) and count only the
+        rows of ``dataset`` matching the pattern.  Differencing two such
+        blocks taken before and after a region edit yields the exact delta
+        for :meth:`apply_count_delta`.
+        """
+        free = self._free_attrs(pattern)
+        mask = dataset.mask(pattern.assignment)
+        pos_flat, neg_flat, shape = dataset.region_counts(free, rows=mask)
+        return pos_flat.reshape(shape), neg_flat.reshape(shape)
+
+    def apply_count_delta(
+        self, pattern: Pattern, dpos: np.ndarray, dneg: np.ndarray
+    ) -> None:
+        """Fold a leaf-granular count change inside ``pattern`` into all nodes.
+
+        ``dpos``/``dneg`` are integer arrays over the pattern's free
+        attributes (the shape returned by :meth:`region_leaf_counts`),
+        holding per-leaf-cell changes of the positive/negative counts; cells
+        outside the pattern's slice must be unchanged — which is exactly the
+        contract the remedy samplers satisfy, since every row they add,
+        drop, or flip matches the remedied region's pattern.  Every stored
+        node is updated in place by marginalising the delta onto the node's
+        axes and adding it at the pattern's fixed coordinates, leaving the
+        hierarchy equal to one freshly built from the edited dataset.
+        """
+        free = self._free_attrs(pattern)
+        want_shape = tuple(self._card[a] for a in free)
+        dpos = np.asarray(dpos, dtype=np.int64).reshape(want_shape)
+        dneg = np.asarray(dneg, dtype=np.int64).reshape(want_shape)
+        free_axis = {a: i for i, a in enumerate(free)}
+        fixed = pattern.attrs
+        for node in self._nodes.values():
+            drop_axes = tuple(
+                free_axis[a] for a in free if a not in node.attrs
+            )
+            block_pos = dpos.sum(axis=drop_axes) if drop_axes else dpos
+            block_neg = dneg.sum(axis=drop_axes) if drop_axes else dneg
+            idx = tuple(
+                pattern.value_of(a) if a in fixed else slice(None)
+                for a in node.attrs
+            )
+            node.pos[idx] += block_pos
+            node.neg[idx] += block_neg
 
     def dominating_counts(
         self, pattern: Pattern, drop: Sequence[str]

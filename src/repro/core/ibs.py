@@ -4,9 +4,11 @@ Traverses the hierarchy bottom-up (leaf level → level 1), keeps regions with
 more than ``k`` instances, computes each region's imbalance score and its
 neighbourhood's, and reports the regions whose difference exceeds ``tau_c``.
 The neighbourhood engine is selectable (``naive`` per §III-A, ``optimized``
-per §III-B) as is the traversal *scope* used in the evaluation's ablation:
-``lattice`` (all levels — the paper's method), ``leaf`` (deepest level
-only), ``top`` (level 1 only).
+per §III-B, ``vectorized`` — whole-node array evaluation of the §III-B sum,
+see ``docs/performance.md``) as is the traversal *scope* used in the
+evaluation's ablation: ``lattice`` (all levels — the paper's method),
+``leaf`` (deepest level only), ``top`` (level 1 only).  All three engines
+return identical report lists on every input.
 """
 
 from __future__ import annotations
@@ -14,13 +16,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.hierarchy import Hierarchy, HierarchyNode
-from repro.core.imbalance import imbalance_score, is_biased, score_difference
+from repro.core.imbalance import (
+    RATIO_UNDEFINED,
+    imbalance_score,
+    is_biased,
+    score_difference,
+)
 from repro.core.neighbors import (
     EUCLIDEAN_UNIT,
     naive_neighbor_counts,
     naive_neighbor_counts_scan,
     optimized_neighbor_counts,
+    vectorized_neighbor_counts,
 )
 from repro.core.pattern import Pattern
 from repro.data.dataset import Dataset
@@ -33,7 +43,8 @@ SCOPES = (SCOPE_LATTICE, SCOPE_LEAF, SCOPE_TOP)
 
 METHOD_NAIVE = "naive"
 METHOD_OPTIMIZED = "optimized"
-METHODS = (METHOD_NAIVE, METHOD_OPTIMIZED)
+METHOD_VECTORIZED = "vectorized"
+METHODS = (METHOD_NAIVE, METHOD_OPTIMIZED, METHOD_VECTORIZED)
 
 DEFAULT_MIN_SIZE = 30  # the paper's central-limit rule of thumb for k
 
@@ -102,8 +113,11 @@ def region_report(
     every neighbour from the raw ``dataset`` (required in that mode unless a
     non-default ``metric`` forces the array-walk fallback); ``'optimized'``
     reuses the hierarchy's dominating-region counts (§III-B).
+    ``'vectorized'`` batches whole nodes and is identical to
+    ``'optimized'`` for a single region, so it shares that path here; use
+    :func:`node_biased_reports` to benefit from the batching.
     """
-    if method == METHOD_OPTIMIZED:
+    if method in (METHOD_OPTIMIZED, METHOD_VECTORIZED):
         npos, nneg = optimized_neighbor_counts(hierarchy, pattern, T)
     elif method == METHOD_NAIVE:
         if dataset is not None and metric == EUCLIDEAN_UNIT:
@@ -124,6 +138,90 @@ def region_report(
         neighbor_ratio=nratio,
         difference=score_difference(ratio, nratio),
     )
+
+
+def _vectorized_biased_reports(
+    hierarchy: Hierarchy,
+    node: HierarchyNode,
+    tau_c: float,
+    T: float,
+    k: int,
+) -> list[RegionReport]:
+    """Biased regions of one node via whole-array evaluation.
+
+    Computes neighbour counts, imbalance scores, the sentinel-aware score
+    difference, and the Definition-5 membership test as array expressions
+    over the node's count arrays; only surviving cells are materialised
+    into :class:`RegionReport` objects, in the same flat cell order the
+    scalar engines visit.  Produces reports identical to the per-region
+    path (same integers, same IEEE-754 ratios and differences).
+    """
+    if tau_c < 0:
+        raise ValueError(f"tau_c must be non-negative, got {tau_c}")
+    pos, neg = node.pos, node.neg
+    size_ok = (pos + neg) >= k + 1
+    if not bool(size_ok.any()):
+        return []
+    npos, nneg = vectorized_neighbor_counts(hierarchy, node, T)
+
+    ratio = np.full(node.shape, RATIO_UNDEFINED)
+    np.divide(pos, neg, out=ratio, where=neg > 0)
+    nratio = np.full(node.shape, RATIO_UNDEFINED)
+    np.divide(npos, nneg, out=nratio, where=nneg > 0)
+
+    r_undef = neg == 0
+    n_undef = nneg == 0
+    difference = np.abs(ratio - nratio)
+    difference = np.where(r_undef ^ n_undef, np.inf, difference)
+    difference = np.where(r_undef & n_undef, 0.0, difference)
+
+    biased = size_ok & (difference > tau_c)
+    reports = []
+    for flat in np.flatnonzero(biased.reshape(-1)):
+        coords = np.unravel_index(int(flat), node.shape) if node.shape else ()
+        coords = tuple(int(c) for c in coords)
+        reports.append(
+            RegionReport(
+                pattern=node.pattern_of(coords),
+                pos=int(pos[coords]),
+                neg=int(neg[coords]),
+                ratio=float(ratio[coords]),
+                neighbor_pos=int(npos[coords]),
+                neighbor_neg=int(nneg[coords]),
+                neighbor_ratio=float(nratio[coords]),
+                difference=float(difference[coords]),
+            )
+        )
+    return reports
+
+
+def node_biased_reports(
+    hierarchy: Hierarchy,
+    node: HierarchyNode,
+    tau_c: float,
+    T: float = 1.0,
+    k: int = DEFAULT_MIN_SIZE,
+    method: str = METHOD_OPTIMIZED,
+    dataset: Dataset | None = None,
+) -> list[RegionReport]:
+    """Biased regions of size > ``k`` within one hierarchy node.
+
+    The shared per-node step of Algorithm 1 (``identify_ibs``) and
+    Algorithm 2 (``remedy_dataset``): under ``method='vectorized'`` the
+    whole node is evaluated as array expressions; the scalar engines fall
+    back to per-region :func:`region_report` calls.  Reports are returned
+    in the node's flat cell order (callers sort by score difference).
+    """
+    if method == METHOD_VECTORIZED:
+        return _vectorized_biased_reports(hierarchy, node, tau_c, T, k)
+    reports = []
+    for pattern, pos, neg in node.iter_regions(min_size=k + 1):
+        report = region_report(
+            hierarchy, node, pattern, pos, neg, T, method=method, dataset=dataset
+        )
+        if is_biased(report.ratio, report.neighbor_ratio, tau_c):
+            reports.append(report)
+    return reports
 
 
 def identify_ibs(
@@ -151,7 +249,7 @@ def identify_ibs(
         Size threshold; only regions with ``|r| > k`` are considered.
     scope / method:
         Traversal scope (lattice / leaf / top) and neighbourhood engine
-        (optimized / naive).
+        (optimized / naive / vectorized).
     hierarchy:
         Optionally a pre-built hierarchy over the same data (reused across
         calls by the remedy loop).
@@ -167,13 +265,12 @@ def identify_ibs(
     for level in scope_levels(hierarchy, scope):
         level_reports: list[RegionReport] = []
         for node in hierarchy.nodes_at_level(level):
-            for pattern, pos, neg in node.iter_regions(min_size=k + 1):
-                report = region_report(
-                    hierarchy, node, pattern, pos, neg, T,
-                    method=method, dataset=dataset,
+            level_reports.extend(
+                node_biased_reports(
+                    hierarchy, node, tau_c, T=T, k=k, method=method,
+                    dataset=dataset,
                 )
-                if is_biased(report.ratio, report.neighbor_ratio, tau_c):
-                    level_reports.append(report)
+            )
         level_reports.sort(key=lambda r: (-r.difference, r.pattern.items))
         found.extend(level_reports)
     return found

@@ -1,7 +1,7 @@
 """Neighbouring-region counting (paper Definition 4, §III-A/B).
 
-Two interchangeable engines compute ``(|r_n+|, |r_n-|)`` — the label counts
-of the union of regions within distance ``T`` of a region ``r``:
+Three interchangeable engines compute ``(|r_n+|, |r_n-|)`` — the label
+counts of the union of regions within distance ``T`` of a region ``r``:
 
 * :func:`naive_neighbor_counts` enumerates every neighbouring cell and sums
   its counts, exactly the §III-A procedure with its ``(c-1)·d·T`` cost;
@@ -9,7 +9,13 @@ of the union of regions within distance ``T`` of a region ``r``:
   counts (cells of ancestor hierarchy nodes) with inclusion–exclusion
   coefficients, the §III-B optimisation that touches only ``O(d^T)``
   pre-aggregated regions.  For ``T=1`` it reduces to the paper's formula
-  ``ratio_rn = (Σ_{R_d}|r_k+| − |R_d|·|r+|) / (Σ_{R_d}|r_k-| − |R_d|·|r-|)``.
+  ``ratio_rn = (Σ_{R_d}|r_k+| − |R_d|·|r+|) / (Σ_{R_d}|r_k-| − |R_d|·|r-|)``;
+* :func:`vectorized_neighbor_counts` evaluates the same inclusion–exclusion
+  sum for **all cells of a node at once**: the dominating counts of every
+  cell with drop-set ``S`` form the ancestor node's whole array, re-expanded
+  over the dropped axes and broadcast back to the node's shape, so one
+  ``C(d, ≤budget)``-term sum of whole-array operations replaces
+  ``|cells| × C(d, ≤budget)`` scalar lookups (see ``docs/performance.md``).
 
 Distance semantics: attribute values are one unit apart, so a region
 differing from ``r`` in ``j`` attributes lies at Euclidean distance
@@ -23,8 +29,10 @@ naive engine for ordered domains — the refinement §II-B suggests.
 from __future__ import annotations
 
 import itertools
-from math import comb, floor, sqrt
+from math import comb, floor
 from typing import Iterator
+
+import numpy as np
 
 from repro.core.hierarchy import Hierarchy, HierarchyNode
 from repro.core.pattern import Pattern
@@ -93,15 +101,18 @@ def naive_neighbor_counts(
             neg += int(node.neg[cell])
         return pos, neg
 
-    # Ordinal metric: full scan of the node's cells with the refined distance.
-    for cell in itertools.product(*(range(s) for s in node.shape)):
-        if cell == coords:
-            continue
-        dist = sqrt(sum((a - b) ** 2 for a, b in zip(cell, coords)))
-        if dist <= T + 1e-9:
-            pos += int(node.pos[cell])
-            neg += int(node.neg[cell])
-    return pos, neg
+    # Ordinal metric: a broadcast distance grid over cell coordinates
+    # replaces the Python full scan — per-axis squared code offsets are
+    # outer-added into one d-dimensional squared-distance array.
+    dist2 = np.zeros(node.shape, dtype=np.int64)
+    for ax, (c, size) in enumerate(zip(coords, node.shape)):
+        offsets = (np.arange(size, dtype=np.int64) - c) ** 2
+        dist2 = dist2 + offsets.reshape(
+            tuple(size if i == ax else 1 for i in range(d))
+        )
+    within = np.sqrt(dist2.astype(np.float64)) <= T + 1e-9
+    within[coords] = False  # the region itself is not its own neighbour
+    return int(node.pos[within].sum()), int(node.neg[within].sum())
 
 
 def naive_neighbor_counts_scan(
@@ -175,4 +186,44 @@ def optimized_neighbor_counts(
             dp, dn = hierarchy.dominating_counts(pattern, drop)
             pos += c * dp
             neg += c * dn
+    return pos, neg
+
+
+def vectorized_neighbor_counts(
+    hierarchy: Hierarchy,
+    node: HierarchyNode,
+    T: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Neighbourhood counts of **every cell** of ``node`` as two arrays.
+
+    Evaluates the same inclusion–exclusion expansion as
+    :func:`optimized_neighbor_counts`, but per drop-subset ``S`` the
+    dominating counts of all cells at once are the ancestor node's array
+    with size-1 axes re-inserted at ``S``'s positions and broadcast back to
+    ``node.shape``.  The whole node therefore costs ``Σ_{j≤budget} C(d, j)``
+    array additions instead of that many scalar lookups *per cell*.
+
+    Returns ``(pos, neg)`` int64 arrays of ``node.shape``; entry ``c`` is
+    exactly ``optimized_neighbor_counts(hierarchy, node.pattern_of(c), T)``.
+    Requires the hierarchy to contain every node up to ``budget`` levels
+    above ``node`` (always true for a full hierarchy) and ``node`` to be a
+    region node (level ≥ 1).
+    """
+    d = node.level
+    budget = hamming_budget(T, d)
+    coeffs = inclusion_exclusion_coefficients(d, budget)
+
+    pos = np.zeros(node.shape, dtype=np.int64)
+    neg = np.zeros(node.shape, dtype=np.int64)
+    for j in range(0, budget + 1):
+        c = coeffs[j]
+        if c == 0:
+            continue
+        for axes in itertools.combinations(range(d), j):
+            dom_attrs = tuple(
+                a for i, a in enumerate(node.attrs) if i not in axes
+            )
+            dom = hierarchy.node(dom_attrs)
+            pos += c * np.expand_dims(dom.pos, axis=axes)
+            neg += c * np.expand_dims(dom.neg, axis=axes)
     return pos, neg

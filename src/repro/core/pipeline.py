@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core.hierarchy import Hierarchy
 from repro.core.ibs import (
     DEFAULT_MIN_SIZE,
     METHOD_OPTIMIZED,
@@ -68,6 +69,21 @@ class RemedyPipeline:
         self.config = config or RemedyConfig()
         self.attrs = tuple(attrs) if attrs is not None else None
         self._last_result: RemedyResult | None = None
+        self._hierarchy_cache: tuple[Dataset, Hierarchy] | None = None
+
+    def hierarchy_for(self, train: Dataset) -> Hierarchy:
+        """The hierarchy of ``train`` under the configured attributes.
+
+        Cached by dataset identity (datasets are immutable — every edit
+        returns a new object), so ``identify`` and ``transform`` on the
+        same training set share one build; after ``transform`` the cache
+        holds the remedied dataset and its incrementally maintained
+        hierarchy.
+        """
+        cached = self._hierarchy_cache
+        if cached is None or cached[0] is not train:
+            self._hierarchy_cache = (train, Hierarchy(train, attrs=self.attrs))
+        return self._hierarchy_cache[1]
 
     def identify(self, train: Dataset) -> list[RegionReport]:
         """The IBS of ``train`` under the configured thresholds."""
@@ -80,6 +96,7 @@ class RemedyPipeline:
             scope=cfg.scope,
             method=cfg.method,
             attrs=self.attrs,
+            hierarchy=self.hierarchy_for(train),
         )
 
     def transform(self, train: Dataset) -> Dataset:
@@ -95,8 +112,12 @@ class RemedyPipeline:
             method=cfg.method,
             attrs=self.attrs,
             seed=cfg.seed,
+            hierarchy=self.hierarchy_for(train),
         )
-        return self._last_result.dataset
+        result = self._last_result
+        if result.hierarchy is not None:
+            self._hierarchy_cache = (result.dataset, result.hierarchy)
+        return result.dataset
 
     @property
     def last_result(self) -> RemedyResult:

@@ -5,8 +5,13 @@ node re-identifies the biased regions *on the current, partially remedied
 dataset*, and applies the chosen pre-processing technique to each.  The
 paper notes this is iterative because "adjusting the class distribution for
 specific regions will impact the imbalance score of all regions that either
-dominate or are dominated by them" — hence the hierarchy is rebuilt whenever
-an update has dirtied the counts.
+dominate or are dominated by them".  Rather than rebuilding the hierarchy
+from scratch whenever an update dirties the counts, the loop keeps **one**
+hierarchy current incrementally: every sampler only touches rows matching
+the remedied region's pattern, so the exact count change is the difference
+of the region's leaf-granular count block before and after the update, and
+:meth:`repro.core.hierarchy.Hierarchy.apply_count_delta` folds it into all
+nodes in place (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -22,10 +27,9 @@ from repro.core.ibs import (
     RegionReport,
     SCOPE_LATTICE,
     identify_ibs,
-    region_report,
+    node_biased_reports,
     scope_levels,
 )
-from repro.core.imbalance import is_biased
 from repro.core.ranker import BorderlineRanker
 from repro.core.samplers import (
     PREFERENTIAL,
@@ -45,6 +49,10 @@ class RemedyResult:
     dataset: Dataset
     updates: tuple[RegionUpdate, ...] = field(default_factory=tuple)
     initial_ibs: tuple[RegionReport, ...] = field(default_factory=tuple)
+    #: The incrementally maintained hierarchy, equal to one freshly built
+    #: from ``dataset``; callers (e.g. the convergence loop) can pass it
+    #: back into ``identify_ibs``/``remedy_dataset`` to skip a rebuild.
+    hierarchy: Hierarchy | None = None
 
     @property
     def n_regions_remedied(self) -> int:
@@ -65,12 +73,20 @@ def remedy_dataset(
     method: str = METHOD_OPTIMIZED,
     attrs: Sequence[str] | None = None,
     seed: int = 0,
+    hierarchy: Hierarchy | None = None,
+    incremental: bool = True,
 ) -> RemedyResult:
     """Algorithm 2: remedy every biased region of the dataset.
 
     Parameters mirror :func:`repro.core.ibs.identify_ibs`; ``technique`` is
     one of :data:`repro.core.samplers.TECHNIQUES` and ``seed`` drives the
-    random row selection of the sampling techniques.
+    random row selection of the sampling techniques.  ``hierarchy`` may be
+    a pre-built hierarchy over ``dataset`` (e.g. from a previous pass's
+    :attr:`RemedyResult.hierarchy`) — it is updated **in place** as regions
+    are remedied; ``incremental=False`` falls back to
+    rebuilding the hierarchy from scratch after dirtying updates — it
+    produces identical results and exists as an equivalence oracle for
+    tests and debugging.
 
     Returns a :class:`RemedyResult` whose ``dataset`` is the remedied copy
     (the input is never modified), ``updates`` the per-region audit records,
@@ -86,14 +102,16 @@ def remedy_dataset(
     if technique in (PREFERENTIAL, MASSAGING):
         ranker = BorderlineRanker().fit(dataset)
 
+    current = dataset
+    if hierarchy is None:
+        hierarchy = Hierarchy(current, attrs=attrs)
     initial_ibs = tuple(
         identify_ibs(
-            dataset, tau_c, T=T, k=k, scope=scope, method=method, attrs=attrs
+            current, tau_c, T=T, k=k, scope=scope, method=method,
+            attrs=attrs, hierarchy=hierarchy,
         )
     )
 
-    current = dataset
-    hierarchy = Hierarchy(current, attrs=attrs)
     dirty = False
     node_keys = [
         frozenset(node.attrs)
@@ -108,27 +126,39 @@ def remedy_dataset(
             dirty = False
         node = hierarchy.node(key)
         # Identify this node's biased regions on the current data (line 3).
-        biased: list[RegionReport] = []
-        for pattern, pos, neg in node.iter_regions(min_size=k + 1):
-            report = region_report(
-                hierarchy, node, pattern, pos, neg, T,
-                method=method, dataset=current,
-            )
-            if is_biased(report.ratio, report.neighbor_ratio, tau_c):
-                biased.append(report)
+        biased = node_biased_reports(
+            hierarchy, node, tau_c, T=T, k=k, method=method, dataset=current
+        )
         biased.sort(key=lambda r: (-r.difference, r.pattern.items))
         # Apply updates sequentially (lines 4-6).  Cells within a node are
         # disjoint, so each region's identification counts stay valid while
-        # its siblings are updated; cross-node staleness is handled by the
-        # dirty-flag rebuild.
+        # its siblings are updated; cross-node staleness is handled by
+        # folding each update's exact count delta into the hierarchy (or,
+        # with incremental=False, by a dirty-flag rebuild).
         for report in biased:
+            before = (
+                hierarchy.region_leaf_counts(current, report.pattern)
+                if incremental
+                else None
+            )
             outcome = apply_technique(technique, current, report, rng, ranker)
             if outcome is None:
                 continue
             current, update = outcome
             updates.append(update)
-            dirty = True
+            if incremental:
+                after = hierarchy.region_leaf_counts(current, report.pattern)
+                hierarchy.apply_count_delta(
+                    report.pattern, after[0] - before[0], after[1] - before[1]
+                )
+            else:
+                dirty = True
 
+    if dirty:
+        hierarchy = Hierarchy(current, attrs=attrs)
     return RemedyResult(
-        dataset=current, updates=tuple(updates), initial_ibs=initial_ibs
+        dataset=current,
+        updates=tuple(updates),
+        initial_ibs=initial_ibs,
+        hierarchy=hierarchy,
     )

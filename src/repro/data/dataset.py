@@ -165,17 +165,25 @@ class Dataset:
         return codes.astype(np.int64, copy=False), shape
 
     def region_counts(
-        self, attrs: Sequence[str]
+        self, attrs: Sequence[str], rows: np.ndarray | None = None
     ) -> tuple[np.ndarray, np.ndarray, tuple[int, ...]]:
         """Positive and negative counts of every cell over ``attrs``.
 
         Returns ``(pos, neg, shape)`` where ``pos``/``neg`` are flat arrays of
-        length ``prod(shape)`` indexed by the mixed-radix joint code.
+        length ``prod(shape)`` indexed by the mixed-radix joint code.  When
+        ``rows`` (a boolean mask or integer index array) is given, only those
+        rows are counted — the hierarchy uses this to recount a single
+        region's slice without materialising a sub-dataset.
         """
         codes, shape = self.joint_codes(attrs)
+        y = self.y
+        if rows is not None:
+            rows = np.asarray(rows)
+            codes = codes[rows]
+            y = y[rows]
         size = int(np.prod(shape)) if shape else 1
-        pos = np.bincount(codes[self.y == 1], minlength=size)
-        neg = np.bincount(codes[self.y == 0], minlength=size)
+        pos = np.bincount(codes[y == 1], minlength=size)
+        neg = np.bincount(codes[y == 0], minlength=size)
         return pos.astype(np.int64), neg.astype(np.int64), shape
 
     # -- row-level edits (return new datasets) --------------------------------

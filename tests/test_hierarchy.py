@@ -104,3 +104,114 @@ class TestCounts:
         node = h.node(("age", "sex"))
         p = node.pattern_of((2, 1))
         assert node.coords_of(p) == (2, 1)
+
+
+def _assert_hierarchies_equal(a, b):
+    assert a.attrs == b.attrs and a.max_level == b.max_level
+    for level in range(0, a.max_level + 1):
+        nodes_a, nodes_b = a.nodes_at_level(level), b.nodes_at_level(level)
+        assert [n.attrs for n in nodes_a] == [n.attrs for n in nodes_b]
+        for na, nb in zip(nodes_a, nodes_b):
+            assert np.array_equal(na.pos, nb.pos), na.attrs
+            assert np.array_equal(na.neg, nb.neg), na.attrs
+
+
+class TestLevelIndex:
+    def test_nodes_at_level_in_canonical_order(self, biased_dataset):
+        """The level index preserves itertools.combinations order."""
+        import itertools
+
+        h = Hierarchy(biased_dataset)
+        for level in range(0, h.max_level + 1):
+            got = [n.attrs for n in h.nodes_at_level(level)]
+            assert got == list(itertools.combinations(h.attrs, level))
+
+    def test_nodes_at_level_returns_fresh_list(self, biased_dataset):
+        h = Hierarchy(biased_dataset)
+        first = h.nodes_at_level(1)
+        first.clear()
+        assert len(h.nodes_at_level(1)) == 2  # index not corrupted by callers
+
+    def test_empty_level_is_empty_list(self, biased_dataset):
+        h = Hierarchy(biased_dataset, max_level=1)
+        assert h.nodes_at_level(2) == []
+
+
+class TestIncrementalBuild:
+    def test_every_node_is_leaf_marginalisation(self, biased_dataset):
+        """Chained single-axis sums equal direct full-leaf marginalisation."""
+        import itertools
+
+        h = Hierarchy(biased_dataset)
+        attrs = h.attrs
+        pos_flat, neg_flat, shape = biased_dataset.region_counts(attrs)
+        leaf_pos, leaf_neg = pos_flat.reshape(shape), neg_flat.reshape(shape)
+        axis_of = {a: i for i, a in enumerate(attrs)}
+        for level in range(0, h.max_level + 1):
+            for subset in itertools.combinations(attrs, level):
+                drop = tuple(axis_of[a] for a in attrs if a not in subset)
+                node = h.node(subset)
+                want_pos = leaf_pos.sum(axis=drop) if drop else leaf_pos
+                want_neg = leaf_neg.sum(axis=drop) if drop else leaf_neg
+                assert np.array_equal(node.pos, want_pos), subset
+                assert np.array_equal(node.neg, want_neg), subset
+
+    def test_truncated_lattice_matches_full(self, biased_dataset):
+        full = Hierarchy(biased_dataset)
+        part = Hierarchy(biased_dataset, max_level=1)
+        for node in part.nodes_at_level(1):
+            ref = full.node(node.attrs)
+            assert np.array_equal(node.pos, ref.pos)
+            assert np.array_equal(node.neg, ref.neg)
+
+
+class TestIncrementalUpdates:
+    def test_region_leaf_counts_shape_and_totals(self, biased_dataset):
+        h = Hierarchy(biased_dataset)
+        pattern = Pattern([("a", 0)])
+        pos, neg = h.region_leaf_counts(biased_dataset, pattern)
+        assert pos.shape == neg.shape == (2,)  # free attr b has 2 values
+        assert (int(pos.sum()), int(neg.sum())) == h.counts_of(pattern)
+
+    def test_duplicate_rows_delta_equals_rebuild(self, biased_dataset):
+        rng = np.random.default_rng(7)
+        h = Hierarchy(biased_dataset)
+        pattern = Pattern([("a", 0), ("b", 0)])
+        idx = np.flatnonzero(pattern.mask(biased_dataset))
+        before = h.region_leaf_counts(biased_dataset, pattern)
+        edited = biased_dataset.duplicate_rows(rng.choice(idx, size=10))
+        after = h.region_leaf_counts(edited, pattern)
+        h.apply_count_delta(pattern, after[0] - before[0], after[1] - before[1])
+        _assert_hierarchies_equal(h, Hierarchy(edited))
+
+    def test_drop_and_flip_deltas_equal_rebuild(self, biased_dataset):
+        rng = np.random.default_rng(13)
+        h = Hierarchy(biased_dataset)
+        current = biased_dataset
+        for pattern in (Pattern([("b", 1)]), Pattern([("a", 2), ("b", 0)])):
+            idx = np.flatnonzero(pattern.mask(current))
+            before = h.region_leaf_counts(current, pattern)
+            y = current.y.copy()
+            y[rng.choice(idx, size=5, replace=False)] ^= 1
+            current = current.with_labels(y).drop(
+                rng.choice(idx, size=3, replace=False)
+            )
+            after = h.region_leaf_counts(current, pattern)
+            h.apply_count_delta(
+                pattern, after[0] - before[0], after[1] - before[1]
+            )
+            _assert_hierarchies_equal(h, Hierarchy(current))
+
+    def test_zero_delta_is_noop(self, biased_dataset):
+        h = Hierarchy(biased_dataset)
+        pattern = Pattern([("a", 1)])
+        pos, neg = h.region_leaf_counts(biased_dataset, pattern)
+        h.apply_count_delta(pattern, pos - pos, neg - neg)
+        _assert_hierarchies_equal(h, Hierarchy(biased_dataset))
+
+    def test_foreign_attribute_rejected(self, biased_dataset):
+        h = Hierarchy(biased_dataset)
+        with pytest.raises(PatternError):
+            h.apply_count_delta(Pattern([("zz", 0)]), np.zeros(2), np.zeros(2))
+        with pytest.raises(PatternError):
+            h.region_leaf_counts(biased_dataset, Pattern([("zz", 0)]))

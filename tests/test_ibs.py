@@ -5,13 +5,16 @@ import math
 import pytest
 
 from repro.core import (
+    METHODS,
     Hierarchy,
     Pattern,
     dominated_biased_regions,
     ibs_patterns,
     identify_ibs,
+    node_biased_reports,
     scope_levels,
 )
+from repro.data.synth import load_adult, load_compas, load_lawschool
 from repro.errors import PatternError
 
 
@@ -43,7 +46,36 @@ class TestIdentify:
     def test_methods_agree(self, biased_dataset):
         naive = identify_ibs(biased_dataset, 0.2, k=10, method="naive")
         opt = identify_ibs(biased_dataset, 0.2, k=10, method="optimized")
+        vec = identify_ibs(biased_dataset, 0.2, k=10, method="vectorized")
         assert ibs_patterns(naive) == ibs_patterns(opt)
+        assert opt == vec  # full report lists, not just pattern sets
+
+    def test_vectorized_is_registered_method(self):
+        assert "vectorized" in METHODS
+
+    @pytest.mark.parametrize(
+        "loader,seed", [(load_adult, 5), (load_compas, 11), (load_lawschool, 23)]
+    )
+    def test_vectorized_identical_reports_on_synthetic_datasets(
+        self, loader, seed
+    ):
+        """Acceptance pin: byte-identical report lists on all three datasets."""
+        dataset = loader(2_500, seed=seed)
+        for T in (1.0, 1.5):
+            opt = identify_ibs(dataset, 0.3, T=T, k=15, method="optimized")
+            vec = identify_ibs(dataset, 0.3, T=T, k=15, method="vectorized")
+            assert opt == vec
+            assert vec, "pin is vacuous if no region is found"
+
+    def test_node_biased_reports_matches_scalar_path(self, biased_dataset):
+        h = Hierarchy(biased_dataset)
+        for level in h.levels():
+            for node in h.nodes_at_level(level):
+                scalar = node_biased_reports(
+                    h, node, 0.2, k=5, method="optimized", dataset=biased_dataset
+                )
+                vector = node_biased_reports(h, node, 0.2, k=5, method="vectorized")
+                assert scalar == vector
 
     def test_unknown_method_rejected(self, biased_dataset):
         with pytest.raises(PatternError):

@@ -1,5 +1,8 @@
 """Unit tests for repro.core.neighbors (Definition 4, §III-A/B)."""
 
+import itertools
+from math import sqrt
+
 import pytest
 
 from repro.core import (
@@ -10,6 +13,7 @@ from repro.core import (
     iter_neighbor_cells,
     naive_neighbor_counts,
     optimized_neighbor_counts,
+    vectorized_neighbor_counts,
 )
 from repro.core.neighbors import naive_neighbor_counts_scan
 from repro.errors import PatternError
@@ -86,6 +90,32 @@ class TestEngineEquivalence:
                     opt = optimized_neighbor_counts(h, pattern, T)
                     assert naive == opt, (pattern, T)
 
+    @pytest.mark.parametrize("T", [1.0, 1.5, 2.0, 3.0])
+    def test_vectorized_equals_optimized_everywhere(self, biased_dataset, T):
+        h = Hierarchy(biased_dataset)
+        for level in h.levels():
+            for node in h.nodes_at_level(level):
+                vpos, vneg = vectorized_neighbor_counts(h, node, T)
+                assert vpos.shape == node.shape and vneg.shape == node.shape
+                for pattern, __, __n in node.iter_regions(min_size=1):
+                    coords = node.coords_of(pattern)
+                    got = (int(vpos[coords]), int(vneg[coords]))
+                    assert got == optimized_neighbor_counts(h, pattern, T), (
+                        pattern,
+                        T,
+                    )
+
+    def test_vectorized_covers_empty_cells_too(self, biased_dataset):
+        """The array engine values every cell, not just populated regions."""
+        h = Hierarchy(biased_dataset)
+        node = h.node(("a", "b"))
+        vpos, vneg = vectorized_neighbor_counts(h, node, 1.0)
+        for coords in itertools.product(*(range(s) for s in node.shape)):
+            pattern = node.pattern_of(coords)
+            assert (int(vpos[coords]), int(vneg[coords])) == (
+                optimized_neighbor_counts(h, pattern, 1.0)
+            )
+
     def test_scan_equals_array_walk(self, biased_dataset):
         h = Hierarchy(biased_dataset)
         node = h.node(("a", "b"))
@@ -146,6 +176,24 @@ class TestOrdinalMetric:
         # ordinal T=1 only reaches code 1, unit reaches codes 1 and 2
         assert ordinal[0] <= unit[0] and ordinal[1] <= unit[1]
         assert ordinal != unit
+
+    @pytest.mark.parametrize("T", [1.0, 1.5, 2.0, 2.5])
+    def test_ordinal_grid_matches_python_scan(self, biased_dataset, T):
+        """The broadcast distance grid equals a literal per-cell scan."""
+        h = Hierarchy(biased_dataset)
+        node = h.node(("a", "b"))
+        for pattern, __, __n in node.iter_regions(min_size=1):
+            coords = node.coords_of(pattern)
+            pos = neg = 0
+            for cell in itertools.product(*(range(s) for s in node.shape)):
+                if cell == coords:
+                    continue
+                dist = sqrt(sum((a - b) ** 2 for a, b in zip(cell, coords)))
+                if dist <= T + 1e-9:
+                    pos += int(node.pos[cell])
+                    neg += int(node.neg[cell])
+            got = naive_neighbor_counts(node, pattern, T, metric="ordinal")
+            assert got == (pos, neg), (pattern, T)
 
     def test_unknown_metric_rejected(self, biased_dataset):
         h = Hierarchy(biased_dataset)

@@ -1,0 +1,169 @@
+"""Property tests: the three neighbourhood engines are extensionally equal.
+
+Random small datasets (with a knob that plants all-positive cells so the
+``ratio = -1`` sentinel path is exercised) must yield
+
+* identical ``(pos, neg)`` neighbour counts from naive, optimized, and
+  vectorized counting for every region, every level 1..d, and
+  ``T ∈ {1, √2, 2}``;
+* identical IBS report lists from ``identify_ibs`` under every engine;
+* an incrementally updated hierarchy equal to a freshly built one after
+  each remedy iteration (checked via the ``incremental=False`` oracle and
+  by replaying remedy-style edits step by step).
+"""
+
+from __future__ import annotations
+
+from math import sqrt
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Hierarchy,
+    Pattern,
+    identify_ibs,
+    naive_neighbor_counts,
+    optimized_neighbor_counts,
+    remedy_dataset,
+    vectorized_neighbor_counts,
+)
+from repro.core.samplers import TECHNIQUES
+from repro.data import Dataset, schema_from_domains
+
+THRESHOLDS = (1.0, sqrt(2.0), 2.0)
+
+
+@st.composite
+def engine_datasets(draw):
+    """Random categorical dataset; may plant an all-positive cell."""
+    n_attrs = draw(st.integers(2, 3))
+    cards = [draw(st.integers(2, 4)) for __ in range(n_attrs)]
+    n_rows = draw(st.integers(20, 120))
+    seed = draw(st.integers(0, 10_000))
+    plant_all_positive = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    names = [f"x{i}" for i in range(n_attrs)]
+    schema = schema_from_domains(
+        {n: tuple(f"v{j}" for j in range(c)) for n, c in zip(names, cards)}
+    )
+    columns = {
+        name: rng.integers(0, card, size=n_rows)
+        for name, card in zip(names, cards)
+    }
+    y = rng.integers(0, 2, size=n_rows)
+    if plant_all_positive:
+        # Force every row of cell (0, 0, ...) positive so some region (and
+        # its dominators) has an empty negative side -> ratio = -1.
+        in_cell = np.ones(n_rows, dtype=bool)
+        for name in names:
+            in_cell &= columns[name] == 0
+        y = np.where(in_cell, 1, y)
+    return Dataset(schema, columns, y, protected=tuple(names))
+
+
+class TestThreeEngineEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(engine_datasets())
+    def test_neighbor_counts_agree_all_levels(self, dataset):
+        h = Hierarchy(dataset)
+        for T in THRESHOLDS:
+            for level in h.levels():
+                for node in h.nodes_at_level(level):
+                    vpos, vneg = vectorized_neighbor_counts(h, node, T)
+                    for pattern, __, __n in node.iter_regions(min_size=1):
+                        coords = node.coords_of(pattern)
+                        vec = (int(vpos[coords]), int(vneg[coords]))
+                        opt = optimized_neighbor_counts(h, pattern, T)
+                        nai = naive_neighbor_counts(node, pattern, T)
+                        assert vec == opt == nai, (pattern, T)
+
+    @settings(max_examples=30, deadline=None)
+    @given(engine_datasets(), st.sampled_from(THRESHOLDS), st.integers(0, 5))
+    def test_identify_ibs_reports_identical(self, dataset, T, k):
+        naive = identify_ibs(dataset, 0.2, T=T, k=k, method="naive")
+        opt = identify_ibs(dataset, 0.2, T=T, k=k, method="optimized")
+        vec = identify_ibs(dataset, 0.2, T=T, k=k, method="vectorized")
+        assert naive == opt == vec
+
+    @settings(max_examples=20, deadline=None)
+    @given(engine_datasets())
+    def test_sentinel_regions_agree(self, dataset):
+        """Regions with an empty negative side report ratio = -1 identically."""
+        opt = identify_ibs(dataset, 0.0, k=0, method="optimized")
+        vec = identify_ibs(dataset, 0.0, k=0, method="vectorized")
+        assert opt == vec
+        sentinels = [r for r in vec if r.ratio == -1.0 or r.neighbor_ratio == -1.0]
+        for r in sentinels:
+            mirror = next(o for o in opt if o.pattern == r.pattern)
+            assert (mirror.ratio, mirror.neighbor_ratio, mirror.difference) == (
+                r.ratio,
+                r.neighbor_ratio,
+                r.difference,
+            )
+
+
+class TestIncrementalHierarchyProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        engine_datasets(),
+        st.sampled_from(TECHNIQUES),
+        st.integers(0, 100),
+    )
+    def test_incremental_remedy_equals_rebuild(self, dataset, technique, seed):
+        fast = remedy_dataset(
+            dataset, 0.15, k=2, technique=technique, seed=seed, incremental=True
+        )
+        slow = remedy_dataset(
+            dataset, 0.15, k=2, technique=technique, seed=seed, incremental=False
+        )
+        assert fast.updates == slow.updates
+        assert np.array_equal(fast.dataset.y, slow.dataset.y)
+        for name in dataset.schema.names:
+            assert np.array_equal(
+                fast.dataset.column(name), slow.dataset.column(name)
+            )
+        fresh = Hierarchy(fast.dataset)
+        for level in range(0, fresh.max_level + 1):
+            for node in fresh.nodes_at_level(level):
+                kept = fast.hierarchy.node(node.attrs)
+                assert np.array_equal(kept.pos, node.pos)
+                assert np.array_equal(kept.neg, node.neg)
+
+    @settings(max_examples=15, deadline=None)
+    @given(engine_datasets(), st.integers(0, 1_000))
+    def test_stepwise_deltas_track_fresh_builds(self, dataset, seed):
+        """After every single remedy-style edit the hierarchy stays exact."""
+        rng = np.random.default_rng(seed)
+        h = Hierarchy(dataset)
+        current = dataset
+        names = list(dataset.protected)
+        for __ in range(4):
+            attr = names[int(rng.integers(0, len(names)))]
+            card = current.schema[attr].cardinality
+            pattern = Pattern([(attr, int(rng.integers(0, card)))])
+            idx = np.flatnonzero(pattern.mask(current))
+            if idx.size == 0:
+                continue
+            before = h.region_leaf_counts(current, pattern)
+            action = int(rng.integers(0, 3))
+            if action == 0:
+                current = current.duplicate_rows(
+                    rng.choice(idx, size=min(3, idx.size))
+                )
+            elif action == 1 and idx.size > 1:
+                current = current.drop(rng.choice(idx, size=1, replace=False))
+            else:
+                y = current.y.copy()
+                y[rng.choice(idx, size=1)] ^= 1
+                current = current.with_labels(y)
+            after = h.region_leaf_counts(current, pattern)
+            h.apply_count_delta(
+                pattern, after[0] - before[0], after[1] - before[1]
+            )
+            fresh = Hierarchy(current)
+            for level in range(0, fresh.max_level + 1):
+                for node in fresh.nodes_at_level(level):
+                    kept = h.node(node.attrs)
+                    assert np.array_equal(kept.pos, node.pos), node.attrs
+                    assert np.array_equal(kept.neg, node.neg), node.attrs

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import identify_ibs, remedy_dataset
+from repro.core import Hierarchy, identify_ibs, remedy_dataset
 from repro.core.samplers import TECHNIQUES
 from repro.errors import RemedyError
 
@@ -105,3 +105,61 @@ class TestRemedy:
         node = after_h.node(("a", "b"))
         after = region_report(after_h, node, pattern, *node.counts_of(pattern), 1.0)
         assert after.difference < before.difference
+
+
+class TestIncrementalHierarchy:
+    def test_hierarchy_built_exactly_once(self, biased_dataset, monkeypatch):
+        """Acceptance pin: the remedy loop no longer rebuilds per iteration."""
+        import repro.core.hierarchy as hierarchy_mod
+
+        calls = []
+        original = hierarchy_mod.Hierarchy.__init__
+
+        def counting_init(self, *args, **kwargs):
+            calls.append(1)
+            original(self, *args, **kwargs)
+
+        monkeypatch.setattr(hierarchy_mod.Hierarchy, "__init__", counting_init)
+        result = remedy_dataset(
+            biased_dataset, 0.2, k=10, technique="undersampling", seed=0
+        )
+        assert result.n_regions_remedied >= 2, "needs several dirtying updates"
+        assert len(calls) == 1
+
+    @pytest.mark.parametrize("technique", TECHNIQUES)
+    def test_incremental_equals_rebuild_oracle(self, biased_dataset, technique):
+        """incremental=True and the from-scratch fallback are byte-identical."""
+        fast = remedy_dataset(
+            biased_dataset, 0.2, k=10, technique=technique, seed=4,
+            incremental=True,
+        )
+        slow = remedy_dataset(
+            biased_dataset, 0.2, k=10, technique=technique, seed=4,
+            incremental=False,
+        )
+        assert fast.updates == slow.updates
+        assert fast.initial_ibs == slow.initial_ibs
+        assert np.array_equal(fast.dataset.y, slow.dataset.y)
+        for name in biased_dataset.schema.names:
+            assert np.array_equal(
+                fast.dataset.column(name), slow.dataset.column(name)
+            )
+
+    def test_result_hierarchy_matches_remedied_dataset(self, biased_dataset):
+        result = remedy_dataset(
+            biased_dataset, 0.2, k=10, technique="massaging", seed=2
+        )
+        fresh = Hierarchy(result.dataset)
+        for level in range(0, fresh.max_level + 1):
+            for node in fresh.nodes_at_level(level):
+                kept = result.hierarchy.node(node.attrs)
+                assert np.array_equal(kept.pos, node.pos), node.attrs
+                assert np.array_equal(kept.neg, node.neg), node.attrs
+
+    def test_prebuilt_hierarchy_accepted(self, biased_dataset):
+        h = Hierarchy(biased_dataset)
+        result = remedy_dataset(
+            biased_dataset, 0.2, k=10, technique="undersampling", seed=0,
+            hierarchy=h,
+        )
+        assert result.hierarchy is h  # updated in place, not replaced
