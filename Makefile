@@ -1,6 +1,6 @@
 # Development workflow shortcuts.
 
-.PHONY: install test lint bench bench-full bench-ibs examples report clean
+.PHONY: install test lint bench bench-full bench-ibs examples experiments-smoke report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -23,6 +23,9 @@ bench-ibs:
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+experiments-smoke:
+	PYTHONPATH=src python -m repro.resilience.smoke
 
 report:
 	python examples/regenerate_report.py REPORT.md

@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.engine import Finding
+from repro.data.io import atomic_write_json
 from repro.errors import AnalysisError
 
 BASELINE_VERSION = 1
@@ -84,7 +85,7 @@ def write_baseline(path: Path | str, findings: Sequence[Finding]) -> int:
             {"path": p, "rule": r, "message": m} for p, r, m in entries
         ],
     }
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(path, payload)
     return len(entries)
 
 

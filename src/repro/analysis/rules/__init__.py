@@ -1,10 +1,11 @@
-"""Repo-specific analysis rules (R001–R006) and their registry."""
+"""Repo-specific analysis rules (R001–R007) and their registry."""
 
 from __future__ import annotations
 
 from repro.analysis.rules.api import PublicApiContractRule
 from repro.analysis.rules.asserts import BareAssertRule
 from repro.analysis.rules.defaults import MutableDefaultRule
+from repro.analysis.rules.exceptions import BroadExceptRule
 from repro.analysis.rules.imports import SANCTIONED_PACKAGES, ForbiddenImportRule
 from repro.analysis.rules.iteration import RESULT_SUBPACKAGES, SetIterationRule
 from repro.analysis.rules.randomness import SEEDABLE_CONSTRUCTORS, UnseededRandomnessRule
@@ -20,6 +21,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     BareAssertRule,
     PublicApiContractRule,
     SetIterationRule,
+    BroadExceptRule,
 )
 
 RULE_IDS: tuple[str, ...] = tuple(cls.rule_id for cls in RULE_CLASSES)
@@ -44,6 +46,7 @@ __all__ = [
     "UnseededRandomnessRule",
     "MutableDefaultRule",
     "BareAssertRule",
+    "BroadExceptRule",
     "PublicApiContractRule",
     "SetIterationRule",
     "SANCTIONED_PACKAGES",

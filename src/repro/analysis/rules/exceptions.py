@@ -1,0 +1,76 @@
+"""R007 — broad exception handlers that swallow errors.
+
+``except Exception`` (or a bare ``except``) that neither re-raises nor
+wraps the error in a typed :class:`~repro.errors.ReproError` turns every
+failure — including library bugs — into silent control flow.  The repo's
+contract is that broad handlers are only legal at deliberate degradation
+points (e.g. the resilience executor's cell boundary, which records the
+failure), and such points must either re-raise or be explicitly marked
+with ``# repro: ignore[R007]`` so the exemption is visible in review.
+
+A handler passes when any ``raise`` statement appears in its own body
+(bare re-raise or wrap-and-raise both count); ``raise`` inside a function
+or class *defined* in the handler body does not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import FileContext, Finding, Rule, SEVERITY_ERROR
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _broad_name(node: ast.expr | None) -> str | None:
+    """The broad class name a handler catches, or None if it is narrow."""
+    if node is None:
+        return "bare except"
+    if isinstance(node, ast.Name) and node.id in _BROAD_NAMES:
+        return node.id
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            if isinstance(element, ast.Name) and element.id in _BROAD_NAMES:
+                return element.id
+    return None
+
+
+def _contains_raise(body: list[ast.stmt]) -> bool:
+    """True when a ``raise`` occurs in ``body`` outside nested definitions."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+class BroadExceptRule(Rule):
+    """Flag broad ``except`` handlers whose body never raises."""
+
+    rule_id = "R007"
+    description = "broad except handlers must re-raise or wrap in a ReproError"
+    severity = SEVERITY_ERROR
+    interests = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        """Check one ``except`` handler for the swallow pattern."""
+        handler = node
+        if not isinstance(handler, ast.ExceptHandler):  # pragma: no cover
+            return
+        caught = _broad_name(handler.type)
+        if caught is None or _contains_raise(handler.body):
+            return
+        yield self.finding(
+            ctx,
+            handler,
+            f"broad handler ({caught}) swallows the error; re-raise, wrap "
+            "in a ReproError, or mark the degradation point with "
+            "'# repro: ignore[R007]'",
+        )

@@ -9,12 +9,22 @@ Commands
 ``audit``     train a downstream model on a train CSV, audit subgroup
               fairness on a test CSV, print unfair subgroups and indexes;
 ``experiment``run one of the paper's experiments by id (fig3, fig4, fig5,
-              fig6, fig7, fig8, table3, fig9) on the synthetic data;
-``analyze``   run the repo's static-analysis rules (R001–R006) over Python
+              fig6, fig7, fig8, table3, fig9, robustness) on the synthetic
+              data, fault-tolerantly: ``--max-retries`` / ``--cell-timeout``
+              bound each sweep cell, ``--checkpoint`` persists completed
+              cells, and ``--resume`` restarts an interrupted sweep without
+              re-running them (see ``docs/resilience.md``);
+``analyze``   run the repo's static-analysis rules (R001–R007) over Python
               sources, gated by an optional baseline file.
 
 Every command that reads a CSV requires the matching ``--schema`` JSON
 (written by ``generate`` or by :func:`repro.data.schema_io.write_schema`).
+
+Exit codes: 0 on success; 2 for any :class:`~repro.errors.ReproError`
+(bad input, malformed schema, checkpoint mismatch, ...); 3 when an
+experiment completed but one or more cells failed after their retry
+budget (the printed table carries ``FAILED(...)``/``TIMEOUT`` markers);
+130 on ``KeyboardInterrupt`` (completed cells are already checkpointed).
 """
 
 from __future__ import annotations
@@ -28,10 +38,11 @@ from repro.audit import fairness_index, unfair_subgroups
 from repro.core import METHOD_OPTIMIZED, METHODS, identify_ibs, remedy_dataset
 from repro.core.samplers import TECHNIQUES
 from repro.data.dataset import Dataset
-from repro.data.io import read_csv, write_csv
+from repro.data.io import atomic_write_text, read_csv, write_csv
 from repro.data.schema_io import read_schema, write_schema
 from repro.data.split import train_test_split
 from repro.data.synth import load_adult, load_compas, load_lawschool
+from repro.errors import ExperimentError, ReproError
 from repro.experiments.reporting import format_table
 from repro.ml.metrics import FNR, FPR
 from repro.ml.models import MODEL_NAMES, make_model
@@ -41,6 +52,12 @@ DATASETS = {
     "compas": load_compas,
     "lawschool": load_lawschool,
 }
+
+#: CLI exit-code contract (see module docstring and ``docs/resilience.md``).
+EXIT_OK = 0
+EXIT_REPRO_ERROR = 2
+EXIT_PARTIAL = 3
+EXIT_INTERRUPT = 130
 
 
 def _load(csv_path: str, schema_path: str) -> Dataset:
@@ -214,10 +231,39 @@ def cmd_report(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     report = generate_report(scale)
-    Path(args.output).write_text(report.to_markdown())
+    atomic_write_text(args.output, report.to_markdown())
     total = sum(s.seconds for s in report.sections)
     print(f"wrote {args.output} ({len(report.sections)} sections, {total:.1f}s)")
     return 0
+
+
+def _build_executor(args: argparse.Namespace) -> "CellExecutor":
+    """Assemble the fault-tolerant executor from the ``experiment`` flags."""
+    from repro.resilience import CellExecutor, Checkpoint, RetryPolicy, sweep_run_id
+
+    if args.max_retries < 0:
+        raise ExperimentError(f"--max-retries must be >= 0, got {args.max_retries}")
+    checkpoint = None
+    if args.resume and not args.checkpoint:
+        raise ExperimentError("--resume requires --checkpoint <path>")
+    if args.checkpoint:
+        path = Path(args.checkpoint)
+        if path.exists() and not args.resume:
+            raise ExperimentError(
+                f"checkpoint {path} already exists; pass --resume to continue "
+                "that sweep or delete the file to start over"
+            )
+        run_id = sweep_run_id(
+            experiment=args.experiment,
+            rows=args.rows,
+            models=list(args.models),
+            seed=args.seed,
+        )
+        checkpoint = Checkpoint(path, run_id, resume=args.resume)
+    policy = RetryPolicy(max_attempts=args.max_retries + 1, seed=args.seed)
+    return CellExecutor(
+        policy=policy, deadline=args.cell_timeout, checkpoint=checkpoint
+    )
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -225,6 +271,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import (
         identification_vs_attrs,
         run_baseline_comparison,
+        run_seed_sweep,
         run_tradeoff,
         run_validation,
         speedup_summary,
@@ -234,10 +281,13 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         validation_table,
     )
 
+    executor = _build_executor(args)
     rows = args.rows
     if args.experiment == "fig3":
         data = load_compas(rows or 6172, seed=11)
-        results = run_validation(data, models=tuple(args.models), seed=args.seed)
+        results = run_validation(
+            data, models=tuple(args.models), seed=args.seed, executor=executor
+        )
         print(validation_table(results, schema=data.schema))
         print()
         print(validation_summary(results))
@@ -250,7 +300,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         default_rows = {"fig4": 12000, "fig5": 4590, "fig6": 6172}[args.experiment]
         data = loader(rows or default_rows)
         result = run_tradeoff(
-            data, name, tau_c=tau, models=tuple(args.models), seed=args.seed
+            data, name, tau_c=tau, models=tuple(args.models), seed=args.seed,
+            executor=executor,
         )
         print(result.table())
     elif args.experiment == "fig7":
@@ -263,14 +314,29 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(sweep.table("Fig. 8 — T = 1 vs T = |X|"))
     elif args.experiment == "table3":
         data = load_adult(rows or 12000, seed=5)
-        print(run_baseline_comparison(data, seed=args.seed).table())
+        print(run_baseline_comparison(data, seed=args.seed, executor=executor).table())
     elif args.experiment == "fig9":
-        result = identification_vs_attrs(n_rows=rows or 10000, attr_grid=(2, 4, 6, 8))
+        result = identification_vs_attrs(
+            n_rows=rows or 10000, attr_grid=(2, 4, 6, 8), executor=executor
+        )
         print(result.table("#attrs"))
         print(f"speedups: {speedup_summary(result)}")
+    elif args.experiment == "robustness":
+        data = load_compas(rows or 6172, seed=11)
+        result = run_seed_sweep(
+            data, "ProPublica", model=args.models[0], executor=executor
+        )
+        print(result.table())
     else:  # pragma: no cover - argparse choices prevent this
         raise SystemExit(f"unknown experiment {args.experiment}")
-    return 0
+    if executor.n_failed:
+        print(
+            f"\n{executor.n_failed} cell(s) failed after retries — "
+            "see the status column above",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL
+    return EXIT_OK
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -388,7 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
-        "analyze", help="static-analysis pass over Python sources (R001-R006)"
+        "analyze", help="static-analysis pass over Python sources (R001-R007)"
     )
     p.add_argument(
         "paths", nargs="*", default=["src/repro"],
@@ -410,11 +476,30 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiment", help="run a paper experiment by id")
     p.add_argument(
         "experiment",
-        choices=("fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "fig9"),
+        choices=(
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "fig9",
+            "robustness",
+        ),
     )
     p.add_argument("--rows", type=int, default=None, help="dataset size override")
     p.add_argument("--models", nargs="+", default=["dt", "lg"], choices=MODEL_NAMES)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--max-retries", dest="max_retries", type=int, default=2,
+        help="re-attempts per failed cell for typed repro errors (default 2)",
+    )
+    p.add_argument(
+        "--cell-timeout", dest="cell_timeout", type=float, default=None,
+        help="wall-clock deadline per cell in seconds (default: none)",
+    )
+    p.add_argument(
+        "--checkpoint", default=None,
+        help="JSON file persisting completed cells (written atomically)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="restore completed cells from --checkpoint instead of re-running",
+    )
     p.set_defaults(func=cmd_experiment)
 
     return parser
@@ -423,7 +508,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # Completed cells were flushed to the checkpoint as they finished,
+        # so an interrupted sweep resumes with --resume and loses nothing.
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPT
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_REPRO_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

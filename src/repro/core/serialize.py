@@ -20,6 +20,7 @@ from repro.core.ibs import RegionReport
 from repro.core.pattern import Pattern
 from repro.core.remedy import RemedyResult
 from repro.core.samplers import RegionUpdate
+from repro.data.io import atomic_write_json
 from repro.errors import DataError
 
 
@@ -109,8 +110,8 @@ def audit_trail_to_dict(result: RemedyResult) -> dict:
 
 
 def write_audit_trail(result: RemedyResult, path: str | Path) -> None:
-    """Persist a remedy's audit trail as JSON."""
-    Path(path).write_text(json.dumps(audit_trail_to_dict(result), indent=2) + "\n")
+    """Persist a remedy's audit trail as JSON (atomically)."""
+    atomic_write_json(path, audit_trail_to_dict(result))
 
 
 def read_audit_trail(

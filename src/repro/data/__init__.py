@@ -9,7 +9,7 @@ from repro.data.discretize import (
     equal_width_edges,
     quantile_edges,
 )
-from repro.data.io import read_csv, write_csv
+from repro.data.io import atomic_write_json, atomic_write_text, read_csv, write_csv
 from repro.data.schema_io import read_schema, schema_from_dict, schema_to_dict, write_schema
 from repro.data.schema import CATEGORICAL, NUMERIC, Column, Schema, schema_from_domains
 from repro.data.split import kfold_indices, train_test_split
@@ -33,6 +33,8 @@ __all__ = [
     "default_bin_labels",
     "read_csv",
     "write_csv",
+    "atomic_write_text",
+    "atomic_write_json",
     "read_schema",
     "write_schema",
     "schema_to_dict",

@@ -52,8 +52,13 @@ class Dataset:
         if y.ndim != 1:
             raise DataError(f"y must be 1-D, got shape {y.shape}")
         n = y.shape[0]
-        if n and not np.isin(y, (0, 1)).all():
-            raise DataError("labels must be binary 0/1")
+        if n:
+            bad = ~np.isin(y, (0, 1))
+            if bad.any():
+                row = int(np.flatnonzero(bad)[0])
+                raise DataError(
+                    f"labels must be binary 0/1; row {row} has {y[row]!r}"
+                )
         self.y = y.astype(np.int8, copy=False)
 
         self._columns: dict[str, np.ndarray] = {}
@@ -72,13 +77,25 @@ class Dataset:
                 )
             if col.is_categorical:
                 arr = arr.astype(np.int64, copy=False)
-                if n and (arr.min() < 0 or arr.max() >= col.cardinality):
-                    raise DataError(
-                        f"column {col.name!r} has codes outside "
-                        f"[0, {col.cardinality})"
-                    )
+                if n:
+                    bad = (arr < 0) | (arr >= col.cardinality)
+                    if bad.any():
+                        row = int(np.flatnonzero(bad)[0])
+                        raise DataError(
+                            f"column {col.name!r} has code {int(arr[row])} at "
+                            f"row {row}, outside [0, {col.cardinality})"
+                        )
             else:
                 arr = arr.astype(np.float64, copy=False)
+                if n:
+                    bad = ~np.isfinite(arr)
+                    if bad.any():
+                        row = int(np.flatnonzero(bad)[0])
+                        raise DataError(
+                            f"column {col.name!r} has non-finite value "
+                            f"{float(arr[row])!r} at row {row}; features must "
+                            "be finite (no NaN/inf)"
+                        )
             self._columns[col.name] = arr
 
         protected = tuple(protected)

@@ -10,7 +10,11 @@ rather than inferred.
 
 from __future__ import annotations
 
+import contextlib
 import csv
+import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Sequence
 
@@ -21,6 +25,36 @@ from repro.data.schema import Schema
 from repro.errors import DataError, SchemaError
 
 LABEL_COLUMN = "label"
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The content is first written to a temporary file in the same directory
+    (so the rename never crosses a filesystem boundary), fsynced, then moved
+    over ``path`` in one atomic step.  A process killed mid-write therefore
+    leaves either the old file or the new one — never a truncated mix.
+    Checkpoints, baselines, schemas and audit trails all go through here.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent) or ".", prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    finally:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+
+
+def atomic_write_json(path: str | Path, payload: object, indent: int = 2) -> None:
+    """Serialise ``payload`` to JSON and write it atomically via
+    :func:`atomic_write_text` (with a trailing newline)."""
+    atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")
 
 
 def write_csv(dataset: Dataset, path: str | Path) -> None:

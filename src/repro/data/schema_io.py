@@ -18,6 +18,7 @@ import json
 from pathlib import Path
 
 from repro.data.dataset import Dataset
+from repro.data.io import atomic_write_json
 from repro.data.schema import CATEGORICAL, NUMERIC, Column, Schema
 from repro.errors import SchemaError
 
@@ -57,7 +58,7 @@ def schema_from_dict(payload: dict) -> tuple[Schema, tuple[str, ...]]:
 def write_schema(dataset: Dataset, path: str | Path) -> None:
     """Persist ``dataset``'s schema (and protected set) as JSON."""
     payload = schema_to_dict(dataset.schema, dataset.protected)
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(path, payload)
 
 
 def read_schema(path: str | Path) -> tuple[Schema, tuple[str, ...]]:

@@ -44,5 +44,17 @@ class AnalysisError(ReproError):
     """The static-analysis engine was misconfigured or hit unreadable input."""
 
 
+class ResilienceError(ReproError):
+    """The fault-tolerant executor was misconfigured or misused."""
+
+
+class CellTimeout(ResilienceError):
+    """An experiment cell exceeded its wall-clock deadline."""
+
+
+class CheckpointError(ResilienceError):
+    """A sweep checkpoint is unreadable, corrupt, or from another sweep."""
+
+
 class InternalError(ReproError):
     """An internal invariant was violated; indicates a bug in the library."""

@@ -15,6 +15,7 @@ from repro.experiments.params import (
 from repro.experiments.reporting import format_table, print_table
 from repro.experiments.robustness import (
     RobustnessResult,
+    SeedFailure,
     SeedOutcome,
     run_seed_sweep,
 )
@@ -24,6 +25,7 @@ from repro.experiments.runner import (
     EvalResult,
     evaluate_model,
     evaluate_remedy,
+    run_eval_cells,
 )
 from repro.experiments.scalability import (
     ScalabilityResult,
@@ -76,6 +78,8 @@ __all__ = [
     "format_table",
     "print_table",
     "run_seed_sweep",
+    "run_eval_cells",
     "RobustnessResult",
+    "SeedFailure",
     "SeedOutcome",
 ]

@@ -10,10 +10,12 @@ accuracy and the method's wall-clock execution time.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import asdict, dataclass
+from typing import Callable, Sequence
 
 from repro.audit.violation import fairness_violation
+from repro.errors import DataError
+from repro.resilience import CellExecutor
 from repro.baselines.coverage import coverage_remedy
 from repro.baselines.fairsmote import fair_smote
 from repro.baselines.gerryfair import GerryFairClassifier
@@ -29,12 +31,28 @@ from repro.ml.models import make_model
 
 @dataclass(frozen=True)
 class BaselineRow:
-    """One Table III row."""
+    """One Table III row (``status`` marks cells that failed after retries)."""
 
     approach: str
     fairness_violation: float
     accuracy: float
     seconds: float  # method time (preprocessing or in-processing train)
+    status: str = "ok"
+
+
+def baseline_row_to_dict(row: BaselineRow) -> dict:
+    """JSON-ready payload for checkpointing one :class:`BaselineRow`."""
+    return asdict(row)
+
+
+def baseline_row_from_dict(payload: object) -> BaselineRow:
+    """Rebuild a :class:`BaselineRow` from :func:`baseline_row_to_dict`."""
+    if not isinstance(payload, dict):
+        raise DataError(f"malformed BaselineRow payload: {payload!r}")
+    try:
+        return BaselineRow(**payload)
+    except TypeError as exc:
+        raise DataError(f"malformed BaselineRow payload: {payload!r}") from exc
 
 
 @dataclass(frozen=True)
@@ -44,10 +62,13 @@ class BaselineTable:
     rows: tuple[BaselineRow, ...]
 
     def table(self) -> str:
-        headers = ("approach", "fairness violation", "accuracy", "time (s)")
+        headers = ("approach", "fairness violation", "accuracy", "time (s)", "status")
         return format_table(
             headers,
-            [(r.approach, r.fairness_violation, r.accuracy, r.seconds) for r in rows_sorted(self.rows)],
+            [
+                (r.approach, r.fairness_violation, r.accuracy, r.seconds, r.status)
+                for r in rows_sorted(self.rows)
+            ],
             title="Table III — baseline comparison (X = {race, gender})",
         )
 
@@ -80,6 +101,7 @@ def run_baseline_comparison(
     seed: int = 0,
     gerryfair_iters: int = 15,
     include_postprocess: bool = False,
+    executor: CellExecutor | None = None,
 ) -> BaselineTable:
     """Run every approach of Table III and collect its row.
 
@@ -89,88 +111,110 @@ def run_baseline_comparison(
     borderline-targeted sampling shifts the decision boundary past parity
     on our synthetic substrate (see EXPERIMENTS.md), while the uniform
     samplers reproduce the paper's reported direction.
+
+    Each approach runs as one cell of ``executor`` (key
+    ``("table3", <approach>)``); an approach that fails after its retry
+    budget contributes a ``FAILED(...)`` row instead of aborting the table.
     """
+    executor = executor if executor is not None else CellExecutor()
     dataset = dataset.with_protected(protected)
     train, test = train_test_split(dataset, test_fraction, seed=seed)
-    rows: list[BaselineRow] = []
 
     def audit(pred) -> float:
         return fairness_violation(test, pred, gamma=gamma, attrs=protected, min_size=k)
 
-    # Original — no mitigation.
-    clf = make_model(model, seed=seed).fit(train)
-    pred = clf.predict(test)
-    rows.append(BaselineRow("original", audit(pred), accuracy(test.y, pred), 0.0))
+    def measure(approach: str, preprocess: Callable[[], tuple]) -> BaselineRow:
+        """Time ``preprocess`` -> (train', weights, model); fit, predict, audit."""
+        start = time.perf_counter()
+        fit_data, weights, clf = preprocess()
+        elapsed = time.perf_counter() - start
+        if clf is None:
+            clf = make_model(model, seed=seed).fit(fit_data, sample_weight=weights)
+        pred = clf.predict(test)
+        return BaselineRow(approach, audit(pred), accuracy(test.y, pred), elapsed)
 
-    # Remedy (ours): lattice scope with the configured sampler.
-    start = time.perf_counter()
-    remedied = RemedyPipeline(
-        RemedyConfig(tau_c=tau_c, T=T, k=k, technique=technique, seed=seed)
-    ).transform(train)
-    elapsed = time.perf_counter() - start
-    clf = make_model(model, seed=seed).fit(remedied)
-    pred = clf.predict(test)
-    rows.append(BaselineRow("remedy", audit(pred), accuracy(test.y, pred), elapsed))
+    def original_cell() -> BaselineRow:
+        clf = make_model(model, seed=seed).fit(train)
+        pred = clf.predict(test)
+        return BaselineRow("original", audit(pred), accuracy(test.y, pred), 0.0)
 
-    # Coverage.
-    start = time.perf_counter()
-    covered = coverage_remedy(train, lambda_threshold=k, seed=seed)
-    elapsed = time.perf_counter() - start
-    clf = make_model(model, seed=seed).fit(covered)
-    pred = clf.predict(test)
-    rows.append(BaselineRow("coverage", audit(pred), accuracy(test.y, pred), elapsed))
+    def remedy_cell() -> BaselineRow:
+        # Remedy (ours): lattice scope with the configured sampler.
+        return measure(
+            "remedy",
+            lambda: (
+                RemedyPipeline(
+                    RemedyConfig(tau_c=tau_c, T=T, k=k, technique=technique, seed=seed)
+                ).transform(train),
+                None,
+                None,
+            ),
+        )
 
-    # FairBalance (weights).
-    start = time.perf_counter()
-    weights = fairbalance_weights(train)
-    elapsed = time.perf_counter() - start
-    clf = make_model(model, seed=seed).fit(train, sample_weight=weights)
-    pred = clf.predict(test)
-    rows.append(
-        BaselineRow("fairbalance", audit(pred), accuracy(test.y, pred), elapsed)
-    )
+    def coverage_cell() -> BaselineRow:
+        return measure(
+            "coverage",
+            lambda: (coverage_remedy(train, lambda_threshold=k, seed=seed), None, None),
+        )
 
-    # Fair-SMOTE (synthetic oversampling; the slow kNN one).
-    start = time.perf_counter()
-    smoted = fair_smote(train, seed=seed)
-    elapsed = time.perf_counter() - start
-    clf = make_model(model, seed=seed).fit(smoted)
-    pred = clf.predict(test)
-    rows.append(
-        BaselineRow("fair-smote", audit(pred), accuracy(test.y, pred), elapsed)
-    )
+    def fairbalance_cell() -> BaselineRow:
+        return measure("fairbalance", lambda: (train, fairbalance_weights(train), None))
 
-    # Reweighting.
-    start = time.perf_counter()
-    weights = reweighting_weights(train)
-    elapsed = time.perf_counter() - start
-    clf = make_model(model, seed=seed).fit(train, sample_weight=weights)
-    pred = clf.predict(test)
-    rows.append(
-        BaselineRow("reweighting", audit(pred), accuracy(test.y, pred), elapsed)
-    )
+    def fairsmote_cell() -> BaselineRow:
+        # Fair-SMOTE (synthetic oversampling; the slow kNN one).
+        return measure("fair-smote", lambda: (fair_smote(train, seed=seed), None, None))
 
-    # GerryFair (in-processing).
-    start = time.perf_counter()
-    gf = GerryFairClassifier(max_iters=gerryfair_iters, statistic=gamma).fit(train)
-    elapsed = time.perf_counter() - start
-    pred = gf.predict(test)
-    rows.append(
-        BaselineRow("gerryfair", audit(pred), accuracy(test.y, pred), elapsed)
-    )
+    def reweighting_cell() -> BaselineRow:
+        return measure("reweighting", lambda: (train, reweighting_weights(train), None))
 
-    # Post-processing (per-group thresholds) — the third mitigation family
-    # the paper cites but does not compare; off by default to keep the
-    # table identical to the paper's row set.
-    if include_postprocess:
+    def gerryfair_cell() -> BaselineRow:
+        # GerryFair (in-processing): the timed step is the training itself.
+        return measure(
+            "gerryfair",
+            lambda: (
+                None,
+                None,
+                GerryFairClassifier(max_iters=gerryfair_iters, statistic=gamma).fit(
+                    train
+                ),
+            ),
+        )
+
+    def postprocess_cell() -> BaselineRow:
         clf = make_model(model, seed=seed).fit(train)
         start = time.perf_counter()
         post = GroupThresholdPostprocessor(statistic=gamma, min_group_size=k)
         post.fit(train, clf.predict_proba(train))
         elapsed = time.perf_counter() - start
         pred = post.predict(test, clf.predict_proba(test))
-        rows.append(
-            BaselineRow("postprocess", audit(pred), accuracy(test.y, pred), elapsed)
-        )
+        return BaselineRow("postprocess", audit(pred), accuracy(test.y, pred), elapsed)
 
+    approaches: list[tuple[str, Callable[[], BaselineRow]]] = [
+        ("original", original_cell),
+        ("remedy", remedy_cell),
+        ("coverage", coverage_cell),
+        ("fairbalance", fairbalance_cell),
+        ("fair-smote", fairsmote_cell),
+        ("reweighting", reweighting_cell),
+        ("gerryfair", gerryfair_cell),
+    ]
+    # Post-processing (per-group thresholds) — the third mitigation family
+    # the paper cites but does not compare; off by default to keep the
+    # table identical to the paper's row set.
+    if include_postprocess:
+        approaches.append(("postprocess", postprocess_cell))
+
+    rows: list[BaselineRow] = []
+    nan = float("nan")
+    for approach, fn in approaches:
+        cell = executor.run_cell(
+            ("table3", approach),
+            fn,
+            encode=baseline_row_to_dict,
+            decode=baseline_row_from_dict,
+        )
+        if cell.ok:
+            rows.append(cell.value)  # type: ignore[arg-type]
+        else:
+            rows.append(BaselineRow(approach, nan, nan, nan, status=cell.marker))
     return BaselineTable(tuple(rows))

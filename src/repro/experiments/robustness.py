@@ -10,7 +10,7 @@ the improvement is a property of the method, not of one lucky split.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Sequence
 
 import numpy as np
@@ -19,9 +19,11 @@ from repro.audit.fairness_index import fairness_index
 from repro.core.pipeline import RemedyConfig, RemedyPipeline
 from repro.data.dataset import Dataset
 from repro.data.split import train_test_split
+from repro.errors import DataError
 from repro.experiments.reporting import format_table
 from repro.ml.metrics import FPR, accuracy
 from repro.ml.models import make_model
+from repro.resilience import CellExecutor
 
 
 @dataclass(frozen=True)
@@ -43,14 +45,44 @@ class SeedOutcome:
         return self.accuracy_before - self.accuracy_after
 
 
+def seed_outcome_to_dict(outcome: SeedOutcome) -> dict:
+    """JSON-ready payload for checkpointing one :class:`SeedOutcome`."""
+    return asdict(outcome)
+
+
+def seed_outcome_from_dict(payload: object) -> SeedOutcome:
+    """Rebuild a :class:`SeedOutcome` from :func:`seed_outcome_to_dict`."""
+    if not isinstance(payload, dict):
+        raise DataError(f"malformed SeedOutcome payload: {payload!r}")
+    try:
+        return SeedOutcome(**payload)
+    except TypeError as exc:
+        raise DataError(f"malformed SeedOutcome payload: {payload!r}") from exc
+
+
+@dataclass(frozen=True)
+class SeedFailure:
+    """A seed whose cell failed after all retries (marker + message)."""
+
+    seed: int
+    marker: str
+    message: str | None = None
+
+
 @dataclass(frozen=True)
 class RobustnessResult:
-    """Seed-sweep outcome: per-seed remedy effects on one dataset/model."""
+    """Seed-sweep outcome: per-seed remedy effects on one dataset/model.
+
+    ``outcomes`` holds the seeds that completed; ``failures`` the seeds
+    that did not (with their ``FAILED(...)``/``TIMEOUT`` markers).  The
+    aggregate statistics are computed over the completed seeds only.
+    """
 
     dataset_name: str
     model: str
     gamma: str
     outcomes: tuple[SeedOutcome, ...]
+    failures: tuple[SeedFailure, ...] = ()
 
     @property
     def improvement_rate(self) -> float:
@@ -63,32 +95,45 @@ class RobustnessResult:
 
     @property
     def mean_improvement(self) -> float:
+        if not self.outcomes:
+            return float("nan")
         return float(np.mean([o.fi_improvement for o in self.outcomes]))
 
     @property
     def std_improvement(self) -> float:
+        if not self.outcomes:
+            return float("nan")
         return float(np.std([o.fi_improvement for o in self.outcomes]))
 
     @property
     def mean_accuracy_cost(self) -> float:
+        if not self.outcomes:
+            return float("nan")
         return float(np.mean([o.accuracy_cost for o in self.outcomes]))
 
     def table(self) -> str:
-        rows = [
-            (o.seed, o.fi_before, o.fi_after, o.accuracy_before, o.accuracy_after)
+        nan = float("nan")
+        rows: list[tuple[object, ...]] = [
+            (o.seed, o.fi_before, o.fi_after, o.accuracy_before,
+             o.accuracy_after, "ok")
             for o in self.outcomes
         ]
-        rows.append(
-            (
-                "mean",
-                float(np.mean([o.fi_before for o in self.outcomes])),
-                float(np.mean([o.fi_after for o in self.outcomes])),
-                float(np.mean([o.accuracy_before for o in self.outcomes])),
-                float(np.mean([o.accuracy_after for o in self.outcomes])),
-            )
+        rows.extend(
+            (f.seed, nan, nan, nan, nan, f.marker) for f in self.failures
         )
+        if self.outcomes:
+            rows.append(
+                (
+                    "mean",
+                    float(np.mean([o.fi_before for o in self.outcomes])),
+                    float(np.mean([o.fi_after for o in self.outcomes])),
+                    float(np.mean([o.accuracy_before for o in self.outcomes])),
+                    float(np.mean([o.accuracy_after for o in self.outcomes])),
+                    "",
+                )
+            )
         return format_table(
-            ("seed", "FI before", "FI after", "acc before", "acc after"),
+            ("seed", "FI before", "FI after", "acc before", "acc after", "status"),
             rows,
             title=(
                 f"Robustness — {self.dataset_name}, {self.model}, "
@@ -107,11 +152,20 @@ def run_seed_sweep(
     gamma: str = FPR,
     seeds: Sequence[int] = tuple(range(5)),
     test_fraction: float = 0.3,
+    executor: CellExecutor | None = None,
 ) -> RobustnessResult:
-    """Repeat remedy-vs-original across split/sampler seeds."""
+    """Repeat remedy-vs-original across split/sampler seeds.
+
+    Each seed runs as one cell of ``executor`` (key
+    ``("robustness", str(seed))``): every measurement in a
+    :class:`SeedOutcome` is deterministic given the seed, so a sweep
+    interrupted at any cell and resumed from its checkpoint renders a
+    table byte-identical to an uninterrupted run.
+    """
+    executor = executor if executor is not None else CellExecutor()
     base_config = config or RemedyConfig()
-    outcomes = []
-    for seed in seeds:
+
+    def seed_cell(seed: int) -> SeedOutcome:
         train, test = train_test_split(dataset, test_fraction, seed=seed)
         baseline = make_model(model, seed=seed).fit(train)
         base_pred = baseline.predict(test)
@@ -129,13 +183,27 @@ def run_seed_sweep(
         fair = make_model(model, seed=seed).fit(remedied)
         fair_pred = fair.predict(test)
 
-        outcomes.append(
-            SeedOutcome(
-                seed=seed,
-                fi_before=fairness_index(test, base_pred, gamma),
-                fi_after=fairness_index(test, fair_pred, gamma),
-                accuracy_before=accuracy(test.y, base_pred),
-                accuracy_after=accuracy(test.y, fair_pred),
-            )
+        return SeedOutcome(
+            seed=seed,
+            fi_before=fairness_index(test, base_pred, gamma),
+            fi_after=fairness_index(test, fair_pred, gamma),
+            accuracy_before=accuracy(test.y, base_pred),
+            accuracy_after=accuracy(test.y, fair_pred),
         )
-    return RobustnessResult(dataset_name, model, gamma, tuple(outcomes))
+
+    outcomes: list[SeedOutcome] = []
+    failures: list[SeedFailure] = []
+    for seed in seeds:
+        cell = executor.run_cell(
+            ("robustness", str(seed)),
+            lambda seed=seed: seed_cell(seed),
+            encode=seed_outcome_to_dict,
+            decode=seed_outcome_from_dict,
+        )
+        if cell.ok:
+            outcomes.append(cell.value)  # type: ignore[arg-type]
+        else:
+            failures.append(SeedFailure(seed, cell.marker, cell.error_message))
+    return RobustnessResult(
+        dataset_name, model, gamma, tuple(outcomes), tuple(failures)
+    )

@@ -9,23 +9,31 @@ index under FPR and FNR.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import asdict, dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.audit.fairness_index import fairness_index
 from repro.core.pipeline import RemedyConfig, RemedyPipeline
 from repro.data.dataset import Dataset
+from repro.errors import DataError
 from repro.ml.metrics import FNR, FPR, accuracy
 from repro.ml.models import make_model
+from repro.resilience import CellExecutor
 
 DEFAULT_MODELS = ("dt", "rf", "lg", "nn")
 
 
 @dataclass(frozen=True)
 class EvalResult:
-    """Outcome of one (variant, model) evaluation."""
+    """Outcome of one (variant, model) evaluation.
+
+    ``status`` is ``"ok"`` for a completed evaluation; a cell that failed
+    after its retry budget carries the executor's marker
+    (``FAILED(<error class>)`` or ``TIMEOUT``) with NaN metrics, so partial
+    sweeps stay renderable instead of aborting.
+    """
 
     variant: str
     model: str
@@ -34,6 +42,31 @@ class EvalResult:
     fairness_index_fnr: float
     train_rows: int
     fit_seconds: float
+    status: str = "ok"
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the evaluation completed and the metrics are real."""
+        return self.status == "ok"
+
+    @classmethod
+    def failed(
+        cls, variant: str, model: str, marker: str, error: str | None = None
+    ) -> "EvalResult":
+        """A placeholder row for a cell that failed after all retries."""
+        nan = float("nan")
+        return cls(
+            variant=variant,
+            model=model,
+            accuracy=nan,
+            fairness_index_fpr=nan,
+            fairness_index_fnr=nan,
+            train_rows=0,
+            fit_seconds=nan,
+            status=marker,
+            error=error,
+        )
 
     def row(self) -> tuple[object, ...]:
         """Row for the reporting tables."""
@@ -45,6 +78,7 @@ class EvalResult:
             self.accuracy,
             self.train_rows,
             self.fit_seconds,
+            self.status,
         )
 
 
@@ -56,7 +90,49 @@ EVAL_HEADERS = (
     "accuracy",
     "train_rows",
     "fit_s",
+    "status",
 )
+
+
+def eval_result_to_dict(result: EvalResult) -> dict:
+    """JSON-ready payload for checkpointing one :class:`EvalResult`."""
+    return asdict(result)
+
+
+def eval_result_from_dict(payload: object) -> EvalResult:
+    """Rebuild an :class:`EvalResult` from :func:`eval_result_to_dict`."""
+    if not isinstance(payload, dict):
+        raise DataError(f"malformed EvalResult payload: {payload!r}")
+    try:
+        return EvalResult(**payload)
+    except TypeError as exc:
+        raise DataError(f"malformed EvalResult payload: {payload!r}") from exc
+
+
+def run_eval_cells(
+    executor: CellExecutor,
+    cells: Sequence[tuple[Sequence[str], str, str, Callable[[], EvalResult]]],
+) -> list[EvalResult]:
+    """Run ``(key, variant, model, fn)`` evaluation cells fault-tolerantly.
+
+    Completed cells contribute their :class:`EvalResult`; failed ones
+    degrade into :meth:`EvalResult.failed` placeholder rows carrying the
+    executor's marker, so callers always get one row per requested cell.
+    """
+    results: list[EvalResult] = []
+    for key, variant, model, fn in cells:
+        outcome = executor.run_cell(
+            key, fn, encode=eval_result_to_dict, decode=eval_result_from_dict
+        )
+        if outcome.ok:
+            results.append(outcome.value)  # type: ignore[arg-type]
+        else:
+            results.append(
+                EvalResult.failed(
+                    variant, model, outcome.marker, outcome.error_message
+                )
+            )
+    return results
 
 
 def evaluate_model(

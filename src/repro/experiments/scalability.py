@@ -16,8 +16,8 @@ eight attributes (education and occupation added, as the paper does):
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import asdict, dataclass
+from typing import Callable, Sequence
 
 from repro.core.ibs import (
     METHOD_NAIVE,
@@ -29,7 +29,9 @@ from repro.core.remedy import remedy_dataset
 from repro.core.samplers import MASSAGING, PREFERENTIAL, UNDERSAMPLING
 from repro.data.dataset import Dataset
 from repro.data.synth.adult import SCALABILITY_PROTECTED, load_adult
+from repro.errors import DataError
 from repro.experiments.reporting import format_table
+from repro.resilience import CellExecutor
 
 DEFAULT_ATTR_GRID = (2, 3, 4, 5, 6, 7, 8)
 DEFAULT_SIZE_GRID = (5_000, 10_000, 20_000, 45_222)
@@ -39,12 +41,28 @@ IDENTIFY_METHODS = (METHOD_NAIVE, METHOD_OPTIMIZED, METHOD_VECTORIZED)
 
 @dataclass(frozen=True)
 class TimingPoint:
-    """One measured configuration."""
+    """One measured configuration (``status`` marks failed cells)."""
 
     x: float  # #attrs or data size
     label: str  # method or technique
     seconds: float
     detail: int  # regions found / regions remedied
+    status: str = "ok"
+
+
+def timing_point_to_dict(point: TimingPoint) -> dict:
+    """JSON-ready payload for checkpointing one :class:`TimingPoint`."""
+    return asdict(point)
+
+
+def timing_point_from_dict(payload: object) -> TimingPoint:
+    """Rebuild a :class:`TimingPoint` from :func:`timing_point_to_dict`."""
+    if not isinstance(payload, dict):
+        raise DataError(f"malformed TimingPoint payload: {payload!r}")
+    try:
+        return TimingPoint(**payload)
+    except TypeError as exc:
+        raise DataError(f"malformed TimingPoint payload: {payload!r}") from exc
 
 
 @dataclass(frozen=True)
@@ -55,9 +73,34 @@ class ScalabilityResult:
     points: tuple[TimingPoint, ...]
 
     def table(self, x_name: str) -> str:
-        headers = (x_name, "variant", "seconds", "regions")
-        rows = [(p.x, p.label, p.seconds, p.detail) for p in self.points]
+        headers = (x_name, "variant", "seconds", "regions", "status")
+        rows = [
+            (p.x, p.label, p.seconds, p.detail, p.status) for p in self.points
+        ]
         return format_table(rows=rows, headers=headers, title=f"Fig. {self.panel}")
+
+
+def _run_timing_cells(
+    executor: CellExecutor | None,
+    panel: str,
+    specs: Sequence[tuple[float, str, Callable[[], TimingPoint]]],
+) -> ScalabilityResult:
+    """Run ``(x, label, fn)`` timing cells; failures become marker points."""
+    executor = executor if executor is not None else CellExecutor()
+    points: list[TimingPoint] = []
+    nan = float("nan")
+    for x, label, fn in specs:
+        cell = executor.run_cell(
+            ("fig9", panel, str(x), label),
+            fn,
+            encode=timing_point_to_dict,
+            decode=timing_point_from_dict,
+        )
+        if cell.ok:
+            points.append(cell.value)  # type: ignore[arg-type]
+        else:
+            points.append(TimingPoint(x, label, nan, 0, status=cell.marker))
+    return ScalabilityResult(panel, tuple(points))
 
 
 def _dataset_for(n_rows: int, seed: int) -> Dataset:
@@ -74,18 +117,25 @@ def identification_vs_attrs(
     k: int = 30,
     seed: int = 5,
     methods: Sequence[str] = IDENTIFY_METHODS,
+    executor: CellExecutor | None = None,
 ) -> ScalabilityResult:
     """Fig. 9a: identification runtime vs. number of protected attributes."""
     base = _dataset_for(n_rows, seed)
-    points = []
-    for n_attrs in attr_grid:
+
+    def identify_cell(n_attrs: int, method: str) -> TimingPoint:
         attrs = SCALABILITY_PROTECTED[:n_attrs]
-        for method in methods:
-            start = time.perf_counter()
-            ibs = identify_ibs(base, tau_c, T=T, k=k, method=method, attrs=attrs)
-            seconds = time.perf_counter() - start
-            points.append(TimingPoint(n_attrs, method, seconds, len(ibs)))
-    return ScalabilityResult("9a", tuple(points))
+        start = time.perf_counter()
+        ibs = identify_ibs(base, tau_c, T=T, k=k, method=method, attrs=attrs)
+        seconds = time.perf_counter() - start
+        return TimingPoint(n_attrs, method, seconds, len(ibs))
+
+    specs = [
+        (float(n_attrs), method,
+         lambda n_attrs=n_attrs, method=method: identify_cell(n_attrs, method))
+        for n_attrs in attr_grid
+        for method in methods
+    ]
+    return _run_timing_cells(executor, "9a", specs)
 
 
 def remedy_vs_attrs(
@@ -96,6 +146,7 @@ def remedy_vs_attrs(
     k: int = 30,
     seed: int = 5,
     techniques: Sequence[str] = REMEDY_TECHNIQUES,
+    executor: CellExecutor | None = None,
 ) -> ScalabilityResult:
     """Fig. 9b: remedy runtime vs. number of protected attributes.
 
@@ -103,19 +154,23 @@ def remedy_vs_attrs(
     memory resource limit"); pass it in ``techniques`` to include it anyway.
     """
     base = _dataset_for(n_rows, seed)
-    points = []
-    for n_attrs in attr_grid:
+
+    def remedy_cell(n_attrs: int, technique: str) -> TimingPoint:
         attrs = SCALABILITY_PROTECTED[:n_attrs]
-        for technique in techniques:
-            start = time.perf_counter()
-            result = remedy_dataset(
-                base, tau_c, T=T, k=k, technique=technique, attrs=attrs, seed=seed
-            )
-            seconds = time.perf_counter() - start
-            points.append(
-                TimingPoint(n_attrs, technique, seconds, result.n_regions_remedied)
-            )
-    return ScalabilityResult("9b", tuple(points))
+        start = time.perf_counter()
+        result = remedy_dataset(
+            base, tau_c, T=T, k=k, technique=technique, attrs=attrs, seed=seed
+        )
+        seconds = time.perf_counter() - start
+        return TimingPoint(n_attrs, technique, seconds, result.n_regions_remedied)
+
+    specs = [
+        (float(n_attrs), technique,
+         lambda n_attrs=n_attrs, technique=technique: remedy_cell(n_attrs, technique))
+        for n_attrs in attr_grid
+        for technique in techniques
+    ]
+    return _run_timing_cells(executor, "9b", specs)
 
 
 def identification_vs_size(
@@ -126,18 +181,25 @@ def identification_vs_size(
     k: int = 30,
     seed: int = 5,
     methods: Sequence[str] = IDENTIFY_METHODS,
+    executor: CellExecutor | None = None,
 ) -> ScalabilityResult:
     """Fig. 9c: identification runtime vs. data size (8 protected attrs)."""
     attrs = SCALABILITY_PROTECTED[:n_attrs]
-    points = []
-    for n_rows in size_grid:
+
+    def identify_cell(n_rows: int, method: str) -> TimingPoint:
         base = _dataset_for(n_rows, seed)
-        for method in methods:
-            start = time.perf_counter()
-            ibs = identify_ibs(base, tau_c, T=T, k=k, method=method, attrs=attrs)
-            seconds = time.perf_counter() - start
-            points.append(TimingPoint(n_rows, method, seconds, len(ibs)))
-    return ScalabilityResult("9c", tuple(points))
+        start = time.perf_counter()
+        ibs = identify_ibs(base, tau_c, T=T, k=k, method=method, attrs=attrs)
+        seconds = time.perf_counter() - start
+        return TimingPoint(n_rows, method, seconds, len(ibs))
+
+    specs = [
+        (float(n_rows), method,
+         lambda n_rows=n_rows, method=method: identify_cell(n_rows, method))
+        for n_rows in size_grid
+        for method in methods
+    ]
+    return _run_timing_cells(executor, "9c", specs)
 
 
 def remedy_vs_size(
@@ -148,22 +210,27 @@ def remedy_vs_size(
     k: int = 30,
     seed: int = 5,
     techniques: Sequence[str] = REMEDY_TECHNIQUES,
+    executor: CellExecutor | None = None,
 ) -> ScalabilityResult:
     """Fig. 9d: remedy runtime vs. data size (8 protected attrs)."""
     attrs = SCALABILITY_PROTECTED[:n_attrs]
-    points = []
-    for n_rows in size_grid:
+
+    def remedy_cell(n_rows: int, technique: str) -> TimingPoint:
         base = _dataset_for(n_rows, seed)
-        for technique in techniques:
-            start = time.perf_counter()
-            result = remedy_dataset(
-                base, tau_c, T=T, k=k, technique=technique, attrs=attrs, seed=seed
-            )
-            seconds = time.perf_counter() - start
-            points.append(
-                TimingPoint(n_rows, technique, seconds, result.n_regions_remedied)
-            )
-    return ScalabilityResult("9d", tuple(points))
+        start = time.perf_counter()
+        result = remedy_dataset(
+            base, tau_c, T=T, k=k, technique=technique, attrs=attrs, seed=seed
+        )
+        seconds = time.perf_counter() - start
+        return TimingPoint(n_rows, technique, seconds, result.n_regions_remedied)
+
+    specs = [
+        (float(n_rows), technique,
+         lambda n_rows=n_rows, technique=technique: remedy_cell(n_rows, technique))
+        for n_rows in size_grid
+        for technique in techniques
+    ]
+    return _run_timing_cells(executor, "9d", specs)
 
 
 def speedup_summary(

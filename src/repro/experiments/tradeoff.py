@@ -34,7 +34,9 @@ from repro.experiments.runner import (
     EvalResult,
     evaluate_model,
     evaluate_remedy,
+    run_eval_cells,
 )
+from repro.resilience import CellExecutor
 
 SCOPE_VARIANTS = (SCOPE_LATTICE, SCOPE_LEAF, SCOPE_TOP)
 
@@ -78,30 +80,49 @@ def run_tradeoff(
     scopes: Sequence[str] = SCOPE_VARIANTS,
     test_fraction: float = 0.3,
     seed: int = 0,
+    executor: CellExecutor | None = None,
 ) -> TradeoffResult:
     """Run the full trade-off grid for one dataset.
 
     Paper parameters: tau_c=0.1 for ProPublica / Law School, 0.5 for Adult,
     T=1 throughout (§V-B2).
+
+    Each (variant, model) evaluation runs as one cell of ``executor`` (a
+    single-attempt default when omitted): failed cells become
+    ``FAILED(...)`` placeholder rows instead of aborting the grid, and a
+    checkpointing executor makes the sweep resumable.
     """
+    executor = executor if executor is not None else CellExecutor()
     train, test = train_test_split(dataset, test_fraction, seed=seed)
 
-    scope_results: list[EvalResult] = []
+    def eval_cell(model_name: str):
+        return lambda: evaluate_model(
+            train, test, model_name, variant="original", seed=seed
+        )
+
+    def remedy_cell(model_name: str, variant: str, config: RemedyConfig):
+        return lambda: evaluate_remedy(
+            train, test, model_name, config, variant=variant
+        )
+
+    scope_cells = []
     for model_name in models:
-        scope_results.append(
-            evaluate_model(train, test, model_name, variant="original", seed=seed)
+        scope_cells.append(
+            (("tradeoff", "original", model_name), "original", model_name,
+             eval_cell(model_name))
         )
         for scope in scopes:
             config = RemedyConfig(
                 tau_c=tau_c, T=T, k=k, technique=PREFERENTIAL, scope=scope, seed=seed
             )
-            scope_results.append(
-                evaluate_remedy(
-                    train, test, model_name, config, variant=f"scope:{scope}"
-                )
+            variant = f"scope:{scope}"
+            scope_cells.append(
+                (("tradeoff", variant, model_name), variant, model_name,
+                 remedy_cell(model_name, variant, config))
             )
+    scope_results = run_eval_cells(executor, scope_cells)
 
-    technique_results: list[EvalResult] = []
+    technique_cells = []
     for model_name in models:
         for technique in techniques:
             if technique == PREFERENTIAL:
@@ -114,11 +135,12 @@ def run_tradeoff(
                 scope=SCOPE_LATTICE,
                 seed=seed,
             )
-            technique_results.append(
-                evaluate_remedy(
-                    train, test, model_name, config, variant=f"technique:{technique}"
-                )
+            variant = f"technique:{technique}"
+            technique_cells.append(
+                (("tradeoff", variant, model_name), variant, model_name,
+                 remedy_cell(model_name, variant, config))
             )
+    technique_results = run_eval_cells(executor, technique_cells)
 
     return TradeoffResult(
         dataset_name=dataset_name,

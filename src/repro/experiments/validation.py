@@ -23,13 +23,16 @@ from typing import Sequence
 
 from repro.audit.divexplorer import SubgroupReport, unfair_subgroups
 from repro.core.ibs import RegionReport, identify_ibs
+from repro.core.serialize import pattern_from_dict, pattern_to_dict
 from repro.data.dataset import Dataset
 from repro.data.schema import Schema
 from repro.data.split import train_test_split
+from repro.errors import DataError
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import DEFAULT_MODELS
 from repro.ml.metrics import FNR, FPR
 from repro.ml.models import make_model
+from repro.resilience import CellExecutor
 
 
 @dataclass(frozen=True)
@@ -48,12 +51,17 @@ class ExplainedSubgroup:
 
 @dataclass(frozen=True)
 class ValidationResult:
-    """Fig. 3 payload for one (model, statistic) pair."""
+    """Fig. 3 payload for one (model, statistic) pair.
+
+    ``status`` is ``"ok"`` for a completed cell; a cell that failed after
+    its retry budget carries the executor's marker with no subgroups.
+    """
 
     model: str
     gamma: str
     subgroups: tuple[ExplainedSubgroup, ...]
     n_ibs: int
+    status: str = "ok"
 
     @property
     def n_unfair(self) -> int:
@@ -68,6 +76,72 @@ class ValidationResult:
         if not self.subgroups:
             return 1.0
         return self.n_explained / len(self.subgroups)
+
+
+def _explained_to_dict(explained: ExplainedSubgroup) -> dict:
+    s = explained.subgroup
+    return {
+        "subgroup": {
+            "pattern": pattern_to_dict(s.pattern),
+            "size": s.size,
+            "support": s.support,
+            "n_conditioning": s.n_conditioning,
+            "gamma_group": s.gamma_group,
+            "gamma_dataset": s.gamma_dataset,
+            "divergence": s.divergence,
+            "p_value": s.p_value,
+        },
+        "in_ibs": explained.in_ibs,
+        "dominates_ibs": explained.dominates_ibs,
+        "skew_direction": explained.skew_direction,
+    }
+
+
+def _explained_from_dict(payload: dict) -> ExplainedSubgroup:
+    try:
+        sub = dict(payload["subgroup"])
+        sub["pattern"] = pattern_from_dict(sub["pattern"])
+        return ExplainedSubgroup(
+            subgroup=SubgroupReport(**sub),
+            in_ibs=bool(payload["in_ibs"]),
+            dominates_ibs=bool(payload["dominates_ibs"]),
+            skew_direction=int(payload["skew_direction"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError(
+            f"malformed ExplainedSubgroup payload: {payload!r}"
+        ) from exc
+
+
+def validation_result_to_dict(result: ValidationResult) -> dict:
+    """JSON-ready payload for checkpointing one :class:`ValidationResult`."""
+    return {
+        "model": result.model,
+        "gamma": result.gamma,
+        "subgroups": [_explained_to_dict(s) for s in result.subgroups],
+        "n_ibs": result.n_ibs,
+        "status": result.status,
+    }
+
+
+def validation_result_from_dict(payload: object) -> ValidationResult:
+    """Rebuild a :class:`ValidationResult` from its checkpoint payload."""
+    if not isinstance(payload, dict):
+        raise DataError(f"malformed ValidationResult payload: {payload!r}")
+    try:
+        return ValidationResult(
+            model=str(payload["model"]),
+            gamma=str(payload["gamma"]),
+            subgroups=tuple(
+                _explained_from_dict(s) for s in payload["subgroups"]
+            ),
+            n_ibs=int(payload["n_ibs"]),
+            status=str(payload.get("status", "ok")),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError(
+            f"malformed ValidationResult payload: {payload!r}"
+        ) from exc
 
 
 def explain_subgroups(
@@ -110,27 +184,53 @@ def run_validation(
     tau_d: float = 0.1,
     test_fraction: float = 0.3,
     seed: int = 0,
+    executor: CellExecutor | None = None,
 ) -> list[ValidationResult]:
-    """Run the Fig. 3 experiment (paper parameters: tau_c=0.1, T=1)."""
+    """Run the Fig. 3 experiment (paper parameters: tau_c=0.1, T=1).
+
+    Each (model, gamma) pair runs as one cell of ``executor`` (key
+    ``("fig3", model, gamma)``), fitting the model and mining subgroups
+    inside the cell; failed cells become marker results with no subgroups.
+    """
+    executor = executor if executor is not None else CellExecutor()
     train, test = train_test_split(dataset, test_fraction, seed=seed)
     ibs = identify_ibs(train, tau_c, T=T, k=k)
-    results = []
-    for model_name in models:
+
+    def validation_cell(model_name: str, gamma: str) -> ValidationResult:
         model = make_model(model_name, seed=seed).fit(train)
         pred = model.predict(test)
+        unfair = unfair_subgroups(
+            test, pred, gamma=gamma, tau_d=tau_d, min_size=k
+        )
+        explained = explain_subgroups(unfair, ibs)
+        return ValidationResult(
+            model=model_name,
+            gamma=gamma,
+            subgroups=tuple(explained),
+            n_ibs=len(ibs),
+        )
+
+    results = []
+    for model_name in models:
         for gamma in gammas:
-            unfair = unfair_subgroups(
-                test, pred, gamma=gamma, tau_d=tau_d, min_size=k
+            cell = executor.run_cell(
+                ("fig3", model_name, gamma),
+                lambda m=model_name, g=gamma: validation_cell(m, g),
+                encode=validation_result_to_dict,
+                decode=validation_result_from_dict,
             )
-            explained = explain_subgroups(unfair, ibs)
-            results.append(
-                ValidationResult(
-                    model=model_name,
-                    gamma=gamma,
-                    subgroups=tuple(explained),
-                    n_ibs=len(ibs),
+            if cell.ok:
+                results.append(cell.value)
+            else:
+                results.append(
+                    ValidationResult(
+                        model=model_name,
+                        gamma=gamma,
+                        subgroups=(),
+                        n_ibs=len(ibs),
+                        status=cell.marker,
+                    )
                 )
-            )
     return results
 
 
@@ -174,9 +274,10 @@ def validation_table(
 
 def validation_summary(results: Sequence[ValidationResult]) -> str:
     """Per (model, gamma) explained-fraction summary."""
-    headers = ("model", "gamma", "unfair", "explained", "fraction", "|IBS|")
+    headers = ("model", "gamma", "unfair", "explained", "fraction", "|IBS|", "status")
     rows = [
-        (r.model, r.gamma, r.n_unfair, r.n_explained, r.explained_fraction, r.n_ibs)
+        (r.model, r.gamma, r.n_unfair, r.n_explained, r.explained_fraction,
+         r.n_ibs, r.status)
         for r in results
     ]
     return format_table(headers, rows, precision=3, title="Fig. 3 summary")

@@ -1,0 +1,56 @@
+"""Fault-tolerant experiment execution (see docs/resilience.md).
+
+The subsystem has three layers, composed by :class:`CellExecutor`:
+
+* retries and deadlines (:mod:`repro.resilience.executor`),
+* atomic checkpoint/resume (:mod:`repro.resilience.checkpoint`),
+* deterministic fault injection (:mod:`repro.resilience.faults`).
+
+Every experiment harness in :mod:`repro.experiments` accepts an executor;
+``repro experiment`` exposes it via ``--resume`` / ``--max-retries`` /
+``--cell-timeout`` / ``--checkpoint``.
+"""
+
+from repro.resilience.checkpoint import CHECKPOINT_VERSION, Checkpoint, sweep_run_id
+from repro.resilience.executor import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    STATUSES,
+    CellExecutor,
+    CellOutcome,
+    RetryPolicy,
+    call_with_deadline,
+)
+from repro.resilience.faults import (
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    PermanentFault,
+    SlowFault,
+    TransientFault,
+    interrupt_on_call,
+    seeded_transients,
+)
+
+__all__ = [
+    "CellExecutor",
+    "CellOutcome",
+    "RetryPolicy",
+    "call_with_deadline",
+    "STATUS_OK",
+    "STATUS_FAILED",
+    "STATUS_TIMEOUT",
+    "STATUSES",
+    "Checkpoint",
+    "CHECKPOINT_VERSION",
+    "sweep_run_id",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
+    "TransientFault",
+    "PermanentFault",
+    "SlowFault",
+    "interrupt_on_call",
+    "seeded_transients",
+]

@@ -1,0 +1,130 @@
+"""Sweep checkpoints: atomic persistence of completed cells.
+
+A checkpoint is one JSON document recording, per completed cell, the
+JSON-encoded cell value and how many attempts it took.  Every ``record``
+rewrites the whole document via :func:`repro.data.io.atomic_write_json`
+(write temp file, fsync, ``os.replace``), so a sweep killed at *any*
+instant — including mid-write — leaves either the previous checkpoint or
+the new one on disk, never a truncated file.  The document carries a
+``run_id`` fingerprinting the sweep configuration; resuming against a
+checkpoint written by a differently-configured sweep raises
+:class:`~repro.errors.CheckpointError` instead of silently mixing results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.data.io import atomic_write_json
+from repro.errors import CheckpointError
+
+CHECKPOINT_VERSION = 1
+
+
+def sweep_run_id(**params: object) -> str:
+    """Stable fingerprint of a sweep configuration.
+
+    Any JSON-representable keyword arguments work; non-JSON values fall
+    back to ``str``.  The same parameters always hash to the same id, so a
+    ``--resume`` against a checkpoint from a different sweep is rejected.
+    """
+    blob = json.dumps(params, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+class Checkpoint:
+    """Durable map from cell key to its recorded completion payload.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file location; created on the first ``record``.
+    run_id:
+        Sweep fingerprint (see :func:`sweep_run_id`).  An existing file
+        with a different ``run_id`` raises
+        :class:`~repro.errors.CheckpointError` when ``resume`` is set.
+    resume:
+        When True (the default) an existing file is loaded and its cells
+        become restorable; when False an existing file is ignored and will
+        be overwritten by the first ``record``.
+    """
+
+    def __init__(self, path: str | Path, run_id: str, resume: bool = True) -> None:
+        self.path = Path(path)
+        self.run_id = str(run_id)
+        self._cells: dict[tuple[str, ...], dict] = {}
+        if resume and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {self.path}: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or "cells" not in payload:
+            raise CheckpointError(
+                f"checkpoint {self.path} is malformed: missing 'cells'"
+            )
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.path} has version {payload.get('version')!r}, "
+                f"expected {CHECKPOINT_VERSION}"
+            )
+        if payload.get("run_id") != self.run_id:
+            raise CheckpointError(
+                f"checkpoint {self.path} belongs to run "
+                f"{payload.get('run_id')!r}, not {self.run_id!r} — it was "
+                "written by a sweep with a different configuration"
+            )
+        cells = payload["cells"]
+        if not isinstance(cells, list):
+            raise CheckpointError(
+                f"checkpoint {self.path} is malformed: 'cells' not a list"
+            )
+        for entry in cells:
+            try:
+                key = tuple(str(part) for part in entry["key"])
+                entry["value"]
+            except (TypeError, KeyError) as exc:
+                raise CheckpointError(
+                    f"checkpoint {self.path} has a malformed cell: {entry!r}"
+                ) from exc
+            self._cells[key] = dict(entry)
+
+    # -- queries -------------------------------------------------------------
+    def get(self, key: Sequence[str]) -> dict | None:
+        """The recorded payload for ``key``, or None if not completed."""
+        return self._cells.get(tuple(str(part) for part in key))
+
+    def __contains__(self, key: Sequence[str]) -> bool:
+        return tuple(str(part) for part in key) in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def keys(self) -> tuple[tuple[str, ...], ...]:
+        """All completed cell keys, sorted."""
+        return tuple(sorted(self._cells))
+
+    # -- updates -------------------------------------------------------------
+    def record(self, key: Sequence[str], payload: dict) -> None:
+        """Record the completion payload of ``key`` and flush to disk."""
+        cell_key = tuple(str(part) for part in key)
+        entry = dict(payload)
+        entry["key"] = list(cell_key)
+        self._cells[cell_key] = entry
+        self.flush()
+
+    def flush(self) -> None:
+        """Atomically rewrite the checkpoint file from the in-memory state."""
+        doc = {
+            "version": CHECKPOINT_VERSION,
+            "run_id": self.run_id,
+            "cells": [self._cells[key] for key in sorted(self._cells)],
+        }
+        atomic_write_json(self.path, doc)

@@ -1,0 +1,311 @@
+"""Fault-tolerant cell execution: retries, backoff, and wall-clock deadlines.
+
+Every experiment harness decomposes its sweep into *cells* — one
+(variant, model) evaluation, one robustness seed, one Table III approach —
+and routes each through a :class:`CellExecutor`.  The executor runs a cell
+in isolation: a typed :class:`~repro.errors.ReproError` is retried under a
+deterministic :class:`RetryPolicy`, a cell that exceeds its wall-clock
+deadline becomes a ``TIMEOUT`` failure record instead of a hang, and a cell
+that still fails after its retry budget degrades into an explicit
+``FAILED(<error class>)`` marker instead of aborting the sweep.  Completed
+cells are persisted through an optional
+:class:`~repro.resilience.checkpoint.Checkpoint` so an interrupted sweep
+resumes where it left off.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import CellTimeout, InternalError, ReproError, ResilienceError
+from repro.resilience.checkpoint import Checkpoint
+from repro.resilience.faults import FaultPlan
+
+#: Cell identity: a tuple of strings, stable across runs of the same sweep.
+Key = tuple[str, ...]
+
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+STATUSES = (STATUS_OK, STATUS_FAILED, STATUS_TIMEOUT)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how often a failed cell is re-attempted.
+
+    Only typed :class:`~repro.errors.ReproError` subclasses are retried —
+    they mark data-dependent, potentially transient conditions.
+    :class:`~repro.errors.InternalError` (a library bug) and non-repro
+    exceptions (``ValueError``, numpy errors, ...) are never retried.
+    :class:`~repro.errors.CellTimeout` is retried only when
+    ``retry_timeouts`` is set, since a deterministic cell that overran its
+    deadline once will usually overrun it again.
+
+    The backoff schedule is fully deterministic: the delay after failed
+    attempt ``i`` (1-based) is ``base_delay * backoff_factor**(i-1)``,
+    scaled by a jitter factor drawn from ``np.random.default_rng`` seeded
+    with ``(seed, i)`` — the same policy always sleeps the same amounts.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.0
+    backoff_factor: float = 2.0
+    jitter: float = 0.0
+    seed: int = 0
+    retry_timeouts: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ResilienceError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0:
+            raise ResilienceError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.backoff_factor < 1:
+            raise ResilienceError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0 <= self.jitter <= 1:
+            raise ResilienceError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to sleep after failed attempt ``attempt`` (1-based)."""
+        base = self.base_delay * self.backoff_factor ** (attempt - 1)
+        if self.jitter == 0 or base == 0:
+            return base
+        u = float(np.random.default_rng((self.seed, attempt)).uniform(-1.0, 1.0))
+        return base * (1.0 + self.jitter * u)
+
+    def schedule(self) -> tuple[float, ...]:
+        """The full deterministic backoff schedule (one delay per retry)."""
+        return tuple(self.delay(i) for i in range(1, self.max_attempts))
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        """True when ``exc`` belongs to a class this policy retries."""
+        if isinstance(exc, CellTimeout):
+            return self.retry_timeouts
+        if isinstance(exc, InternalError):
+            return False
+        return isinstance(exc, ReproError)
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """Result record of one cell: its value, or a typed failure."""
+
+    key: Key
+    status: str
+    value: object = None
+    error_type: str | None = None
+    error_message: str | None = None
+    attempts: int = 1
+    resumed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the cell produced a value (fresh or restored)."""
+        return self.status == STATUS_OK
+
+    @property
+    def marker(self) -> str:
+        """Table marker: ``ok``, ``TIMEOUT``, or ``FAILED(<error class>)``."""
+        if self.status == STATUS_OK:
+            return STATUS_OK
+        if self.status == STATUS_TIMEOUT:
+            return "TIMEOUT"
+        return f"FAILED({self.error_type})"
+
+
+def _raise_deadline(signum: int, frame: object) -> None:
+    raise CellTimeout("cell exceeded its wall-clock deadline")
+
+
+def call_with_deadline(fn: Callable[[], object], seconds: float | None) -> object:
+    """Run ``fn`` under a wall-clock deadline of ``seconds``.
+
+    On the main thread of a Unix process the deadline is enforced
+    pre-emptively with ``SIGALRM`` — the cell is interrupted mid-flight and
+    :class:`~repro.errors.CellTimeout` is raised, so a hung cell cannot
+    stall the sweep.  Off the main thread (or without ``setitimer``) the
+    overrun is detected after the call returns and the result is discarded
+    with the same :class:`~repro.errors.CellTimeout`, which keeps outcome
+    records consistent even where signals are unavailable.
+    """
+    if seconds is None:
+        return fn()
+    if seconds <= 0:
+        raise ResilienceError(f"deadline must be positive, got {seconds}")
+    use_signal = (
+        hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_signal:
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed > seconds:
+            raise CellTimeout(
+                f"cell took {elapsed:.3f}s, exceeding the {seconds:.3f}s deadline"
+            )
+        return value
+    previous = signal.signal(signal.SIGALRM, _raise_deadline)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass
+class CellExecutor:
+    """Runs sweep cells with retries, deadlines, checkpointing, and faults.
+
+    Parameters
+    ----------
+    policy:
+        Retry policy for typed failures (default: 3 attempts, no delay).
+    deadline:
+        Per-cell wall-clock budget in seconds (None disables it).
+    checkpoint:
+        Completed cells are recorded here and restored on resume.
+    faults:
+        Deterministic fault-injection plan consulted before every attempt
+        (tests use it to prove the retry/resume/degradation paths).
+    sleep:
+        Injection point for the backoff sleep (tests pass a recorder).
+
+    ``outcomes`` accumulates every cell run through this executor, in
+    execution order, so harnesses and the CLI can report partial failures
+    and choose the dedicated partial-failure exit code.
+    """
+
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    deadline: float | None = None
+    checkpoint: Checkpoint | None = None
+    faults: FaultPlan | None = None
+    sleep: Callable[[float], None] = time.sleep
+    outcomes: list[CellOutcome] = field(default_factory=list)
+
+    def run_cell(
+        self,
+        key: Sequence[str],
+        fn: Callable[[], object],
+        encode: Callable[[object], object] | None = None,
+        decode: Callable[[object], object] | None = None,
+    ) -> CellOutcome:
+        """Run one cell, consulting and feeding the checkpoint.
+
+        ``encode``/``decode`` convert the cell value to and from a
+        JSON-serialisable payload; identity when omitted.  A cell already
+        present in the checkpoint is not re-run — its recorded value is
+        restored verbatim, which is what makes a resumed sweep's output
+        byte-identical to an uninterrupted one.
+        """
+        cell_key: Key = tuple(str(part) for part in key)
+        if self.checkpoint is not None:
+            payload = self.checkpoint.get(cell_key)
+            if payload is not None:
+                value = payload["value"]
+                if decode is not None:
+                    value = decode(value)
+                outcome = CellOutcome(
+                    key=cell_key,
+                    status=STATUS_OK,
+                    value=value,
+                    attempts=int(payload.get("attempts", 1)),
+                    resumed=True,
+                )
+                self.outcomes.append(outcome)
+                return outcome
+        outcome = self._execute(cell_key, fn)
+        if outcome.ok and self.checkpoint is not None:
+            value = outcome.value
+            if encode is not None:
+                value = encode(value)
+            self.checkpoint.record(
+                cell_key, {"value": value, "attempts": outcome.attempts}
+            )
+        self.outcomes.append(outcome)
+        return outcome
+
+    def _execute(self, key: Key, fn: Callable[[], object]) -> CellOutcome:
+        """Attempt loop for one cell; never raises except KeyboardInterrupt."""
+
+        def invoke() -> object:
+            if self.faults is not None:
+                self.faults.on_attempt(key, attempt)
+            return fn()
+
+        last_exc: BaseException = InternalError("cell never attempted")
+        status = STATUS_FAILED
+        attempt = 0
+        for attempt in range(1, self.policy.max_attempts + 1):
+            try:
+                value = call_with_deadline(invoke, self.deadline)
+                return CellOutcome(
+                    key=key, status=STATUS_OK, value=value, attempts=attempt
+                )
+            except CellTimeout as exc:
+                last_exc, status = exc, STATUS_TIMEOUT
+            except ReproError as exc:
+                last_exc, status = exc, STATUS_FAILED
+            except Exception as exc:  # repro: ignore[R007] — recorded, by design
+                # Untyped exceptions (numpy LinAlgError, ZeroDivisionError in
+                # a degenerate cell, ...) are never retried, but they must
+                # degrade into a failure record like everything else — one
+                # broken cell must not abort the sweep.  KeyboardInterrupt is
+                # a BaseException and still propagates.
+                return CellOutcome(
+                    key=key,
+                    status=STATUS_FAILED,
+                    error_type=type(exc).__name__,
+                    error_message=str(exc),
+                    attempts=attempt,
+                )
+            if attempt < self.policy.max_attempts and self.policy.is_retryable(
+                last_exc
+            ):
+                delay = self.policy.delay(attempt)
+                if delay > 0:
+                    self.sleep(delay)
+                continue
+            break
+        return CellOutcome(
+            key=key,
+            status=status,
+            error_type=type(last_exc).__name__,
+            error_message=str(last_exc),
+            attempts=attempt,
+        )
+
+    def run_cells(
+        self,
+        cells: Iterable[tuple[Sequence[str], Callable[[], object]]],
+        encode: Callable[[object], object] | None = None,
+        decode: Callable[[object], object] | None = None,
+    ) -> list[CellOutcome]:
+        """Run ``(key, fn)`` cells in order, returning their outcomes."""
+        return [self.run_cell(key, fn, encode=encode, decode=decode) for key, fn in cells]
+
+    @property
+    def failures(self) -> tuple[CellOutcome, ...]:
+        """Outcomes of every cell that did not complete."""
+        return tuple(o for o in self.outcomes if not o.ok)
+
+    @property
+    def n_failed(self) -> int:
+        """Number of failed (or timed-out) cells so far."""
+        return len(self.failures)
+
+    @property
+    def n_resumed(self) -> int:
+        """Number of cells restored from the checkpoint instead of re-run."""
+        return sum(1 for o in self.outcomes if o.resumed)

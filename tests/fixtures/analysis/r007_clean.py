@@ -1,0 +1,46 @@
+"""R007 fixture: handlers that re-raise, wrap, stay narrow, or opt out."""
+
+
+class WrappedError(Exception):
+    pass
+
+
+def narrow_handler():
+    try:
+        risky()
+    except ValueError:
+        return None
+
+
+def reraises():
+    try:
+        risky()
+    except Exception:
+        raise
+
+
+def wraps_and_raises():
+    try:
+        risky()
+    except Exception as exc:
+        raise WrappedError("context") from exc
+
+
+def raises_conditionally():
+    try:
+        risky()
+    except Exception as exc:
+        if str(exc) == "ignorable":
+            return None
+        raise
+
+
+def marked_degradation_point():
+    try:
+        risky()
+    except Exception:  # repro: ignore[R007]
+        return None
+
+
+def risky():
+    raise ValueError("boom")

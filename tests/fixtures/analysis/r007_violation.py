@@ -1,0 +1,37 @@
+"""R007 fixture: broad handlers that swallow the error (violations)."""
+
+
+def swallow_bare():
+    try:
+        risky()
+    except:  # noqa: E722
+        pass
+
+
+def swallow_exception():
+    try:
+        risky()
+    except Exception:
+        return None
+
+
+def swallow_in_tuple():
+    try:
+        risky()
+    except (ValueError, Exception) as exc:
+        print(exc)
+
+
+def raise_only_in_nested_def():
+    try:
+        risky()
+    except BaseException:
+
+        def handler():
+            raise ValueError("not a re-raise of the caught error")
+
+        handler()
+
+
+def risky():
+    raise ValueError("boom")

@@ -162,9 +162,28 @@ class TestR006SetIteration:
         assert len(findings) == 1
 
 
+class TestR007BroadExcept:
+    def test_fires_on_violation(self):
+        findings = run_rule("R007", "r007_violation.py")
+        assert len(findings) == 4
+        assert rule_ids(findings) == {"R007"}
+        assert any("bare except" in f.message for f in findings)
+        assert any("(Exception)" in f.message for f in findings)
+        assert any("(BaseException)" in f.message for f in findings)
+
+    def test_silent_on_clean(self):
+        assert run_rule("R007", "r007_clean.py") == []
+
+    def test_executor_degradation_point_is_marked(self):
+        """The resilience executor's own broad handler carries the marker."""
+        repo_src = FIXTURES.parent.parent.parent / "src" / "repro"
+        analyzer = Analyzer(default_rules(("R007",)))
+        assert analyzer.analyze_file(repo_src / "resilience" / "executor.py") == []
+
+
 @pytest.mark.parametrize("rule_id", RULE_IDS)
 def test_every_rule_has_an_exercised_fixture(rule_id):
-    """Acceptance guard: R001–R006 each fire somewhere under fixtures/."""
+    """Acceptance guard: R001–R007 each fire somewhere under fixtures/."""
     project = ProjectContext(
         exported_names=frozenset({"exported_fn", "ExportedThing"})
     )

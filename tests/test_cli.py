@@ -118,6 +118,117 @@ class TestExperiment:
         assert rc == 0
         assert "speedups" in capsys.readouterr().out
 
+    def test_robustness_runs(self, capsys):
+        rc = main(["experiment", "robustness", "--rows", "600"])
+        assert rc == 0
+        assert "Robustness" in capsys.readouterr().out
+
+
+ROBUSTNESS_ARGS = ["experiment", "robustness", "--rows", "600"]
+
+
+class TestExitCodes:
+    """The CLI exit-code contract (docs/resilience.md): 0 / 2 / 3 / 130."""
+
+    def test_repro_error_exits_2(self, capsys):
+        rc = main(["experiment", "robustness", "--resume"])
+        assert rc == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_existing_checkpoint_without_resume_exits_2(self, tmp_path, capsys):
+        ck = tmp_path / "ck.json"
+        ck.write_text("{}")
+        rc = main(ROBUSTNESS_ARGS + ["--checkpoint", str(ck)])
+        assert rc == 2
+        assert "pass --resume" in capsys.readouterr().err
+
+    def test_negative_max_retries_exits_2(self, capsys):
+        rc = main(ROBUSTNESS_ARGS + ["--max-retries", "-1"])
+        assert rc == 2
+        assert "--max-retries" in capsys.readouterr().err
+
+    def test_malformed_csv_exits_2(self, tmp_path, capsys):
+        csv = tmp_path / "bad.csv"
+        schema = tmp_path / "bad.schema.json"
+        main(["generate", "compas", str(tmp_path / "ok.csv"), "--rows", "100"])
+        schema_src = tmp_path / "ok.schema.json"
+        schema.write_text(schema_src.read_text())
+        csv.write_text("not,a,valid,header\n1,2,3,4\n")
+        rc = main(["identify", str(csv), "--schema", str(schema)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_partial_failure_exits_3(self, monkeypatch, capsys):
+        from repro.errors import DataError
+        import repro.experiments.robustness as robustness_mod
+
+        def broken_pipeline(self, train):
+            raise DataError("injected harness failure")
+
+        monkeypatch.setattr(
+            robustness_mod.RemedyPipeline, "transform", broken_pipeline
+        )
+        rc = main(ROBUSTNESS_ARGS + ["--max-retries", "0"])
+        assert rc == 3
+        captured = capsys.readouterr()
+        assert "FAILED(DataError)" in captured.out
+        assert "cell(s) failed" in captured.err
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        import repro.experiments.robustness as robustness_mod
+
+        def interrupted(self, train):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(robustness_mod.RemedyPipeline, "transform", interrupted)
+        rc = main(ROBUSTNESS_ARGS)
+        assert rc == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_interrupt_flushes_checkpoint_then_resume_matches(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        """Crash mid-sweep; completed cells are durable; resume is identical."""
+        ck = tmp_path / "ck.json"
+        args = ROBUSTNESS_ARGS + ["--checkpoint", str(ck)]
+
+        baseline_rc = main(ROBUSTNESS_ARGS)
+        assert baseline_rc == 0
+        baseline_out = capsys.readouterr().out
+
+        import repro.experiments.robustness as robustness_mod
+
+        original = robustness_mod.RemedyPipeline.transform
+        calls = {"n": 0}
+
+        def crash_on_third(self, train):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise KeyboardInterrupt
+            return original(self, train)
+
+        monkeypatch.setattr(robustness_mod.RemedyPipeline, "transform", crash_on_third)
+        rc = main(args)
+        assert rc == 130
+        capsys.readouterr()
+        assert ck.exists()  # the first two cells were flushed before the crash
+
+        monkeypatch.undo()
+        rc = main(args + ["--resume"])
+        assert rc == 0
+        assert capsys.readouterr().out == baseline_out
+
+    def test_checkpoint_from_other_config_exits_2(self, tmp_path, capsys):
+        ck = tmp_path / "ck.json"
+        assert main(ROBUSTNESS_ARGS + ["--checkpoint", str(ck)]) == 0
+        capsys.readouterr()
+        rc = main(
+            ["experiment", "robustness", "--rows", "700",
+             "--checkpoint", str(ck), "--resume"]
+        )
+        assert rc == 2
+        assert "different configuration" in capsys.readouterr().err
+
 
 class TestReport:
     def test_writes_markdown(self, tmp_path, capsys):

@@ -17,6 +17,30 @@ class TestConstruction:
         with pytest.raises(DataError):
             Dataset(toy_schema, cols, np.array([0, 2]))
 
+    def test_non_binary_label_error_names_row(self, toy_schema):
+        cols = {"age": np.zeros(3, int), "sex": np.zeros(3, int), "score": np.zeros(3)}
+        with pytest.raises(DataError, match="row 2"):
+            Dataset(toy_schema, cols, np.array([0, 1, 7]))
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_feature_rejected(self, toy_schema, bad):
+        cols = {
+            "age": np.zeros(3, int),
+            "sex": np.zeros(3, int),
+            "score": np.array([0.5, bad, 0.25]),
+        }
+        with pytest.raises(DataError, match=r"'score'.*row 1"):
+            Dataset(toy_schema, cols, np.zeros(3, int))
+
+    def test_code_error_names_column_and_row(self, toy_schema):
+        cols = {
+            "age": np.array([0, 0, 9]),
+            "sex": np.zeros(3, int),
+            "score": np.zeros(3),
+        }
+        with pytest.raises(DataError, match=r"'age'.*code 9.*row 2"):
+            Dataset(toy_schema, cols, np.zeros(3, int))
+
     def test_missing_column_rejected(self, toy_schema):
         with pytest.raises(DataError):
             Dataset(toy_schema, {"age": np.zeros(2, int)}, np.zeros(2, int))

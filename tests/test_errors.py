@@ -6,6 +6,8 @@ import pytest
 
 from repro.errors import (
     AnalysisError,
+    CellTimeout,
+    CheckpointError,
     DataError,
     ExperimentError,
     FitError,
@@ -14,6 +16,7 @@ from repro.errors import (
     PatternError,
     RemedyError,
     ReproError,
+    ResilienceError,
     SchemaError,
 )
 
@@ -26,6 +29,9 @@ LEAF_TYPES = (
     RemedyError,
     ExperimentError,
     AnalysisError,
+    ResilienceError,
+    CellTimeout,
+    CheckpointError,
     InternalError,
 )
 

@@ -10,6 +10,8 @@ import pytest
 
 from repro.data.synth import load_adult, load_compas
 from repro.experiments import (
+    EVAL_HEADERS,
+    EvalResult,
     evaluate_model,
     evaluate_remedy,
     identification_vs_attrs,
@@ -60,7 +62,17 @@ class TestRunner:
     def test_row_shape(self, compas_exp):
         train, test = train_test_split(compas_exp, 0.3, seed=0)
         res = evaluate_model(train, test, "lg")
-        assert len(res.row()) == 7
+        assert len(res.row()) == len(EVAL_HEADERS) == 8
+        assert res.row()[-1] == "ok"
+
+    def test_failed_placeholder_row(self):
+        res = EvalResult.failed("original", "dt", "FAILED(DataError)", "boom")
+        assert not res.ok
+        assert res.status == "FAILED(DataError)"
+        assert res.train_rows == 0
+        assert all(
+            x != x for x in (res.accuracy, res.fairness_index_fpr, res.fit_seconds)
+        )
 
 
 class TestFig3Validation:

@@ -1,9 +1,11 @@
-"""Unit tests for repro.data.io CSV round-trip."""
+"""Unit tests for repro.data.io CSV round-trip and atomic writes."""
+
+import json
 
 import numpy as np
 import pytest
 
-from repro.data import read_csv, write_csv
+from repro.data import atomic_write_json, atomic_write_text, read_csv, write_csv
 from repro.data.schema import schema_from_domains
 from repro.errors import DataError
 
@@ -105,3 +107,42 @@ class TestBadValuePolicy:
             missing_tokens=("-999",),
         )
         assert ds.n_rows == 1
+
+
+class TestAtomicWrite:
+    def test_writes_text(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_overwrites_existing(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "x" * 10_000)
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failed_write_leaves_target_untouched(self, tmp_path, monkeypatch):
+        path = tmp_path / "out.txt"
+        path.write_text("precious")
+
+        def explode(fd):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("os.fsync", explode)
+        with pytest.raises(OSError):
+            atomic_write_text(path, "replacement")
+        monkeypatch.undo()
+        assert path.read_text() == "precious"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "out.json"
+        payload = {"b": [1, 2], "a": {"nested": True}}
+        atomic_write_json(path, payload)
+        assert json.loads(path.read_text()) == payload
+        assert path.read_text().endswith("\n")

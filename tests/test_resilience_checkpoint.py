@@ -1,0 +1,167 @@
+"""Unit tests for sweep checkpoints (repro.resilience.checkpoint)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.resilience import (
+    CHECKPOINT_VERSION,
+    CellExecutor,
+    Checkpoint,
+    sweep_run_id,
+)
+
+
+class TestRunId:
+    def test_stable_across_calls(self):
+        assert sweep_run_id(a=1, b="x") == sweep_run_id(a=1, b="x")
+
+    def test_order_insensitive(self):
+        assert sweep_run_id(a=1, b=2) == sweep_run_id(b=2, a=1)
+
+    def test_different_params_differ(self):
+        assert sweep_run_id(a=1) != sweep_run_id(a=2)
+
+    def test_non_json_values_stringified(self):
+        assert sweep_run_id(p=object) == sweep_run_id(p=object)
+
+
+class TestCheckpoint:
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ck = Checkpoint(path, "run1")
+        ck.record(("a", "1"), {"value": {"x": 1}, "attempts": 2})
+        back = Checkpoint(path, "run1")
+        assert ("a", "1") in back
+        assert back.get(("a", "1"))["value"] == {"x": 1}
+        assert back.get(("a", "1"))["attempts"] == 2
+        assert len(back) == 1
+        assert back.keys() == (("a", "1"),)
+
+    def test_missing_file_starts_empty(self, tmp_path):
+        ck = Checkpoint(tmp_path / "none.json", "run1")
+        assert len(ck) == 0
+        assert ck.get(("a",)) is None
+
+    def test_resume_false_ignores_existing(self, tmp_path):
+        path = tmp_path / "ck.json"
+        Checkpoint(path, "run1").record(("a",), {"value": 1})
+        fresh = Checkpoint(path, "run1", resume=False)
+        assert len(fresh) == 0
+
+    def test_run_id_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        Checkpoint(path, "run1").record(("a",), {"value": 1})
+        with pytest.raises(CheckpointError, match="different configuration"):
+            Checkpoint(path, "run2")
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"version": 99, "run_id": "r", "cells": []}))
+        with pytest.raises(CheckpointError, match="version"):
+            Checkpoint(path, "r")
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError, match="cannot read"):
+            Checkpoint(path, "r")
+
+    def test_missing_cells_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"version": CHECKPOINT_VERSION, "run_id": "r"}))
+        with pytest.raises(CheckpointError, match="malformed"):
+            Checkpoint(path, "r")
+
+    def test_malformed_cell_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": CHECKPOINT_VERSION,
+                    "run_id": "r",
+                    "cells": [{"no_key": True}],
+                }
+            )
+        )
+        with pytest.raises(CheckpointError, match="malformed cell"):
+            Checkpoint(path, "r")
+
+    def test_document_shape_on_disk(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ck = Checkpoint(path, "run1")
+        ck.record(("b",), {"value": 2})
+        ck.record(("a",), {"value": 1})
+        doc = json.loads(path.read_text())
+        assert doc["version"] == CHECKPOINT_VERSION
+        assert doc["run_id"] == "run1"
+        # cells are sorted by key for clean diffs
+        assert [c["key"] for c in doc["cells"]] == [["a"], ["b"]]
+
+    def test_record_overwrites_same_key(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ck = Checkpoint(path, "run1")
+        ck.record(("a",), {"value": 1})
+        ck.record(("a",), {"value": 2})
+        assert len(ck) == 1
+        assert Checkpoint(path, "run1").get(("a",))["value"] == 2
+
+
+class TestExecutorCheckpointing:
+    def test_completed_cells_not_rerun_on_resume(self, tmp_path):
+        path = tmp_path / "ck.json"
+        calls: list[str] = []
+
+        def cell(name):
+            calls.append(name)
+            return f"value:{name}"
+
+        first = CellExecutor(checkpoint=Checkpoint(path, "r"))
+        first.run_cell(("a",), lambda: cell("a"))
+        first.run_cell(("b",), lambda: cell("b"))
+        assert calls == ["a", "b"]
+
+        resumed = CellExecutor(checkpoint=Checkpoint(path, "r"))
+        out_a = resumed.run_cell(("a",), lambda: cell("a"))
+        out_c = resumed.run_cell(("c",), lambda: cell("c"))
+        assert calls == ["a", "b", "c"]  # "a" restored, not re-run
+        assert out_a.resumed and out_a.value == "value:a"
+        assert not out_c.resumed
+        assert resumed.n_resumed == 1
+
+    def test_failed_cells_are_not_checkpointed(self, tmp_path):
+        path = tmp_path / "ck.json"
+        executor = CellExecutor(checkpoint=Checkpoint(path, "r"))
+        executor.run_cell(("bad",), lambda: 1 / 0)
+        executor.run_cell(("good",), lambda: 1)
+        back = Checkpoint(path, "r")
+        assert ("good",) in back and ("bad",) not in back
+
+    def test_codecs_round_trip(self, tmp_path):
+        path = tmp_path / "ck.json"
+
+        executor = CellExecutor(checkpoint=Checkpoint(path, "r"))
+        executor.run_cell(
+            ("k",),
+            lambda: (1, 2),
+            encode=lambda v: list(v),
+            decode=tuple,
+        )
+        resumed = CellExecutor(checkpoint=Checkpoint(path, "r"))
+        outcome = resumed.run_cell(
+            ("k",),
+            lambda: (9, 9),
+            encode=lambda v: list(v),
+            decode=tuple,
+        )
+        assert outcome.resumed and outcome.value == (1, 2)
+
+    def test_checkpoint_flushed_per_cell(self, tmp_path):
+        """Every completed cell is durable immediately — interrupt-safe."""
+        path = tmp_path / "ck.json"
+        executor = CellExecutor(checkpoint=Checkpoint(path, "r"))
+        executor.run_cell(("a",), lambda: 1)
+        assert ("a",) in Checkpoint(path, "r")  # visible before the sweep ends

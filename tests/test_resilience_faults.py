@@ -1,0 +1,110 @@
+"""Unit tests for deterministic fault injection (repro.resilience.faults)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DataError, ResilienceError
+from repro.resilience import (
+    FaultPlan,
+    InjectedFault,
+    PermanentFault,
+    SlowFault,
+    TransientFault,
+    interrupt_on_call,
+    seeded_transients,
+)
+
+
+class TestFaultShapes:
+    def test_transient_fails_then_succeeds(self):
+        fault = TransientFault(times=2)
+        with pytest.raises(InjectedFault):
+            fault.on_attempt(("k",), 1)
+        with pytest.raises(InjectedFault):
+            fault.on_attempt(("k",), 2)
+        fault.on_attempt(("k",), 3)  # lets the attempt through
+
+    def test_transient_custom_error(self):
+        fault = TransientFault(times=1, error=DataError)
+        with pytest.raises(DataError):
+            fault.on_attempt(("k",), 1)
+
+    def test_transient_validates_times(self):
+        with pytest.raises(ResilienceError):
+            TransientFault(times=0)
+
+    def test_permanent_always_fails(self):
+        fault = PermanentFault()
+        for attempt in (1, 5, 100):
+            with pytest.raises(InjectedFault):
+                fault.on_attempt(("k",), attempt)
+
+    def test_slow_fault_sleeps(self):
+        slept: list[float] = []
+        fault = SlowFault(2.5, sleep=slept.append)
+        fault.on_attempt(("k",), 1)
+        assert slept == [2.5]
+
+    def test_slow_fault_validates_seconds(self):
+        with pytest.raises(ResilienceError):
+            SlowFault(0.0)
+
+
+class TestFaultPlan:
+    def test_targets_only_matching_cells(self):
+        plan = FaultPlan(cells={("a",): PermanentFault()})
+        with pytest.raises(InjectedFault):
+            plan.on_attempt(("a",), 1)
+        plan.on_attempt(("b",), 1)  # untargeted cell passes
+
+    def test_call_counter_counts_every_attempt(self):
+        plan = FaultPlan()
+        for _ in range(3):
+            plan.on_attempt(("any",), 1)
+        assert plan.calls == 3
+
+    def test_nth_call_fires_once_overall(self):
+        plan = FaultPlan(nth_call={2: lambda: DataError("crash")})
+        plan.on_attempt(("a",), 1)
+        with pytest.raises(DataError):
+            plan.on_attempt(("b",), 1)
+        plan.on_attempt(("c",), 1)  # counter moved past the trigger
+
+    def test_keys_normalised(self):
+        plan = FaultPlan(cells={("seed", 3): PermanentFault()})
+        with pytest.raises(InjectedFault):
+            plan.on_attempt(("seed", "3"), 1)
+        assert plan.faulty_keys == (("seed", "3"),)
+
+
+class TestHelpers:
+    def test_interrupt_on_call(self):
+        plan = interrupt_on_call(3)
+        plan.on_attempt(("a",), 1)
+        plan.on_attempt(("b",), 1)
+        with pytest.raises(KeyboardInterrupt):
+            plan.on_attempt(("c",), 1)
+
+    def test_interrupt_on_call_validates(self):
+        with pytest.raises(ResilienceError):
+            interrupt_on_call(0)
+
+    def test_seeded_transients_deterministic(self):
+        keys = [("cell", str(i)) for i in range(20)]
+        a = seeded_transients(keys, seed=7, rate=0.5)
+        b = seeded_transients(keys, seed=7, rate=0.5)
+        assert a.faulty_keys == b.faulty_keys
+
+    def test_seeded_transients_rate_bounds(self):
+        keys = [("cell", str(i)) for i in range(10)]
+        assert seeded_transients(keys, seed=0, rate=0.0).faulty_keys == ()
+        assert len(seeded_transients(keys, seed=0, rate=1.0).faulty_keys) == 10
+        with pytest.raises(ResilienceError):
+            seeded_transients(keys, seed=0, rate=1.5)
+
+    def test_seeded_transients_vary_with_seed(self):
+        keys = [("cell", str(i)) for i in range(50)]
+        a = seeded_transients(keys, seed=0, rate=0.5)
+        b = seeded_transients(keys, seed=1, rate=0.5)
+        assert a.faulty_keys != b.faulty_keys
