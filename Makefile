@@ -1,34 +1,41 @@
 # Development workflow shortcuts.
 
-.PHONY: install test lint bench bench-full bench-ibs examples experiments-smoke report clean
+.PHONY: install test lint ci bench bench-full bench-ibs examples experiments-smoke report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
-	pytest tests/
+	PYTHONPATH=src pytest tests/
 
 lint:
 	PYTHONPATH=src python -m repro.analysis src/repro --baseline analysis-baseline.json
 
+ci:
+	PYTHONPATH=src python scripts/ci.py
+
 bench:
-	pytest benchmarks/ --benchmark-only -s
+	PYTHONPATH=src pytest benchmarks/ --benchmark-only -s
 
 bench-full:
-	REPRO_BENCH_FULL=1 pytest benchmarks/ --benchmark-only -s
+	PYTHONPATH=src REPRO_BENCH_FULL=1 pytest benchmarks/ --benchmark-only -s
 
+# Re-baseline procedure: this target overwrites BENCH_ibs.json with fresh
+# numbers.  After an intentional performance change, run `make bench-ibs`
+# on a quiet machine and commit the refreshed file; scripts/check_bench.py
+# gates CI against it.
 bench-ibs:
 	PYTHONPATH=src pytest benchmarks/test_engine_comparison.py \
 		--benchmark-only --benchmark-json=BENCH_ibs.json -s
 
 examples:
-	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+	for f in examples/*.py; do echo "== $$f"; PYTHONPATH=src python $$f || exit 1; done
 
 experiments-smoke:
 	PYTHONPATH=src python -m repro.resilience.smoke
 
 report:
-	python examples/regenerate_report.py REPORT.md
+	PYTHONPATH=src python examples/regenerate_report.py REPORT.md
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks

@@ -23,6 +23,7 @@ from repro.core import (
     identify_ibs,
 )
 from repro.data.synth.adult import SCALABILITY_PROTECTED, load_adult
+from repro.obs import Tracer, tracing
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 N_ROWS = 45_222 if FULL else 12_000
@@ -63,6 +64,16 @@ def test_engine_comparison(benchmark, adult8, n_attrs):
     # one repetition is plenty to place it on the chart.
     t_naive = _best_seconds(lambda: run(METHOD_NAIVE), repeats=1)
 
+    # Same workload with a live tracer collecting spans and counters — the
+    # observability acceptance floor is <5% overhead on the vectorized
+    # engine at 8 attributes.
+    def run_traced():
+        with tracing(Tracer()):
+            run(METHOD_VECTORIZED)
+
+    t_traced = _best_seconds(run_traced)
+    trace_overhead = t_traced / max(t_vec, 1e-9) - 1.0
+
     speedup_vs_opt = t_opt / max(t_vec, 1e-9)
     speedup_vs_naive = t_naive / max(t_vec, 1e-9)
     benchmark.extra_info.update(
@@ -73,6 +84,8 @@ def test_engine_comparison(benchmark, adult8, n_attrs):
             "naive_seconds": round(t_naive, 4),
             "optimized_seconds": round(t_opt, 4),
             "vectorized_seconds": round(t_vec, 4),
+            "traced_seconds": round(t_traced, 4),
+            "trace_overhead": round(trace_overhead, 4),
             "speedup_vs_optimized": round(speedup_vs_opt, 2),
             "speedup_vs_naive": round(speedup_vs_naive, 2),
         }
@@ -81,11 +94,15 @@ def test_engine_comparison(benchmark, adult8, n_attrs):
         f"{n_attrs} attrs / {N_ROWS} rows: naive {t_naive:.3f}s, "
         f"optimized {t_opt:.3f}s, vectorized {t_vec:.3f}s "
         f"({speedup_vs_opt:.1f}x vs optimized, "
-        f"{speedup_vs_naive:.1f}x vs naive)"
+        f"{speedup_vs_naive:.1f}x vs naive, "
+        f"tracing overhead {100 * trace_overhead:+.1f}%)"
     )
 
     assert speedup_vs_opt > 1.0, "vectorized must beat the scalar engine"
     if n_attrs == 8:
         assert speedup_vs_opt >= 5.0, (
             "acceptance floor: vectorized >= 5x optimized at 8 attributes"
+        )
+        assert trace_overhead < 0.05, (
+            "acceptance floor: tracing adds <5% to the vectorized engine"
         )

@@ -1,0 +1,106 @@
+"""Benchmark regression gate: fresh IBS-engine numbers vs the committed baseline.
+
+Compares the ``speedup_vs_optimized`` recorded in a freshly produced
+pytest-benchmark JSON against the committed ``BENCH_ibs.json`` baseline, per
+``n_attrs`` point, and fails when any point regressed by more than the
+tolerance (default 25%).  Speedup ratios are used instead of raw seconds so
+the gate is insensitive to overall machine speed — both engines slow down
+together on a loaded box, their ratio does not.
+
+Usage::
+
+    PYTHONPATH=src pytest benchmarks/test_engine_comparison.py \
+        --benchmark-only --benchmark-json=/tmp/bench_fresh.json -s
+    python scripts/check_bench.py /tmp/bench_fresh.json
+
+Re-baselining: after an intentional performance change, run ``make bench-ibs``
+on a quiet machine (it overwrites ``BENCH_ibs.json`` in place) and commit the
+refreshed file alongside the change that justifies it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "BENCH_ibs.json"
+METRIC = "speedup_vs_optimized"
+
+
+def load_speedups(path: Path) -> dict[int, float]:
+    """Map ``n_attrs`` -> ``speedup_vs_optimized`` from a benchmark JSON."""
+    data = json.loads(path.read_text())
+    out: dict[int, float] = {}
+    for bench in data.get("benchmarks", []):
+        extra = bench.get("extra_info", {})
+        if "n_attrs" in extra and METRIC in extra:
+            out[int(extra["n_attrs"])] = float(extra[METRIC])
+    if not out:
+        raise SystemExit(f"error: no {METRIC} entries found in {path}")
+    return out
+
+
+def compare(
+    fresh: dict[int, float], baseline: dict[int, float], tolerance: float
+) -> list[str]:
+    """Human-readable regression report lines; empty means the gate passes."""
+    problems: list[str] = []
+    for n_attrs in sorted(baseline):
+        if n_attrs not in fresh:
+            problems.append(
+                f"n_attrs={n_attrs}: missing from fresh results "
+                f"(baseline {baseline[n_attrs]:.2f}x)"
+            )
+            continue
+        base, now = baseline[n_attrs], fresh[n_attrs]
+        floor = base * (1.0 - tolerance)
+        status = "ok" if now >= floor else "REGRESSION"
+        print(
+            f"  n_attrs={n_attrs}: baseline {base:6.2f}x  fresh {now:6.2f}x  "
+            f"floor {floor:6.2f}x  {status}"
+        )
+        if now < floor:
+            problems.append(
+                f"n_attrs={n_attrs}: {METRIC} fell {100 * (1 - now / base):.1f}% "
+                f"({base:.2f}x -> {now:.2f}x, tolerance {tolerance:.0%})"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns 0 when no point regressed beyond tolerance."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="freshly produced --benchmark-json file")
+    parser.add_argument(
+        "--baseline", default=str(BASELINE),
+        help="committed baseline (default: BENCH_ibs.json at the repo root)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional drop in speedup per point (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = load_speedups(Path(args.fresh))
+    baseline = load_speedups(Path(args.baseline))
+    print(f"bench gate: {METRIC}, tolerance {args.tolerance:.0%}")
+    problems = compare(fresh, baseline, args.tolerance)
+    if problems:
+        print("\nbenchmark regression detected:", file=sys.stderr)
+        for line in problems:
+            print(f"  {line}", file=sys.stderr)
+        print(
+            "\nIf this slowdown is intentional, re-baseline with "
+            "`make bench-ibs` and commit BENCH_ibs.json.",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench gate: all points within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

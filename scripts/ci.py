@@ -1,0 +1,140 @@
+"""Offline CI driver: staged gates with per-stage timing and a status table.
+
+Runs the repository's quality gates in order, fail-fast::
+
+    lint               static analysis (R001-R007) against the baseline
+    tier1              fast pytest suite (slow-marked modules skipped)
+    experiments-smoke  resilience smoke sweep over the experiment harnesses
+    examples           every script in examples/ end to end
+    bench-regression   fresh IBS benchmark vs the committed BENCH_ibs.json
+
+Each stage runs as a subprocess with ``PYTHONPATH=src`` and is timed through
+a :mod:`repro.obs` span; the run ends with a per-stage status table and a
+non-zero exit as soon as any stage fails (later stages are reported as
+``skipped``).  Everything is offline — no network, no package installs.
+
+Usage::
+
+    make ci                 # or: PYTHONPATH=src python scripts/ci.py
+    python scripts/ci.py --stages lint,tier1
+    python scripts/ci.py --trace ci-trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.reporting import format_table  # noqa: E402
+from repro.obs import Tracer, tracing  # noqa: E402
+
+PYTHON = sys.executable
+
+
+def stage_commands(bench_json: str) -> list[tuple[str, list[list[str]]]]:
+    """The ordered CI stages; each is (name, list of argv to run in order)."""
+    return [
+        (
+            "lint",
+            [[PYTHON, "-m", "repro.analysis", "src/repro",
+              "--baseline", "analysis-baseline.json"]],
+        ),
+        (
+            "tier1",
+            [[PYTHON, "-m", "pytest", "-x", "-q", "-m", "not slow", "tests/"]],
+        ),
+        (
+            "experiments-smoke",
+            [[PYTHON, "-m", "repro.resilience.smoke"]],
+        ),
+        (
+            "examples",
+            [[PYTHON, str(path)] for path in sorted(
+                (REPO_ROOT / "examples").glob("*.py")
+            )],
+        ),
+        (
+            "bench-regression",
+            [
+                [PYTHON, "-m", "pytest", "benchmarks/test_engine_comparison.py",
+                 "--benchmark-only", f"--benchmark-json={bench_json}", "-s"],
+                [PYTHON, "scripts/check_bench.py", bench_json],
+            ],
+        ),
+    ]
+
+
+def run_stage(name: str, commands: list[list[str]], env: dict[str, str]) -> bool:
+    """Run one stage's commands in order; False on the first failure."""
+    for argv in commands:
+        print(f"[ci:{name}] $ {' '.join(argv)}", flush=True)
+        proc = subprocess.run(argv, cwd=REPO_ROOT, env=env)
+        if proc.returncode != 0:
+            print(f"[ci:{name}] FAILED (exit {proc.returncode})", flush=True)
+            return False
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the staged gates; exit 0 only when every requested stage passes."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--stages", default=None,
+        help="comma-separated subset of stages to run (default: all)",
+    )
+    parser.add_argument(
+        "--trace", default=None,
+        help="also write the per-stage span trace to this JSONL path",
+    )
+    args = parser.parse_args(argv)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+
+    # The fresh benchmark JSON goes to a temp file so the committed
+    # BENCH_ibs.json baseline is never clobbered by a CI run.
+    bench_json = os.path.join(tempfile.mkdtemp(prefix="repro-ci-"), "bench.json")
+    stages = stage_commands(bench_json)
+    if args.stages:
+        wanted = [s.strip() for s in args.stages.split(",") if s.strip()]
+        known = {name for name, _ in stages}
+        unknown = [s for s in wanted if s not in known]
+        if unknown:
+            print(f"error: unknown stage(s) {unknown}; known: {sorted(known)}",
+                  file=sys.stderr)
+            return 2
+        stages = [(name, cmds) for name, cmds in stages if name in wanted]
+
+    tracer = Tracer()
+    rows: list[tuple[str, str, str]] = []
+    failed = False
+    with tracing(tracer):
+        for name, commands in stages:
+            if failed:
+                rows.append((name, "skipped", "-"))
+                continue
+            with tracer.span(f"ci.{name}") as stage_span:
+                ok = run_stage(name, commands, env)
+                stage_span.annotate(status="ok" if ok else "failed")
+            wall = tracer.spans[-1].wall
+            rows.append((name, "ok" if ok else "FAILED", f"{wall:.1f}"))
+            if not ok:
+                failed = True
+
+    print()
+    print(format_table(("stage", "status", "seconds"), rows, title="CI"))
+    if args.trace:
+        tracer.write(Path(args.trace))
+        print(f"trace written to {args.trace}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.pattern import Pattern
 from repro.data.dataset import Dataset
 from repro.errors import DataError
+from repro.obs import trace as obs
 from repro.audit.significance import bernoulli_t_test
 from repro.ml.metrics import (
     ACCURACY,
@@ -122,43 +123,70 @@ def find_divergent_subgroups(
     max_level = len(attrs) if max_level is None else min(max_level, len(attrs))
 
     out: list[SubgroupReport] = []
-    for level in range(1, max_level + 1):
-        for subset in itertools.combinations(attrs, level):
-            codes, shape = dataset.joint_codes(subset)
-            n_cells = int(np.prod(shape))
-            size = np.bincount(codes, minlength=n_cells)
-            cond = np.bincount(codes[cond_mask], minlength=n_cells)
-            err = np.bincount(codes[err_mask], minlength=n_cells)
-            keep = np.flatnonzero(
-                (size >= max(min_size, 1))
-                & (size >= min_support * n_rows)
-                & (cond > 0)
+    with obs.span(
+        "audit.mine_subgroups", gamma=gamma, n_attrs=len(attrs)
+    ) as mine_span:
+        for level in range(1, max_level + 1):
+            _mine_level(
+                dataset, attrs, level, gamma, gamma_d, cond_mask, err_mask,
+                total_cond, total_err, min_size, min_support, n_rows, out,
             )
-            for flat in keep:
-                coords = np.unravel_index(int(flat), shape)
-                pattern = Pattern(zip(subset, (int(c) for c in coords)))
-                n1 = int(cond[flat])
-                e1 = int(err[flat])
-                gamma_g = e1 / n1
-                if np.isnan(gamma_d):
-                    continue
-                __, p_value = bernoulli_t_test(
-                    e1, n1, total_err - e1, total_cond - n1
-                )
-                out.append(
-                    SubgroupReport(
-                        pattern=pattern,
-                        size=int(size[flat]),
-                        support=float(size[flat] / n_rows),
-                        n_conditioning=n1,
-                        gamma_group=gamma_g,
-                        gamma_dataset=float(gamma_d),
-                        divergence=abs(gamma_g - gamma_d),
-                        p_value=p_value,
-                    )
-                )
+        mine_span.annotate(subgroups=len(out))
     out.sort(key=lambda s: (-s.divergence, s.pattern.items))
     return out
+
+
+def _mine_level(
+    dataset: Dataset,
+    attrs: tuple[str, ...],
+    level: int,
+    gamma: str,
+    gamma_d: float,
+    cond_mask: np.ndarray,
+    err_mask: np.ndarray,
+    total_cond: int,
+    total_err: int,
+    min_size: int,
+    min_support: float,
+    n_rows: int,
+    out: list[SubgroupReport],
+) -> None:
+    """Mine one lattice level into ``out`` (split out of the public miner)."""
+    for subset in itertools.combinations(attrs, level):
+        codes, shape = dataset.joint_codes(subset)
+        n_cells = int(np.prod(shape))
+        obs.count("audit.subgroups_scanned", n_cells)
+        size = np.bincount(codes, minlength=n_cells)
+        cond = np.bincount(codes[cond_mask], minlength=n_cells)
+        err = np.bincount(codes[err_mask], minlength=n_cells)
+        keep = np.flatnonzero(
+            (size >= max(min_size, 1))
+            & (size >= min_support * n_rows)
+            & (cond > 0)
+        )
+        for flat in keep:
+            coords = np.unravel_index(int(flat), shape)
+            pattern = Pattern(zip(subset, (int(c) for c in coords)))
+            n1 = int(cond[flat])
+            e1 = int(err[flat])
+            gamma_g = e1 / n1
+            if np.isnan(gamma_d):
+                continue
+            __, p_value = bernoulli_t_test(
+                e1, n1, total_err - e1, total_cond - n1
+            )
+            out.append(
+                SubgroupReport(
+                    pattern=pattern,
+                    size=int(size[flat]),
+                    support=float(size[flat] / n_rows),
+                    n_conditioning=n1,
+                    gamma_group=gamma_g,
+                    gamma_dataset=float(gamma_d),
+                    divergence=abs(gamma_g - gamma_d),
+                    p_value=p_value,
+                )
+            )
 
 
 def unfair_subgroups(
@@ -180,4 +208,6 @@ def unfair_subgroups(
         min_support=min_support,
         min_size=min_size,
     )
-    return [r for r in reports if r.is_unfair(tau_d, alpha)]
+    unfair = [r for r in reports if r.is_unfair(tau_d, alpha)]
+    obs.count("audit.unfair_subgroups", len(unfair))
+    return unfair

@@ -15,10 +15,22 @@ Commands
               cells, and ``--resume`` restarts an interrupted sweep without
               re-running them (see ``docs/resilience.md``);
 ``analyze``   run the repo's static-analysis rules (R001–R007) over Python
-              sources, gated by an optional baseline file.
+              sources, gated by an optional baseline file;
+``trace``     inspect observability artefacts: ``trace summarize`` renders
+              the span tree, top-k table, and metric totals of a JSONL
+              trace written with ``--trace`` (see ``docs/observability.md``).
 
 Every command that reads a CSV requires the matching ``--schema`` JSON
 (written by ``generate`` or by :func:`repro.data.schema_io.write_schema`).
+
+Observability: the pipeline commands accept ``--trace out.jsonl``.  The run
+then executes under an ambient :class:`repro.obs.Tracer`; on exit the span
+tree, counters, and events are serialised to the given JSONL path and a run
+manifest (config hash, seed, versions, metric totals) is embedded as the
+final record and written as an ``out.jsonl.manifest.json`` sidecar.
+Tracing is semantically inert — outputs are byte-identical with and without
+``--trace``.  ``experiment --checkpoint c.json`` additionally writes a
+``c.json.manifest.json`` sidecar next to the sweep artefact.
 
 Exit codes: 0 on success; 2 for any :class:`~repro.errors.ReproError`
 (bad input, malformed schema, checkpoint mismatch, ...); 3 when an
@@ -30,6 +42,7 @@ budget (the printed table carries ``FAILED(...)``/``TIMEOUT`` markers);
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -46,6 +59,13 @@ from repro.errors import ExperimentError, ReproError
 from repro.experiments.reporting import format_table
 from repro.ml.metrics import FNR, FPR
 from repro.ml.models import MODEL_NAMES, make_model
+from repro.obs import (
+    Tracer,
+    build_manifest,
+    manifest_path_for,
+    tracing,
+    write_manifest,
+)
 
 DATASETS = {
     "adult": load_adult,
@@ -63,6 +83,30 @@ EXIT_INTERRUPT = 130
 def _load(csv_path: str, schema_path: str) -> Dataset:
     schema, protected = read_schema(schema_path)
     return read_csv(csv_path, schema, protected=protected)
+
+
+def _manifest_params(args: argparse.Namespace) -> dict:
+    """The run's full parameter set, minus plumbing, for the manifest."""
+    return {
+        k: v
+        for k, v in vars(args).items()
+        if k not in ("func", "trace") and not callable(v)
+    }
+
+
+def _finish_trace(args: argparse.Namespace, tracer: Tracer) -> None:
+    """Write the JSONL trace plus its manifest sidecar when ``--trace`` is set."""
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return
+    manifest = build_manifest(
+        command=args.command,
+        params=_manifest_params(args),
+        seed=getattr(args, "seed", None),
+        tracer=tracer,
+    )
+    tracer.write(trace_path, manifest=manifest.to_dict())
+    write_manifest(manifest, manifest_path_for(trace_path))
 
 
 # -- subcommand implementations --------------------------------------------------
@@ -329,6 +373,18 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(result.table())
     else:  # pragma: no cover - argparse choices prevent this
         raise SystemExit(f"unknown experiment {args.experiment}")
+    if args.checkpoint:
+        # Attach provenance to the sweep artefact: config hash, seed,
+        # versions, and the run's metric totals from the ambient tracer.
+        from repro.obs import current_tracer
+
+        manifest = build_manifest(
+            command=f"experiment:{args.experiment}",
+            params=_manifest_params(args),
+            seed=args.seed,
+            tracer=current_tracer(),
+        )
+        write_manifest(manifest, manifest_path_for(args.checkpoint))
     if executor.n_failed:
         print(
             f"\n{executor.n_failed} cell(s) failed after retries — "
@@ -337,6 +393,13 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         )
         return EXIT_PARTIAL
     return EXIT_OK
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.obs import read_trace, summarize
+
+    print(summarize(read_trace(args.trace_file), top=args.top))
+    return 0
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -366,11 +429,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_trace(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace",
+            default=None,
+            help="write a JSONL span/metric trace of this run (plus a "
+            ".manifest.json sidecar) to this path",
+        )
+
     p = sub.add_parser("generate", help="write a synthetic dataset to CSV")
     p.add_argument("dataset", choices=sorted(DATASETS))
     p.add_argument("output", help="output CSV path")
     p.add_argument("--rows", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
+    add_trace(p)
     p.set_defaults(func=cmd_generate)
 
     def add_common(p: argparse.ArgumentParser) -> None:
@@ -384,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--schema", required=True)
     add_common(p)
     p.add_argument("--method", choices=METHODS, default=METHOD_OPTIMIZED)
+    add_trace(p)
     p.set_defaults(func=cmd_identify)
 
     p = sub.add_parser("remedy", help="write a remedied copy of a CSV")
@@ -400,6 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write a JSON audit trail of the applied updates",
     )
+    add_trace(p)
     p.set_defaults(func=cmd_remedy)
 
     p = sub.add_parser("audit", help="train a model and audit subgroup fairness")
@@ -412,6 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=30)
     p.add_argument("--test-fraction", dest="test_fraction", type=float, default=0.3)
     p.add_argument("--seed", type=int, default=0)
+    add_trace(p)
     p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("explain", help="diagnose one subgroup against the IBS")
@@ -424,6 +499,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tau-c", dest="tau_c", type=float, default=0.1)
     p.add_argument("--T", type=float, default=1.0)
     p.add_argument("--k", type=int, default=30)
+    add_trace(p)
     p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("plan", help="preview remedy footprints over a tau_c grid")
@@ -434,12 +510,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=[0.1, 0.3, 0.5],
     )
     p.add_argument("--k", type=int, default=30)
+    add_trace(p)
     p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser("describe", help="profile a CSV: columns, groups, regions")
     p.add_argument("csv")
     p.add_argument("--schema", required=True)
     p.add_argument("--regions", type=int, default=20)
+    add_trace(p)
     p.set_defaults(func=cmd_describe)
 
     p = sub.add_parser("report", help="regenerate every artefact into markdown")
@@ -451,6 +529,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--models", nargs="+", default=["dt", "lg"], choices=MODEL_NAMES)
     p.add_argument("--seed", type=int, default=0)
+    add_trace(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
@@ -500,7 +579,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="restore completed cells from --checkpoint instead of re-running",
     )
+    add_trace(p)
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("trace", help="inspect JSONL traces written by --trace")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    p = trace_sub.add_parser(
+        "summarize", help="render the span tree and metric totals of a trace"
+    )
+    p.add_argument("trace_file", help="JSONL trace written by --trace")
+    p.add_argument(
+        "--top", type=int, default=10,
+        help="rows in the top-spans-by-self-time table (default 10)",
+    )
+    p.set_defaults(func=cmd_trace_summarize)
 
     return parser
 
@@ -508,15 +600,27 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Every command runs under an ambient tracer: instrumentation in the
+    # library is a no-op-cheap contextvar lookup, and when --trace is set the
+    # collected spans/metrics are flushed as JSONL with a manifest sidecar.
+    # The trace is written even on failure so a crashed run can be inspected.
+    tracer = Tracer()
     try:
-        return args.func(args)
+        with tracing(tracer):
+            code = args.func(args)
+        _finish_trace(args, tracer)
+        return code
     except KeyboardInterrupt:
         # Completed cells were flushed to the checkpoint as they finished,
         # so an interrupted sweep resumes with --resume and loses nothing.
         print("interrupted", file=sys.stderr)
+        with contextlib.suppress(Exception):
+            _finish_trace(args, tracer)
         return EXIT_INTERRUPT
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        with contextlib.suppress(Exception):
+            _finish_trace(args, tracer)
         return EXIT_REPRO_ERROR
 
 

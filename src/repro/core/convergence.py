@@ -20,6 +20,7 @@ from repro.core.remedy import RemedyResult, remedy_dataset
 from repro.core.samplers import PREFERENTIAL, RegionUpdate
 from repro.data.dataset import Dataset
 from repro.errors import RemedyError
+from repro.obs import trace as obs
 
 
 @dataclass(frozen=True)
@@ -70,46 +71,58 @@ def remedy_until_converged(
     if max_passes < 1:
         raise RemedyError("max_passes must be >= 1")
 
-    current = dataset
-    hierarchy = Hierarchy(current, attrs=attrs)
-    passes: list[RemedyResult] = []
-    sizes = [
-        len(
-            identify_ibs(
-                current, tau_c, T=T, k=k, scope=scope, method=method,
-                attrs=attrs, hierarchy=hierarchy,
-            )
-        )
-    ]
-    for pass_no in range(max_passes):
-        if sizes[-1] == 0:
-            break
-        result = remedy_dataset(
-            current,
-            tau_c,
-            T=T,
-            k=k,
-            technique=technique,
-            scope=scope,
-            method=method,
-            attrs=attrs,
-            seed=seed + pass_no,
-            hierarchy=hierarchy,
-        )
-        passes.append(result)
-        current = result.dataset
-        hierarchy = result.hierarchy
-        sizes.append(
+    with obs.span(
+        "remedy_until_converged", technique=technique, max_passes=max_passes
+    ) as loop_span:
+        current = dataset
+        hierarchy = Hierarchy(current, attrs=attrs)
+        passes: list[RemedyResult] = []
+        sizes = [
             len(
                 identify_ibs(
                     current, tau_c, T=T, k=k, scope=scope, method=method,
                     attrs=attrs, hierarchy=hierarchy,
                 )
             )
-        )
-        if result.n_regions_remedied == 0 or sizes[-1] >= sizes[-2]:
-            break
+        ]
+        for pass_no in range(max_passes):
+            if sizes[-1] == 0:
+                break
+            with obs.span("remedy.pass", pass_no=pass_no) as pass_span:
+                result = remedy_dataset(
+                    current,
+                    tau_c,
+                    T=T,
+                    k=k,
+                    technique=technique,
+                    scope=scope,
+                    method=method,
+                    attrs=attrs,
+                    seed=seed + pass_no,
+                    hierarchy=hierarchy,
+                )
+                passes.append(result)
+                current = result.dataset
+                hierarchy = result.hierarchy
+                sizes.append(
+                    len(
+                        identify_ibs(
+                            current, tau_c, T=T, k=k, scope=scope, method=method,
+                            attrs=attrs, hierarchy=hierarchy,
+                        )
+                    )
+                )
+                obs.count("remedy.convergence_passes")
+                pass_span.annotate(
+                    ibs_before=sizes[-2],
+                    ibs_after=sizes[-1],
+                    regions_remedied=result.n_regions_remedied,
+                )
+            if result.n_regions_remedied == 0 or sizes[-1] >= sizes[-2]:
+                break
 
-    return ConvergenceResult(
-        dataset=current, passes=tuple(passes), ibs_sizes=tuple(sizes)
-    )
+        obs.gauge_set("remedy.final_ibs_size", sizes[-1])
+        loop_span.annotate(passes=len(passes), converged=sizes[-1] == 0)
+        return ConvergenceResult(
+            dataset=current, passes=tuple(passes), ibs_sizes=tuple(sizes)
+        )

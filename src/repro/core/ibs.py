@@ -35,6 +35,7 @@ from repro.core.neighbors import (
 from repro.core.pattern import Pattern
 from repro.data.dataset import Dataset
 from repro.errors import PatternError
+from repro.obs import trace as obs
 
 SCOPE_LATTICE = "lattice"
 SCOPE_LEAF = "leaf"
@@ -212,8 +213,12 @@ def node_biased_reports(
     back to per-region :func:`region_report` calls.  Reports are returned
     in the node's flat cell order (callers sort by score difference).
     """
+    obs.count("ibs.nodes_scanned")
+    obs.count("ibs.regions_scanned", node.n_cells)
     if method == METHOD_VECTORIZED:
-        return _vectorized_biased_reports(hierarchy, node, tau_c, T, k)
+        reports = _vectorized_biased_reports(hierarchy, node, tau_c, T, k)
+        obs.count("ibs.biased_regions", len(reports))
+        return reports
     reports = []
     for pattern, pos, neg in node.iter_regions(min_size=k + 1):
         report = region_report(
@@ -221,6 +226,7 @@ def node_biased_reports(
         )
         if is_biased(report.ratio, report.neighbor_ratio, tau_c):
             reports.append(report)
+    obs.count("ibs.biased_regions", len(reports))
     return reports
 
 
@@ -259,21 +265,28 @@ def identify_ibs(
     The IBS as a list of :class:`RegionReport`, ordered bottom-up by level
     then by descending score difference within a level.
     """
-    if hierarchy is None:
-        hierarchy = Hierarchy(dataset, attrs=attrs)
-    found: list[RegionReport] = []
-    for level in scope_levels(hierarchy, scope):
-        level_reports: list[RegionReport] = []
-        for node in hierarchy.nodes_at_level(level):
-            level_reports.extend(
-                node_biased_reports(
-                    hierarchy, node, tau_c, T=T, k=k, method=method,
-                    dataset=dataset,
-                )
-            )
-        level_reports.sort(key=lambda r: (-r.difference, r.pattern.items))
-        found.extend(level_reports)
-    return found
+    with obs.span(
+        "identify_ibs", method=method, scope=scope, tau_c=tau_c, T=T, k=k
+    ) as ibs_span:
+        if hierarchy is None:
+            with obs.span("ibs.build_hierarchy"):
+                hierarchy = Hierarchy(dataset, attrs=attrs)
+        found: list[RegionReport] = []
+        for level in scope_levels(hierarchy, scope):
+            with obs.span("ibs.level", level=level) as level_span:
+                level_reports: list[RegionReport] = []
+                for node in hierarchy.nodes_at_level(level):
+                    level_reports.extend(
+                        node_biased_reports(
+                            hierarchy, node, tau_c, T=T, k=k, method=method,
+                            dataset=dataset,
+                        )
+                    )
+                level_reports.sort(key=lambda r: (-r.difference, r.pattern.items))
+                level_span.annotate(biased=len(level_reports))
+                found.extend(level_reports)
+        ibs_span.annotate(biased=len(found))
+        return found
 
 
 def ibs_patterns(reports: Sequence[RegionReport]) -> set[Pattern]:

@@ -40,6 +40,7 @@ from repro.core.samplers import (
 )
 from repro.data.dataset import Dataset
 from repro.errors import RemedyError
+from repro.obs import trace as obs
 
 
 @dataclass(frozen=True)
@@ -96,69 +97,97 @@ def remedy_dataset(
         raise RemedyError(f"unknown technique {technique!r}; choose from {TECHNIQUES}")
     if dataset.n_rows == 0:
         raise RemedyError("cannot remedy an empty dataset")
-    rng = np.random.default_rng(seed)
+    with obs.span(
+        "remedy_dataset",
+        technique=technique,
+        method=method,
+        scope=scope,
+        tau_c=tau_c,
+        incremental=incremental,
+    ) as remedy_span:
+        rng = np.random.default_rng(seed)
 
-    ranker: BorderlineRanker | None = None
-    if technique in (PREFERENTIAL, MASSAGING):
-        ranker = BorderlineRanker().fit(dataset)
+        ranker: BorderlineRanker | None = None
+        if technique in (PREFERENTIAL, MASSAGING):
+            with obs.span("remedy.fit_ranker"):
+                ranker = BorderlineRanker().fit(dataset)
 
-    current = dataset
-    if hierarchy is None:
-        hierarchy = Hierarchy(current, attrs=attrs)
-    initial_ibs = tuple(
-        identify_ibs(
-            current, tau_c, T=T, k=k, scope=scope, method=method,
-            attrs=attrs, hierarchy=hierarchy,
+        current = dataset
+        if hierarchy is None:
+            hierarchy = Hierarchy(current, attrs=attrs)
+        initial_ibs = tuple(
+            identify_ibs(
+                current, tau_c, T=T, k=k, scope=scope, method=method,
+                attrs=attrs, hierarchy=hierarchy,
+            )
         )
-    )
 
-    dirty = False
-    node_keys = [
-        frozenset(node.attrs)
-        for level in scope_levels(hierarchy, scope)
-        for node in hierarchy.nodes_at_level(level)
-    ]
+        dirty = False
+        node_keys = [
+            frozenset(node.attrs)
+            for level in scope_levels(hierarchy, scope)
+            for node in hierarchy.nodes_at_level(level)
+        ]
 
-    updates: list[RegionUpdate] = []
-    for key in node_keys:
+        updates: list[RegionUpdate] = []
+        for key in node_keys:
+            if dirty:
+                hierarchy = Hierarchy(current, attrs=attrs)
+                dirty = False
+                obs.count("remedy.hierarchy_rebuilds")
+            node = hierarchy.node(key)
+            # Identify this node's biased regions on the current data (line 3).
+            biased = node_biased_reports(
+                hierarchy, node, tau_c, T=T, k=k, method=method, dataset=current
+            )
+            biased.sort(key=lambda r: (-r.difference, r.pattern.items))
+            # Apply updates sequentially (lines 4-6).  Cells within a node are
+            # disjoint, so each region's identification counts stay valid while
+            # its siblings are updated; cross-node staleness is handled by
+            # folding each update's exact count delta into the hierarchy (or,
+            # with incremental=False, by a dirty-flag rebuild).
+            for report in biased:
+                before = (
+                    hierarchy.region_leaf_counts(current, report.pattern)
+                    if incremental
+                    else None
+                )
+                outcome = apply_technique(technique, current, report, rng, ranker)
+                if outcome is None:
+                    continue
+                current, update = outcome
+                updates.append(update)
+                obs.count("remedy.regions_remedied")
+                obs.count(
+                    "remedy.rows_added",
+                    update.added_positives + update.added_negatives,
+                )
+                obs.count(
+                    "remedy.rows_removed",
+                    update.removed_positives + update.removed_negatives,
+                )
+                obs.count(
+                    "remedy.rows_relabelled",
+                    update.flipped_to_positive + update.flipped_to_negative,
+                )
+                if incremental:
+                    after = hierarchy.region_leaf_counts(current, report.pattern)
+                    hierarchy.apply_count_delta(
+                        report.pattern, after[0] - before[0], after[1] - before[1]
+                    )
+                else:
+                    dirty = True
+
         if dirty:
             hierarchy = Hierarchy(current, attrs=attrs)
-            dirty = False
-        node = hierarchy.node(key)
-        # Identify this node's biased regions on the current data (line 3).
-        biased = node_biased_reports(
-            hierarchy, node, tau_c, T=T, k=k, method=method, dataset=current
+            obs.count("remedy.hierarchy_rebuilds")
+        remedy_span.annotate(
+            regions_remedied=len(updates),
+            rows_touched=sum(u.rows_touched for u in updates),
         )
-        biased.sort(key=lambda r: (-r.difference, r.pattern.items))
-        # Apply updates sequentially (lines 4-6).  Cells within a node are
-        # disjoint, so each region's identification counts stay valid while
-        # its siblings are updated; cross-node staleness is handled by
-        # folding each update's exact count delta into the hierarchy (or,
-        # with incremental=False, by a dirty-flag rebuild).
-        for report in biased:
-            before = (
-                hierarchy.region_leaf_counts(current, report.pattern)
-                if incremental
-                else None
-            )
-            outcome = apply_technique(technique, current, report, rng, ranker)
-            if outcome is None:
-                continue
-            current, update = outcome
-            updates.append(update)
-            if incremental:
-                after = hierarchy.region_leaf_counts(current, report.pattern)
-                hierarchy.apply_count_delta(
-                    report.pattern, after[0] - before[0], after[1] - before[1]
-                )
-            else:
-                dirty = True
-
-    if dirty:
-        hierarchy = Hierarchy(current, attrs=attrs)
-    return RemedyResult(
-        dataset=current,
-        updates=tuple(updates),
-        initial_ibs=initial_ibs,
-        hierarchy=hierarchy,
-    )
+        return RemedyResult(
+            dataset=current,
+            updates=tuple(updates),
+            initial_ibs=initial_ibs,
+            hierarchy=hierarchy,
+        )

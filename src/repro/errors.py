@@ -56,5 +56,9 @@ class CheckpointError(ResilienceError):
     """A sweep checkpoint is unreadable, corrupt, or from another sweep."""
 
 
+class ObsError(ReproError):
+    """A trace/metric artefact is malformed or the tracer was misused."""
+
+
 class InternalError(ReproError):
     """An internal invariant was violated; indicates a bug in the library."""

@@ -22,6 +22,7 @@ from repro.ml.forest import RandomForestClassifier
 from repro.ml.logistic import LogisticRegressionClassifier
 from repro.ml.neural import NeuralNetworkClassifier
 from repro.ml.tree import DecisionTreeClassifier
+from repro.obs import trace as obs
 
 # The paper's four downstream classifiers, plus gradient boosting as an
 # extra model-agnosticism check (not part of the paper's evaluation grid).
@@ -53,15 +54,27 @@ class DatasetClassifier:
     def fit(
         self, dataset: Dataset, sample_weight: np.ndarray | None = None
     ) -> "DatasetClassifier":
-        X = self._encoder.fit_transform(dataset)
-        self.estimator.fit(X, dataset.y, sample_weight=sample_weight)
+        with obs.span(
+            "ml.fit",
+            model=type(self.estimator).__name__,
+            rows=dataset.n_rows,
+        ):
+            X = self._encoder.fit_transform(dataset)
+            self.estimator.fit(X, dataset.y, sample_weight=sample_weight)
+        obs.count("ml.fits")
+        obs.count("ml.rows_fitted", dataset.n_rows)
         self._fitted = True
         return self
 
     def predict(self, dataset: Dataset) -> np.ndarray:
         if not self._fitted:
             raise FitError("DatasetClassifier must be fitted first")
-        return self.estimator.predict(self._encoder.transform(dataset))
+        with obs.span(
+            "ml.predict",
+            model=type(self.estimator).__name__,
+            rows=dataset.n_rows,
+        ):
+            return self.estimator.predict(self._encoder.transform(dataset))
 
     def predict_proba(self, dataset: Dataset) -> np.ndarray:
         if not self._fitted:

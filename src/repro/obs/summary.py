@@ -1,0 +1,240 @@
+"""Read trace JSONL files back and render span-tree / top-k summaries.
+
+This is the consumer side of :mod:`repro.obs.trace`: :func:`read_trace`
+parses a ``--trace`` file into a :class:`Trace`, and :func:`summarize`
+renders the human-facing report behind ``repro trace summarize`` — an
+indented span tree (siblings with the same name aggregated, so a sweep's
+hundred identical cells print as one line with a call count), a top-k
+table of span names ranked by *self* time (wall time minus child spans),
+the metric totals, and the run manifest when one is embedded.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.errors import ObsError
+from repro.obs.trace import (
+    EventRecord,
+    RECORD_EVENT,
+    RECORD_MANIFEST,
+    RECORD_METRIC,
+    RECORD_SPAN,
+    SpanRecord,
+)
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A parsed trace file: spans, events, metrics, optional manifest."""
+
+    spans: tuple[SpanRecord, ...]
+    events: tuple[EventRecord, ...]
+    metrics: Mapping[str, float]
+    manifest: Mapping[str, object] | None = None
+
+    @property
+    def roots(self) -> tuple[SpanRecord, ...]:
+        """Spans with no parent, in start order."""
+        return tuple(
+            sorted(
+                (s for s in self.spans if s.parent_id is None),
+                key=lambda s: s.start,
+            )
+        )
+
+    def children_of(self, span_id: int) -> tuple[SpanRecord, ...]:
+        """Direct children of ``span_id``, in start order."""
+        return tuple(
+            sorted(
+                (s for s in self.spans if s.parent_id == span_id),
+                key=lambda s: s.start,
+            )
+        )
+
+
+def _parse_span(record: dict) -> SpanRecord:
+    return SpanRecord(
+        span_id=int(record["id"]),
+        parent_id=None if record["parent"] is None else int(record["parent"]),
+        name=str(record["name"]),
+        start=float(record["start"]),
+        wall=float(record["wall"]),
+        cpu=float(record["cpu"]),
+        attrs=dict(record.get("attrs", {})),
+    )
+
+
+def _parse_event(record: dict) -> EventRecord:
+    return EventRecord(
+        name=str(record["name"]),
+        time=float(record["time"]),
+        span_id=None if record.get("span") is None else int(record["span"]),
+        attrs=dict(record.get("attrs", {})),
+    )
+
+
+def read_trace(path: str | Path) -> Trace:
+    """Parse a JSONL trace written by :meth:`repro.obs.trace.Tracer.write`."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ObsError(f"cannot read trace {path}: {exc}") from exc
+    spans: list[SpanRecord] = []
+    events: list[EventRecord] = []
+    metrics: dict[str, float] = {}
+    manifest: dict | None = None
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            kind = record["type"]
+            if kind == RECORD_SPAN:
+                spans.append(_parse_span(record))
+            elif kind == RECORD_EVENT:
+                events.append(_parse_event(record))
+            elif kind == RECORD_METRIC:
+                metrics[str(record["name"])] = float(record["value"])
+            elif kind == RECORD_MANIFEST:
+                manifest = {k: v for k, v in record.items() if k != "type"}
+            else:
+                raise ObsError(f"unknown record type {kind!r}")
+        except (KeyError, TypeError, ValueError, ObsError) as exc:
+            raise ObsError(f"{path}:{line_no}: malformed trace record: {exc}") from exc
+    return Trace(tuple(spans), tuple(events), metrics, manifest)
+
+
+# -- span tree ---------------------------------------------------------------
+
+
+@dataclass
+class _TreeNode:
+    """Aggregate of same-named sibling spans at one tree position."""
+
+    name: str
+    calls: int = 0
+    wall: float = 0.0
+    cpu: float = 0.0
+    children: dict[str, "_TreeNode"] = field(default_factory=dict)
+
+
+def _merge(into: _TreeNode, other: _TreeNode) -> None:
+    into.calls += other.calls
+    into.wall += other.wall
+    into.cpu += other.cpu
+    for name, child in other.children.items():
+        if name in into.children:
+            _merge(into.children[name], child)
+        else:
+            into.children[name] = child
+
+
+def _aggregate(
+    by_parent: Mapping[int | None, Sequence[SpanRecord]],
+    spans: Sequence[SpanRecord],
+) -> dict[str, _TreeNode]:
+    nodes: dict[str, _TreeNode] = {}
+    for span in spans:
+        node = nodes.get(span.name)
+        if node is None:
+            node = nodes[span.name] = _TreeNode(span.name)
+        node.calls += 1
+        node.wall += span.wall
+        node.cpu += span.cpu
+        children = by_parent.get(span.span_id, ())
+        for name, child in _aggregate(by_parent, children).items():
+            if name in node.children:
+                _merge(node.children[name], child)
+            else:
+                node.children[name] = child
+    return nodes
+
+
+def span_tree(trace: Trace) -> str:
+    """Indented span tree with call counts and wall/CPU totals."""
+    by_parent: dict[int | None, list[SpanRecord]] = {}
+    for span in sorted(trace.spans, key=lambda s: s.start):
+        by_parent.setdefault(span.parent_id, []).append(span)
+    roots = _aggregate(by_parent, by_parent.get(None, ()))
+    if not roots:
+        return "(no spans)"
+    total = sum(n.wall for n in roots.values()) or 1.0
+    lines = ["span tree (calls, wall s, cpu s, % of run)"]
+
+    def render(node: _TreeNode, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(
+            f"{indent}{node.name:<{max(1, 36 - 2 * depth)}} "
+            f"{node.calls:>6}x  {node.wall:>9.4f}s  {node.cpu:>9.4f}s "
+            f"{100.0 * node.wall / total:>5.1f}%"
+        )
+        for child in sorted(node.children.values(), key=lambda n: -n.wall):
+            render(child, depth + 1)
+
+    for root in sorted(roots.values(), key=lambda n: -n.wall):
+        render(root, 0)
+    return "\n".join(lines)
+
+
+def top_spans(trace: Trace, top: int = 10) -> str:
+    """Top-``top`` span names by *self* wall time (excluding child spans)."""
+    # Imported lazily: experiments.__init__ pulls in the whole pipeline,
+    # which must stay importable while core modules import repro.obs.
+    from repro.experiments.reporting import format_table
+
+    by_name: dict[str, dict[str, float]] = {}
+    child_wall: dict[int, float] = {}
+    for span in trace.spans:
+        if span.parent_id is not None:
+            child_wall[span.parent_id] = child_wall.get(span.parent_id, 0.0) + span.wall
+    for span in trace.spans:
+        agg = by_name.setdefault(
+            span.name, {"calls": 0, "wall": 0.0, "cpu": 0.0, "self": 0.0}
+        )
+        agg["calls"] += 1
+        agg["wall"] += span.wall
+        agg["cpu"] += span.cpu
+        agg["self"] += max(0.0, span.wall - child_wall.get(span.span_id, 0.0))
+    rows = [
+        (name, int(agg["calls"]), agg["wall"], agg["self"], agg["cpu"])
+        for name, agg in sorted(by_name.items(), key=lambda kv: -kv[1]["self"])
+    ][: max(top, 0)]
+    return format_table(
+        ("span", "calls", "wall_s", "self_s", "cpu_s"),
+        rows,
+        title=f"top {len(rows)} spans by self time",
+    )
+
+
+def metrics_table(trace: Trace) -> str:
+    """The trace's counter/gauge totals as a table."""
+    from repro.experiments.reporting import format_table
+
+    rows = [(name, value) for name, value in sorted(trace.metrics.items())]
+    return format_table(("metric", "value"), rows, title="metric totals")
+
+
+def summarize(trace: Trace, top: int = 10) -> str:
+    """The full ``repro trace summarize`` report for one parsed trace."""
+    parts = [span_tree(trace)]
+    if trace.spans:
+        parts.append(top_spans(trace, top=top))
+    if trace.metrics:
+        parts.append(metrics_table(trace))
+    if trace.events:
+        parts.append(f"{len(trace.events)} events recorded")
+    if trace.manifest is not None:
+        manifest = trace.manifest
+        parts.append(
+            "manifest: command={command} config_hash={config_hash} seed={seed}".format(
+                command=manifest.get("command"),
+                config_hash=manifest.get("config_hash"),
+                seed=manifest.get("seed"),
+            )
+        )
+    return "\n\n".join(parts)

@@ -1,0 +1,354 @@
+"""Dependency-free tracing and metrics for the repro pipeline.
+
+A :class:`Tracer` collects three kinds of observations while a run executes:
+
+* **spans** — hierarchical timed sections opened with :meth:`Tracer.span`
+  (a context manager recording monotonic wall-clock *and* CPU duration,
+  nested spans linked to their parent);
+* **events** — point-in-time facts (a retried cell, a checkpoint flush)
+  recorded with :meth:`Tracer.event`;
+* **metrics** — named :class:`Counter`/:class:`Gauge` accumulators
+  (regions scanned, rows resampled, ...).
+
+The instrumented library code never receives a tracer argument: it calls
+the module-level :func:`span` / :func:`count` / :func:`event` helpers,
+which consult an *ambient* tracer installed with :func:`tracing` (a
+:mod:`contextvars` variable, so concurrent runs do not interleave).  When
+no tracer is active the helpers collapse to shared no-op singletons, which
+keeps the hot paths within measurement noise of uninstrumented code —
+tracing is *semantically inert* either way: it never touches RNG state or
+any computed value (``tests/test_obs_inert.py`` pins this).
+
+A finished run serialises to JSON-lines via
+:func:`repro.data.io.atomic_write_text`; ``repro trace summarize`` (see
+:mod:`repro.obs.summary`) renders the span tree back from that file.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.data.io import atomic_write_text
+from repro.errors import ObsError
+
+#: ``type`` field of each JSONL record written by :meth:`Tracer.write`.
+RECORD_SPAN = "span"
+RECORD_EVENT = "event"
+RECORD_METRIC = "metric"
+RECORD_MANIFEST = "manifest"
+RECORD_TYPES = (RECORD_SPAN, RECORD_EVENT, RECORD_METRIC, RECORD_MANIFEST)
+
+COUNTER = "counter"
+GAUGE = "gauge"
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed span: a named, timed section of a run.
+
+    ``start`` is seconds since the tracer's epoch (its construction time on
+    the monotonic clock); ``wall`` and ``cpu`` are the section's monotonic
+    wall-clock and process-CPU durations.  ``parent_id`` is ``None`` for
+    root spans; ``attrs`` carries the JSON-safe annotations given at open
+    time plus any added through :meth:`SpanHandle.annotate`.
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    wall: float
+    cpu: float
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+    def to_record(self) -> dict:
+        """The span as a JSONL-ready dict."""
+        return {
+            "type": RECORD_SPAN,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": round(self.start, 9),
+            "wall": round(self.wall, 9),
+            "cpu": round(self.cpu, 9),
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One point-in-time event, attached to the span open when it fired."""
+
+    name: str
+    time: float
+    span_id: int | None
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+    def to_record(self) -> dict:
+        """The event as a JSONL-ready dict."""
+        return {
+            "type": RECORD_EVENT,
+            "name": self.name,
+            "time": round(self.time, 9),
+            "span": self.span_id,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Counter:
+    """A monotonically accumulating named total (adds only)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def add(self, n: float = 1.0) -> None:
+        """Accumulate ``n`` into the total."""
+        self.value += n
+
+
+class Gauge:
+    """A named last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the latest value."""
+        self.value = float(value)
+
+
+class SpanHandle:
+    """Yielded by :meth:`Tracer.span`; lets the body annotate the span."""
+
+    __slots__ = ("_attrs",)
+
+    def __init__(self, attrs: dict[str, object]) -> None:
+        self._attrs = attrs
+
+    def annotate(self, **attrs: object) -> None:
+        """Merge ``attrs`` into the span's attributes (last write wins)."""
+        self._attrs.update(attrs)
+
+
+class _NullHandle:
+    """Shared no-op stand-in for :class:`SpanHandle` when tracing is off."""
+
+    __slots__ = ()
+
+    def annotate(self, **attrs: object) -> None:
+        """Discard the annotations (no tracer is active)."""
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class _NullSpan:
+    """Reusable no-op context manager returned when no tracer is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans, events, and metrics for one run.
+
+    ``clock`` / ``cpu_clock`` are injection points for tests; defaults are
+    :func:`time.perf_counter` (monotonic wall) and :func:`time.process_time`
+    (process CPU).  All span timestamps are relative to the tracer's epoch.
+    """
+
+    def __init__(self, clock=time.perf_counter, cpu_clock=time.process_time):
+        self._clock = clock
+        self._cpu_clock = cpu_clock
+        self._epoch = clock()
+        self._next_id = 1
+        self._stack: list[int] = []
+        self.spans: list[SpanRecord] = []
+        self.events: list[EventRecord] = []
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+
+    # -- spans -------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[SpanHandle]:
+        """Open a timed span; closes (and records) on exit, even on error."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent_id = self._stack[-1] if self._stack else None
+        mutable_attrs = dict(attrs)
+        handle = SpanHandle(mutable_attrs)
+        start = self._clock()
+        cpu_start = self._cpu_clock()
+        self._stack.append(span_id)
+        try:
+            yield handle
+        except BaseException as exc:
+            mutable_attrs.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            self._stack.pop()
+            self.spans.append(
+                SpanRecord(
+                    span_id=span_id,
+                    parent_id=parent_id,
+                    name=name,
+                    start=start - self._epoch,
+                    wall=self._clock() - start,
+                    cpu=self._cpu_clock() - cpu_start,
+                    attrs=mutable_attrs,
+                )
+            )
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Record a point-in-time event under the currently open span."""
+        self.events.append(
+            EventRecord(
+                name=name,
+                time=self._clock() - self._epoch,
+                span_id=self._stack[-1] if self._stack else None,
+                attrs=dict(attrs),
+            )
+        )
+
+    # -- metrics -----------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def count(self, name: str, n: float = 1.0) -> None:
+        """Shorthand for ``self.counter(name).add(n)``."""
+        self.counter(name).add(n)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def gauge_set(self, name: str, value: float) -> None:
+        """Shorthand for ``self.gauge(name).set(value)``."""
+        self.gauge(name).set(value)
+
+    def metric_totals(self) -> dict[str, float]:
+        """Counter totals and gauge values, sorted by metric name."""
+        totals = {name: c.value for name, c in self._counters.items()}
+        totals.update({name: g.value for name, g in self._gauges.items()})
+        return dict(sorted(totals.items()))
+
+    # -- serialisation -----------------------------------------------------
+
+    def records(self, manifest: Mapping[str, object] | None = None) -> list[dict]:
+        """All observations as JSONL-ready dicts (spans, events, metrics).
+
+        Only *closed* spans are serialised; an optional ``manifest``
+        payload is appended as the final record.
+        """
+        out: list[dict] = [s.to_record() for s in self.spans]
+        out.extend(e.to_record() for e in self.events)
+        for name, counter in sorted(self._counters.items()):
+            out.append(
+                {
+                    "type": RECORD_METRIC,
+                    "kind": COUNTER,
+                    "name": name,
+                    "value": counter.value,
+                }
+            )
+        for name, gauge in sorted(self._gauges.items()):
+            out.append(
+                {"type": RECORD_METRIC, "kind": GAUGE, "name": name, "value": gauge.value}
+            )
+        if manifest is not None:
+            out.append({"type": RECORD_MANIFEST, **dict(manifest)})
+        return out
+
+    def to_jsonl(self, manifest: Mapping[str, object] | None = None) -> str:
+        """Serialise the run to a JSON-lines string (one record per line)."""
+        try:
+            lines = [json.dumps(r, sort_keys=True) for r in self.records(manifest)]
+        except (TypeError, ValueError) as exc:
+            raise ObsError(f"trace contains non-JSON-serialisable data: {exc}") from exc
+        return "\n".join(lines) + "\n"
+
+    def write(
+        self, path: str | Path, manifest: Mapping[str, object] | None = None
+    ) -> None:
+        """Atomically write the run's JSONL trace to ``path``."""
+        atomic_write_text(path, self.to_jsonl(manifest))
+
+
+# -- ambient tracer ---------------------------------------------------------
+
+_ACTIVE: contextvars.ContextVar[Tracer | None] = contextvars.ContextVar(
+    "repro_obs_tracer", default=None
+)
+
+
+def current_tracer() -> Tracer | None:
+    """The ambient tracer installed by :func:`tracing`, or ``None``."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the ambient tracer for the enclosed block."""
+    token = _ACTIVE.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.reset(token)
+
+
+def span(name: str, **attrs: object) -> "contextlib.AbstractContextManager[object]":
+    """Open a span on the ambient tracer (no-op when tracing is off)."""
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def count(name: str, n: float = 1.0) -> None:
+    """Add ``n`` to the ambient tracer's counter (no-op when off)."""
+    tracer = _ACTIVE.get()
+    if tracer is not None:
+        tracer.count(name, n)
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set the ambient tracer's gauge (no-op when off)."""
+    tracer = _ACTIVE.get()
+    if tracer is not None:
+        tracer.gauge_set(name, value)
+
+
+def event(name: str, **attrs: object) -> None:
+    """Record an event on the ambient tracer (no-op when off)."""
+    tracer = _ACTIVE.get()
+    if tracer is not None:
+        tracer.event(name, **attrs)

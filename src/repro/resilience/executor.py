@@ -24,6 +24,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.errors import CellTimeout, InternalError, ReproError, ResilienceError
+from repro.obs import trace as obs
 from repro.resilience.checkpoint import Checkpoint
 from repro.resilience.faults import FaultPlan
 
@@ -210,31 +211,39 @@ class CellExecutor:
         byte-identical to an uninterrupted one.
         """
         cell_key: Key = tuple(str(part) for part in key)
-        if self.checkpoint is not None:
-            payload = self.checkpoint.get(cell_key)
-            if payload is not None:
-                value = payload["value"]
-                if decode is not None:
-                    value = decode(value)
-                outcome = CellOutcome(
-                    key=cell_key,
-                    status=STATUS_OK,
-                    value=value,
-                    attempts=int(payload.get("attempts", 1)),
-                    resumed=True,
+        with obs.span("cell", key="/".join(cell_key)) as cell_span:
+            if self.checkpoint is not None:
+                payload = self.checkpoint.get(cell_key)
+                if payload is not None:
+                    value = payload["value"]
+                    if decode is not None:
+                        value = decode(value)
+                    outcome = CellOutcome(
+                        key=cell_key,
+                        status=STATUS_OK,
+                        value=value,
+                        attempts=int(payload.get("attempts", 1)),
+                        resumed=True,
+                    )
+                    self.outcomes.append(outcome)
+                    obs.count("cells.resumed")
+                    obs.event("cell.resumed", key="/".join(cell_key))
+                    cell_span.annotate(status=STATUS_OK, resumed=True)
+                    return outcome
+            outcome = self._execute(cell_key, fn)
+            if outcome.ok and self.checkpoint is not None:
+                value = outcome.value
+                if encode is not None:
+                    value = encode(value)
+                self.checkpoint.record(
+                    cell_key, {"value": value, "attempts": outcome.attempts}
                 )
-                self.outcomes.append(outcome)
-                return outcome
-        outcome = self._execute(cell_key, fn)
-        if outcome.ok and self.checkpoint is not None:
-            value = outcome.value
-            if encode is not None:
-                value = encode(value)
-            self.checkpoint.record(
-                cell_key, {"value": value, "attempts": outcome.attempts}
-            )
-        self.outcomes.append(outcome)
-        return outcome
+                obs.count("cells.checkpoint_flushes")
+                obs.event("cell.checkpoint_flush", key="/".join(cell_key))
+            self.outcomes.append(outcome)
+            obs.count(f"cells.{outcome.status}")
+            cell_span.annotate(status=outcome.status, attempts=outcome.attempts)
+            return outcome
 
     def _execute(self, key: Key, fn: Callable[[], object]) -> CellOutcome:
         """Attempt loop for one cell; never raises except KeyboardInterrupt."""
@@ -255,6 +264,10 @@ class CellExecutor:
                 )
             except CellTimeout as exc:
                 last_exc, status = exc, STATUS_TIMEOUT
+                obs.count("cells.deadline_overruns")
+                obs.event(
+                    "cell.timeout", key="/".join(key), attempt=attempt
+                )
             except ReproError as exc:
                 last_exc, status = exc, STATUS_FAILED
             except Exception as exc:  # repro: ignore[R007] — recorded, by design
@@ -274,6 +287,14 @@ class CellExecutor:
                 last_exc
             ):
                 delay = self.policy.delay(attempt)
+                obs.count("cells.retries")
+                obs.event(
+                    "cell.retry",
+                    key="/".join(key),
+                    attempt=attempt,
+                    delay=delay,
+                    error=type(last_exc).__name__,
+                )
                 if delay > 0:
                     self.sleep(delay)
                 continue

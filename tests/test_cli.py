@@ -314,3 +314,71 @@ class TestExplainAndPlan:
         out = capsys.readouterr().out
         assert "Remedy plans" in out
         assert "0.2" in out and "0.6" in out
+
+
+class TestTrace:
+    def test_identify_writes_trace_and_manifest(self, generated, tmp_path):
+        import json
+
+        csv, schema = generated
+        trace_path = tmp_path / "run.jsonl"
+        rc = main(
+            [
+                "identify", str(csv), "--schema", str(schema),
+                "--tau-c", "0.3", "--trace", str(trace_path),
+            ]
+        )
+        assert rc == 0
+        lines = [json.loads(l) for l in trace_path.read_text().splitlines()]
+        assert any(
+            r["type"] == "span" and r["name"] == "identify_ibs" for r in lines
+        )
+        assert lines[-1]["type"] == "manifest"
+        sidecar = json.loads(
+            trace_path.with_name("run.jsonl.manifest.json").read_text()
+        )
+        assert sidecar["command"] == "identify"
+        assert sidecar["config_hash"] == lines[-1]["config_hash"]
+
+    def test_trace_summarize_renders_span_tree(self, generated, tmp_path, capsys):
+        csv, schema = generated
+        trace_path = tmp_path / "run.jsonl"
+        assert main(
+            [
+                "identify", str(csv), "--schema", str(schema),
+                "--tau-c", "0.3", "--trace", str(trace_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        rc = main(["trace", "summarize", str(trace_path), "--top", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "identify_ibs" in out
+        assert "ibs.level" in out
+        assert "metric totals" in out
+        assert "manifest: command=identify" in out
+
+    def test_summarize_missing_file_is_typed_error(self, tmp_path, capsys):
+        rc = main(["trace", "summarize", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_experiment_checkpoint_gets_manifest_sidecar(self, tmp_path):
+        import json
+
+        ckpt = tmp_path / "fig3.ckpt.json"
+        rc = main(
+            [
+                "experiment", "fig3", "--rows", "800", "--models", "dt",
+                "--checkpoint", str(ckpt),
+            ]
+        )
+        assert rc == 0
+        sidecar = json.loads(
+            ckpt.with_name("fig3.ckpt.json.manifest.json").read_text()
+        )
+        assert sidecar["command"] == "experiment:fig3"
+        assert sidecar["seed"] == 0
+        assert sidecar["metrics"].get("cells.checkpoint_flushes", 0) > 0

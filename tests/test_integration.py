@@ -15,6 +15,8 @@ from repro.data import train_test_split, read_csv, write_csv
 from repro.data.synth import load_compas, load_lawschool
 from repro.ml import make_model
 
+pytestmark = pytest.mark.slow
+
 
 class TestFullWorkflow:
     @pytest.mark.parametrize("model_name", ["dt", "lg"])

@@ -29,6 +29,8 @@ from repro.core import (
 from repro.data import Dataset, schema_from_domains
 from repro.ml.metrics import accuracy, confusion, error_rate, fnr, fpr
 
+pytestmark = pytest.mark.slow
+
 
 # -- dataset strategy ----------------------------------------------------------
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from math import sqrt
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import (
@@ -30,6 +31,8 @@ from repro.core import (
 )
 from repro.core.samplers import TECHNIQUES
 from repro.data import Dataset, schema_from_domains
+
+pytestmark = pytest.mark.slow
 
 THRESHOLDS = (1.0, sqrt(2.0), 2.0)
 

@@ -18,6 +18,8 @@ from repro.core import Hierarchy, identify_ibs, remedy_dataset
 from repro.data import Dataset, read_csv, schema_from_domains, write_csv
 from repro.ml.metrics import statistic
 
+pytestmark = pytest.mark.slow
+
 
 @st.composite
 def labelled_datasets(draw, min_rows=30, max_rows=150):

@@ -30,6 +30,8 @@ from repro.resilience import (
 )
 from repro.resilience.smoke import run_smoke
 
+pytestmark = pytest.mark.slow
+
 SEEDS = (0, 1, 2, 3)
 
 
