@@ -1,6 +1,6 @@
 # Development workflow shortcuts.
 
-.PHONY: install test lint ci bench bench-full bench-ibs examples experiments-smoke report clean
+.PHONY: install test lint ci bench bench-full bench-ibs bench-pool examples experiments-smoke chaos report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -28,11 +28,22 @@ bench-ibs:
 	PYTHONPATH=src pytest benchmarks/test_engine_comparison.py \
 		--benchmark-only --benchmark-json=BENCH_ibs.json -s
 
+# Same re-baseline contract as bench-ibs, for the worker pool's parallel
+# speedup (workers=1 vs 4 on a Fig. 9a sweep): overwrites BENCH_pool.json.
+bench-pool:
+	PYTHONPATH=src python scripts/bench_pool.py
+
 examples:
 	for f in examples/*.py; do echo "== $$f"; PYTHONPATH=src python $$f || exit 1; done
 
 experiments-smoke:
 	PYTHONPATH=src python -m repro.resilience.smoke
+
+# Process-backend chaos smoke: the sweep must survive injected worker
+# crashes (os._exit, SIGKILL), past-deadline hangs, and a SIGKILLed driver,
+# and still reproduce the clean serial output byte for byte.
+chaos:
+	PYTHONPATH=src python -m repro.resilience.chaos --workers 2
 
 report:
 	PYTHONPATH=src python examples/regenerate_report.py REPORT.md

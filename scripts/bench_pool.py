@@ -1,0 +1,91 @@
+"""Measure the worker pool's parallel speedup on a Fig. 9a sweep.
+
+Runs the same identification-vs-attributes sweep on the process backend
+with 1 worker and with 4, and records wall-clock seconds plus their ratio
+to a JSON file.  The committed ``BENCH_pool.json`` baseline is guarded by
+``scripts/check_bench.py --kind pool``: the ratio is compared, not raw
+seconds, so the gate survives slow machines — and the tolerance is
+generous because on a single-core box (like the reference CI runner) four
+workers buy context switches, not speedup.
+
+Re-baselining: after an intentional pool change, run ``make bench-pool``
+on a quiet machine (it overwrites ``BENCH_pool.json`` in place) and commit
+the refreshed file.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_pool.py              # overwrite baseline
+    PYTHONPATH=src python scripts/bench_pool.py --output /tmp/pool.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+BASELINE = REPO_ROOT / "BENCH_pool.json"
+
+BENCH_ROWS = 4000
+BENCH_ATTR_GRID = (2, 3, 4, 5, 6)
+BENCH_WORKERS = (1, 4)
+
+
+def timed_sweep(workers: int, rows: int, attr_grid: tuple[int, ...]) -> float:
+    """Wall-clock seconds of one Fig. 9a sweep on ``workers`` processes."""
+    from repro.experiments.scalability import identification_vs_attrs
+    from repro.resilience import BACKEND_PROCESS, CellExecutor
+
+    executor = CellExecutor(backend=BACKEND_PROCESS, max_workers=workers)
+    start = time.perf_counter()
+    result = identification_vs_attrs(
+        n_rows=rows, attr_grid=attr_grid, executor=executor
+    )
+    elapsed = time.perf_counter() - start
+    bad = [p for p in result.points if p.status != "ok"]
+    if bad:
+        raise SystemExit(f"error: sweep cells failed during the bench: {bad}")
+    return elapsed
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run both sweeps and write the speedup record."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=str(BASELINE),
+        help="where to write the JSON record (default: BENCH_pool.json, "
+        "i.e. re-baseline)",
+    )
+    parser.add_argument("--rows", type=int, default=BENCH_ROWS)
+    args = parser.parse_args(argv)
+
+    seconds: dict[str, float] = {}
+    for workers in BENCH_WORKERS:
+        elapsed = timed_sweep(workers, args.rows, BENCH_ATTR_GRID)
+        seconds[str(workers)] = round(elapsed, 3)
+        print(f"workers={workers}: {elapsed:.2f}s", flush=True)
+    speedup = seconds[str(BENCH_WORKERS[0])] / max(
+        seconds[str(BENCH_WORKERS[-1])], 1e-9
+    )
+    record = {
+        "kind": "pool",
+        "experiment": "fig9a",
+        "rows": args.rows,
+        "attr_grid": list(BENCH_ATTR_GRID),
+        "cpu_count": os.cpu_count(),
+        "seconds": seconds,
+        "speedup_workers4_vs_1": round(speedup, 3),
+    }
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"speedup (1 -> 4 workers): {speedup:.2f}x; wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

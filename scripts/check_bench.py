@@ -1,11 +1,20 @@
-"""Benchmark regression gate: fresh IBS-engine numbers vs the committed baseline.
+"""Benchmark regression gate: fresh numbers vs the committed baselines.
 
-Compares the ``speedup_vs_optimized`` recorded in a freshly produced
-pytest-benchmark JSON against the committed ``BENCH_ibs.json`` baseline, per
-``n_attrs`` point, and fails when any point regressed by more than the
-tolerance (default 25%).  Speedup ratios are used instead of raw seconds so
-the gate is insensitive to overall machine speed — both engines slow down
-together on a loaded box, their ratio does not.
+Two kinds of record, selected with ``--kind``:
+
+* ``ibs`` (default) — compares the ``speedup_vs_optimized`` recorded in a
+  freshly produced pytest-benchmark JSON against the committed
+  ``BENCH_ibs.json`` baseline, per ``n_attrs`` point, and fails when any
+  point regressed by more than the tolerance (default 25%);
+* ``pool`` — compares the worker pool's ``speedup_workers4_vs_1`` from
+  ``scripts/bench_pool.py`` against the committed ``BENCH_pool.json``,
+  with a much looser default tolerance (50%): on a single-core runner the
+  ratio hovers around 1x and is dominated by scheduler noise, so the gate
+  only catches the pool getting *pathologically* slower in parallel.
+
+Speedup ratios are used instead of raw seconds so the gates are insensitive
+to overall machine speed — both sides slow down together on a loaded box,
+their ratio does not.
 
 Usage::
 
@@ -13,9 +22,13 @@ Usage::
         --benchmark-only --benchmark-json=/tmp/bench_fresh.json -s
     python scripts/check_bench.py /tmp/bench_fresh.json
 
+    PYTHONPATH=src python scripts/bench_pool.py --output /tmp/pool.json
+    python scripts/check_bench.py /tmp/pool.json --kind pool
+
 Re-baselining: after an intentional performance change, run ``make bench-ibs``
-on a quiet machine (it overwrites ``BENCH_ibs.json`` in place) and commit the
-refreshed file alongside the change that justifies it.
+(or ``make bench-pool``) on a quiet machine — they overwrite the committed
+JSON in place — and commit the refreshed file alongside the change that
+justifies it.
 """
 
 from __future__ import annotations
@@ -27,7 +40,9 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE = REPO_ROOT / "BENCH_ibs.json"
+POOL_BASELINE = REPO_ROOT / "BENCH_pool.json"
 METRIC = "speedup_vs_optimized"
+POOL_METRIC = "speedup_workers4_vs_1"
 
 
 def load_speedups(path: Path) -> dict[int, float]:
@@ -70,24 +85,73 @@ def compare(
     return problems
 
 
+def check_pool(fresh_path: Path, baseline_path: Path, tolerance: float) -> list[str]:
+    """Pool-speedup gate report lines; empty means the gate passes."""
+    fresh = json.loads(fresh_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    try:
+        base, now = float(baseline[POOL_METRIC]), float(fresh[POOL_METRIC])
+    except (KeyError, TypeError, ValueError):
+        raise SystemExit(
+            f"error: no {POOL_METRIC} entry in {fresh_path} / {baseline_path}"
+        )
+    floor = base * (1.0 - tolerance)
+    status = "ok" if now >= floor else "REGRESSION"
+    print(
+        f"  {POOL_METRIC}: baseline {base:5.2f}x  fresh {now:5.2f}x  "
+        f"floor {floor:5.2f}x  {status}"
+    )
+    if now < floor:
+        return [
+            f"{POOL_METRIC} fell {100 * (1 - now / base):.1f}% "
+            f"({base:.2f}x -> {now:.2f}x, tolerance {tolerance:.0%})"
+        ]
+    return []
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns 0 when no point regressed beyond tolerance."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("fresh", help="freshly produced --benchmark-json file")
+    parser.add_argument("fresh", help="freshly produced benchmark JSON file")
     parser.add_argument(
-        "--baseline", default=str(BASELINE),
-        help="committed baseline (default: BENCH_ibs.json at the repo root)",
+        "--kind", choices=("ibs", "pool"), default="ibs",
+        help="which record/baseline pair to compare (default: ibs)",
     )
     parser.add_argument(
-        "--tolerance", type=float, default=0.25,
-        help="allowed fractional drop in speedup per point (default 0.25)",
+        "--baseline", default=None,
+        help="committed baseline (default: BENCH_ibs.json or BENCH_pool.json "
+        "at the repo root, per --kind)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help="allowed fractional drop in speedup per point "
+        "(default 0.25 for ibs, 0.5 for pool)",
     )
     args = parser.parse_args(argv)
 
+    if args.kind == "pool":
+        tolerance = 0.5 if args.tolerance is None else args.tolerance
+        baseline_path = Path(args.baseline or POOL_BASELINE)
+        print(f"bench gate: {POOL_METRIC}, tolerance {tolerance:.0%}")
+        problems = check_pool(Path(args.fresh), baseline_path, tolerance)
+        if problems:
+            print("\nbenchmark regression detected:", file=sys.stderr)
+            for line in problems:
+                print(f"  {line}", file=sys.stderr)
+            print(
+                "\nIf this slowdown is intentional, re-baseline with "
+                "`make bench-pool` and commit BENCH_pool.json.",
+                file=sys.stderr,
+            )
+            return 1
+        print("bench gate: all points within tolerance")
+        return 0
+
+    tolerance = 0.25 if args.tolerance is None else args.tolerance
     fresh = load_speedups(Path(args.fresh))
-    baseline = load_speedups(Path(args.baseline))
-    print(f"bench gate: {METRIC}, tolerance {args.tolerance:.0%}")
-    problems = compare(fresh, baseline, args.tolerance)
+    baseline = load_speedups(Path(args.baseline or BASELINE))
+    print(f"bench gate: {METRIC}, tolerance {tolerance:.0%}")
+    problems = compare(fresh, baseline, tolerance)
     if problems:
         print("\nbenchmark regression detected:", file=sys.stderr)
         for line in problems:

@@ -2,11 +2,12 @@
 
 Runs the repository's quality gates in order, fail-fast::
 
-    lint               static analysis (R001-R007) against the baseline
+    lint               static analysis (R001-R008) against the baseline
     tier1              fast pytest suite (slow-marked modules skipped)
     experiments-smoke  resilience smoke sweep over the experiment harnesses
+    chaos              process-backend sweep under crashes/hangs/driver kill
     examples           every script in examples/ end to end
-    bench-regression   fresh IBS benchmark vs the committed BENCH_ibs.json
+    bench-regression   fresh IBS + pool benchmarks vs the committed baselines
 
 Each stage runs as a subprocess with ``PYTHONPATH=src`` and is timed through
 a :mod:`repro.obs` span; the run ends with a per-stage status table and a
@@ -38,7 +39,7 @@ from repro.obs import Tracer, tracing  # noqa: E402
 PYTHON = sys.executable
 
 
-def stage_commands(bench_json: str) -> list[tuple[str, list[list[str]]]]:
+def stage_commands(bench_json: str, pool_json: str) -> list[tuple[str, list[list[str]]]]:
     """The ordered CI stages; each is (name, list of argv to run in order)."""
     return [
         (
@@ -55,6 +56,10 @@ def stage_commands(bench_json: str) -> list[tuple[str, list[list[str]]]]:
             [[PYTHON, "-m", "repro.resilience.smoke"]],
         ),
         (
+            "chaos",
+            [[PYTHON, "-m", "repro.resilience.chaos", "--workers", "2"]],
+        ),
+        (
             "examples",
             [[PYTHON, str(path)] for path in sorted(
                 (REPO_ROOT / "examples").glob("*.py")
@@ -66,6 +71,8 @@ def stage_commands(bench_json: str) -> list[tuple[str, list[list[str]]]]:
                 [PYTHON, "-m", "pytest", "benchmarks/test_engine_comparison.py",
                  "--benchmark-only", f"--benchmark-json={bench_json}", "-s"],
                 [PYTHON, "scripts/check_bench.py", bench_json],
+                [PYTHON, "scripts/bench_pool.py", "--output", pool_json],
+                [PYTHON, "scripts/check_bench.py", pool_json, "--kind", "pool"],
             ],
         ),
     ]
@@ -98,10 +105,12 @@ def main(argv: list[str] | None = None) -> int:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
 
-    # The fresh benchmark JSON goes to a temp file so the committed
-    # BENCH_ibs.json baseline is never clobbered by a CI run.
-    bench_json = os.path.join(tempfile.mkdtemp(prefix="repro-ci-"), "bench.json")
-    stages = stage_commands(bench_json)
+    # The fresh benchmark JSONs go to temp files so the committed
+    # BENCH_ibs.json / BENCH_pool.json baselines are never clobbered by CI.
+    tmpdir = tempfile.mkdtemp(prefix="repro-ci-")
+    bench_json = os.path.join(tmpdir, "bench.json")
+    pool_json = os.path.join(tmpdir, "pool.json")
+    stages = stage_commands(bench_json, pool_json)
     if args.stages:
         wanted = [s.strip() for s in args.stages.split(",") if s.strip()]
         known = {name for name, _ in stages}

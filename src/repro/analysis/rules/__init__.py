@@ -1,4 +1,4 @@
-"""Repo-specific analysis rules (R001–R007) and their registry."""
+"""Repo-specific analysis rules (R001–R008) and their registry."""
 
 from __future__ import annotations
 
@@ -8,6 +8,7 @@ from repro.analysis.rules.defaults import MutableDefaultRule
 from repro.analysis.rules.exceptions import BroadExceptRule
 from repro.analysis.rules.imports import SANCTIONED_PACKAGES, ForbiddenImportRule
 from repro.analysis.rules.iteration import RESULT_SUBPACKAGES, SetIterationRule
+from repro.analysis.rules.processes import PROCESS_SUBPACKAGE, ProcessPrimitiveRule
 from repro.analysis.rules.randomness import SEEDABLE_CONSTRUCTORS, UnseededRandomnessRule
 
 from repro.analysis.engine import Rule
@@ -22,6 +23,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     PublicApiContractRule,
     SetIterationRule,
     BroadExceptRule,
+    ProcessPrimitiveRule,
 )
 
 RULE_IDS: tuple[str, ...] = tuple(cls.rule_id for cls in RULE_CLASSES)
@@ -47,8 +49,10 @@ __all__ = [
     "MutableDefaultRule",
     "BareAssertRule",
     "BroadExceptRule",
+    "ProcessPrimitiveRule",
     "PublicApiContractRule",
     "SetIterationRule",
+    "PROCESS_SUBPACKAGE",
     "SANCTIONED_PACKAGES",
     "SEEDABLE_CONSTRUCTORS",
     "RESULT_SUBPACKAGES",

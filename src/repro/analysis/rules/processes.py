@@ -1,0 +1,111 @@
+"""R008 — raw process / signal primitives outside ``repro.resilience``.
+
+``signal.alarm`` / ``signal.setitimer`` clobber the process-wide SIGALRM
+slot, ``os.fork`` duplicates arbitrary library state, and a bare
+``multiprocessing.Process`` bypasses the crash classification, hard-kill
+deadlines, and single-writer checkpointing the worker pool provides.  All
+of that machinery lives in :mod:`repro.resilience` — the one place allowed
+to touch the primitives.  Everywhere else must go through
+:func:`~repro.resilience.call_with_deadline` (deadlines) or
+:class:`~repro.resilience.WorkerPool` / the executor's process backend
+(parallelism), so the rule flags:
+
+* ``signal.alarm(...)`` / ``signal.setitimer(...)`` calls and the direct
+  ``from signal import alarm`` form;
+* ``os.fork(...)`` / ``os.forkpty(...)`` calls and their direct imports;
+* ``multiprocessing.Process`` attribute uses (spawning or subclassing)
+  and ``from multiprocessing import Process``.
+
+Module aliases (``import signal as sig``) are tracked per file.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import FileContext, Finding, Rule, SEVERITY_ERROR
+
+#: The only subpackage allowed to use the raw primitives.
+PROCESS_SUBPACKAGE = "resilience"
+
+#: Flagged attributes per module, with the sanctioned replacement.
+_FORBIDDEN = {
+    "signal": {
+        "alarm": "repro.resilience.call_with_deadline",
+        "setitimer": "repro.resilience.call_with_deadline",
+    },
+    "os": {
+        "fork": "repro.resilience.WorkerPool",
+        "forkpty": "repro.resilience.WorkerPool",
+    },
+    "multiprocessing": {
+        "Process": "repro.resilience.WorkerPool",
+    },
+}
+
+
+class ProcessPrimitiveRule(Rule):
+    """Flag raw SIGALRM / fork / Process usage outside ``repro.resilience``."""
+
+    rule_id = "R008"
+    description = (
+        "process and signal primitives (signal.alarm, os.fork, "
+        "multiprocessing.Process) are reserved for repro.resilience"
+    )
+    severity = SEVERITY_ERROR
+    interests = (ast.Import, ast.ImportFrom, ast.Attribute)
+
+    def begin_file(self, ctx: FileContext) -> None:
+        """Reset the per-file module-alias table."""
+        # bound name -> canonical module ("signal" / "os" / "multiprocessing")
+        self._module_aliases: dict[str, str] = {}
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.in_subpackage(PROCESS_SUBPACKAGE):
+            return
+        if isinstance(node, ast.Import):
+            yield from self._visit_import(node)
+        elif isinstance(node, ast.ImportFrom):
+            yield from self._visit_import_from(node, ctx)
+        elif isinstance(node, ast.Attribute):
+            yield from self._visit_attribute(node, ctx)
+
+    def _visit_import(self, node: ast.Import) -> Iterable[Finding]:
+        for alias in node.names:
+            if alias.name in _FORBIDDEN:
+                self._module_aliases[alias.asname or alias.name] = alias.name
+        return ()
+
+    def _visit_import_from(
+        self, node: ast.ImportFrom, ctx: FileContext
+    ) -> Iterable[Finding]:
+        if node.level or node.module not in _FORBIDDEN:
+            return
+        forbidden = _FORBIDDEN[node.module]
+        for alias in node.names:
+            if alias.name in forbidden:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct import of {node.module}.{alias.name}; this "
+                    f"primitive is reserved for repro.resilience — use "
+                    f"{forbidden[alias.name]} instead",
+                )
+
+    def _visit_attribute(
+        self, node: ast.Attribute, ctx: FileContext
+    ) -> Iterable[Finding]:
+        if not isinstance(node.value, ast.Name):
+            return
+        module = self._module_aliases.get(node.value.id)
+        if module is None:
+            return
+        replacement = _FORBIDDEN[module].get(node.attr)
+        if replacement is not None:
+            yield self.finding(
+                ctx,
+                node,
+                f"{module}.{node.attr} outside repro.resilience; use "
+                f"{replacement} instead",
+            )

@@ -12,9 +12,14 @@ Commands
               fig6, fig7, fig8, table3, fig9, robustness) on the synthetic
               data, fault-tolerantly: ``--max-retries`` / ``--cell-timeout``
               bound each sweep cell, ``--checkpoint`` persists completed
-              cells, and ``--resume`` restarts an interrupted sweep without
-              re-running them (see ``docs/resilience.md``);
-``analyze``   run the repo's static-analysis rules (R001–R007) over Python
+              cells, ``--resume`` restarts an interrupted sweep without
+              re-running them, and ``--backend process --workers N`` runs
+              the sweep cells in crash-isolated worker processes (see
+              ``docs/resilience.md``);
+``checkpoint``inspect or prune sweep checkpoints: ``checkpoint inspect``
+              prints run id, cell counts, and age; ``checkpoint prune``
+              deletes all but the newest checkpoints;
+``analyze``   run the repo's static-analysis rules (R001–R008) over Python
               sources, gated by an optional baseline file;
 ``trace``     inspect observability artefacts: ``trace summarize`` renders
               the span tree, top-k table, and metric totals of a JSONL
@@ -281,12 +286,33 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Experiments whose sweeps run through param-grid helpers rather than
+#: registered executor cells — the process backend cannot address them.
+_INPROC_ONLY_EXPERIMENTS = ("fig7", "fig8")
+
+
 def _build_executor(args: argparse.Namespace) -> "CellExecutor":
     """Assemble the fault-tolerant executor from the ``experiment`` flags."""
-    from repro.resilience import CellExecutor, Checkpoint, RetryPolicy, sweep_run_id
+    from repro.resilience import (
+        BACKEND_PROCESS,
+        CellExecutor,
+        Checkpoint,
+        RetryPolicy,
+        sweep_run_id,
+    )
 
     if args.max_retries < 0:
         raise ExperimentError(f"--max-retries must be >= 0, got {args.max_retries}")
+    if args.workers < 1:
+        raise ExperimentError(f"--workers must be >= 1, got {args.workers}")
+    if (
+        args.backend == BACKEND_PROCESS
+        and args.experiment in _INPROC_ONLY_EXPERIMENTS
+    ):
+        raise ExperimentError(
+            f"--backend process is not supported for {args.experiment}: its "
+            "sweep is not cell-addressable; use the default inproc backend"
+        )
     checkpoint = None
     if args.resume and not args.checkpoint:
         raise ExperimentError("--resume requires --checkpoint <path>")
@@ -306,7 +332,11 @@ def _build_executor(args: argparse.Namespace) -> "CellExecutor":
         checkpoint = Checkpoint(path, run_id, resume=args.resume)
     policy = RetryPolicy(max_attempts=args.max_retries + 1, seed=args.seed)
     return CellExecutor(
-        policy=policy, deadline=args.cell_timeout, checkpoint=checkpoint
+        policy=policy,
+        deadline=args.cell_timeout,
+        checkpoint=checkpoint,
+        backend=args.backend,
+        max_workers=args.workers,
     )
 
 
@@ -393,6 +423,31 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         )
         return EXIT_PARTIAL
     return EXIT_OK
+
+
+def cmd_checkpoint_inspect(args: argparse.Namespace) -> int:
+    from repro.resilience import inspect_checkpoint
+
+    info = inspect_checkpoint(args.path)
+    print(f"checkpoint: {info['path']}")
+    print(f"run id:     {info['run_id']}")
+    print(f"cells:      {info['n_cells']} ({info['n_done']} ok, "
+          f"{info['n_failed']} failed)")
+    if info["failed"]:
+        print(f"failed:     {', '.join(info['failed'])}")
+    print(f"age:        {info['age_seconds']:.0f}s")
+    return 0
+
+
+def cmd_checkpoint_prune(args: argparse.Namespace) -> int:
+    from repro.resilience import prune_checkpoints
+
+    deleted = prune_checkpoints(args.paths, keep_latest=args.keep_latest)
+    for path in deleted:
+        print(f"deleted {path}")
+    print(f"pruned {len(deleted)} checkpoint(s), kept the "
+          f"{args.keep_latest} newest")
+    return 0
 
 
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
@@ -533,7 +588,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
-        "analyze", help="static-analysis pass over Python sources (R001-R007)"
+        "analyze", help="static-analysis pass over Python sources (R001-R008)"
     )
     p.add_argument(
         "paths", nargs="*", default=["src/repro"],
@@ -579,8 +634,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="restore completed cells from --checkpoint instead of re-running",
     )
+    p.add_argument(
+        "--backend", choices=("inproc", "process"), default="inproc",
+        help="where sweep cells run: in-process (default) or in a pool of "
+        "crash-isolated worker processes",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for --backend process (default 1)",
+    )
     add_trace(p)
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("checkpoint", help="inspect or prune sweep checkpoints")
+    ckpt_sub = p.add_subparsers(dest="checkpoint_command", required=True)
+    p = ckpt_sub.add_parser(
+        "inspect", help="print run id, cell counts, and age of a checkpoint"
+    )
+    p.add_argument("path", help="checkpoint JSON written by experiment --checkpoint")
+    p.set_defaults(func=cmd_checkpoint_inspect)
+    p = ckpt_sub.add_parser(
+        "prune", help="delete all but the newest checkpoints"
+    )
+    p.add_argument(
+        "paths", nargs="+",
+        help="checkpoint files and/or directories holding *.json checkpoints",
+    )
+    p.add_argument(
+        "--keep-latest", dest="keep_latest", type=int, default=1,
+        help="how many of the newest checkpoints to keep (default 1)",
+    )
+    p.set_defaults(func=cmd_checkpoint_prune)
 
     p = sub.add_parser("trace", help="inspect JSONL traces written by --trace")
     trace_sub = p.add_subparsers(dest="trace_command", required=True)

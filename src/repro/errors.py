@@ -56,6 +56,16 @@ class CheckpointError(ResilienceError):
     """A sweep checkpoint is unreadable, corrupt, or from another sweep."""
 
 
+class WorkerCrash(ResilienceError):
+    """A pool worker died mid-cell (nonzero exit, signal, or lost pipe).
+
+    Raised (and recorded) by the process backend when a child process
+    disappears while running a cell.  It is a :class:`ResilienceError`, so
+    the retry policy treats a crashed attempt as retryable — the cell is
+    re-dispatched to a freshly spawned worker.
+    """
+
+
 class ObsError(ReproError):
     """A trace/metric artefact is malformed or the tracer was misused."""
 

@@ -14,8 +14,8 @@ from dataclasses import asdict, dataclass
 from typing import Callable, Sequence
 
 from repro.audit.violation import fairness_violation
-from repro.errors import DataError
-from repro.resilience import CellExecutor
+from repro.errors import DataError, ExperimentError
+from repro.resilience import CellExecutor, CellSpec, register_cell
 from repro.baselines.coverage import coverage_remedy
 from repro.baselines.fairsmote import fair_smote
 from repro.baselines.gerryfair import GerryFairClassifier
@@ -88,6 +88,105 @@ def rows_sorted(rows: Sequence[BaselineRow]) -> list[BaselineRow]:
     return sorted(rows, key=lambda r: order.get(r.approach, 99))
 
 
+#: Table III approach ids, in the paper's listing order.
+APPROACHES = (
+    "original",
+    "remedy",
+    "coverage",
+    "fairbalance",
+    "fair-smote",
+    "reweighting",
+    "gerryfair",
+    "postprocess",
+)
+
+
+@register_cell("table3.approach")
+def approach_row(
+    train: Dataset,
+    test: Dataset,
+    approach: str,
+    protected: Sequence[str],
+    model: str,
+    tau_c: float,
+    T: float,
+    k: int,
+    gamma: str,
+    technique: str,
+    seed: int,
+    gerryfair_iters: int,
+) -> BaselineRow:
+    """One Table III cell: run ``approach`` end to end and build its row.
+
+    A module-level dispatcher (rather than one closure per approach) so
+    the process backend can address any approach by ``(cell id, params)``.
+    """
+
+    def audit(pred) -> float:
+        return fairness_violation(
+            test, pred, gamma=gamma, attrs=protected, min_size=k
+        )
+
+    def measure(preprocess: Callable[[], tuple]) -> BaselineRow:
+        """Time ``preprocess`` -> (train', weights, model); fit, predict, audit."""
+        start = time.perf_counter()
+        fit_data, weights, clf = preprocess()
+        elapsed = time.perf_counter() - start
+        if clf is None:
+            clf = make_model(model, seed=seed).fit(fit_data, sample_weight=weights)
+        pred = clf.predict(test)
+        return BaselineRow(approach, audit(pred), accuracy(test.y, pred), elapsed)
+
+    if approach == "original":
+        clf = make_model(model, seed=seed).fit(train)
+        pred = clf.predict(test)
+        return BaselineRow("original", audit(pred), accuracy(test.y, pred), 0.0)
+    if approach == "remedy":
+        # Remedy (ours): lattice scope with the configured sampler.
+        return measure(
+            lambda: (
+                RemedyPipeline(
+                    RemedyConfig(tau_c=tau_c, T=T, k=k, technique=technique, seed=seed)
+                ).transform(train),
+                None,
+                None,
+            )
+        )
+    if approach == "coverage":
+        return measure(
+            lambda: (coverage_remedy(train, lambda_threshold=k, seed=seed), None, None)
+        )
+    if approach == "fairbalance":
+        return measure(lambda: (train, fairbalance_weights(train), None))
+    if approach == "fair-smote":
+        # Fair-SMOTE (synthetic oversampling; the slow kNN one).
+        return measure(lambda: (fair_smote(train, seed=seed), None, None))
+    if approach == "reweighting":
+        return measure(lambda: (train, reweighting_weights(train), None))
+    if approach == "gerryfair":
+        # GerryFair (in-processing): the timed step is the training itself.
+        return measure(
+            lambda: (
+                None,
+                None,
+                GerryFairClassifier(max_iters=gerryfair_iters, statistic=gamma).fit(
+                    train
+                ),
+            )
+        )
+    if approach == "postprocess":
+        clf = make_model(model, seed=seed).fit(train)
+        start = time.perf_counter()
+        post = GroupThresholdPostprocessor(statistic=gamma, min_group_size=k)
+        post.fit(train, clf.predict_proba(train))
+        elapsed = time.perf_counter() - start
+        pred = post.predict(test, clf.predict_proba(test))
+        return BaselineRow("postprocess", audit(pred), accuracy(test.y, pred), elapsed)
+    raise ExperimentError(
+        f"unknown Table III approach {approach!r}; expected one of {APPROACHES}"
+    )
+
+
 def run_baseline_comparison(
     dataset: Dataset,
     protected: Sequence[str] = ("race", "gender"),
@@ -120,99 +219,37 @@ def run_baseline_comparison(
     dataset = dataset.with_protected(protected)
     train, test = train_test_split(dataset, test_fraction, seed=seed)
 
-    def audit(pred) -> float:
-        return fairness_violation(test, pred, gamma=gamma, attrs=protected, min_size=k)
-
-    def measure(approach: str, preprocess: Callable[[], tuple]) -> BaselineRow:
-        """Time ``preprocess`` -> (train', weights, model); fit, predict, audit."""
-        start = time.perf_counter()
-        fit_data, weights, clf = preprocess()
-        elapsed = time.perf_counter() - start
-        if clf is None:
-            clf = make_model(model, seed=seed).fit(fit_data, sample_weight=weights)
-        pred = clf.predict(test)
-        return BaselineRow(approach, audit(pred), accuracy(test.y, pred), elapsed)
-
-    def original_cell() -> BaselineRow:
-        clf = make_model(model, seed=seed).fit(train)
-        pred = clf.predict(test)
-        return BaselineRow("original", audit(pred), accuracy(test.y, pred), 0.0)
-
-    def remedy_cell() -> BaselineRow:
-        # Remedy (ours): lattice scope with the configured sampler.
-        return measure(
-            "remedy",
-            lambda: (
-                RemedyPipeline(
-                    RemedyConfig(tau_c=tau_c, T=T, k=k, technique=technique, seed=seed)
-                ).transform(train),
-                None,
-                None,
-            ),
-        )
-
-    def coverage_cell() -> BaselineRow:
-        return measure(
-            "coverage",
-            lambda: (coverage_remedy(train, lambda_threshold=k, seed=seed), None, None),
-        )
-
-    def fairbalance_cell() -> BaselineRow:
-        return measure("fairbalance", lambda: (train, fairbalance_weights(train), None))
-
-    def fairsmote_cell() -> BaselineRow:
-        # Fair-SMOTE (synthetic oversampling; the slow kNN one).
-        return measure("fair-smote", lambda: (fair_smote(train, seed=seed), None, None))
-
-    def reweighting_cell() -> BaselineRow:
-        return measure("reweighting", lambda: (train, reweighting_weights(train), None))
-
-    def gerryfair_cell() -> BaselineRow:
-        # GerryFair (in-processing): the timed step is the training itself.
-        return measure(
-            "gerryfair",
-            lambda: (
-                None,
-                None,
-                GerryFairClassifier(max_iters=gerryfair_iters, statistic=gamma).fit(
-                    train
-                ),
-            ),
-        )
-
-    def postprocess_cell() -> BaselineRow:
-        clf = make_model(model, seed=seed).fit(train)
-        start = time.perf_counter()
-        post = GroupThresholdPostprocessor(statistic=gamma, min_group_size=k)
-        post.fit(train, clf.predict_proba(train))
-        elapsed = time.perf_counter() - start
-        pred = post.predict(test, clf.predict_proba(test))
-        return BaselineRow("postprocess", audit(pred), accuracy(test.y, pred), elapsed)
-
-    approaches: list[tuple[str, Callable[[], BaselineRow]]] = [
-        ("original", original_cell),
-        ("remedy", remedy_cell),
-        ("coverage", coverage_cell),
-        ("fairbalance", fairbalance_cell),
-        ("fair-smote", fairsmote_cell),
-        ("reweighting", reweighting_cell),
-        ("gerryfair", gerryfair_cell),
-    ]
     # Post-processing (per-group thresholds) — the third mitigation family
     # the paper cites but does not compare; off by default to keep the
     # table identical to the paper's row set.
-    if include_postprocess:
-        approaches.append(("postprocess", postprocess_cell))
-
+    approaches = [a for a in APPROACHES if a != "postprocess" or include_postprocess]
+    specs = [
+        CellSpec(
+            key=("table3", approach),
+            fn_id="table3.approach",
+            params={
+                "train": train,
+                "test": test,
+                "approach": approach,
+                "protected": tuple(protected),
+                "model": model,
+                "tau_c": tau_c,
+                "T": T,
+                "k": k,
+                "gamma": gamma,
+                "technique": technique,
+                "seed": seed,
+                "gerryfair_iters": gerryfair_iters,
+            },
+        )
+        for approach in approaches
+    ]
+    cells = executor.run_specs(
+        specs, encode=baseline_row_to_dict, decode=baseline_row_from_dict
+    )
     rows: list[BaselineRow] = []
     nan = float("nan")
-    for approach, fn in approaches:
-        cell = executor.run_cell(
-            ("table3", approach),
-            fn,
-            encode=baseline_row_to_dict,
-            decode=baseline_row_from_dict,
-        )
+    for approach, cell in zip(approaches, cells):
         if cell.ok:
             rows.append(cell.value)  # type: ignore[arg-type]
         else:

@@ -23,7 +23,7 @@ from repro.errors import DataError
 from repro.experiments.reporting import format_table
 from repro.ml.metrics import FPR, accuracy
 from repro.ml.models import make_model
-from repro.resilience import CellExecutor
+from repro.resilience import CellExecutor, CellSpec, register_cell
 
 
 @dataclass(frozen=True)
@@ -144,6 +144,46 @@ class RobustnessResult:
         )
 
 
+@register_cell("robustness.seed")
+def seed_cell(
+    dataset: Dataset,
+    config: RemedyConfig,
+    model: str,
+    gamma: str,
+    seed: int,
+    test_fraction: float,
+) -> SeedOutcome:
+    """One robustness cell: remedy-vs-original under a single seed.
+
+    Module-level and registered so both backends can run it; every
+    measurement is deterministic given the parameters.
+    """
+    train, test = train_test_split(dataset, test_fraction, seed=seed)
+    baseline = make_model(model, seed=seed).fit(train)
+    base_pred = baseline.predict(test)
+
+    seeded = RemedyConfig(
+        tau_c=config.tau_c,
+        T=config.T,
+        k=config.k,
+        technique=config.technique,
+        scope=config.scope,
+        method=config.method,
+        seed=seed,
+    )
+    remedied = RemedyPipeline(seeded).transform(train)
+    fair = make_model(model, seed=seed).fit(remedied)
+    fair_pred = fair.predict(test)
+
+    return SeedOutcome(
+        seed=seed,
+        fi_before=fairness_index(test, base_pred, gamma),
+        fi_after=fairness_index(test, fair_pred, gamma),
+        accuracy_before=accuracy(test.y, base_pred),
+        accuracy_after=accuracy(test.y, fair_pred),
+    )
+
+
 def run_seed_sweep(
     dataset: Dataset,
     dataset_name: str,
@@ -164,42 +204,27 @@ def run_seed_sweep(
     """
     executor = executor if executor is not None else CellExecutor()
     base_config = config or RemedyConfig()
-
-    def seed_cell(seed: int) -> SeedOutcome:
-        train, test = train_test_split(dataset, test_fraction, seed=seed)
-        baseline = make_model(model, seed=seed).fit(train)
-        base_pred = baseline.predict(test)
-
-        seeded = RemedyConfig(
-            tau_c=base_config.tau_c,
-            T=base_config.T,
-            k=base_config.k,
-            technique=base_config.technique,
-            scope=base_config.scope,
-            method=base_config.method,
-            seed=seed,
+    specs = [
+        CellSpec(
+            key=("robustness", str(seed)),
+            fn_id="robustness.seed",
+            params={
+                "dataset": dataset,
+                "config": base_config,
+                "model": model,
+                "gamma": gamma,
+                "seed": int(seed),
+                "test_fraction": test_fraction,
+            },
         )
-        remedied = RemedyPipeline(seeded).transform(train)
-        fair = make_model(model, seed=seed).fit(remedied)
-        fair_pred = fair.predict(test)
-
-        return SeedOutcome(
-            seed=seed,
-            fi_before=fairness_index(test, base_pred, gamma),
-            fi_after=fairness_index(test, fair_pred, gamma),
-            accuracy_before=accuracy(test.y, base_pred),
-            accuracy_after=accuracy(test.y, fair_pred),
-        )
-
+        for seed in seeds
+    ]
+    cells = executor.run_specs(
+        specs, encode=seed_outcome_to_dict, decode=seed_outcome_from_dict
+    )
     outcomes: list[SeedOutcome] = []
     failures: list[SeedFailure] = []
-    for seed in seeds:
-        cell = executor.run_cell(
-            ("robustness", str(seed)),
-            lambda seed=seed: seed_cell(seed),
-            encode=seed_outcome_to_dict,
-            decode=seed_outcome_from_dict,
-        )
+    for seed, cell in zip(seeds, cells):
         if cell.ok:
             outcomes.append(cell.value)  # type: ignore[arg-type]
         else:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -20,7 +20,7 @@ from repro.data.dataset import Dataset
 from repro.errors import DataError
 from repro.ml.metrics import FNR, FPR, accuracy
 from repro.ml.models import make_model
-from repro.resilience import CellExecutor
+from repro.resilience import CellExecutor, CellSpec, register_cell
 
 DEFAULT_MODELS = ("dt", "rf", "lg", "nn")
 
@@ -111,19 +111,23 @@ def eval_result_from_dict(payload: object) -> EvalResult:
 
 def run_eval_cells(
     executor: CellExecutor,
-    cells: Sequence[tuple[Sequence[str], str, str, Callable[[], EvalResult]]],
+    cells: Sequence[tuple[str, str, CellSpec]],
 ) -> list[EvalResult]:
-    """Run ``(key, variant, model, fn)`` evaluation cells fault-tolerantly.
+    """Run ``(variant, model, spec)`` evaluation cells fault-tolerantly.
 
+    The specs address registered cell functions (``"eval.model"``,
+    ``"eval.remedy"``, ...) so the sweep runs on either executor backend.
     Completed cells contribute their :class:`EvalResult`; failed ones
     degrade into :meth:`EvalResult.failed` placeholder rows carrying the
     executor's marker, so callers always get one row per requested cell.
     """
+    outcomes = executor.run_specs(
+        [spec for _, _, spec in cells],
+        encode=eval_result_to_dict,
+        decode=eval_result_from_dict,
+    )
     results: list[EvalResult] = []
-    for key, variant, model, fn in cells:
-        outcome = executor.run_cell(
-            key, fn, encode=eval_result_to_dict, decode=eval_result_from_dict
-        )
+    for (variant, model, _), outcome in zip(cells, outcomes):
         if outcome.ok:
             results.append(outcome.value)  # type: ignore[arg-type]
         else:
@@ -135,6 +139,7 @@ def run_eval_cells(
     return results
 
 
+@register_cell("eval.model")
 def evaluate_model(
     train: Dataset,
     test: Dataset,
@@ -160,6 +165,7 @@ def evaluate_model(
     )
 
 
+@register_cell("eval.remedy")
 def evaluate_remedy(
     train: Dataset,
     test: Dataset,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro.core.ibs import (
     METHOD_NAIVE,
@@ -31,7 +31,7 @@ from repro.data.dataset import Dataset
 from repro.data.synth.adult import SCALABILITY_PROTECTED, load_adult
 from repro.errors import DataError
 from repro.experiments.reporting import format_table
-from repro.resilience import CellExecutor
+from repro.resilience import CellExecutor, CellSpec, register_cell
 
 DEFAULT_ATTR_GRID = (2, 3, 4, 5, 6, 7, 8)
 DEFAULT_SIZE_GRID = (5_000, 10_000, 20_000, 45_222)
@@ -83,19 +83,18 @@ class ScalabilityResult:
 def _run_timing_cells(
     executor: CellExecutor | None,
     panel: str,
-    specs: Sequence[tuple[float, str, Callable[[], TimingPoint]]],
+    cells: Sequence[tuple[float, str, CellSpec]],
 ) -> ScalabilityResult:
-    """Run ``(x, label, fn)`` timing cells; failures become marker points."""
+    """Run ``(x, label, spec)`` timing cells; failures become marker points."""
     executor = executor if executor is not None else CellExecutor()
+    outcomes = executor.run_specs(
+        [spec for _, _, spec in cells],
+        encode=timing_point_to_dict,
+        decode=timing_point_from_dict,
+    )
     points: list[TimingPoint] = []
     nan = float("nan")
-    for x, label, fn in specs:
-        cell = executor.run_cell(
-            ("fig9", panel, str(x), label),
-            fn,
-            encode=timing_point_to_dict,
-            decode=timing_point_from_dict,
-        )
+    for (x, label, _), cell in zip(cells, outcomes):
         if cell.ok:
             points.append(cell.value)  # type: ignore[arg-type]
         else:
@@ -107,6 +106,72 @@ def _dataset_for(n_rows: int, seed: int) -> Dataset:
     return load_adult(n_rows=n_rows, seed=seed).with_protected(
         SCALABILITY_PROTECTED
     )
+
+
+@register_cell("fig9.identify_attrs")
+def identify_attrs_cell(
+    base: Dataset, n_attrs: int, tau_c: float, T: float, k: int, method: str
+) -> TimingPoint:
+    """Fig. 9a cell: time one identification run at ``n_attrs`` attributes."""
+    attrs = SCALABILITY_PROTECTED[:n_attrs]
+    start = time.perf_counter()
+    ibs = identify_ibs(base, tau_c, T=T, k=k, method=method, attrs=attrs)
+    seconds = time.perf_counter() - start
+    return TimingPoint(n_attrs, method, seconds, len(ibs))
+
+
+@register_cell("fig9.remedy_attrs")
+def remedy_attrs_cell(
+    base: Dataset,
+    n_attrs: int,
+    tau_c: float,
+    T: float,
+    k: int,
+    technique: str,
+    seed: int,
+) -> TimingPoint:
+    """Fig. 9b cell: time one remedy run at ``n_attrs`` attributes."""
+    attrs = SCALABILITY_PROTECTED[:n_attrs]
+    start = time.perf_counter()
+    result = remedy_dataset(
+        base, tau_c, T=T, k=k, technique=technique, attrs=attrs, seed=seed
+    )
+    seconds = time.perf_counter() - start
+    return TimingPoint(n_attrs, technique, seconds, result.n_regions_remedied)
+
+
+@register_cell("fig9.identify_size")
+def identify_size_cell(
+    n_rows: int, n_attrs: int, tau_c: float, T: float, k: int, seed: int, method: str
+) -> TimingPoint:
+    """Fig. 9c cell: time one identification run at ``n_rows`` rows."""
+    attrs = SCALABILITY_PROTECTED[:n_attrs]
+    base = _dataset_for(n_rows, seed)
+    start = time.perf_counter()
+    ibs = identify_ibs(base, tau_c, T=T, k=k, method=method, attrs=attrs)
+    seconds = time.perf_counter() - start
+    return TimingPoint(n_rows, method, seconds, len(ibs))
+
+
+@register_cell("fig9.remedy_size")
+def remedy_size_cell(
+    n_rows: int,
+    n_attrs: int,
+    tau_c: float,
+    T: float,
+    k: int,
+    seed: int,
+    technique: str,
+) -> TimingPoint:
+    """Fig. 9d cell: time one remedy run at ``n_rows`` rows."""
+    attrs = SCALABILITY_PROTECTED[:n_attrs]
+    base = _dataset_for(n_rows, seed)
+    start = time.perf_counter()
+    result = remedy_dataset(
+        base, tau_c, T=T, k=k, technique=technique, attrs=attrs, seed=seed
+    )
+    seconds = time.perf_counter() - start
+    return TimingPoint(n_rows, technique, seconds, result.n_regions_remedied)
 
 
 def identification_vs_attrs(
@@ -121,21 +186,27 @@ def identification_vs_attrs(
 ) -> ScalabilityResult:
     """Fig. 9a: identification runtime vs. number of protected attributes."""
     base = _dataset_for(n_rows, seed)
-
-    def identify_cell(n_attrs: int, method: str) -> TimingPoint:
-        attrs = SCALABILITY_PROTECTED[:n_attrs]
-        start = time.perf_counter()
-        ibs = identify_ibs(base, tau_c, T=T, k=k, method=method, attrs=attrs)
-        seconds = time.perf_counter() - start
-        return TimingPoint(n_attrs, method, seconds, len(ibs))
-
-    specs = [
-        (float(n_attrs), method,
-         lambda n_attrs=n_attrs, method=method: identify_cell(n_attrs, method))
+    cells = [
+        (
+            float(n_attrs),
+            method,
+            CellSpec(
+                key=("fig9", "9a", str(float(n_attrs)), method),
+                fn_id="fig9.identify_attrs",
+                params={
+                    "base": base,
+                    "n_attrs": n_attrs,
+                    "tau_c": tau_c,
+                    "T": T,
+                    "k": k,
+                    "method": method,
+                },
+            ),
+        )
         for n_attrs in attr_grid
         for method in methods
     ]
-    return _run_timing_cells(executor, "9a", specs)
+    return _run_timing_cells(executor, "9a", cells)
 
 
 def remedy_vs_attrs(
@@ -154,23 +225,28 @@ def remedy_vs_attrs(
     memory resource limit"); pass it in ``techniques`` to include it anyway.
     """
     base = _dataset_for(n_rows, seed)
-
-    def remedy_cell(n_attrs: int, technique: str) -> TimingPoint:
-        attrs = SCALABILITY_PROTECTED[:n_attrs]
-        start = time.perf_counter()
-        result = remedy_dataset(
-            base, tau_c, T=T, k=k, technique=technique, attrs=attrs, seed=seed
+    cells = [
+        (
+            float(n_attrs),
+            technique,
+            CellSpec(
+                key=("fig9", "9b", str(float(n_attrs)), technique),
+                fn_id="fig9.remedy_attrs",
+                params={
+                    "base": base,
+                    "n_attrs": n_attrs,
+                    "tau_c": tau_c,
+                    "T": T,
+                    "k": k,
+                    "technique": technique,
+                    "seed": seed,
+                },
+            ),
         )
-        seconds = time.perf_counter() - start
-        return TimingPoint(n_attrs, technique, seconds, result.n_regions_remedied)
-
-    specs = [
-        (float(n_attrs), technique,
-         lambda n_attrs=n_attrs, technique=technique: remedy_cell(n_attrs, technique))
         for n_attrs in attr_grid
         for technique in techniques
     ]
-    return _run_timing_cells(executor, "9b", specs)
+    return _run_timing_cells(executor, "9b", cells)
 
 
 def identification_vs_size(
@@ -184,22 +260,28 @@ def identification_vs_size(
     executor: CellExecutor | None = None,
 ) -> ScalabilityResult:
     """Fig. 9c: identification runtime vs. data size (8 protected attrs)."""
-    attrs = SCALABILITY_PROTECTED[:n_attrs]
-
-    def identify_cell(n_rows: int, method: str) -> TimingPoint:
-        base = _dataset_for(n_rows, seed)
-        start = time.perf_counter()
-        ibs = identify_ibs(base, tau_c, T=T, k=k, method=method, attrs=attrs)
-        seconds = time.perf_counter() - start
-        return TimingPoint(n_rows, method, seconds, len(ibs))
-
-    specs = [
-        (float(n_rows), method,
-         lambda n_rows=n_rows, method=method: identify_cell(n_rows, method))
+    cells = [
+        (
+            float(n_rows),
+            method,
+            CellSpec(
+                key=("fig9", "9c", str(float(n_rows)), method),
+                fn_id="fig9.identify_size",
+                params={
+                    "n_rows": n_rows,
+                    "n_attrs": n_attrs,
+                    "tau_c": tau_c,
+                    "T": T,
+                    "k": k,
+                    "seed": seed,
+                    "method": method,
+                },
+            ),
+        )
         for n_rows in size_grid
         for method in methods
     ]
-    return _run_timing_cells(executor, "9c", specs)
+    return _run_timing_cells(executor, "9c", cells)
 
 
 def remedy_vs_size(
@@ -213,24 +295,28 @@ def remedy_vs_size(
     executor: CellExecutor | None = None,
 ) -> ScalabilityResult:
     """Fig. 9d: remedy runtime vs. data size (8 protected attrs)."""
-    attrs = SCALABILITY_PROTECTED[:n_attrs]
-
-    def remedy_cell(n_rows: int, technique: str) -> TimingPoint:
-        base = _dataset_for(n_rows, seed)
-        start = time.perf_counter()
-        result = remedy_dataset(
-            base, tau_c, T=T, k=k, technique=technique, attrs=attrs, seed=seed
+    cells = [
+        (
+            float(n_rows),
+            technique,
+            CellSpec(
+                key=("fig9", "9d", str(float(n_rows)), technique),
+                fn_id="fig9.remedy_size",
+                params={
+                    "n_rows": n_rows,
+                    "n_attrs": n_attrs,
+                    "tau_c": tau_c,
+                    "T": T,
+                    "k": k,
+                    "seed": seed,
+                    "technique": technique,
+                },
+            ),
         )
-        seconds = time.perf_counter() - start
-        return TimingPoint(n_rows, technique, seconds, result.n_regions_remedied)
-
-    specs = [
-        (float(n_rows), technique,
-         lambda n_rows=n_rows, technique=technique: remedy_cell(n_rows, technique))
         for n_rows in size_grid
         for technique in techniques
     ]
-    return _run_timing_cells(executor, "9d", specs)
+    return _run_timing_cells(executor, "9d", cells)
 
 
 def speedup_summary(

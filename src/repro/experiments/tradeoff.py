@@ -32,11 +32,9 @@ from repro.experiments.runner import (
     DEFAULT_MODELS,
     EVAL_HEADERS,
     EvalResult,
-    evaluate_model,
-    evaluate_remedy,
     run_eval_cells,
 )
-from repro.resilience import CellExecutor
+from repro.resilience import CellExecutor, CellSpec
 
 SCOPE_VARIANTS = (SCOPE_LATTICE, SCOPE_LEAF, SCOPE_TOP)
 
@@ -95,30 +93,42 @@ def run_tradeoff(
     executor = executor if executor is not None else CellExecutor()
     train, test = train_test_split(dataset, test_fraction, seed=seed)
 
-    def eval_cell(model_name: str):
-        return lambda: evaluate_model(
-            train, test, model_name, variant="original", seed=seed
+    def eval_spec(model_name: str) -> CellSpec:
+        return CellSpec(
+            key=("tradeoff", "original", model_name),
+            fn_id="eval.model",
+            params={
+                "train": train,
+                "test": test,
+                "model_name": model_name,
+                "variant": "original",
+                "seed": seed,
+            },
         )
 
-    def remedy_cell(model_name: str, variant: str, config: RemedyConfig):
-        return lambda: evaluate_remedy(
-            train, test, model_name, config, variant=variant
+    def remedy_spec(model_name: str, variant: str, config: RemedyConfig) -> CellSpec:
+        return CellSpec(
+            key=("tradeoff", variant, model_name),
+            fn_id="eval.remedy",
+            params={
+                "train": train,
+                "test": test,
+                "model_name": model_name,
+                "config": config,
+                "variant": variant,
+            },
         )
 
     scope_cells = []
     for model_name in models:
-        scope_cells.append(
-            (("tradeoff", "original", model_name), "original", model_name,
-             eval_cell(model_name))
-        )
+        scope_cells.append(("original", model_name, eval_spec(model_name)))
         for scope in scopes:
             config = RemedyConfig(
                 tau_c=tau_c, T=T, k=k, technique=PREFERENTIAL, scope=scope, seed=seed
             )
             variant = f"scope:{scope}"
             scope_cells.append(
-                (("tradeoff", variant, model_name), variant, model_name,
-                 remedy_cell(model_name, variant, config))
+                (variant, model_name, remedy_spec(model_name, variant, config))
             )
     scope_results = run_eval_cells(executor, scope_cells)
 
@@ -137,8 +147,7 @@ def run_tradeoff(
             )
             variant = f"technique:{technique}"
             technique_cells.append(
-                (("tradeoff", variant, model_name), variant, model_name,
-                 remedy_cell(model_name, variant, config))
+                (variant, model_name, remedy_spec(model_name, variant, config))
             )
     technique_results = run_eval_cells(executor, technique_cells)
 

@@ -32,7 +32,7 @@ from repro.experiments.reporting import format_table
 from repro.experiments.runner import DEFAULT_MODELS
 from repro.ml.metrics import FNR, FPR
 from repro.ml.models import make_model
-from repro.resilience import CellExecutor
+from repro.resilience import CellExecutor, CellSpec, register_cell
 
 
 @dataclass(frozen=True)
@@ -174,6 +174,30 @@ def explain_subgroups(
     return out
 
 
+@register_cell("fig3.cell")
+def validation_cell(
+    train: Dataset,
+    test: Dataset,
+    ibs: Sequence[RegionReport],
+    model_name: str,
+    gamma: str,
+    tau_d: float,
+    k: int,
+    seed: int,
+) -> ValidationResult:
+    """One Fig. 3 cell: fit, mine unfair subgroups, match against the IBS."""
+    model = make_model(model_name, seed=seed).fit(train)
+    pred = model.predict(test)
+    unfair = unfair_subgroups(test, pred, gamma=gamma, tau_d=tau_d, min_size=k)
+    explained = explain_subgroups(unfair, ibs)
+    return ValidationResult(
+        model=model_name,
+        gamma=gamma,
+        subgroups=tuple(explained),
+        n_ibs=len(ibs),
+    )
+
+
 def run_validation(
     dataset: Dataset,
     models: Sequence[str] = DEFAULT_MODELS,
@@ -195,42 +219,43 @@ def run_validation(
     executor = executor if executor is not None else CellExecutor()
     train, test = train_test_split(dataset, test_fraction, seed=seed)
     ibs = identify_ibs(train, tau_c, T=T, k=k)
-
-    def validation_cell(model_name: str, gamma: str) -> ValidationResult:
-        model = make_model(model_name, seed=seed).fit(train)
-        pred = model.predict(test)
-        unfair = unfair_subgroups(
-            test, pred, gamma=gamma, tau_d=tau_d, min_size=k
+    pairs = [(model_name, gamma) for model_name in models for gamma in gammas]
+    specs = [
+        CellSpec(
+            key=("fig3", model_name, gamma),
+            fn_id="fig3.cell",
+            params={
+                "train": train,
+                "test": test,
+                "ibs": tuple(ibs),
+                "model_name": model_name,
+                "gamma": gamma,
+                "tau_d": tau_d,
+                "k": k,
+                "seed": seed,
+            },
         )
-        explained = explain_subgroups(unfair, ibs)
-        return ValidationResult(
-            model=model_name,
-            gamma=gamma,
-            subgroups=tuple(explained),
-            n_ibs=len(ibs),
-        )
-
+        for model_name, gamma in pairs
+    ]
+    cells = executor.run_specs(
+        specs,
+        encode=validation_result_to_dict,
+        decode=validation_result_from_dict,
+    )
     results = []
-    for model_name in models:
-        for gamma in gammas:
-            cell = executor.run_cell(
-                ("fig3", model_name, gamma),
-                lambda m=model_name, g=gamma: validation_cell(m, g),
-                encode=validation_result_to_dict,
-                decode=validation_result_from_dict,
-            )
-            if cell.ok:
-                results.append(cell.value)
-            else:
-                results.append(
-                    ValidationResult(
-                        model=model_name,
-                        gamma=gamma,
-                        subgroups=(),
-                        n_ibs=len(ibs),
-                        status=cell.marker,
-                    )
+    for (model_name, gamma), cell in zip(pairs, cells):
+        if cell.ok:
+            results.append(cell.value)
+        else:
+            results.append(
+                ValidationResult(
+                    model=model_name,
+                    gamma=gamma,
+                    subgroups=(),
+                    n_ibs=len(ibs),
+                    status=cell.marker,
                 )
+            )
     return results
 
 

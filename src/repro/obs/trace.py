@@ -261,6 +261,84 @@ class Tracer:
         totals.update({name: g.value for name, g in self._gauges.items()})
         return dict(sorted(totals.items()))
 
+    # -- merging -----------------------------------------------------------
+
+    def export(self) -> dict:
+        """The tracer's observations as one picklable payload for merging.
+
+        The process backend runs each cell under a private worker-side
+        tracer, ships this payload back over the result pipe, and the
+        parent folds it in with :meth:`absorb`.
+        """
+        return {
+            "spans": [s.to_record() for s in self.spans],
+            "events": [e.to_record() for e in self.events],
+            "counters": {name: c.value for name, c in self._counters.items()},
+            "gauges": {name: g.value for name, g in self._gauges.items()},
+        }
+
+    def absorb(self, payload: Mapping[str, object], worker: int | None = None) -> None:
+        """Fold another tracer's :meth:`export` payload into this run.
+
+        Span ids are remapped into this tracer's id space, root spans are
+        reparented under the currently open span (or stay roots), and
+        timestamps are shifted so the donor's last observation aligns with
+        this tracer's current clock — workers have their own epochs, so
+        only relative timing within the payload is meaningful.  Counters
+        accumulate into same-named counters; gauges are last-write-wins.
+        ``worker`` (the worker slot) is stamped onto every absorbed span
+        and event as a ``worker`` attribute.
+        """
+        spans = list(payload.get("spans", ()))
+        events = list(payload.get("events", ()))
+        ends = [float(rec["start"]) + float(rec["wall"]) for rec in spans]
+        ends.extend(float(rec["time"]) for rec in events)
+        offset = (self._clock() - self._epoch) - (max(ends) if ends else 0.0)
+        mapping = {rec["id"]: self._next_id + i for i, rec in enumerate(spans)}
+        self._next_id += len(spans)
+        parent_for_roots = self._stack[-1] if self._stack else None
+        for rec in spans:
+            attrs = dict(rec.get("attrs") or {})
+            if worker is not None:
+                attrs["worker"] = worker
+            parent = rec.get("parent")
+            self.spans.append(
+                SpanRecord(
+                    span_id=mapping[rec["id"]],
+                    parent_id=(
+                        mapping.get(parent, parent_for_roots)
+                        if parent is not None
+                        else parent_for_roots
+                    ),
+                    name=str(rec["name"]),
+                    start=float(rec["start"]) + offset,
+                    wall=float(rec["wall"]),
+                    cpu=float(rec["cpu"]),
+                    attrs=attrs,
+                )
+            )
+        for rec in events:
+            attrs = dict(rec.get("attrs") or {})
+            if worker is not None:
+                attrs["worker"] = worker
+            span_id = rec.get("span")
+            self.events.append(
+                EventRecord(
+                    name=str(rec["name"]),
+                    time=float(rec["time"]) + offset,
+                    span_id=(
+                        mapping.get(span_id, parent_for_roots)
+                        if span_id is not None
+                        else parent_for_roots
+                    ),
+                    attrs=attrs,
+                )
+            )
+        for name, value in dict(payload.get("counters") or {}).items():
+            self.count(str(name), float(value))
+        for name, value in dict(payload.get("gauges") or {}).items():
+            self.gauge_set(str(name), float(value))
+
     # -- serialisation -----------------------------------------------------
 
     def records(self, manifest: Mapping[str, object] | None = None) -> list[dict]:

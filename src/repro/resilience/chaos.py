@@ -1,0 +1,235 @@
+"""Chaos smoke: the process backend must survive crashes, hangs, and kills.
+
+``make chaos`` (and the CI ``chaos`` stage) runs a small robustness sweep
+on the *process* backend while a :class:`~repro.resilience.faults.FaultPlan`
+murders the workers: one cell's worker dies via ``os._exit``, one SIGKILLs
+itself mid-cell, and one wedges past the deadline so the parent hard-kills
+it.  The sweep must still complete every cell — via respawn + retry — and
+its table must be byte-identical to a clean in-process run's.
+
+A second check SIGKILLs the *driver* mid-sweep: the CLI runs a
+checkpointed parallel sweep in a subprocess, the harness kills it once the
+checkpoint holds some-but-not-all cells, and a ``--resume`` rerun must
+reproduce the uninterrupted run's stdout byte for byte.
+
+Run directly::
+
+    PYTHONPATH=src python -m repro.resilience.chaos --workers 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.data.synth import load_compas
+from repro.errors import InternalError
+from repro.experiments.robustness import RobustnessResult, run_seed_sweep
+from repro.resilience.executor import BACKEND_PROCESS, CellExecutor, RetryPolicy
+from repro.resilience.faults import (
+    CRASH_EXIT,
+    CRASH_SIGKILL,
+    CrashFault,
+    FaultPlan,
+    HangFault,
+)
+
+CHAOS_ROWS = 800
+CHAOS_SEEDS = (0, 1, 2, 3, 4)
+#: Cells faulted by the chaos plan (seed -> how its worker dies).
+FAULTED_SEEDS = (0, 1, 2)
+#: Per-cell deadline: generous against a loaded 1-core box (real cells run
+#: in a couple of seconds) yet bounding the hang-cell wait.
+CHAOS_DEADLINE = 30.0
+
+
+def chaos_plan() -> FaultPlan:
+    """One of each worker death: exit-crash, SIGKILL-crash, past-deadline hang."""
+    return FaultPlan(
+        cells={
+            ("robustness", "0"): CrashFault(times=1, mode=CRASH_EXIT),
+            ("robustness", "1"): CrashFault(times=1, mode=CRASH_SIGKILL),
+            ("robustness", "2"): HangFault(seconds=10 * CHAOS_DEADLINE, times=1),
+        }
+    )
+
+
+def run_chaos(
+    rows: int = CHAOS_ROWS,
+    seeds: tuple[int, ...] = CHAOS_SEEDS,
+    workers: int = 2,
+) -> str:
+    """Run the murdered sweep, check its invariants, return the table.
+
+    Raises :class:`~repro.errors.InternalError` when a resilience invariant
+    is violated — a lost cell despite retries, a faulted cell that did not
+    need a second attempt, no observed worker deaths, or a chaos table
+    diverging from the clean serial one.
+    """
+    data = load_compas(rows, seed=11)
+    executor = CellExecutor(
+        policy=RetryPolicy(max_attempts=3, retry_timeouts=True),
+        deadline=CHAOS_DEADLINE,
+        faults=chaos_plan(),
+        backend=BACKEND_PROCESS,
+        max_workers=workers,
+    )
+    chaotic = run_seed_sweep(data, "ProPublica", seeds=seeds, executor=executor)
+    _check(chaotic, executor, seeds)
+
+    clean = run_seed_sweep(data, "ProPublica", seeds=seeds)
+    if chaotic.table() != clean.table():
+        raise InternalError(
+            "chaos sweep table diverges from the clean in-process sweep table"
+        )
+    return chaotic.table()
+
+
+def _check(
+    result: RobustnessResult, executor: CellExecutor, seeds: tuple[int, ...]
+) -> None:
+    if result.failures:
+        raise InternalError(
+            f"chaos sweep lost cells despite retries: {result.failures}"
+        )
+    if len(result.outcomes) != len(seeds):
+        raise InternalError(
+            f"chaos sweep completed {len(result.outcomes)} of {len(seeds)} cells"
+        )
+    faulted = {("robustness", str(seed)) for seed in FAULTED_SEEDS}
+    for outcome in executor.outcomes:
+        want = 2 if outcome.key in faulted else 1
+        if outcome.attempts != want:
+            raise InternalError(
+                f"cell {outcome.key} took {outcome.attempts} attempts, "
+                f"expected {want}: each chaos fault should force exactly one "
+                "respawn + retry and clean cells none"
+            )
+
+
+# -- driver-kill / resume check ---------------------------------------------------
+
+def _cli_command(rows: int, workers: int, checkpoint: Path, resume: bool) -> list[str]:
+    cmd = [
+        sys.executable, "-m", "repro", "experiment", "robustness",
+        "--rows", str(rows), "--models", "dt",
+        "--backend", "process", "--workers", str(workers),
+        "--checkpoint", str(checkpoint),
+    ]
+    if resume:
+        cmd.append("--resume")
+    return cmd
+
+
+def _checkpoint_cells(path: Path) -> int:
+    try:
+        return len(json.loads(path.read_text()).get("cells", {}))
+    except (OSError, ValueError):
+        return 0
+
+
+def run_driver_kill(
+    rows: int = CHAOS_ROWS,
+    workers: int = 2,
+    n_cells: int = len(CHAOS_SEEDS),
+    timeout: float = 300.0,
+) -> None:
+    """SIGKILL a checkpointed CLI sweep mid-run; ``--resume`` must reproduce it.
+
+    The driver is killed with ``SIGKILL`` (no cleanup handlers run) once
+    the checkpoint holds at least one completed cell, proving the atomic
+    per-cell flush: whatever was committed survives, the resumed run redoes
+    only the rest, and the final stdout is byte-identical to an
+    uninterrupted run's.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        clean_ckpt = Path(tmp) / "clean.json"
+        clean = subprocess.run(
+            _cli_command(rows, workers, clean_ckpt, resume=False),
+            capture_output=True, timeout=timeout,
+        )
+        if clean.returncode != 0:
+            raise InternalError(
+                f"clean CLI sweep failed (exit {clean.returncode}): "
+                f"{clean.stderr.decode(errors='replace')}"
+            )
+
+        killed_ckpt = Path(tmp) / "killed.json"
+        victim = subprocess.Popen(
+            _cli_command(rows, workers, killed_ckpt, resume=False),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + timeout
+        try:
+            while True:
+                done = _checkpoint_cells(killed_ckpt)
+                if 1 <= done < n_cells:
+                    victim.send_signal(signal.SIGKILL)
+                    break
+                if victim.poll() is not None or time.monotonic() > deadline:
+                    break
+                time.sleep(0.02)
+        finally:
+            if victim.poll() is None and time.monotonic() > deadline:
+                victim.kill()
+            victim.wait(timeout=30.0)
+
+        survived = _checkpoint_cells(killed_ckpt)
+        if not 1 <= survived < n_cells:
+            raise InternalError(
+                f"driver kill landed outside the sweep: checkpoint holds "
+                f"{survived} of {n_cells} cells (the run was too fast or "
+                "never flushed); nothing was proven"
+            )
+        resumed = subprocess.run(
+            _cli_command(rows, workers, killed_ckpt, resume=True),
+            capture_output=True, timeout=timeout,
+        )
+        if resumed.returncode != 0:
+            raise InternalError(
+                f"resumed CLI sweep failed (exit {resumed.returncode}): "
+                f"{resumed.stderr.decode(errors='replace')}"
+            )
+        if resumed.stdout != clean.stdout:
+            raise InternalError(
+                "resumed sweep stdout diverges from the uninterrupted run"
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``make chaos``."""
+    parser = argparse.ArgumentParser(
+        description="process-backend chaos smoke (crashes, hangs, driver kill)"
+    )
+    parser.add_argument("--rows", type=int, default=CHAOS_ROWS)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--skip-driver-kill", action="store_true",
+        help="only run the worker-chaos sweep (faster)",
+    )
+    args = parser.parse_args(argv)
+
+    table = run_chaos(rows=args.rows, workers=args.workers)
+    print(table)
+    print(
+        f"\nchaos ok: {len(CHAOS_SEEDS)} cells completed on "
+        f"{args.workers} workers under injected os._exit, SIGKILL, and "
+        "past-deadline hang; table matches the clean serial run byte for byte"
+    )
+    if not args.skip_driver_kill:
+        run_driver_kill(rows=args.rows, workers=args.workers)
+        print(
+            "chaos ok: driver SIGKILLed mid-sweep; --resume reproduced the "
+            "uninterrupted stdout byte for byte"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

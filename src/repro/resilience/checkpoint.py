@@ -9,19 +9,33 @@ the new one on disk, never a truncated file.  The document carries a
 ``run_id`` fingerprinting the sweep configuration; resuming against a
 checkpoint written by a differently-configured sweep raises
 :class:`~repro.errors.CheckpointError` instead of silently mixing results.
+
+Degraded cells (``FAILED``/``TIMEOUT`` markers) are persisted too, via
+:meth:`Checkpoint.record_failure`, so ``repro checkpoint inspect`` can
+report done/failed counts — but :meth:`Checkpoint.get` only restores
+*successful* payloads, so a failed cell is re-attempted on resume exactly
+as before.  All writes happen in the driver process (single writer): the
+process backend funnels worker results back to the parent, which flushes
+here once per completed cell.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import time
 from pathlib import Path
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.data.io import atomic_write_json
 from repro.errors import CheckpointError
 
 CHECKPOINT_VERSION = 1
+
+#: ``status`` recorded for successful cells (absent means ok, for
+#: backwards compatibility with version-1 files written before failures
+#: were persisted).
+CELL_OK = "ok"
 
 
 def sweep_run_id(**params: object) -> str:
@@ -89,7 +103,8 @@ class Checkpoint:
         for entry in cells:
             try:
                 key = tuple(str(part) for part in entry["key"])
-                entry["value"]
+                if entry.get("status", CELL_OK) == CELL_OK:
+                    entry["value"]
             except (TypeError, KeyError) as exc:
                 raise CheckpointError(
                     f"checkpoint {self.path} has a malformed cell: {entry!r}"
@@ -98,18 +113,39 @@ class Checkpoint:
 
     # -- queries -------------------------------------------------------------
     def get(self, key: Sequence[str]) -> dict | None:
-        """The recorded payload for ``key``, or None if not completed."""
-        return self._cells.get(tuple(str(part) for part in key))
+        """The recorded *successful* payload for ``key``, or None.
+
+        Failed/timed-out entries (see :meth:`record_failure`) return None
+        so the cell is re-attempted on resume.
+        """
+        payload = self._cells.get(tuple(str(part) for part in key))
+        if payload is None or payload.get("status", CELL_OK) != CELL_OK:
+            return None
+        return payload
 
     def __contains__(self, key: Sequence[str]) -> bool:
-        return tuple(str(part) for part in key) in self._cells
+        return self.get(key) is not None
 
     def __len__(self) -> int:
         return len(self._cells)
 
     def keys(self) -> tuple[tuple[str, ...], ...]:
-        """All completed cell keys, sorted."""
+        """All recorded cell keys (done and failed), sorted."""
         return tuple(sorted(self._cells))
+
+    @property
+    def n_done(self) -> int:
+        """Number of recorded cells that completed successfully."""
+        return sum(
+            1
+            for payload in self._cells.values()
+            if payload.get("status", CELL_OK) == CELL_OK
+        )
+
+    @property
+    def n_failed(self) -> int:
+        """Number of recorded cells that degraded into FAILED/TIMEOUT."""
+        return len(self._cells) - self.n_done
 
     # -- updates -------------------------------------------------------------
     def record(self, key: Sequence[str], payload: dict) -> None:
@@ -120,6 +156,25 @@ class Checkpoint:
         self._cells[cell_key] = entry
         self.flush()
 
+    def record_failure(
+        self,
+        key: Sequence[str],
+        status: str,
+        error_type: str | None,
+        error_message: str | None,
+        attempts: int,
+    ) -> None:
+        """Record a degraded cell (for inspection; re-run on resume)."""
+        cell_key = tuple(str(part) for part in key)
+        self._cells[cell_key] = {
+            "key": list(cell_key),
+            "status": str(status),
+            "error_type": error_type,
+            "error_message": error_message,
+            "attempts": int(attempts),
+        }
+        self.flush()
+
     def flush(self) -> None:
         """Atomically rewrite the checkpoint file from the in-memory state."""
         doc = {
@@ -128,3 +183,89 @@ class Checkpoint:
             "cells": [self._cells[key] for key in sorted(self._cells)],
         }
         atomic_write_json(self.path, doc)
+
+
+# -- maintenance (``repro checkpoint`` CLI) ---------------------------------
+
+
+def inspect_checkpoint(path: str | Path) -> dict:
+    """Summarise a checkpoint file without binding to a run configuration.
+
+    Returns a dict with ``path``, ``version``, ``run_id`` (the sweep's
+    config hash), ``n_cells`` / ``n_done`` / ``n_failed``, the failed cell
+    keys, and ``age_seconds`` since the file was last written.  Raises
+    :class:`~repro.errors.CheckpointError` for unreadable or malformed
+    files.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+        mtime = path.stat().st_mtime
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if not isinstance(payload, dict) or not isinstance(payload.get("cells"), list):
+        raise CheckpointError(f"checkpoint {path} is malformed: missing 'cells'")
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has version {payload.get('version')!r}, "
+            f"expected {CHECKPOINT_VERSION}"
+        )
+    cells = payload["cells"]
+    failed_keys = []
+    n_done = 0
+    for entry in cells:
+        if not isinstance(entry, dict) or "key" not in entry:
+            raise CheckpointError(f"checkpoint {path} has a malformed cell: {entry!r}")
+        if entry.get("status", CELL_OK) == CELL_OK:
+            n_done += 1
+        else:
+            failed_keys.append("/".join(str(part) for part in entry["key"]))
+    return {
+        "path": str(path),
+        "version": CHECKPOINT_VERSION,
+        "run_id": str(payload.get("run_id")),
+        "n_cells": len(cells),
+        "n_done": n_done,
+        "n_failed": len(failed_keys),
+        "failed": sorted(failed_keys),
+        "age_seconds": max(time.time() - mtime, 0.0),
+    }
+
+
+def prune_checkpoints(
+    paths: Iterable[str | Path], keep_latest: int = 1
+) -> tuple[Path, ...]:
+    """Delete all but the ``keep_latest`` most recently written checkpoints.
+
+    ``paths`` may mix files and directories; directories contribute their
+    ``*.json`` files.  Only files that parse as version-:data:`CHECKPOINT_VERSION`
+    checkpoints are considered (anything else is left untouched), recency
+    is file mtime, and the deleted paths are returned sorted.
+    """
+    if keep_latest < 0:
+        raise CheckpointError(f"keep_latest must be >= 0, got {keep_latest}")
+    candidates: list[Path] = []
+    for raw in paths:
+        entry = Path(raw)
+        if entry.is_dir():
+            candidates.extend(sorted(entry.glob("*.json")))
+        else:
+            candidates.append(entry)
+    checkpoints: list[tuple[float, Path]] = []
+    for candidate in candidates:
+        try:
+            payload = json.loads(candidate.read_text())
+            mtime = candidate.stat().st_mtime
+        except (OSError, json.JSONDecodeError):
+            continue
+        if (
+            isinstance(payload, dict)
+            and payload.get("version") == CHECKPOINT_VERSION
+            and isinstance(payload.get("cells"), list)
+        ):
+            checkpoints.append((mtime, candidate))
+    checkpoints.sort(key=lambda item: (item[0], str(item[1])), reverse=True)
+    stale = [path for _, path in checkpoints[keep_latest:]]
+    for path in stale:
+        path.unlink()
+    return tuple(sorted(stale))

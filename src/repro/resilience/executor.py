@@ -36,6 +36,11 @@ STATUS_FAILED = "failed"
 STATUS_TIMEOUT = "timeout"
 STATUSES = (STATUS_OK, STATUS_FAILED, STATUS_TIMEOUT)
 
+#: Execution backends: in-process (the oracle) or a spawn-based worker pool.
+BACKEND_INPROC = "inproc"
+BACKEND_PROCESS = "process"
+BACKENDS = (BACKEND_INPROC, BACKEND_PROCESS)
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -138,6 +143,14 @@ def call_with_deadline(fn: Callable[[], object], seconds: float | None) -> objec
     overrun is detected after the call returns and the result is discarded
     with the same :class:`~repro.errors.CellTimeout`, which keeps outcome
     records consistent even where signals are unavailable.
+
+    Deadlines nest: a pre-existing ``SIGALRM`` handler and any pending
+    timer are saved before the inner deadline is armed and restored
+    afterwards, with the outer timer's remaining budget reduced by the
+    time the inner call consumed (an already-expired outer timer fires
+    immediately on restore).  SIGALRM cannot interrupt C extensions that
+    hold the GIL — for those, use the process backend, whose deadline is
+    a ``SIGKILL`` of the worker (see :mod:`repro.resilience.pool`).
     """
     if seconds is None:
         return fn()
@@ -156,13 +169,21 @@ def call_with_deadline(fn: Callable[[], object], seconds: float | None) -> objec
                 f"cell took {elapsed:.3f}s, exceeding the {seconds:.3f}s deadline"
             )
         return value
+    prev_value, prev_interval = signal.getitimer(signal.ITIMER_REAL)
     previous = signal.signal(signal.SIGALRM, _raise_deadline)
+    start = time.perf_counter()
     signal.setitimer(signal.ITIMER_REAL, seconds)
     try:
         return fn()
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if prev_value > 0:
+            # Re-arm the outer deadline with whatever budget it has left;
+            # 1e-6 (not 0, which would disarm) fires an expired one now.
+            elapsed = time.perf_counter() - start
+            remaining = max(prev_value - elapsed, 1e-6)
+            signal.setitimer(signal.ITIMER_REAL, remaining, prev_interval)
 
 
 @dataclass
@@ -182,6 +203,15 @@ class CellExecutor:
         (tests use it to prove the retry/resume/degradation paths).
     sleep:
         Injection point for the backoff sleep (tests pass a recorder).
+    backend:
+        ``"inproc"`` (default) runs cells in the driver process and is the
+        semantic oracle; ``"process"`` runs registered cell specs (see
+        :meth:`run_specs` and :mod:`repro.resilience.pool`) in SIGKILL-able
+        spawn workers.  The closure-based :meth:`run_cell`/:meth:`run_cells`
+        API always runs in-process regardless of this setting.
+    max_workers:
+        Worker-process count for the ``"process"`` backend (ignored by
+        ``"inproc"``).
 
     ``outcomes`` accumulates every cell run through this executor, in
     execution order, so harnesses and the CLI can report partial failures
@@ -194,6 +224,18 @@ class CellExecutor:
     faults: FaultPlan | None = None
     sleep: Callable[[float], None] = time.sleep
     outcomes: list[CellOutcome] = field(default_factory=list)
+    backend: str = BACKEND_INPROC
+    max_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ResilienceError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.max_workers < 1:
+            raise ResilienceError(
+                f"max_workers must be >= 1, got {self.max_workers}"
+            )
 
     def run_cell(
         self,
@@ -212,38 +254,63 @@ class CellExecutor:
         """
         cell_key: Key = tuple(str(part) for part in key)
         with obs.span("cell", key="/".join(cell_key)) as cell_span:
-            if self.checkpoint is not None:
-                payload = self.checkpoint.get(cell_key)
-                if payload is not None:
-                    value = payload["value"]
-                    if decode is not None:
-                        value = decode(value)
-                    outcome = CellOutcome(
-                        key=cell_key,
-                        status=STATUS_OK,
-                        value=value,
-                        attempts=int(payload.get("attempts", 1)),
-                        resumed=True,
-                    )
-                    self.outcomes.append(outcome)
-                    obs.count("cells.resumed")
-                    obs.event("cell.resumed", key="/".join(cell_key))
-                    cell_span.annotate(status=STATUS_OK, resumed=True)
-                    return outcome
+            restored = self._restore(cell_key, decode)
+            if restored is not None:
+                self.outcomes.append(restored)
+                cell_span.annotate(status=STATUS_OK, resumed=True)
+                return restored
             outcome = self._execute(cell_key, fn)
-            if outcome.ok and self.checkpoint is not None:
+            self._commit(outcome, encode)
+            self.outcomes.append(outcome)
+            cell_span.annotate(status=outcome.status, attempts=outcome.attempts)
+            return outcome
+
+    def _restore(
+        self, cell_key: Key, decode: Callable[[object], object] | None
+    ) -> CellOutcome | None:
+        """The checkpointed outcome for ``cell_key``, or None to (re-)run it."""
+        if self.checkpoint is None:
+            return None
+        payload = self.checkpoint.get(cell_key)
+        if payload is None:
+            return None
+        value = payload["value"]
+        if decode is not None:
+            value = decode(value)
+        outcome = CellOutcome(
+            key=cell_key,
+            status=STATUS_OK,
+            value=value,
+            attempts=int(payload.get("attempts", 1)),
+            resumed=True,
+        )
+        obs.count("cells.resumed")
+        obs.event("cell.resumed", key="/".join(cell_key))
+        return outcome
+
+    def _commit(
+        self, outcome: CellOutcome, encode: Callable[[object], object] | None
+    ) -> None:
+        """Persist a fresh outcome to the checkpoint and count its status."""
+        if self.checkpoint is not None:
+            if outcome.ok:
                 value = outcome.value
                 if encode is not None:
                     value = encode(value)
                 self.checkpoint.record(
-                    cell_key, {"value": value, "attempts": outcome.attempts}
+                    outcome.key, {"value": value, "attempts": outcome.attempts}
                 )
-                obs.count("cells.checkpoint_flushes")
-                obs.event("cell.checkpoint_flush", key="/".join(cell_key))
-            self.outcomes.append(outcome)
-            obs.count(f"cells.{outcome.status}")
-            cell_span.annotate(status=outcome.status, attempts=outcome.attempts)
-            return outcome
+            else:
+                self.checkpoint.record_failure(
+                    outcome.key,
+                    status=outcome.status,
+                    error_type=outcome.error_type,
+                    error_message=outcome.error_message,
+                    attempts=outcome.attempts,
+                )
+            obs.count("cells.checkpoint_flushes")
+            obs.event("cell.checkpoint_flush", key="/".join(outcome.key))
+        obs.count(f"cells.{outcome.status}")
 
     def _execute(self, key: Key, fn: Callable[[], object]) -> CellOutcome:
         """Attempt loop for one cell; never raises except KeyboardInterrupt."""
@@ -315,6 +382,82 @@ class CellExecutor:
     ) -> list[CellOutcome]:
         """Run ``(key, fn)`` cells in order, returning their outcomes."""
         return [self.run_cell(key, fn, encode=encode, decode=decode) for key, fn in cells]
+
+    def run_specs(
+        self,
+        specs: Iterable["CellSpec"],
+        encode: Callable[[object], object] | None = None,
+        decode: Callable[[object], object] | None = None,
+    ) -> list[CellOutcome]:
+        """Run registry-addressed cell specs on the configured backend.
+
+        A :class:`~repro.resilience.pool.CellSpec` names a registered,
+        importable cell function plus its picklable parameters, so the same
+        sweep can run in-process (``backend="inproc"``, the oracle) or on
+        the spawn-based worker pool (``backend="process"``).  Outcomes are
+        returned — and appended to ``self.outcomes`` — in spec order on
+        both backends, and checkpoint writes always happen here in the
+        driver process (single writer), so the two backends produce
+        byte-identical artifacts.
+        """
+        from repro.resilience.pool import resolve_cell
+
+        spec_list = list(specs)
+        if self.backend == BACKEND_INPROC:
+            outcomes = []
+            for spec in spec_list:
+                fn = resolve_cell(spec.fn_id)
+                outcomes.append(
+                    self.run_cell(
+                        spec.key,
+                        lambda fn=fn, spec=spec: fn(**spec.params),
+                        encode=encode,
+                        decode=decode,
+                    )
+                )
+            return outcomes
+        return self._run_specs_process(spec_list, encode, decode)
+
+    def _run_specs_process(
+        self,
+        specs: Sequence["CellSpec"],
+        encode: Callable[[object], object] | None,
+        decode: Callable[[object], object] | None,
+    ) -> list[CellOutcome]:
+        """Partition resumed cells, run the rest on the worker pool."""
+        from repro.resilience.pool import WorkerPool, resolve_cell
+
+        for spec in specs:
+            resolve_cell(spec.fn_id)  # fail fast on unregistered cells
+        results: dict[int, CellOutcome] = {}
+        fresh: list[tuple[int, "CellSpec"]] = []
+        for index, spec in enumerate(specs):
+            if self.checkpoint is not None and self.checkpoint.get(spec.key) is not None:
+                with obs.span("cell", key="/".join(spec.key)) as cell_span:
+                    restored = self._restore(spec.key, decode)
+                    cell_span.annotate(status=STATUS_OK, resumed=True)
+                results[index] = restored
+            else:
+                fresh.append((index, spec))
+
+        def on_complete(index: int, outcome: CellOutcome) -> None:
+            results[index] = outcome
+            self._commit(outcome, encode)
+
+        pool = WorkerPool(
+            max_workers=self.max_workers,
+            policy=self.policy,
+            deadline=self.deadline,
+            faults=self.faults,
+            sleep=self.sleep,
+        )
+        try:
+            pool.run(fresh, on_complete=on_complete)
+        finally:
+            # Even on interrupt, completed cells join ``outcomes`` in spec
+            # order; their checkpoints were flushed at completion time.
+            self.outcomes.extend(results[i] for i in sorted(results))
+        return [results[i] for i in range(len(specs))]
 
     @property
     def failures(self) -> tuple[CellOutcome, ...]:

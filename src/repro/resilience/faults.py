@@ -17,6 +17,20 @@ fault shapes from the cookbook:
 Plan-level ``nth_call`` faults fire on the N-th attempt *overall*,
 regardless of cell — raising ``KeyboardInterrupt`` there simulates a crash
 at an arbitrary point of a sweep for checkpoint/resume tests.
+
+Two further fault shapes target the *process* backend
+(:mod:`repro.resilience.pool`), where a cell runs in a child process that
+can genuinely die or wedge:
+
+* :class:`CrashFault` — the worker kills itself mid-cell (``os._exit`` or
+  ``SIGKILL``), proving crash classification and respawn;
+* :class:`HangFault` — the worker sleeps past the deadline, proving the
+  parent's hard-kill (``SIGKILL`` + respawn) path.
+
+Both are *worker actions*: under the in-process backend they are inert
+(the driver must never kill itself), and the executor ships them to the
+worker as small JSON-safe descriptors via
+:meth:`FaultPlan.worker_action`.
 """
 
 from __future__ import annotations
@@ -38,6 +52,15 @@ class Fault:
 
     def on_attempt(self, key: tuple[str, ...], attempt: int) -> None:
         """Raise or stall to inject the fault; return to let the attempt run."""
+
+    def worker_action(self, key: tuple[str, ...], attempt: int) -> dict | None:
+        """A JSON-safe chaos descriptor to execute *inside* a pool worker.
+
+        ``None`` (the default) means the fault has nothing to run in the
+        worker; the process backend ships a non-None descriptor with the
+        task and the worker executes it before the cell body runs.
+        """
+        return None
 
 
 class TransientFault(Fault):
@@ -92,6 +115,74 @@ class SlowFault(Fault):
         self.sleep(self.seconds)
 
 
+#: ``kind`` values of the chaos descriptors shipped to pool workers.
+CHAOS_CRASH = "crash"
+CHAOS_HANG = "hang"
+
+#: ``mode`` values of a :data:`CHAOS_CRASH` descriptor.
+CRASH_EXIT = "exit"
+CRASH_SIGKILL = "sigkill"
+CRASH_MODES = (CRASH_EXIT, CRASH_SIGKILL)
+
+#: Exit code used by ``CrashFault(mode="exit")`` so tests can assert on it.
+CRASH_EXIT_CODE = 23
+
+
+class CrashFault(Fault):
+    """Kill the worker process mid-cell on the first ``times`` attempts.
+
+    ``mode="exit"`` makes the worker die via ``os._exit`` (a nonzero exit
+    code, as a native crash or an OOM-killed allocation would produce);
+    ``mode="sigkill"`` makes it SIGKILL itself (death by signal, as the
+    kernel OOM killer would).  Both are invisible to Python-level cleanup,
+    which is the point: the *parent* must classify the death, respawn the
+    worker, and retry or degrade the cell.  Under the in-process backend
+    this fault is inert — the driver must never kill itself.
+    """
+
+    def __init__(self, times: int = 1, mode: str = CRASH_EXIT) -> None:
+        if times < 1:
+            raise ResilienceError(f"times must be >= 1, got {times}")
+        if mode not in CRASH_MODES:
+            raise ResilienceError(
+                f"mode must be one of {CRASH_MODES}, got {mode!r}"
+            )
+        self.times = times
+        self.mode = mode
+
+    def worker_action(self, key: tuple[str, ...], attempt: int) -> dict | None:
+        """Crash descriptor for attempts ``1..times``, None afterwards."""
+        if attempt <= self.times:
+            return {"kind": CHAOS_CRASH, "mode": self.mode}
+        return None
+
+
+class HangFault(Fault):
+    """Wedge the worker past its deadline on the first ``times`` attempts.
+
+    The worker sleeps ``seconds`` before running the cell body — set it
+    comfortably past the executor deadline and the parent's hard-kill
+    path fires: the worker is SIGKILLed, the attempt becomes a
+    ``TIMEOUT``, and (with ``retry_timeouts=True``) the cell is retried
+    on a fresh worker.  Inert under the in-process backend; use
+    :class:`SlowFault` to exercise the SIGALRM deadline there.
+    """
+
+    def __init__(self, seconds: float, times: int = 1) -> None:
+        if seconds <= 0:
+            raise ResilienceError(f"seconds must be positive, got {seconds}")
+        if times < 1:
+            raise ResilienceError(f"times must be >= 1, got {times}")
+        self.seconds = seconds
+        self.times = times
+
+    def worker_action(self, key: tuple[str, ...], attempt: int) -> dict | None:
+        """Hang descriptor for attempts ``1..times``, None afterwards."""
+        if attempt <= self.times:
+            return {"kind": CHAOS_HANG, "seconds": self.seconds}
+        return None
+
+
 class FaultPlan:
     """Deterministic mapping of sweep cells (or call indices) to faults.
 
@@ -128,6 +219,19 @@ class FaultPlan:
         fault = self._cells.get(tuple(str(part) for part in key))
         if fault is not None:
             fault.on_attempt(tuple(str(part) for part in key), attempt)
+
+    def worker_action(self, key: tuple[str, ...], attempt: int) -> dict | None:
+        """The chaos descriptor to ship to the worker for this attempt.
+
+        Consulted by the process backend *after* :meth:`on_attempt` (which
+        owns the call counter); parent-side faults raise there, worker
+        faults return their descriptor here.
+        """
+        cell_key = tuple(str(part) for part in key)
+        fault = self._cells.get(cell_key)
+        if fault is None:
+            return None
+        return fault.worker_action(cell_key, attempt)
 
     @property
     def faulty_keys(self) -> tuple[tuple[str, ...], ...]:

@@ -1,0 +1,644 @@
+"""Process-isolated parallel cell execution: a crash-surviving worker pool.
+
+The in-process executor (:mod:`repro.resilience.executor`) retries and
+checkpoints cells, but every cell still runs *inside the driver*: a native
+crash or OOM kill takes the whole sweep down, and a cell wedged inside a C
+extension that never releases the GIL cannot be interrupted by ``SIGALRM``
+at all.  :class:`WorkerPool` removes both failure modes by running cells in
+child processes (stdlib :mod:`multiprocessing`, **spawn** context):
+
+* **Registry, not closures.**  Cells are module-level functions registered
+  under a stable id with :func:`register_cell`; the pool ships
+  ``(cell id, params)`` over a pipe and the worker imports the function's
+  module by name.  Params are ordinary picklable *data* — closures (and
+  anything process-local) never cross the process boundary.
+* **Hard-kill deadlines.**  The parent tracks a wall-clock deadline per
+  in-flight cell and ``SIGKILL``\\ s the worker on overrun, then respawns
+  it — this works for C code and non-main threads, unlike ``SIGALRM``.
+  The attempt is recorded as a ``TIMEOUT`` exactly like the in-process
+  deadline path.
+* **Crash classification.**  A worker that dies mid-cell (nonzero exit,
+  death by signal, or a lost pipe) degrades the attempt into a
+  :class:`~repro.errors.WorkerCrash` — a retryable
+  :class:`~repro.errors.ResilienceError`, so the cell is re-dispatched to
+  a fresh worker and only becomes ``FAILED(WorkerCrash)`` once the retry
+  budget is spent.  The sweep itself never dies with a worker.
+* **Bounded in-flight backpressure.**  At most ``max_workers`` cells are
+  in flight; every result funnels back to the parent before more work is
+  dispatched, and the parent is the *single writer* of checkpoints (via
+  the executor's per-completion flush callback).
+* **Graceful drain.**  ``SIGINT``/``SIGTERM`` stop dispatch, let in-flight
+  cells finish (flushing their checkpoints), then raise
+  ``KeyboardInterrupt`` so the driver exits through the established
+  interrupt path — a resumed run is byte-identical to an uninterrupted
+  one.
+
+Retry semantics mirror :class:`~repro.resilience.executor.RetryPolicy`
+exactly: workers do not ship exception objects, they classify errors into
+kinds (``repro`` / ``internal`` / ``timeout`` / ``untyped``) that the
+parent maps onto the policy's retryability matrix, so markers and attempt
+counts match the in-process oracle byte for byte.
+"""
+
+from __future__ import annotations
+
+import importlib
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from multiprocessing import get_context
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import (
+    CellTimeout,
+    InternalError,
+    ReproError,
+    ResilienceError,
+    WorkerCrash,
+)
+from repro.obs import trace as obs
+from repro.resilience.executor import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    CellOutcome,
+    Key,
+    RetryPolicy,
+)
+from repro.resilience.faults import (
+    CHAOS_CRASH,
+    CHAOS_HANG,
+    CRASH_EXIT_CODE,
+    CRASH_SIGKILL,
+    FaultPlan,
+)
+
+#: Error kinds a worker reports in place of exception objects.
+KIND_REPRO = "repro"
+KIND_INTERNAL = "internal"
+KIND_TIMEOUT = "timeout"
+KIND_UNTYPED = "untyped"
+
+#: How often the scheduler wakes to notice signals and deadlines (seconds).
+_POLL_INTERVAL = 0.1
+
+
+# -- cell registry -----------------------------------------------------------
+
+_REGISTRY: dict[str, Callable[..., object]] = {}
+
+
+def register_cell(fn_id: str) -> Callable[[Callable[..., object]], Callable[..., object]]:
+    """Register a module-level function as an addressable sweep cell.
+
+    The decorated function becomes invocable by ``fn_id`` from any
+    backend: in-process the registry is a plain lookup, and the process
+    backend re-imports the function's module inside the worker (which
+    re-runs this decorator) and looks the id up there.  Nested or lambda
+    functions are rejected — they cannot be imported by name in a spawned
+    child.  Re-registering the same function is idempotent; claiming an
+    id that belongs to a different function raises
+    :class:`~repro.errors.ResilienceError`.
+    """
+    if not fn_id or not isinstance(fn_id, str):
+        raise ResilienceError(f"cell id must be a non-empty string, got {fn_id!r}")
+
+    def decorate(fn: Callable[..., object]) -> Callable[..., object]:
+        if "<locals>" in fn.__qualname__ or fn.__name__ == "<lambda>":
+            raise ResilienceError(
+                f"cell {fn_id!r} must be a module-level function so spawned "
+                f"workers can import it; got {fn.__qualname__!r}"
+            )
+        existing = _REGISTRY.get(fn_id)
+        if existing is not None and (
+            existing.__module__ != fn.__module__
+            or existing.__qualname__ != fn.__qualname__
+        ):
+            raise ResilienceError(
+                f"cell id {fn_id!r} is already registered by "
+                f"{existing.__module__}.{existing.__qualname__}"
+            )
+        _REGISTRY[fn_id] = fn
+        return fn
+
+    return decorate
+
+
+def resolve_cell(fn_id: str, module: str | None = None) -> Callable[..., object]:
+    """The registered function for ``fn_id``; imports ``module`` if needed.
+
+    Workers pass the module recorded at dispatch time so importing it
+    re-runs the :func:`register_cell` decorators and populates their own
+    (initially empty) registry.
+    """
+    fn = _REGISTRY.get(fn_id)
+    if fn is None and module is not None:
+        importlib.import_module(module)
+        fn = _REGISTRY.get(fn_id)
+    if fn is None:
+        raise ResilienceError(
+            f"unknown cell id {fn_id!r}; registered ids: {sorted(_REGISTRY)}"
+        )
+    return fn
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One schedulable cell: a registered function id plus its parameters.
+
+    ``params`` must be picklable data (datasets, configs, plain values) —
+    the process backend sends it through a pipe.  The key plays the same
+    role as in :meth:`~repro.resilience.executor.CellExecutor.run_cell`:
+    a stable string tuple identifying the cell across runs.
+    """
+
+    key: Key
+    fn_id: str
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "key", tuple(str(part) for part in self.key)
+        )
+        object.__setattr__(self, "params", dict(self.params))
+
+
+# -- worker side -------------------------------------------------------------
+
+
+def _apply_chaos(action: Mapping[str, object]) -> None:
+    """Execute an injected chaos descriptor inside the worker."""
+    import os
+
+    kind = action.get("kind")
+    if kind == CHAOS_CRASH:
+        if action.get("mode") == CRASH_SIGKILL:
+            os.kill(os.getpid(), signal.SIGKILL)
+        os._exit(CRASH_EXIT_CODE)
+    if kind == CHAOS_HANG:
+        time.sleep(float(action["seconds"]))
+        return
+    raise InternalError(f"unknown chaos descriptor: {action!r}")
+
+
+def _classify(exc: BaseException) -> str:
+    """Map a worker-side exception onto a retryability kind."""
+    if isinstance(exc, CellTimeout):
+        return KIND_TIMEOUT
+    if isinstance(exc, InternalError):
+        return KIND_INTERNAL
+    if isinstance(exc, ReproError):
+        return KIND_REPRO
+    return KIND_UNTYPED
+
+
+def _run_task(task: Mapping[str, object]) -> dict:
+    """Run one dispatched cell inside the worker, never raising."""
+    tracer = obs.Tracer() if task.get("traced") else None
+    try:
+        chaos = task.get("chaos")
+        if chaos is not None:
+            _apply_chaos(chaos)
+        fn = resolve_cell(str(task["fn_id"]), module=str(task["module"]))
+        if tracer is not None:
+            with obs.tracing(tracer):
+                value = fn(**task["params"])
+        else:
+            value = fn(**task["params"])
+        result = {"status": STATUS_OK, "value": value}
+    except Exception as exc:  # repro: ignore[R007] — reported to the parent
+        result = {
+            "status": STATUS_FAILED,
+            "kind": _classify(exc),
+            "error_type": type(exc).__name__,
+            "error_message": str(exc),
+        }
+    if tracer is not None:
+        result["obs"] = tracer.export()
+    return result
+
+
+def _worker_main(conn: mp_connection.Connection) -> None:
+    """Worker loop: receive ``(task id, task)``, send ``(task id, result)``.
+
+    SIGINT is ignored — interrupts are the parent's job (it drains or
+    kills workers explicitly), and a Ctrl-C delivered to the whole
+    foreground process group must not take workers down mid-cell.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        task_id, task = message
+        result = _run_task(task)
+        try:
+            conn.send((task_id, result))
+        except Exception as exc:  # repro: ignore[R007] — reported to the parent
+            # The cell value could not be pickled back; report that as a
+            # failure rather than dying with a half-written pipe.
+            conn.send(
+                (
+                    task_id,
+                    {
+                        "status": STATUS_FAILED,
+                        "kind": KIND_UNTYPED,
+                        "error_type": type(exc).__name__,
+                        "error_message": f"cell result could not be pickled: {exc}",
+                    },
+                )
+            )
+
+
+# -- parent side -------------------------------------------------------------
+
+
+class _PendingCell:
+    """Queue entry: a spec, its position in the sweep, and its attempt count."""
+
+    __slots__ = ("index", "spec", "attempt")
+
+    def __init__(self, index: int, spec: CellSpec) -> None:
+        self.index = index
+        self.spec = spec
+        self.attempt = 1
+
+
+class _Worker:
+    """One child process slot: its pipe and the cell it is running."""
+
+    __slots__ = ("seq", "proc", "conn", "pending", "task_id", "deadline_at")
+
+    def __init__(self, seq: int) -> None:
+        self.seq = seq
+        self.proc = None
+        self.conn = None
+        self.pending: _PendingCell | None = None
+        self.task_id = 0
+        self.deadline_at: float | None = None
+
+
+def _describe_exit(exitcode: int | None) -> str:
+    """Human-readable classification of a worker's exit status."""
+    if exitcode is None:
+        return "vanished without an exit status"
+    if exitcode < 0:
+        try:
+            name = signal.Signals(-exitcode).name
+        except ValueError:
+            name = f"signal {-exitcode}"
+        return f"killed by {name}"
+    if exitcode == 0:
+        return "exited cleanly without returning a result"
+    return f"exited with code {exitcode}"
+
+
+class WorkerPool:
+    """Schedules cell specs over ``max_workers`` SIGKILL-able spawn workers.
+
+    The pool owns process lifecycle only; retry/degradation semantics come
+    from the shared :class:`~repro.resilience.executor.RetryPolicy`, fault
+    injection from the shared :class:`~repro.resilience.faults.FaultPlan`
+    (parent-side faults fire at dispatch, worker chaos descriptors ship
+    with the task), and checkpointing stays in the driver via the
+    ``on_complete`` callback — the pool never touches disk.
+    """
+
+    def __init__(
+        self,
+        max_workers: int,
+        policy: RetryPolicy | None = None,
+        deadline: float | None = None,
+        faults: FaultPlan | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_workers < 1:
+            raise ResilienceError(f"max_workers must be >= 1, got {max_workers}")
+        if deadline is not None and deadline <= 0:
+            raise ResilienceError(f"deadline must be positive, got {deadline}")
+        self.max_workers = max_workers
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.deadline = deadline
+        self.faults = faults
+        self.sleep = sleep
+        self._ctx = get_context("spawn")
+        self._workers: list[_Worker] = []
+        self._queue: deque[_PendingCell] = deque()
+        self._results: dict[int, CellOutcome] = {}
+        self._on_complete: Callable[[int, CellOutcome], None] | None = None
+        self._next_task_id = 1
+        self._interrupted = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _spawn(self, worker: _Worker) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        worker.proc = proc
+        worker.conn = parent_conn
+        worker.pending = None
+        worker.deadline_at = None
+
+    def _respawn(self, worker: _Worker) -> None:
+        if worker.conn is not None:
+            worker.conn.close()
+        if worker.proc is not None and worker.proc.is_alive():
+            worker.proc.kill()
+        if worker.proc is not None:
+            worker.proc.join()
+        self._spawn(worker)
+        obs.count("pool.respawns")
+
+    def _shutdown(self) -> None:
+        for worker in self._workers:
+            if worker.conn is not None:
+                try:
+                    worker.conn.send(None)
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+        for worker in self._workers:
+            if worker.proc is not None:
+                worker.proc.join(timeout=2.0)
+                if worker.proc.is_alive():
+                    worker.proc.kill()
+                    worker.proc.join()
+            if worker.conn is not None:
+                worker.conn.close()
+        self._workers = []
+
+    def _on_signal(self, signum: int, frame: object) -> None:
+        self._interrupted = True
+
+    # -- scheduling --------------------------------------------------------
+
+    def run(
+        self,
+        tasks: Sequence[tuple[int, CellSpec]],
+        on_complete: Callable[[int, CellOutcome], None] | None = None,
+    ) -> dict[int, CellOutcome]:
+        """Run ``(index, spec)`` tasks to completion; outcomes by index.
+
+        ``on_complete`` fires in the parent once per finished cell (in
+        completion order, which under parallelism is not spec order) —
+        the executor uses it to flush checkpoints so a ``kill -9`` of the
+        *driver* still resumes cleanly.  On SIGINT/SIGTERM the pool stops
+        dispatching, drains in-flight cells, then raises
+        ``KeyboardInterrupt``.
+        """
+        self._results = {}
+        if not tasks:
+            return self._results
+        self._on_complete = on_complete
+        self._queue = deque(_PendingCell(index, spec) for index, spec in tasks)
+        self._interrupted = False
+        on_main = threading.current_thread() is threading.main_thread()
+        previous_handlers = {}
+        if on_main:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                previous_handlers[signum] = signal.signal(signum, self._on_signal)
+        self._workers = [
+            _Worker(seq) for seq in range(min(self.max_workers, len(tasks)))
+        ]
+        try:
+            for worker in self._workers:
+                self._spawn(worker)
+            self._loop()
+        finally:
+            self._shutdown()
+            if on_main:
+                for signum, handler in previous_handlers.items():
+                    signal.signal(signum, handler)
+        if self._interrupted:
+            raise KeyboardInterrupt
+        return self._results
+
+    def _loop(self) -> None:
+        while True:
+            draining = self._interrupted
+            if not draining:
+                for worker in self._workers:
+                    while worker.pending is None and self._queue:
+                        self._dispatch(worker, self._queue.popleft())
+                        if self._interrupted:
+                            break
+                    if self._interrupted:
+                        break
+            busy = [w for w in self._workers if w.pending is not None]
+            if not busy:
+                if draining or not self._queue:
+                    return
+                continue
+            timeout = _POLL_INTERVAL
+            now = time.monotonic()
+            for worker in busy:
+                if worker.deadline_at is not None:
+                    timeout = min(timeout, max(worker.deadline_at - now, 0.0))
+            ready = mp_connection.wait([w.conn for w in busy], timeout=timeout)
+            for conn in ready:
+                for worker in busy:
+                    if worker.conn is conn:
+                        self._receive(worker)
+                        break
+            now = time.monotonic()
+            for worker in busy:
+                if (
+                    worker.pending is not None
+                    and worker.deadline_at is not None
+                    and now >= worker.deadline_at
+                    and not worker.conn.poll()
+                ):
+                    self._kill_on_deadline(worker)
+
+    def _dispatch(self, worker: _Worker, item: _PendingCell) -> None:
+        """Send ``item`` to ``worker``, consulting the fault plan first.
+
+        Parent-side faults (transient/permanent/``nth_call``) raise here,
+        consuming the attempt exactly as the in-process backend would;
+        worker chaos (crash/hang) travels with the task as a descriptor.
+        """
+        key = item.spec.key
+        chaos = None
+        if self.faults is not None:
+            try:
+                self.faults.on_attempt(key, item.attempt)
+            except CellTimeout as exc:
+                self._attempt_failed(
+                    item,
+                    STATUS_TIMEOUT,
+                    type(exc).__name__,
+                    str(exc),
+                    self.policy.is_retryable(exc),
+                )
+                return
+            except Exception as exc:  # repro: ignore[R007] — degraded, by design
+                self._attempt_failed(
+                    item,
+                    STATUS_FAILED,
+                    type(exc).__name__,
+                    str(exc),
+                    self.policy.is_retryable(exc),
+                )
+                return
+            chaos = self.faults.worker_action(key, item.attempt)
+        fn = resolve_cell(item.spec.fn_id)
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        task = {
+            "fn_id": item.spec.fn_id,
+            "module": fn.__module__,
+            "params": item.spec.params,
+            "chaos": chaos,
+            "traced": obs.current_tracer() is not None,
+        }
+        try:
+            worker.conn.send((task_id, task))
+        except (OSError, ValueError, BrokenPipeError):
+            # The worker died between cells; replace it and try once more.
+            self._respawn(worker)
+            worker.conn.send((task_id, task))
+        worker.pending = item
+        worker.task_id = task_id
+        worker.deadline_at = (
+            time.monotonic() + self.deadline if self.deadline is not None else None
+        )
+        obs.count("pool.dispatched")
+
+    def _receive(self, worker: _Worker) -> None:
+        item = worker.pending
+        try:
+            task_id, result = worker.conn.recv()
+        except (EOFError, OSError):
+            self._crashed(worker)
+            return
+        if task_id != worker.task_id:
+            raise InternalError(
+                f"worker {worker.seq} answered task {task_id}, "
+                f"expected {worker.task_id}"
+            )
+        worker.pending = None
+        worker.deadline_at = None
+        payload = result.get("obs")
+        if payload is not None:
+            tracer = obs.current_tracer()
+            if tracer is not None:
+                tracer.absorb(payload, worker=worker.seq)
+        if result["status"] == STATUS_OK:
+            self._complete(
+                item,
+                CellOutcome(
+                    key=item.spec.key,
+                    status=STATUS_OK,
+                    value=result["value"],
+                    attempts=item.attempt,
+                ),
+            )
+            return
+        kind = result.get("kind", KIND_UNTYPED)
+        status = STATUS_TIMEOUT if kind == KIND_TIMEOUT else STATUS_FAILED
+        self._attempt_failed(
+            item,
+            status,
+            result.get("error_type"),
+            result.get("error_message"),
+            self._kind_retryable(kind),
+        )
+
+    def _kind_retryable(self, kind: str) -> bool:
+        """Parent-side mirror of ``RetryPolicy.is_retryable`` for kinds."""
+        if kind == KIND_TIMEOUT:
+            return self.policy.retry_timeouts
+        return kind == KIND_REPRO
+
+    def _crashed(self, worker: _Worker) -> None:
+        """Classify a worker that died mid-cell and retry or degrade."""
+        item = worker.pending
+        worker.proc.join()
+        exitcode = worker.proc.exitcode
+        message = (
+            f"worker {_describe_exit(exitcode)} while running "
+            f"{'/'.join(item.spec.key)} (attempt {item.attempt})"
+        )
+        obs.count("pool.worker_crashes")
+        obs.event(
+            "pool.worker_crash",
+            key="/".join(item.spec.key),
+            attempt=item.attempt,
+            exitcode=exitcode,
+        )
+        self._respawn(worker)
+        crash = WorkerCrash(message)
+        self._attempt_failed(
+            item,
+            STATUS_FAILED,
+            type(crash).__name__,
+            message,
+            self.policy.is_retryable(crash),
+        )
+
+    def _kill_on_deadline(self, worker: _Worker) -> None:
+        """SIGKILL a worker whose cell overran the deadline; respawn it."""
+        item = worker.pending
+        worker.proc.kill()
+        worker.proc.join()
+        obs.count("pool.worker_kills")
+        obs.count("cells.deadline_overruns")
+        obs.event(
+            "cell.timeout", key="/".join(item.spec.key), attempt=item.attempt
+        )
+        self._respawn(worker)
+        self._attempt_failed(
+            item,
+            STATUS_TIMEOUT,
+            CellTimeout.__name__,
+            f"cell exceeded the {self.deadline:.3f}s deadline; worker killed",
+            self.policy.retry_timeouts,
+        )
+
+    def _attempt_failed(
+        self,
+        item: _PendingCell,
+        status: str,
+        error_type: str | None,
+        error_message: str | None,
+        retryable: bool,
+    ) -> None:
+        if item.attempt < self.policy.max_attempts and retryable:
+            delay = self.policy.delay(item.attempt)
+            obs.count("cells.retries")
+            obs.event(
+                "cell.retry",
+                key="/".join(item.spec.key),
+                attempt=item.attempt,
+                delay=delay,
+                error=error_type,
+            )
+            if delay > 0:
+                self.sleep(delay)
+            item.attempt += 1
+            self._queue.appendleft(item)
+            return
+        self._complete(
+            item,
+            CellOutcome(
+                key=item.spec.key,
+                status=status,
+                error_type=error_type,
+                error_message=error_message,
+                attempts=item.attempt,
+            ),
+        )
+
+    def _complete(self, item: _PendingCell, outcome: CellOutcome) -> None:
+        self._results[item.index] = outcome
+        if self._on_complete is not None:
+            self._on_complete(item.index, outcome)

@@ -1,0 +1,27 @@
+"""R008 fixture: sanctioned deadline/parallelism usage and benign lookalikes."""
+
+import os
+import signal
+
+from repro.resilience import WorkerPool, call_with_deadline
+
+
+def deadline(fn):
+    return call_with_deadline(fn, seconds=5.0)
+
+
+def pool():
+    return WorkerPool(max_workers=2)
+
+
+def benign_signal_use():
+    # Reading signal metadata is fine; only alarm/setitimer are reserved.
+    return signal.Signals(2).name
+
+
+def benign_os_use(path):
+    return os.path.basename(path)
+
+
+def suppressed():
+    signal.alarm(1)  # repro: ignore[R008]

@@ -1,0 +1,23 @@
+"""R008 fixture: raw process/signal primitives outside resilience (violations)."""
+
+import multiprocessing
+import os
+import signal as sig
+from multiprocessing import Process
+from signal import alarm
+
+
+def raw_alarm():
+    sig.alarm(5)
+
+
+def raw_itimer():
+    sig.setitimer(sig.ITIMER_REAL, 1.0)
+
+
+def raw_fork():
+    return os.fork()
+
+
+def raw_process(target):
+    return multiprocessing.Process(target=target)

@@ -1,0 +1,70 @@
+"""Module-level cell functions for the worker-pool tests.
+
+The process backend imports cells by name inside spawned children, so the
+functions the tests dispatch must live in an importable module — they
+cannot be defined inside test functions.  Keep this module import-light:
+every spawned worker imports it.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import DataError, InternalError
+from repro.obs import trace as obs
+from repro.resilience import register_cell
+
+
+@register_cell("test.add")
+def add_cell(a: int, b: int) -> int:
+    """Return ``a + b`` (the happy path)."""
+    return a + b
+
+
+@register_cell("test.square")
+def square_cell(x: int) -> int:
+    """Return ``x * x`` (deterministic, used for ordering checks)."""
+    return x * x
+
+
+@register_cell("test.fail")
+def fail_cell(message: str = "boom") -> None:
+    """Raise a typed, retryable :class:`~repro.errors.DataError`."""
+    raise DataError(message)
+
+
+@register_cell("test.internal")
+def internal_cell() -> None:
+    """Raise a non-retryable :class:`~repro.errors.InternalError`."""
+    raise InternalError("invariant violated")
+
+
+@register_cell("test.untyped")
+def untyped_cell() -> None:
+    """Raise a non-retryable untyped ``ValueError``."""
+    raise ValueError("untyped failure")
+
+
+@register_cell("test.sleep")
+def sleep_cell(seconds: float) -> float:
+    """Sleep ``seconds`` then return it (drives the deadline path)."""
+    time.sleep(seconds)
+    return seconds
+
+
+@register_cell("test.traced")
+def traced_cell(n: int) -> int:
+    """Record a span, an event, and counters, then return ``2 * n``."""
+    with obs.span("traced_cell", n=n):
+        with obs.span("traced_inner"):
+            obs.count("test.cells")
+            obs.count("test.total", n)
+        obs.event("test.fired", n=n)
+    obs.gauge_set("test.last_n", n)
+    return 2 * n
+
+
+@register_cell("test.unpicklable")
+def unpicklable_cell() -> object:
+    """Return a value that cannot be pickled back to the parent."""
+    return lambda: None

@@ -181,9 +181,46 @@ class TestR007BroadExcept:
         assert analyzer.analyze_file(repo_src / "resilience" / "executor.py") == []
 
 
+class TestR008ProcessPrimitives:
+    def test_fires_on_violation(self):
+        findings = run_rule("R008", "r008_violation.py")
+        assert len(findings) == 6
+        assert rule_ids(findings) == {"R008"}
+        assert any("signal.alarm" in f.message for f in findings)
+        assert any("signal.setitimer" in f.message for f in findings)
+        assert any("os.fork" in f.message for f in findings)
+        assert any("multiprocessing.Process" in f.message for f in findings)
+        assert all("repro.resilience" in f.message for f in findings)
+
+    def test_silent_on_clean(self):
+        assert run_rule("R008", "r008_clean.py") == []
+
+    def test_resilience_subpackage_is_exempt(self):
+        analyzer = Analyzer(default_rules(("R008",)))
+        src = "import signal\nsignal.alarm(1)\n"
+        assert analyzer.analyze_source(src, path="src/repro/x.py") != []
+        assert (
+            analyzer.analyze_source(src, path="src/repro/resilience/x.py") == []
+        )
+
+    def test_module_alias_is_tracked(self):
+        analyzer = Analyzer(default_rules(("R008",)))
+        src = "import multiprocessing as mp\np = mp.Process(target=print)\n"
+        assert len(analyzer.analyze_source(src)) == 1
+
+    def test_own_pool_and_executor_are_exempt_and_clean(self):
+        """The pool/executor use the primitives, but live in resilience."""
+        repo_src = FIXTURES.parent.parent.parent / "src" / "repro"
+        analyzer = Analyzer(default_rules(("R008",)))
+        assert analyzer.analyze_file(repo_src / "resilience" / "pool.py") == []
+        assert (
+            analyzer.analyze_file(repo_src / "resilience" / "executor.py") == []
+        )
+
+
 @pytest.mark.parametrize("rule_id", RULE_IDS)
 def test_every_rule_has_an_exercised_fixture(rule_id):
-    """Acceptance guard: R001–R007 each fire somewhere under fixtures/."""
+    """Acceptance guard: R001–R008 each fire somewhere under fixtures/."""
     project = ProjectContext(
         exported_names=frozenset({"exported_fn", "ExportedThing"})
     )

@@ -39,7 +39,7 @@ def test_json_report_is_clean_and_well_formed():
     assert rc == EXIT_CLEAN
     assert payload["summary"]["new"] == 0
     assert payload["findings"] == []
-    assert len(payload["rules"]) == 7
+    assert len(payload["rules"]) == 8
 
 
 def test_cli_analyze_subcommand(capsys):

@@ -123,6 +123,15 @@ class TestExperiment:
         assert rc == 0
         assert "Robustness" in capsys.readouterr().out
 
+    def test_process_backend_matches_inproc_output(self, capsys):
+        args = ["experiment", "robustness", "--rows", "600", "--models", "dt"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--backend", "process", "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+        assert "Robustness" in parallel
+
 
 ROBUSTNESS_ARGS = ["experiment", "robustness", "--rows", "600"]
 
@@ -146,6 +155,17 @@ class TestExitCodes:
         rc = main(ROBUSTNESS_ARGS + ["--max-retries", "-1"])
         assert rc == 2
         assert "--max-retries" in capsys.readouterr().err
+
+    def test_process_backend_rejected_for_fig7_exits_2(self, capsys):
+        rc = main(["experiment", "fig7", "--rows", "600",
+                   "--backend", "process", "--workers", "2"])
+        assert rc == 2
+        assert "not cell-addressable" in capsys.readouterr().err
+
+    def test_zero_workers_exits_2(self, capsys):
+        rc = main(ROBUSTNESS_ARGS + ["--workers", "0"])
+        assert rc == 2
+        assert "--workers" in capsys.readouterr().err
 
     def test_malformed_csv_exits_2(self, tmp_path, capsys):
         csv = tmp_path / "bad.csv"
@@ -228,6 +248,43 @@ class TestExitCodes:
         )
         assert rc == 2
         assert "different configuration" in capsys.readouterr().err
+
+
+class TestCheckpointCommand:
+    def test_inspect_summarizes_sweep_checkpoint(self, tmp_path, capsys):
+        ck = tmp_path / "ck.json"
+        rc = main(ROBUSTNESS_ARGS + ["--models", "dt", "--checkpoint", str(ck)])
+        assert rc == 0
+        capsys.readouterr()
+
+        assert main(["checkpoint", "inspect", str(ck)]) == 0
+        out = capsys.readouterr().out
+        assert f"checkpoint: {ck}" in out
+        assert "run id:" in out
+        assert "0 failed" in out
+        assert "age:" in out
+
+    def test_inspect_missing_file_exits_2(self, tmp_path, capsys):
+        rc = main(["checkpoint", "inspect", str(tmp_path / "none.json")])
+        assert rc == 2
+        assert "cannot read checkpoint" in capsys.readouterr().err
+
+    def test_prune_keeps_newest(self, tmp_path, capsys):
+        import os
+
+        from repro.resilience import Checkpoint
+
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        Checkpoint(old, "r1").record(("a",), {"value": 1})
+        Checkpoint(new, "r2").record(("a",), {"value": 2})
+        os.utime(old, (1000.0, 1000.0))
+
+        rc = main(["checkpoint", "prune", str(tmp_path), "--keep-latest", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"deleted {old}" in out
+        assert "pruned 1 checkpoint(s)" in out
+        assert new.exists() and not old.exists()
 
 
 class TestReport:

@@ -1,0 +1,150 @@
+"""Property tests: process backend ≡ inproc oracle under arbitrary chaos.
+
+Random cell plans — worker count 1..4, per-cell crash faults (``os._exit``
+or SIGKILL), at most one past-deadline hang, and a driver "kill" at an
+arbitrary point (simulated by running a prefix of the sweep against a
+fresh checkpoint, which the atomic per-cell flush makes equivalent to a
+mid-sweep SIGKILL) — must always produce the same ``(key, status, value,
+marker)`` sequence from the process backend as from an uninterrupted
+in-process run.
+
+Attempt counts are deliberately *excluded* from the comparison: crash and
+hang faults are inert under the inproc backend (they only fire inside a
+worker), so the process run legitimately retries where the oracle does
+not.  Result tables never include attempts, so this is exactly the
+byte-identical-artifacts contract.
+
+Each example spawns real worker processes, so the suite runs few, large
+examples (slow-marked; excluded from the tier-1 CI stage).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import tests.pool_cells  # noqa: F401  — registers the test.* cells
+from repro.resilience import (
+    BACKEND_INPROC,
+    BACKEND_PROCESS,
+    CellExecutor,
+    CellSpec,
+    Checkpoint,
+    CrashFault,
+    FaultPlan,
+    HangFault,
+    RetryPolicy,
+)
+
+pytestmark = pytest.mark.slow
+
+# Generous deadline: worker bootstrap (spawn + imports) counts against the
+# first dispatched cell's budget on a loaded single-core box.
+DEADLINE = 10.0
+HANG_SECONDS = 60.0
+
+FAULT_KINDS = (None, "exit", "sigkill")
+
+
+@st.composite
+def chaos_plans(draw):
+    """(n_cells, workers, per-cell fault kinds, resume split point)."""
+    n_cells = draw(st.integers(3, 6))
+    workers = draw(st.integers(1, 4))
+    kinds = [draw(st.sampled_from(FAULT_KINDS)) for _ in range(n_cells)]
+    hang_at = draw(st.one_of(st.none(), st.integers(0, n_cells - 1)))
+    if hang_at is not None:
+        kinds[hang_at] = "hang"
+    split = draw(st.integers(0, n_cells))
+    return n_cells, workers, tuple(kinds), split
+
+
+def build_specs(n_cells):
+    return [
+        CellSpec(key=("prop", str(i)), fn_id="test.square", params={"x": i + 2})
+        for i in range(n_cells)
+    ]
+
+
+def build_faults(kinds):
+    """Fresh FaultPlan per run — fault counters are stateful."""
+    cells = {}
+    for i, kind in enumerate(kinds):
+        if kind in ("exit", "sigkill"):
+            cells[("prop", str(i))] = CrashFault(times=1, mode=kind)
+        elif kind == "hang":
+            cells[("prop", str(i))] = HangFault(seconds=HANG_SECONDS, times=1)
+    return FaultPlan(cells=cells)
+
+
+def policy():
+    # retry_timeouts so a hard-killed hang recovers on the retry, matching
+    # the clean oracle; times=1 faults never fire twice.
+    return RetryPolicy(max_attempts=3, retry_timeouts=True)
+
+
+def comparable(outcomes):
+    return [(o.key, o.status, o.value, o.marker) for o in outcomes]
+
+
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(chaos_plans())
+def test_process_backend_equals_inproc_oracle_under_chaos(plan):
+    n_cells, workers, kinds, split = plan
+    specs = build_specs(n_cells)
+
+    oracle = CellExecutor(policy=policy(), backend=BACKEND_INPROC)
+    expected = comparable(oracle.run_specs(specs))
+
+    chaotic = CellExecutor(
+        policy=policy(),
+        deadline=DEADLINE,
+        faults=build_faults(kinds),
+        backend=BACKEND_PROCESS,
+        max_workers=workers,
+    )
+    assert comparable(chaotic.run_specs(specs)) == expected
+
+
+@settings(
+    max_examples=3,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(chaos_plans())
+def test_resume_after_driver_kill_equals_uninterrupted_run(tmp_path_factory, plan):
+    n_cells, workers, kinds, split = plan
+    specs = build_specs(n_cells)
+    path = tmp_path_factory.mktemp("chaos") / "ck.json"
+    run_id = "prop-resume"
+
+    oracle = CellExecutor(policy=policy(), backend=BACKEND_INPROC)
+    expected = comparable(oracle.run_specs(specs))
+
+    # Stage 1: the sweep "dies" after the first `split` cells — per-cell
+    # atomic flushes mean the checkpoint equals a mid-sweep SIGKILL's.
+    if split:
+        CellExecutor(
+            policy=policy(),
+            deadline=DEADLINE,
+            faults=build_faults(kinds[:split]),
+            checkpoint=Checkpoint(path, run_id, resume=False),
+            backend=BACKEND_PROCESS,
+            max_workers=workers,
+        ).run_specs(specs[:split])
+
+    # Stage 2: --resume over the full sweep; completed cells restore, the
+    # rest run under whatever faults have not fired yet.
+    resumed = CellExecutor(
+        policy=policy(),
+        deadline=DEADLINE,
+        faults=build_faults(kinds),
+        checkpoint=Checkpoint(path, run_id, resume=True),
+        backend=BACKEND_PROCESS,
+        max_workers=workers,
+    )
+    assert comparable(resumed.run_specs(specs)) == expected

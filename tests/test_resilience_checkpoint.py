@@ -11,6 +11,8 @@ from repro.resilience import (
     CHECKPOINT_VERSION,
     CellExecutor,
     Checkpoint,
+    inspect_checkpoint,
+    prune_checkpoints,
     sweep_run_id,
 )
 
@@ -132,13 +134,17 @@ class TestExecutorCheckpointing:
         assert not out_c.resumed
         assert resumed.n_resumed == 1
 
-    def test_failed_cells_are_not_checkpointed(self, tmp_path):
+    def test_failed_cells_are_recorded_but_not_restorable(self, tmp_path):
         path = tmp_path / "ck.json"
         executor = CellExecutor(checkpoint=Checkpoint(path, "r"))
         executor.run_cell(("bad",), lambda: 1 / 0)
         executor.run_cell(("good",), lambda: 1)
         back = Checkpoint(path, "r")
+        # the failure is persisted for inspection, but get()/in treat it as
+        # absent so the cell is re-attempted on resume
         assert ("good",) in back and ("bad",) not in back
+        assert back.get(("bad",)) is None
+        assert back.n_done == 1 and back.n_failed == 1
 
     def test_codecs_round_trip(self, tmp_path):
         path = tmp_path / "ck.json"
@@ -165,3 +171,113 @@ class TestExecutorCheckpointing:
         executor = CellExecutor(checkpoint=Checkpoint(path, "r"))
         executor.run_cell(("a",), lambda: 1)
         assert ("a",) in Checkpoint(path, "r")  # visible before the sweep ends
+
+
+class TestRecordFailure:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ck = Checkpoint(path, "r")
+        ck.record(("ok",), {"value": 1, "attempts": 1})
+        ck.record_failure(("bad",), "failed", "DataError", "boom", 3)
+        ck.record_failure(("slow",), "timeout", None, "deadline", 1)
+
+        back = Checkpoint(path, "r")
+        assert back.n_done == 1 and back.n_failed == 2
+        assert len(back) == 3
+        assert back.keys() == (("bad",), ("ok",), ("slow",))
+        # failed entries are invisible to get()/in, so resume re-runs them
+        assert back.get(("bad",)) is None and ("bad",) not in back
+        assert back.get(("slow",)) is None and ("slow",) not in back
+        assert ("ok",) in back
+
+    def test_failure_entry_shape_on_disk(self, tmp_path):
+        path = tmp_path / "ck.json"
+        Checkpoint(path, "r").record_failure(("bad",), "failed", "DataError", "boom", 3)
+        (entry,) = json.loads(path.read_text())["cells"]
+        assert entry == {
+            "key": ["bad"],
+            "status": "failed",
+            "error_type": "DataError",
+            "error_message": "boom",
+            "attempts": 3,
+        }
+
+    def test_success_overwrites_prior_failure(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ck = Checkpoint(path, "r")
+        ck.record_failure(("a",), "failed", "DataError", "boom", 2)
+        ck.record(("a",), {"value": 5, "attempts": 1})
+        back = Checkpoint(path, "r")
+        assert back.get(("a",))["value"] == 5
+        assert back.n_done == 1 and back.n_failed == 0
+
+
+class TestInspect:
+    def test_summary_fields(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ck = Checkpoint(path, "run-abc")
+        ck.record(("a", "1"), {"value": 1})
+        ck.record_failure(("b", "2"), "failed", "DataError", "boom", 3)
+        ck.record_failure(("a", "9"), "timeout", None, "deadline", 1)
+
+        info = inspect_checkpoint(path)
+        assert info["run_id"] == "run-abc"
+        assert info["version"] == CHECKPOINT_VERSION
+        assert (info["n_cells"], info["n_done"], info["n_failed"]) == (3, 1, 2)
+        assert info["failed"] == ["a/9", "b/2"]
+        assert 0.0 <= info["age_seconds"] < 3600.0
+        assert info["path"] == str(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            inspect_checkpoint(tmp_path / "none.json")
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError, match="cannot read"):
+            inspect_checkpoint(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"version": 99, "run_id": "r", "cells": []}))
+        with pytest.raises(CheckpointError, match="version"):
+            inspect_checkpoint(path)
+
+
+class TestPrune:
+    @staticmethod
+    def _write_checkpoint(path, run_id, mtime):
+        import os
+
+        Checkpoint(path, run_id).record(("a",), {"value": 1})
+        os.utime(path, (mtime, mtime))
+
+    def test_keeps_newest_by_mtime(self, tmp_path):
+        for i, name in enumerate(["old.json", "mid.json", "new.json"]):
+            self._write_checkpoint(tmp_path / name, f"r{i}", 1000.0 + i)
+        deleted = prune_checkpoints([tmp_path], keep_latest=1)
+        assert deleted == (tmp_path / "mid.json", tmp_path / "old.json")
+        assert (tmp_path / "new.json").exists()
+
+    def test_mixes_files_and_directories(self, tmp_path):
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        self._write_checkpoint(sub / "a.json", "r1", 1000.0)
+        self._write_checkpoint(tmp_path / "b.json", "r2", 2000.0)
+        deleted = prune_checkpoints([sub, tmp_path / "b.json"], keep_latest=1)
+        assert deleted == (sub / "a.json",)
+
+    def test_non_checkpoint_json_untouched(self, tmp_path):
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps({"hello": "world"}))
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        self._write_checkpoint(tmp_path / "ck.json", "r", 1000.0)
+        deleted = prune_checkpoints([tmp_path], keep_latest=0)
+        assert deleted == (tmp_path / "ck.json",)
+        assert other.exists() and garbage.exists()
+
+    def test_negative_keep_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="keep_latest"):
+            prune_checkpoints([tmp_path], keep_latest=-1)

@@ -100,6 +100,43 @@ class TestDeadline:
         call_with_deadline(lambda: None, 5.0)
         assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
 
+    def test_nested_deadline_restores_outer_timer(self):
+        import signal
+
+        remaining: list[float] = []
+
+        def outer_body():
+            assert call_with_deadline(lambda: "inner", 0.5) == "inner"
+            # the outer 5s alarm must be re-armed, not cleared or replaced
+            remaining.append(signal.getitimer(signal.ITIMER_REAL)[0])
+            return "outer"
+
+        assert call_with_deadline(outer_body, 5.0) == "outer"
+        assert 0.0 < remaining[0] <= 5.0
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+    def test_outer_deadline_still_fires_after_inner_completes(self):
+        def outer_body():
+            call_with_deadline(lambda: None, 5.0)
+            time.sleep(10.0)
+
+        start = time.perf_counter()
+        with pytest.raises(CellTimeout):
+            call_with_deadline(outer_body, 0.2)
+        assert time.perf_counter() - start < 2.0
+
+    def test_outer_deadline_expired_during_inner_fires_promptly(self):
+        # The inner call outlives the outer budget; on restore the expired
+        # outer alarm must be re-armed at epsilon, not dropped.
+        def outer_body():
+            call_with_deadline(lambda: time.sleep(0.3), 5.0)
+            time.sleep(10.0)
+
+        start = time.perf_counter()
+        with pytest.raises(CellTimeout):
+            call_with_deadline(outer_body, 0.1)
+        assert time.perf_counter() - start < 2.0
+
     def test_posthoc_timeout_off_main_thread(self):
         results: list[object] = []
 
