@@ -1,6 +1,6 @@
 # Development workflow shortcuts.
 
-.PHONY: install test lint ci bench bench-full bench-ibs bench-pool examples experiments-smoke chaos report clean
+.PHONY: install test lint lint-strict ci bench bench-full bench-ibs bench-pool examples experiments-smoke chaos report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -8,8 +8,19 @@ install:
 test:
 	PYTHONPATH=src pytest tests/
 
+# Incremental: warm runs re-parse only changed files (a cold or corrupt
+# cache transparently falls back to a full analysis).
 lint:
-	PYTHONPATH=src python -m repro.analysis src/repro --baseline analysis-baseline.json
+	PYTHONPATH=src python -m repro.analysis src/repro \
+		--baseline analysis-baseline.json --cache .analysis-cache.json
+
+# No baseline, no cache: the resilience / obs subsystems must be clean
+# outright (inline `# repro: ignore[...]` suppressions only).  Run by the
+# CI chaos stage.  R014 is excluded because dead-export detection is
+# meaningless on a subsystem slice — the consumers live elsewhere.
+lint-strict:
+	PYTHONPATH=src python -m repro.analysis src/repro/resilience src/repro/obs \
+		--rules R001,R002,R003,R004,R005,R006,R007,R008,R009,R010,R011,R012,R013
 
 ci:
 	PYTHONPATH=src python scripts/ci.py

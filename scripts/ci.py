@@ -2,10 +2,16 @@
 
 Runs the repository's quality gates in order, fail-fast::
 
-    lint               static analysis (R001-R008) against the baseline
+    lint               static analysis (per-file R001-R008 + whole-program
+                       R009-R014) against the baseline, through the
+                       incremental cache (missing/corrupt cache = cold run);
+                       its wall time lands in the status table like every
+                       stage's
     tier1              fast pytest suite (slow-marked modules skipped)
     experiments-smoke  resilience smoke sweep over the experiment harnesses
-    chaos              process-backend sweep under crashes/hangs/driver kill
+    chaos              strict no-baseline lint of the resilience/obs
+                       subsystems, then the process-backend sweep under
+                       crashes/hangs/driver kill
     examples           every script in examples/ end to end
     bench-regression   fresh IBS + pool benchmarks vs the committed baselines
 
@@ -45,7 +51,8 @@ def stage_commands(bench_json: str, pool_json: str) -> list[tuple[str, list[list
         (
             "lint",
             [[PYTHON, "-m", "repro.analysis", "src/repro",
-              "--baseline", "analysis-baseline.json"]],
+              "--baseline", "analysis-baseline.json",
+              "--cache", ".analysis-cache.json", "--stats"]],
         ),
         (
             "tier1",
@@ -57,7 +64,18 @@ def stage_commands(bench_json: str, pool_json: str) -> list[tuple[str, list[list
         ),
         (
             "chaos",
-            [[PYTHON, "-m", "repro.resilience.chaos", "--workers", "2"]],
+            [
+                # Strict lint first: new resilience/obs code must be clean
+                # outright — no baseline, inline suppressions only.  R014
+                # is excluded (dead-export detection needs the consumers,
+                # which live outside the slice).
+                [PYTHON, "-m", "repro.analysis",
+                 "src/repro/resilience", "src/repro/obs",
+                 "--rules",
+                 "R001,R002,R003,R004,R005,R006,R007,R008,"
+                 "R009,R010,R011,R012,R013"],
+                [PYTHON, "-m", "repro.resilience.chaos", "--workers", "2"],
+            ],
         ),
         (
             "examples",

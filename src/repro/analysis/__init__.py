@@ -1,21 +1,45 @@
 """Static analysis enforcing the repo's determinism, dependency and API
 contracts (see docs/static_analysis.md).
 
-A small AST-walking engine (:mod:`repro.analysis.engine`) dispatches each
-node to pluggable rules; the shipped rules R001–R006 gate forbidden
-imports, global-RNG usage, mutable defaults, bare asserts, public-API
-drift and set iteration in result-producing code.  Findings ratchet via a
-JSON baseline (:mod:`repro.analysis.baseline`) and are reported by
+Two tiers.  Per file: an AST-walking engine
+(:mod:`repro.analysis.engine`) dispatches each node to pluggable rules
+R001–R008 (forbidden imports, global-RNG usage, mutable defaults, bare
+asserts, public-API drift, set iteration, swallowed handlers, raw
+process primitives).  Whole program: every file's extracted facts
+assemble into a :class:`~repro.analysis.project.ProjectModel` (module
+graph, symbol table, approximate call graph) over which a purity
+fixpoint (:mod:`repro.analysis.purity`) drives rules R009–R014
+(determinism taint, worker-cell safety, checkpoint-key stability, obs
+inertness, import cycles, dead exports).  An incremental sha256 cache
+(:mod:`repro.analysis.cache`) makes warm runs re-parse only changed
+files.  Findings ratchet via a JSON baseline
+(:mod:`repro.analysis.baseline`) and are reported by
 ``python -m repro.analysis`` / ``repro analyze``
 (:mod:`repro.analysis.runner`).
 """
 
 from repro.analysis.baseline import (
     BaselineDiff,
+    BaselineEntry,
     diff_against_baseline,
     load_baseline,
+    load_baseline_entries,
+    prune_baseline,
     write_baseline,
 )
+from repro.analysis.cache import AnalysisCache, cache_salt, file_sha256
+from repro.analysis.driver import (
+    AnalysisOutcome,
+    AnalysisStats,
+    analyze_project,
+)
+from repro.analysis.project import (
+    ModuleFacts,
+    ProjectModel,
+    extract_module_facts,
+    module_name_for,
+)
+from repro.analysis.purity import PurityReport, classify_external
 from repro.analysis.engine import (
     Analyzer,
     FileContext,
@@ -33,14 +57,21 @@ from repro.analysis.engine import (
 )
 from repro.analysis.rules import (
     BareAssertRule,
+    CheckpointKeyStabilityRule,
+    DeadExportRule,
+    DeterminismTaintRule,
     ForbiddenImportRule,
+    ImportCycleRule,
     MutableDefaultRule,
+    ObsInertnessRule,
+    ProjectRule,
     PublicApiContractRule,
     RULE_CLASSES,
     RULE_IDS,
     SANCTIONED_PACKAGES,
     SetIterationRule,
     UnseededRandomnessRule,
+    WorkerCellSafetyRule,
     default_rules,
 )
 
@@ -50,7 +81,11 @@ __all__ = [
     "Finding",
     "ProjectContext",
     "Rule",
+    "ProjectRule",
     "analyze_paths",
+    "analyze_project",
+    "AnalysisOutcome",
+    "AnalysisStats",
     "iter_python_files",
     "module_all",
     "suppressed_rules_by_line",
@@ -59,15 +94,33 @@ __all__ = [
     "SEVERITY_WARNING",
     "PARSE_ERROR_ID",
     "BaselineDiff",
+    "BaselineEntry",
     "load_baseline",
+    "load_baseline_entries",
+    "prune_baseline",
     "write_baseline",
     "diff_against_baseline",
+    "AnalysisCache",
+    "cache_salt",
+    "file_sha256",
+    "ModuleFacts",
+    "ProjectModel",
+    "PurityReport",
+    "classify_external",
+    "extract_module_facts",
+    "module_name_for",
     "BareAssertRule",
     "ForbiddenImportRule",
     "MutableDefaultRule",
     "PublicApiContractRule",
     "SetIterationRule",
     "UnseededRandomnessRule",
+    "DeterminismTaintRule",
+    "WorkerCellSafetyRule",
+    "CheckpointKeyStabilityRule",
+    "ObsInertnessRule",
+    "ImportCycleRule",
+    "DeadExportRule",
     "RULE_CLASSES",
     "RULE_IDS",
     "SANCTIONED_PACKAGES",

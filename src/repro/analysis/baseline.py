@@ -5,12 +5,19 @@ the analyzer can gate on *new* violations only.  The workflow:
 
 * ``python -m repro.analysis src/repro --baseline analysis-baseline.json``
   fails iff a finding is not in the baseline;
-* ``--update-baseline`` rewrites the file with the current findings;
-* entries whose finding disappeared are reported as *stale* so the
-  baseline only ever shrinks (the ratchet).
+* ``--update-baseline`` rewrites the file with the current findings,
+  preserving the ``reason`` recorded for entries that persist;
+* entries whose finding disappeared are **stale** — the gate fails on
+  them (a silently shrinking reality must shrink the file too) until
+  ``--prune-baseline`` drops them (and any entry whose file no longer
+  exists).  The baseline only ever shrinks — that is the ratchet.
 
-Fingerprints exclude line/column (see :meth:`Finding.fingerprint`) so a
-baselined finding survives unrelated edits to the same file.
+Every entry should carry a human-written ``reason`` explaining why the
+finding is tolerated rather than fixed;
+``tests/test_analysis_selfcheck.py`` enforces this for the committed
+baseline.  Fingerprints exclude line/column (see
+:meth:`Finding.fingerprint`) so a baselined finding survives unrelated
+edits to the same file.
 """
 
 from __future__ import annotations
@@ -18,13 +25,35 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.analysis.engine import Finding
 from repro.data.io import atomic_write_json
 from repro.errors import AnalysisError
 
 BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One tolerated finding: its fingerprint parts plus the written reason."""
+
+    path: str
+    rule: str
+    message: str
+    reason: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Identity matching :meth:`Finding.fingerprint`."""
+        return f"{self.path}::{self.rule}::{self.message}"
+
+    def to_dict(self) -> dict:
+        """Plain-JSON entry (``reason`` omitted when empty)."""
+        payload = {"path": self.path, "rule": self.rule, "message": self.message}
+        if self.reason:
+            payload["reason"] = self.reason
+        return payload
 
 
 @dataclass(frozen=True)
@@ -36,15 +65,15 @@ class BaselineDiff:
     stale: tuple[str, ...]
 
 
-def load_baseline(path: Path | str) -> frozenset[str]:
-    """Read a baseline file into a set of fingerprints.
+def load_baseline_entries(path: Path | str) -> tuple[BaselineEntry, ...]:
+    """Read a baseline file into entries (missing file = empty baseline).
 
-    A missing file is an empty baseline; a malformed one raises
-    :class:`AnalysisError` (silently ignoring it would un-gate the build).
+    A malformed file raises :class:`AnalysisError` — silently ignoring it
+    would un-gate the build.
     """
     path = Path(path)
     if not path.exists():
-        return frozenset()
+        return ()
     try:
         payload = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
@@ -54,39 +83,81 @@ def load_baseline(path: Path | str) -> frozenset[str]:
     entries = payload["entries"]
     if not isinstance(entries, list):
         raise AnalysisError(f"baseline {path} is malformed: 'entries' not a list")
-    fingerprints: set[str] = set()
+    out: list[BaselineEntry] = []
     for entry in entries:
         try:
-            fingerprints.add(
-                f"{entry['path']}::{entry['rule']}::{entry['message']}"
+            out.append(
+                BaselineEntry(
+                    path=entry["path"],
+                    rule=entry["rule"],
+                    message=entry["message"],
+                    reason=str(entry.get("reason", "")),
+                )
             )
         except (TypeError, KeyError) as exc:
             raise AnalysisError(
                 f"baseline {path} has a malformed entry: {entry!r}"
             ) from exc
-    return frozenset(fingerprints)
+    return tuple(out)
 
 
-def write_baseline(path: Path | str, findings: Sequence[Finding]) -> int:
+def load_baseline(path: Path | str) -> frozenset[str]:
+    """Read a baseline file into a set of fingerprints."""
+    return frozenset(e.fingerprint for e in load_baseline_entries(path))
+
+
+def write_baseline(
+    path: Path | str,
+    findings: Sequence[Finding],
+    reasons: Mapping[str, str] | None = None,
+) -> int:
     """Write ``findings`` as the new baseline; returns the entry count.
 
-    Entries are stored human-readably (path / rule / message) and sorted so
-    the file diffs cleanly under version control.
+    ``reasons`` maps fingerprints to justification strings — pass the
+    previous baseline's reasons so persisting entries keep them.  Entries
+    are stored human-readably and sorted so the file diffs cleanly under
+    version control.
     """
-    entries = sorted(
-        {
-            (f.path, f.rule_id, f.message)
-            for f in findings
-        }
-    )
+    reasons = dict(reasons or {})
+    unique = sorted({(f.path, f.rule_id, f.message) for f in findings})
+    entries = [
+        BaselineEntry(
+            path=p,
+            rule=r,
+            message=m,
+            reason=reasons.get(f"{p}::{r}::{m}", ""),
+        )
+        for p, r, m in unique
+    ]
     payload = {
         "version": BASELINE_VERSION,
-        "entries": [
-            {"path": p, "rule": r, "message": m} for p, r, m in entries
-        ],
+        "entries": [e.to_dict() for e in entries],
     }
     atomic_write_json(path, payload)
     return len(entries)
+
+
+def prune_baseline(
+    path: Path | str, findings: Sequence[Finding]
+) -> tuple[int, int]:
+    """Drop entries that are stale or whose file no longer exists.
+
+    Returns ``(kept, dropped)``.  An entry survives only if its file is
+    still on disk *and* its fingerprint matches a current finding; the
+    recorded reasons of surviving entries are preserved.
+    """
+    entries = load_baseline_entries(path)
+    current = {f.fingerprint() for f in findings}
+    kept: list[BaselineEntry] = []
+    for entry in entries:
+        if entry.fingerprint in current and Path(entry.path).exists():
+            kept.append(entry)
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [e.to_dict() for e in sorted(kept, key=lambda e: e.fingerprint)],
+    }
+    atomic_write_json(path, payload)
+    return len(kept), len(entries) - len(kept)
 
 
 def diff_against_baseline(

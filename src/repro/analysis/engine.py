@@ -218,6 +218,12 @@ class Analyzer:
                     message=f"file does not parse: {exc}",
                 )
             ]
+        return self.analyze_parsed(tree, source, path)
+
+    def analyze_parsed(
+        self, tree: ast.Module, source: str, path: str = "<string>"
+    ) -> list[Finding]:
+        """Analyse an already-parsed module (single-parse fast path)."""
         ctx = FileContext(path, tree, source, project=self.project)
         findings: list[Finding] = []
         for rule in self.rules:
@@ -227,7 +233,7 @@ class Analyzer:
                 findings.extend(rule.visit(node, ctx))
         for rule in self.rules:
             findings.extend(rule.end_file(ctx))
-        suppressed = suppressed_rules_by_line(source)
+        suppressed = suppressed_rules_by_line(source, tree)
         findings = [f for f in findings if not _is_suppressed(f, suppressed)]
         return sorted(findings)
 
@@ -249,8 +255,16 @@ def analyze_paths(
     """Analyse files and directory trees; directories are walked for ``*.py``.
 
     The :class:`ProjectContext` is built from the same paths when not given,
-    so the API-contract rule sees the package's real export surface.
+    so the API-contract rule sees the package's real export surface.  When
+    ``rules`` contains whole-program rules (``whole_program = True``), the
+    call is delegated to :func:`repro.analysis.driver.analyze_project`,
+    which assembles the project model and runs them too.
     """
+    if any(getattr(rule, "whole_program", False) for rule in rules):
+        # Function-level import: driver depends on this module at top level.
+        from repro.analysis.driver import analyze_project
+
+        return list(analyze_project(paths, rules, project=project).findings)
     resolved = [Path(p) for p in paths]
     for p in resolved:
         if not p.exists():
@@ -298,8 +312,19 @@ def module_all(tree: ast.Module) -> list[str] | None:
     return None
 
 
-def suppressed_rules_by_line(source: str) -> dict[int, frozenset[str] | None]:
-    """Map line number -> suppressed rule ids (None means all rules)."""
+def suppressed_rules_by_line(
+    source: str, tree: ast.Module | None = None
+) -> dict[int, frozenset[str] | None]:
+    """Map line number -> suppressed rule ids (None means all rules).
+
+    When ``tree`` is given, a suppression comment anywhere on a
+    multi-line statement applies to the *whole* statement: the comment's
+    rule set is spread across every physical line of the smallest
+    enclosing simple statement (or the header of a compound statement,
+    decorators included), so a finding anchored at the first line of a
+    wrapped call is silenced by a comment on its closing line and vice
+    versa.  Without ``tree`` only the comment's own line is covered.
+    """
     suppressed: dict[int, frozenset[str] | None] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
         match = _SUPPRESS_RE.search(line)
@@ -312,7 +337,53 @@ def suppressed_rules_by_line(source: str) -> dict[int, frozenset[str] | None]:
             suppressed[lineno] = frozenset(
                 part.strip() for part in ids.split(",") if part.strip()
             )
+    if tree is None or not suppressed:
+        return suppressed
+    for start, end in _statement_spans(tree):
+        if end <= start:
+            continue
+        covered = [suppressed[n] for n in range(start, end + 1) if n in suppressed]
+        if not covered:
+            continue
+        merged: frozenset[str] | None
+        if any(ids is None for ids in covered):
+            merged = None
+        else:
+            merged = frozenset().union(*covered)
+        for n in range(start, end + 1):
+            if merged is None:
+                suppressed[n] = None
+            elif n in suppressed and suppressed[n] is None:
+                pass  # an all-rules suppression already covers this line
+            else:
+                suppressed[n] = suppressed.get(n, frozenset()) | merged
     return suppressed
+
+
+def _statement_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """Physical-line spans over which a suppression comment is shared.
+
+    Simple statements span their full ``lineno..end_lineno``; compound
+    statements (``def``, ``if``, ``for``, ...) contribute only their
+    header — from the first decorator down to the line before the body —
+    so an ignore inside a function body never silences the whole
+    function.
+    """
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        end = int(getattr(node, "end_lineno", start) or start)
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            end = min(end, body[0].lineno - 1)
+        decorators = getattr(node, "decorator_list", None)
+        if decorators:
+            start = min([start] + [d.lineno for d in decorators])
+        if end > start:
+            spans.append((start, end))
+    return spans
 
 
 def _is_suppressed(

@@ -1,4 +1,9 @@
-"""Repo-specific analysis rules (R001–R008) and their registry."""
+"""Repo-specific analysis rules and their registry.
+
+Two tiers: per-file rules R001–R008 run through the AST-walking engine,
+one file at a time; whole-program rules R009–R014 run once over the
+assembled project model (see :mod:`repro.analysis.rules.wholeprog`).
+"""
 
 from __future__ import annotations
 
@@ -10,6 +15,15 @@ from repro.analysis.rules.imports import SANCTIONED_PACKAGES, ForbiddenImportRul
 from repro.analysis.rules.iteration import RESULT_SUBPACKAGES, SetIterationRule
 from repro.analysis.rules.processes import PROCESS_SUBPACKAGE, ProcessPrimitiveRule
 from repro.analysis.rules.randomness import SEEDABLE_CONSTRUCTORS, UnseededRandomnessRule
+from repro.analysis.rules.wholeprog import (
+    CheckpointKeyStabilityRule,
+    DeadExportRule,
+    DeterminismTaintRule,
+    ImportCycleRule,
+    ObsInertnessRule,
+    ProjectRule,
+    WorkerCellSafetyRule,
+)
 
 from repro.analysis.engine import Rule
 from repro.errors import AnalysisError as _AnalysisError
@@ -24,6 +38,12 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     SetIterationRule,
     BroadExceptRule,
     ProcessPrimitiveRule,
+    DeterminismTaintRule,
+    WorkerCellSafetyRule,
+    CheckpointKeyStabilityRule,
+    ObsInertnessRule,
+    ImportCycleRule,
+    DeadExportRule,
 )
 
 RULE_IDS: tuple[str, ...] = tuple(cls.rule_id for cls in RULE_CLASSES)
@@ -44,6 +64,7 @@ def default_rules(only: tuple[str, ...] | None = None) -> tuple[Rule, ...]:
 
 __all__ = [
     "Rule",
+    "ProjectRule",
     "ForbiddenImportRule",
     "UnseededRandomnessRule",
     "MutableDefaultRule",
@@ -52,6 +73,12 @@ __all__ = [
     "ProcessPrimitiveRule",
     "PublicApiContractRule",
     "SetIterationRule",
+    "DeterminismTaintRule",
+    "WorkerCellSafetyRule",
+    "CheckpointKeyStabilityRule",
+    "ObsInertnessRule",
+    "ImportCycleRule",
+    "DeadExportRule",
     "PROCESS_SUBPACKAGE",
     "SANCTIONED_PACKAGES",
     "SEEDABLE_CONSTRUCTORS",

@@ -19,8 +19,9 @@ Commands
 ``checkpoint``inspect or prune sweep checkpoints: ``checkpoint inspect``
               prints run id, cell counts, and age; ``checkpoint prune``
               deletes all but the newest checkpoints;
-``analyze``   run the repo's static-analysis rules (R001–R008) over Python
-              sources, gated by an optional baseline file;
+``analyze``   run the repo's static-analysis rules (per-file R001–R008 plus
+              whole-program R009–R014) over Python sources, gated by an
+              optional baseline file and sped up by an incremental cache;
 ``trace``     inspect observability artefacts: ``trace summarize`` renders
               the span tree, top-k table, and metric totals of a JSONL
               trace written with ``--trace`` (see ``docs/observability.md``).
@@ -470,8 +471,12 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         args.paths,
         baseline_path=args.baseline,
         update_baseline=args.update_baseline,
+        prune=args.prune_baseline,
         output_format=args.format,
         rule_ids=rule_ids,
+        cache_path=args.cache,
+        changed_only=args.changed_only,
+        show_stats=args.stats,
     )
 
 
@@ -588,7 +593,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
-        "analyze", help="static-analysis pass over Python sources (R001-R008)"
+        "analyze", help="static-analysis pass over Python sources (R001-R014)"
     )
     p.add_argument(
         "paths", nargs="*", default=["src/repro"],
@@ -598,6 +603,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--update-baseline", dest="update_baseline", action="store_true",
         help="rewrite the baseline with the current findings",
+    )
+    p.add_argument(
+        "--prune-baseline", dest="prune_baseline", action="store_true",
+        help="drop stale / missing-file baseline entries, then gate as usual",
+    )
+    p.add_argument(
+        "--cache", default=None,
+        help="incremental analysis cache file (per-file sha256 -> facts)",
+    )
+    p.add_argument(
+        "--changed-only", dest="changed_only", action="store_true",
+        help="report only findings in git-changed files",
+    )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="append per-rule counts, cache hits and wall time to the report",
     )
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.add_argument("--rules", default=None, help="comma-separated rule ids to run")

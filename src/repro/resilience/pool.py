@@ -530,7 +530,10 @@ class WorkerPool:
         payload = result.get("obs")
         if payload is not None:
             tracer = obs.current_tracer()
-            if tracer is not None:
+            # This IS the obs bridge: forwarding worker span payloads to
+            # the driver tracer.  The branch only gates telemetry
+            # delivery, never cell semantics.
+            if tracer is not None:  # repro: ignore[R012]
                 tracer.absorb(payload, worker=worker.seq)
         if result["status"] == STATUS_OK:
             self._complete(

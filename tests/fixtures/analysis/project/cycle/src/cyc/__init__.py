@@ -1,0 +1,1 @@
+"""Cycle fixture package."""

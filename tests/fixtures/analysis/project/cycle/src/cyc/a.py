@@ -1,0 +1,8 @@
+"""Cycle member A: imports B at module top level."""
+
+import cyc.b
+
+
+def ping() -> str:
+    """Call into B."""
+    return cyc.b.pong()

@@ -1,0 +1,8 @@
+"""Cycle member B: imports A back at top level — the R013 violation."""
+
+from cyc import a
+
+
+def pong() -> str:
+    """Name A's module."""
+    return a.__name__

@@ -1,0 +1,8 @@
+"""Function-level import: the sanctioned cycle-breaking idiom (no R013)."""
+
+
+def lazy_ping() -> str:
+    """Imports A lazily, so no top-level edge exists."""
+    from cyc import a
+
+    return a.ping()

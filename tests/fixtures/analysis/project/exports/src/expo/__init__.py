@@ -1,0 +1,5 @@
+"""Exports fixture: one live export, one dead (R014)."""
+
+from expo.mod import dead_fn, used_fn
+
+__all__ = ["dead_fn", "used_fn"]

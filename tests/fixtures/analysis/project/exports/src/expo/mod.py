@@ -1,0 +1,11 @@
+"""Definitions for the exports fixture."""
+
+
+def used_fn() -> int:
+    """Referenced by the sibling tests/ consumer."""
+    return 1
+
+
+def dead_fn() -> int:
+    """Referenced by nobody — R014 flags the __init__ export."""
+    return 2

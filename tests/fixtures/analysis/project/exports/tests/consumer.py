@@ -1,0 +1,5 @@
+"""Consumer referencing only used_fn (token-scan input for R014)."""
+
+from expo import used_fn
+
+RESULT = used_fn()

@@ -1,0 +1,5 @@
+"""Taint fixture mini-project: re-exports the core entry point."""
+
+from miniproj.core import solve
+
+__all__ = ["solve"]

@@ -1,0 +1,47 @@
+"""Worker cells exercising R010 (cell safety) and R011 (key stability)."""
+
+from miniproj.pool import register_cell, run_cell
+
+COUNTER = 0
+
+
+@register_cell("fix.good")
+def good_cell(x: int, scale: float = 1.0) -> float:
+    """Clean module-level cell: constant default, no side effects."""
+    return x * scale
+
+
+@register_cell("fix.mutates")
+def mutating_cell(x: int) -> int:
+    """R010: writes a module global."""
+    global COUNTER
+    COUNTER += 1
+    return x + COUNTER
+
+
+@register_cell("fix.default")
+def default_cell(x: int, hook=lambda v: v) -> int:
+    """R010: a lambda default cannot cross the pickle boundary."""
+    return hook(x)
+
+
+def make_cell():
+    """R010: the nested cell below is not importable by workers."""
+
+    @register_cell("fix.nested")
+    def nested_cell(x: int) -> int:
+        return x
+
+    return nested_cell
+
+
+def launch(x: int) -> float:
+    """R011: the checkpoint key embeds a wall-clock read."""
+    import time
+
+    return run_cell(f"cell-{time.time()}", good_cell, x)
+
+
+def launch_stable(x: int) -> float:
+    """Clean launch: the key is built from the parameters only."""
+    return run_cell(f"cell-{x}", good_cell, x)

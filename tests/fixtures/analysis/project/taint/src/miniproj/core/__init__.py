@@ -1,0 +1,5 @@
+"""Core package: re-exports the engine entry points (re-export chasing)."""
+
+from miniproj.core.engine import solve, solve_clean
+
+__all__ = ["solve", "solve_clean"]

@@ -1,0 +1,15 @@
+"""Engine entry points for the taint fixture."""
+
+from miniproj.core.helper import jitter, pure_mix
+
+__all__ = ["solve", "solve_clean"]
+
+
+def solve(x: float) -> float:
+    """Tainted entry point: reaches random.random through jitter."""
+    return pure_mix(x) + jitter()
+
+
+def solve_clean(x: float) -> float:
+    """Clean entry point: deterministic all the way down."""
+    return pure_mix(x)

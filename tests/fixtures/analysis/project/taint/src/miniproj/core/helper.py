@@ -1,0 +1,13 @@
+"""Helpers for the taint fixture."""
+
+import random
+
+
+def jitter() -> float:
+    """Unseeded stdlib randomness — the R009 taint origin."""
+    return random.random()
+
+
+def pure_mix(x: float) -> float:
+    """Deterministic helper."""
+    return x * 2.0

@@ -1,0 +1,18 @@
+"""Library code that illegally branches on the ambient tracer (R012)."""
+
+from miniproj.pool import current_tracer
+
+
+def record(value: float) -> float:
+    """R012: semantics change depending on tracer presence."""
+    if current_tracer() is not None:
+        value = round(value, 6)
+    return value
+
+
+def record_named(value: float) -> float:
+    """R012 via a local assigned from the tracer."""
+    tracer = current_tracer()
+    if tracer:
+        return -value
+    return value

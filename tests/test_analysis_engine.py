@@ -110,6 +110,36 @@ class TestSuppression:
         src = "# repro: ignore[R004]\ndef f(x):\n    assert x\n"
         assert [f.rule_id for f in analyze(src)] == ["R004"]
 
+    def test_comment_on_closing_line_covers_the_whole_statement(self):
+        # The finding anchors at the first physical line of the wrapped
+        # call; the ignore sits on its closing paren line.
+        src = (
+            "import numpy as np\n"
+            "x = np.random.rand(\n"
+            "    3,\n"
+            ")  # repro: ignore[R002]\n"
+        )
+        assert analyze(src) == []
+
+    def test_multi_line_import_suppressed_from_closing_line(self):
+        src = "from pandas import (\n    DataFrame,\n)  # repro: ignore[R001]\n"
+        assert analyze(src) == []
+
+    def test_wrong_id_on_closing_line_does_not_suppress(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.rand(\n"
+            "    3,\n"
+            ")  # repro: ignore[R001]\n"
+        )
+        assert [f.rule_id for f in analyze(src)] == ["R002"]
+
+    def test_body_comment_does_not_silence_the_function_header(self):
+        # Compound statements share suppressions across their *header*
+        # only — an ignore inside the body must not blanket the def.
+        src = "def f(x=[]):\n    y = 1  # repro: ignore\n    return x\n"
+        assert [f.rule_id for f in analyze(src)] == ["R003"]
+
 
 class TestBaseline:
     def test_round_trip(self, tmp_path):
@@ -176,14 +206,81 @@ class TestRunner:
         assert run([str(dirty_tree)], baseline_path=str(baseline), stream=out) == EXIT_CLEAN
         assert "0 new findings, 2 baselined" in out.getvalue()
 
-    def test_stale_entries_reported_after_fix(self, dirty_tree, tmp_path):
+    def test_stale_entries_fail_the_gate_after_fix(self, dirty_tree, tmp_path):
+        # The ratchet must shrink: a fixed finding leaves a stale baseline
+        # entry behind, and that is a failure until --prune-baseline runs.
         baseline = tmp_path / "base.json"
         run([str(dirty_tree)], baseline_path=str(baseline), update_baseline=True,
             stream=io.StringIO())
         (dirty_tree / "bad.py").write_text("import numpy\n")
         out = io.StringIO()
-        assert run([str(dirty_tree)], baseline_path=str(baseline), stream=out) == EXIT_CLEAN
+        assert run([str(dirty_tree)], baseline_path=str(baseline), stream=out) == EXIT_FINDINGS
         assert "2 stale baseline entries" in out.getvalue()
+
+    def test_prune_baseline_drops_stale_entries_and_restores_clean(
+        self, dirty_tree, tmp_path
+    ):
+        baseline = tmp_path / "base.json"
+        run([str(dirty_tree)], baseline_path=str(baseline), update_baseline=True,
+            stream=io.StringIO())
+        (dirty_tree / "bad.py").write_text("import pandas\n")  # R004 fixed
+        out = io.StringIO()
+        assert (
+            run([str(dirty_tree)], baseline_path=str(baseline), prune=True, stream=out)
+            == EXIT_CLEAN
+        )
+        assert "1 dropped, 1 kept" in out.getvalue()
+        out = io.StringIO()
+        assert run([str(dirty_tree)], baseline_path=str(baseline), stream=out) == EXIT_CLEAN
+        assert "0 new findings, 1 baselined, 0 stale" in out.getvalue()
+
+    def test_stats_reports_cache_and_rule_counts(self, dirty_tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        run([str(dirty_tree)], cache_path=str(cache), show_stats=True,
+            stream=io.StringIO())
+        out = io.StringIO()
+        run([str(dirty_tree)], cache_path=str(cache), show_stats=True, stream=out)
+        text = out.getvalue()
+        assert "files analysed:  1 (1 cached, 0 fresh)" in text
+        assert "analysis time:" in text
+        assert "  R001: 1" in text and "  R004: 1" in text
+
+    def test_stats_in_json_payload(self, dirty_tree):
+        out = io.StringIO()
+        run([str(dirty_tree)], output_format="json", show_stats=True, stream=out)
+        payload = json.loads(out.getvalue())
+        assert payload["stats"]["files"] == 1
+        assert payload["stats"]["perRule"] == {"R001": 1, "R004": 1}
+
+    def test_changed_only_reports_only_git_changed_files(
+        self, tmp_path, monkeypatch
+    ):
+        import subprocess
+
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "old.py").write_text("import pandas\n")
+        env = {
+            "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(tmp_path),
+        }
+        for cmd in (
+            ["git", "init", "-q"],
+            ["git", "add", "-A"],
+            ["git", "-c", "user.name=t", "-c", "user.email=t@t",
+             "commit", "-qm", "seed"],
+        ):
+            subprocess.run(cmd, cwd=tmp_path, check=True, env=env)
+        (pkg / "new.py").write_text("def f(x):\n    assert x\n")
+        monkeypatch.chdir(tmp_path)
+        out = io.StringIO()
+        assert run(["pkg"], changed_only=True, stream=out) == EXIT_FINDINGS
+        text = out.getvalue()
+        # The untracked file's R004 is reported; the committed-and-clean
+        # R001 in old.py is filtered out of the report.
+        assert "R004" in text and "R001" not in text
+        assert "1 new finding" in text
 
     def test_json_format_is_sarif_lite(self, dirty_tree):
         out = io.StringIO()

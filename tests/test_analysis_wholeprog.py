@@ -1,0 +1,136 @@
+"""Whole-program rules R009–R014 over the fixture mini-projects
+(tests/fixtures/analysis/project/)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    CheckpointKeyStabilityRule,
+    DeadExportRule,
+    DeterminismTaintRule,
+    ImportCycleRule,
+    ObsInertnessRule,
+    ProjectRule,
+    RULE_CLASSES,
+    WorkerCellSafetyRule,
+    analyze_project,
+    default_rules,
+)
+
+PROJECTS = Path(__file__).resolve().parent / "fixtures" / "analysis" / "project"
+
+
+def run_project(project, rule_ids):
+    root = PROJECTS / project / "src"
+    pkgs = sorted(p for p in root.iterdir() if p.is_dir())
+    return analyze_project(pkgs, default_rules(rule_ids)).findings
+
+
+def messages(findings):
+    return [f.message for f in findings]
+
+
+class TestR009DeterminismTaint:
+    def test_tainted_entry_point_fires_with_witness_chain(self):
+        findings = run_project("taint", ("R009",))
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.rule_id == "R009"
+        assert finding.path.endswith("core/engine.py")
+        assert "engine.solve" in finding.message
+        assert "random.random" in finding.message
+        assert "helper.jitter" in finding.message
+
+    def test_clean_entry_point_stays_silent(self):
+        findings = run_project("taint", ("R009",))
+        assert not any("solve_clean" in m for m in messages(findings))
+
+
+class TestR010WorkerCellSafety:
+    def test_all_three_violation_kinds_fire(self):
+        findings = run_project("taint", ("R010",))
+        msgs = messages(findings)
+        assert len(findings) == 3
+        assert any("fix.mutates" in m and "COUNTER" in m for m in msgs)
+        assert any("fix.default" in m and "lambda" in m for m in msgs)
+        assert any("fix.nested" in m and "module-level" in m for m in msgs)
+
+    def test_clean_cell_stays_silent(self):
+        findings = run_project("taint", ("R010",))
+        assert not any("fix.good" in m for m in messages(findings))
+
+
+class TestR011CheckpointKeyStability:
+    def test_wall_clock_key_fires(self):
+        findings = run_project("taint", ("R011",))
+        assert len(findings) == 1
+        assert "time.time" in findings[0].message
+        assert findings[0].path.endswith("cells.py")
+
+    def test_parameter_built_key_stays_silent(self):
+        # launch_stable builds its key from the cell parameters only.
+        findings = run_project("taint", ("R011",))
+        assert len(findings) == 1  # only the time.time key
+
+
+class TestR012ObsInertness:
+    def test_direct_and_aliased_branches_fire(self):
+        findings = run_project("taint", ("R012",))
+        msgs = messages(findings)
+        assert len(findings) == 2
+        assert any("current_tracer" in m for m in msgs)
+        assert any("'tracer'" in m for m in msgs)
+        assert all(f.path.endswith("lib.py") for f in findings)
+
+
+class TestR013ImportCycles:
+    def test_cycle_fires_once_with_the_loop(self):
+        findings = run_project("cycle", ("R013",))
+        assert len(findings) == 1
+        assert "cyc.a -> cyc.b -> cyc.a" in findings[0].message
+        assert findings[0].path.endswith("cyc/a.py")
+
+    def test_function_level_import_is_sanctioned(self):
+        findings = run_project("cycle", ("R013",))
+        assert not any("ok" in f.path for f in findings)
+
+
+class TestR014DeadExports:
+    def test_dead_export_fires_and_consumed_export_survives(self):
+        findings = run_project("exports", ("R014",))
+        assert len(findings) == 1
+        assert "'dead_fn'" in findings[0].message
+        assert findings[0].path.endswith("__init__.py")
+        assert not any("used_fn" in m for m in messages(findings))
+
+
+def test_project_rules_are_registered_as_whole_program():
+    project_rules = [cls for cls in RULE_CLASSES if issubclass(cls, ProjectRule)]
+    assert project_rules == [
+        DeterminismTaintRule,
+        WorkerCellSafetyRule,
+        CheckpointKeyStabilityRule,
+        ObsInertnessRule,
+        ImportCycleRule,
+        DeadExportRule,
+    ]
+    assert all(cls.whole_program for cls in project_rules)
+
+
+@pytest.mark.parametrize(
+    "rule_id,project",
+    [
+        ("R009", "taint"),
+        ("R010", "taint"),
+        ("R011", "taint"),
+        ("R012", "taint"),
+        ("R013", "cycle"),
+        ("R014", "exports"),
+    ],
+)
+def test_every_project_rule_has_an_exercised_fixture(rule_id, project):
+    findings = run_project(project, (rule_id,))
+    assert findings and all(f.rule_id == rule_id for f in findings)
