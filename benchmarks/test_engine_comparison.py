@@ -1,11 +1,19 @@
 """Engine comparison — naive vs. optimized vs. vectorized identification.
 
-Times all three neighbourhood engines on the Adult-like data at 4, 6, and
-8 protected attributes (the Fig. 9a axis) and records the raw seconds plus
-speedup ratios in benchmark ``extra_info``.  ``make bench-ibs`` runs this
-file with ``--benchmark-json=BENCH_ibs.json`` so later PRs can ratchet
-against the recorded trajectory; the acceptance floor asserted here is
-vectorized ≥ 5× optimized at 8 attributes (measured ~15×; see
+Two sweeps, each recording raw seconds plus speedup ratios in benchmark
+``extra_info``:
+
+* **width** — all three engines on the Adult-like data at 4, 6, and 8
+  protected attributes (the Fig. 9a axis), keyed by ``n_attrs``;
+* **depth** — vectorized vs optimized on binary synthetic attributes at
+  lattice depth 10–12 (``2^depth`` leaf cells, ``3^depth`` lattice
+  regions), keyed by ``depth``, with the report lists asserted identical
+  at every depth.
+
+``make bench-ibs`` runs this file with ``--benchmark-json=BENCH_ibs.json``
+so later PRs can ratchet against the recorded trajectory; the acceptance
+floors asserted here are vectorized ≥ 5× optimized at 8 attributes
+(measured ~15×) and > 1× at every depth (measured ~5×; see
 ``docs/performance.md``).
 """
 
@@ -23,12 +31,16 @@ from repro.core import (
     identify_ibs,
 )
 from repro.data.synth.adult import SCALABILITY_PROTECTED, load_adult
+from repro.data.synth.generic import generate, make_scalability_config
 from repro.obs import Tracer, tracing
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 N_ROWS = 45_222 if FULL else 12_000
 TAU_C = 0.5
 K = 30
+
+DEPTH_GRID = (10, 11, 12) if FULL else (10, 12)
+DEPTH_ROWS = 4000
 
 
 @pytest.fixture(scope="module")
@@ -106,3 +118,51 @@ def test_engine_comparison(benchmark, adult8, n_attrs):
         assert trace_overhead < 0.05, (
             "acceptance floor: tracing adds <5% to the vectorized engine"
         )
+
+
+@pytest.mark.parametrize("depth", DEPTH_GRID)
+def test_engine_depth(benchmark, depth):
+    """Deep-lattice sweep: binary attributes, depth-``depth`` hierarchy.
+
+    The naive engine is hopeless here (``3^depth`` regions each re-counted
+    from data), so only the two count-reusing engines are compared — with
+    the full report lists asserted identical, pinning the bitset/pruning/
+    scaled-cache fast paths to byte-identical results at every depth.
+    """
+    data = generate(
+        make_scalability_config(
+            n_rows=DEPTH_ROWS, n_protected=depth, cardinality=2, seed=7
+        )
+    )
+
+    def run(method):
+        return identify_ibs(data, TAU_C, k=K, method=method)
+
+    # One measured round: at depth 12 a single optimized pass is ~12s, so
+    # the default calibrating benchmark() loop would blow the CI budget.
+    reports = benchmark.pedantic(
+        lambda: run(METHOD_VECTORIZED), rounds=1, iterations=1
+    )
+    assert reports == run(METHOD_OPTIMIZED), (
+        "engines disagree at depth; timings void"
+    )
+
+    t_vec = _best_seconds(lambda: run(METHOD_VECTORIZED), repeats=2)
+    t_opt = _best_seconds(lambda: run(METHOD_OPTIMIZED), repeats=1)
+    speedup_vs_opt = t_opt / max(t_vec, 1e-9)
+    benchmark.extra_info.update(
+        {
+            "depth": depth,
+            "n_rows": DEPTH_ROWS,
+            "regions_found": len(reports),
+            "optimized_seconds": round(t_opt, 4),
+            "vectorized_seconds": round(t_vec, 4),
+            "speedup_vs_optimized": round(speedup_vs_opt, 2),
+        }
+    )
+    emit(
+        f"depth {depth} / {DEPTH_ROWS} rows: optimized {t_opt:.3f}s, "
+        f"vectorized {t_vec:.3f}s ({speedup_vs_opt:.1f}x vs optimized, "
+        f"{len(reports)} regions)"
+    )
+    assert speedup_vs_opt > 1.0, "vectorized must beat the scalar engine"

@@ -1,12 +1,26 @@
 """Measure the worker pool's parallel speedup on a Fig. 9a sweep.
 
-Runs the same identification-vs-attributes sweep on the process backend
-with 1 worker and with 4, and records wall-clock seconds plus their ratio
-to a JSON file.  The committed ``BENCH_pool.json`` baseline is guarded by
-``scripts/check_bench.py --kind pool``: the ratio is compared, not raw
-seconds, so the gate survives slow machines — and the tolerance is
-generous because on a single-core box (like the reference CI runner) four
-workers buy context switches, not speedup.
+Runs the same identification-vs-attributes sweep on the process backend at
+each worker count in the grid and records, per count:
+
+* **cold** seconds — first sweep on a fresh executor, paying worker spawn
+  and the one-time shared-memory dataset publish;
+* **warm** seconds — best of ``WARM_REPEATS`` repeats of the same sweep on
+  the now-warm pool (workers alive, dataset already attached); the minimum
+  is what the speedup ratio and the regression gate are computed from,
+  since on a single core the ratio lives within scheduler noise of 1.0;
+* a **spawn / ship / compute** time breakdown summed from the merged obs
+  traces (driver-side ``pool.spawn`` / ``pool.ship`` spans, worker-side
+  ``pool.cell_compute`` spans absorbed into the driver tracer);
+* ``bytes_shipped`` — total pickled task bytes that crossed the pipe
+  during the warm sweep.  With the zero-copy dataset plane this is a few
+  KB of :class:`~repro.resilience.shm.DatasetRef` handles, not the data.
+
+``scripts/check_bench.py --kind pool`` guards the committed
+``BENCH_pool.json`` with *absolute* floors on ``speedup_workers4_vs_1``:
+>= 0.9 on a box with fewer than 4 CPUs (4 warm workers on 1 core must
+cost at most scheduler noise vs 1 worker) and >= 1.5 when 4+ CPUs are
+available.
 
 Re-baselining: after an intentional pool change, run ``make bench-pool``
 on a quiet machine (it overwrites ``BENCH_pool.json`` in place) and commit
@@ -34,28 +48,82 @@ BASELINE = REPO_ROOT / "BENCH_pool.json"
 
 BENCH_ROWS = 4000
 BENCH_ATTR_GRID = (2, 3, 4, 5, 6)
-BENCH_WORKERS = (1, 4)
+WARM_REPEATS = 3
+
+#: Driver/worker span names summed into the breakdown columns.
+SPAN_SPAWN = "pool.spawn"
+SPAN_SHIP = "pool.ship"
+SPAN_COMPUTE = "pool.cell_compute"
+COUNTER_SHIPPED = "pool.bytes_shipped"
 
 
-def timed_sweep(workers: int, rows: int, attr_grid: tuple[int, ...]) -> float:
-    """Wall-clock seconds of one Fig. 9a sweep on ``workers`` processes."""
+def worker_grid(cpu_count: int) -> tuple[int, ...]:
+    """The worker counts to bench: {1, 4}, extended when CPUs allow."""
+    grid = [1, 4]
+    if cpu_count >= 8:
+        grid.append(8)
+    return tuple(grid)
+
+
+def _span_seconds(tracer, name: str) -> float:
+    """Total wall seconds of every span called ``name`` in ``tracer``."""
+    return sum(s.wall for s in tracer.spans if s.name == name)
+
+
+def _run_sweep(executor, rows: int, attr_grid: tuple[int, ...], tracer) -> float:
+    """One traced Fig. 9a sweep on ``executor``; returns wall seconds."""
     from repro.experiments.scalability import identification_vs_attrs
-    from repro.resilience import BACKEND_PROCESS, CellExecutor
+    from repro.obs import tracing
 
-    executor = CellExecutor(backend=BACKEND_PROCESS, max_workers=workers)
-    start = time.perf_counter()
-    result = identification_vs_attrs(
-        n_rows=rows, attr_grid=attr_grid, executor=executor
-    )
-    elapsed = time.perf_counter() - start
+    with tracing(tracer):
+        start = time.perf_counter()
+        result = identification_vs_attrs(
+            n_rows=rows, attr_grid=attr_grid, executor=executor
+        )
+        elapsed = time.perf_counter() - start
     bad = [p for p in result.points if p.status != "ok"]
     if bad:
         raise SystemExit(f"error: sweep cells failed during the bench: {bad}")
     return elapsed
 
 
+def timed_sweep(workers: int, rows: int, attr_grid: tuple[int, ...]) -> dict:
+    """Cold + warm sweeps on ``workers`` processes, with trace breakdown."""
+    from repro.obs import Tracer
+    from repro.resilience import BACKEND_PROCESS, CellExecutor
+
+    executor = CellExecutor(backend=BACKEND_PROCESS, max_workers=workers)
+    try:
+        # Cold pass: pays spawn + shared-memory publish.  Its tracer is
+        # where the pool.spawn spans land (workers persist afterwards).
+        cold_tracer = Tracer()
+        cold = _run_sweep(executor, rows, attr_grid, cold_tracer)
+        # Warm passes on the same pool: the best one is what the speedup
+        # gate measures, and its tracer feeds the breakdown columns.
+        warm = None
+        warm_tracer = None
+        for _ in range(WARM_REPEATS):
+            tracer = Tracer()
+            elapsed = _run_sweep(executor, rows, attr_grid, tracer)
+            if warm is None or elapsed < warm:
+                warm, warm_tracer = elapsed, tracer
+    finally:
+        executor.close()
+    totals = warm_tracer.metric_totals()
+    return {
+        "cold_seconds": round(cold, 3),
+        "seconds": round(warm, 3),
+        "breakdown": {
+            "spawn": round(_span_seconds(cold_tracer, SPAN_SPAWN), 4),
+            "ship": round(_span_seconds(warm_tracer, SPAN_SHIP), 4),
+            "compute": round(_span_seconds(warm_tracer, SPAN_COMPUTE), 4),
+        },
+        "bytes_shipped": int(totals.get(COUNTER_SHIPPED, 0)),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Run both sweeps and write the speedup record."""
+    """Run the sweeps at every grid point and write the speedup record."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output", default=str(BASELINE),
@@ -65,25 +133,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--rows", type=int, default=BENCH_ROWS)
     args = parser.parse_args(argv)
 
-    seconds: dict[str, float] = {}
-    for workers in BENCH_WORKERS:
-        elapsed = timed_sweep(workers, args.rows, BENCH_ATTR_GRID)
-        seconds[str(workers)] = round(elapsed, 3)
-        print(f"workers={workers}: {elapsed:.2f}s", flush=True)
-    speedup = seconds[str(BENCH_WORKERS[0])] / max(
-        seconds[str(BENCH_WORKERS[-1])], 1e-9
-    )
+    cpu_count = os.cpu_count() or 1
+    grid = worker_grid(cpu_count)
+    per_workers: dict[str, dict] = {}
+    for workers in grid:
+        row = timed_sweep(workers, args.rows, BENCH_ATTR_GRID)
+        per_workers[str(workers)] = row
+        b = row["breakdown"]
+        print(
+            f"workers={workers}: cold {row['cold_seconds']:.2f}s  "
+            f"warm {row['seconds']:.2f}s  "
+            f"(spawn {b['spawn']:.2f}s  ship {b['ship']:.3f}s  "
+            f"compute {b['compute']:.2f}s  "
+            f"shipped {row['bytes_shipped']} bytes)",
+            flush=True,
+        )
+    speedup = per_workers["1"]["seconds"] / max(per_workers["4"]["seconds"], 1e-9)
     record = {
         "kind": "pool",
         "experiment": "fig9a",
         "rows": args.rows,
         "attr_grid": list(BENCH_ATTR_GRID),
-        "cpu_count": os.cpu_count(),
-        "seconds": seconds,
+        "cpu_count": cpu_count,
+        "workers": per_workers,
+        "seconds": {w: row["seconds"] for w, row in per_workers.items()},
         "speedup_workers4_vs_1": round(speedup, 3),
     }
     Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
-    print(f"speedup (1 -> 4 workers): {speedup:.2f}x; wrote {args.output}")
+    print(f"speedup (1 -> 4 workers, warm): {speedup:.2f}x; wrote {args.output}")
     return 0
 
 

@@ -14,9 +14,17 @@ to touch the primitives.  Everywhere else must go through
   ``from signal import alarm`` form;
 * ``os.fork(...)`` / ``os.forkpty(...)`` calls and their direct imports;
 * ``multiprocessing.Process`` attribute uses (spawning or subclassing)
-  and ``from multiprocessing import Process``.
+  and ``from multiprocessing import Process``;
+* raw shared memory — ``multiprocessing.shared_memory`` in any spelling
+  (``from multiprocessing import shared_memory``, ``from
+  multiprocessing.shared_memory import SharedMemory / ShareableList``,
+  dotted attribute use).  A bare segment bypasses the content-addressed
+  refcounting, crash sweep, and teardown ordering of
+  :mod:`repro.resilience.shm`, whose ``publish_dataset`` /
+  ``attach_dataset`` are the sanctioned API.
 
-Module aliases (``import signal as sig``) are tracked per file.
+Module aliases (``import signal as sig``, ``import
+multiprocessing.shared_memory as sm``) are tracked per file.
 """
 
 from __future__ import annotations
@@ -41,6 +49,11 @@ _FORBIDDEN = {
     },
     "multiprocessing": {
         "Process": "repro.resilience.WorkerPool",
+        "shared_memory": "repro.resilience.shm",
+    },
+    "multiprocessing.shared_memory": {
+        "SharedMemory": "repro.resilience.shm.publish_dataset",
+        "ShareableList": "repro.resilience.shm.publish_dataset",
     },
 }
 
@@ -50,8 +63,9 @@ class ProcessPrimitiveRule(Rule):
 
     rule_id = "R008"
     description = (
-        "process and signal primitives (signal.alarm, os.fork, "
-        "multiprocessing.Process) are reserved for repro.resilience"
+        "process, signal, and shared-memory primitives (signal.alarm, "
+        "os.fork, multiprocessing.Process, multiprocessing.shared_memory) "
+        "are reserved for repro.resilience"
     )
     severity = SEVERITY_ERROR
     interests = (ast.Import, ast.ImportFrom, ast.Attribute)
@@ -73,8 +87,17 @@ class ProcessPrimitiveRule(Rule):
 
     def _visit_import(self, node: ast.Import) -> Iterable[Finding]:
         for alias in node.names:
-            if alias.name in _FORBIDDEN:
-                self._module_aliases[alias.asname or alias.name] = alias.name
+            if alias.name not in _FORBIDDEN:
+                continue
+            if alias.asname:
+                # ``import multiprocessing.shared_memory as sm`` binds the
+                # alias to the full dotted module.
+                self._module_aliases[alias.asname] = alias.name
+            else:
+                # ``import a.b`` binds only the top-level name ``a``;
+                # ``a.b.attr`` is then caught attribute-by-attribute.
+                top = alias.name.split(".", 1)[0]
+                self._module_aliases[top] = top
         return ()
 
     def _visit_import_from(

@@ -342,6 +342,17 @@ def _build_executor(args: argparse.Namespace) -> "CellExecutor":
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
+    executor = _build_executor(args)
+    try:
+        return _dispatch_experiment(args, executor)
+    finally:
+        # Releases the warm worker pool and its shared-memory datasets —
+        # also on SIGINT/SIGTERM, whose drain path raises KeyboardInterrupt
+        # through here after in-flight cells have finished reading.
+        executor.close()
+
+
+def _dispatch_experiment(args: argparse.Namespace, executor: "CellExecutor") -> int:
     # Imported lazily: the experiment modules pull in every subsystem.
     from repro.experiments import (
         identification_vs_attrs,
@@ -356,7 +367,6 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         validation_table,
     )
 
-    executor = _build_executor(args)
     rows = args.rows
     if args.experiment == "fig3":
         data = load_compas(rows or 6172, seed=11)

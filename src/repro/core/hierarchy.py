@@ -32,9 +32,18 @@ from repro.data.dataset import Dataset
 from repro.core.pattern import Pattern
 from repro.errors import PatternError
 
+#: Attribute bitsets are packed into a single machine word.
+MAX_ATTRS = 64
+
 
 class HierarchyNode:
-    """One node: a deterministic attribute set plus per-cell label counts."""
+    """One node: a deterministic attribute set plus per-cell label counts.
+
+    ``mask`` is the node's uint64 attribute bitset (bit ``i`` set when the
+    hierarchy's ``i``-th attribute is deterministic here) — the vectorized
+    engine addresses dominating nodes by clearing bits from it instead of
+    building ``frozenset`` keys per drop-subset.
+    """
 
     def __init__(
         self,
@@ -42,15 +51,31 @@ class HierarchyNode:
         shape: tuple[int, ...],
         pos: np.ndarray,
         neg: np.ndarray,
+        mask: int = 0,
     ):
         self.attrs = attrs
         self.shape = shape
         self.pos = pos  # ndarray of shape `shape` (0-d for the root)
         self.neg = neg
+        self.mask = mask
+        self._max_cell_size: int | None = None
 
     @property
     def level(self) -> int:
         return len(self.attrs)
+
+    @property
+    def max_cell_size(self) -> int:
+        """Largest ``|r+| + |r-|`` over this node's cells (cached).
+
+        Lets the lattice traversal prune empty branches — deep nodes whose
+        every cell is below the size threshold — without re-reducing the
+        count arrays on every identification pass.  The cache is
+        invalidated by :meth:`Hierarchy.apply_count_delta`.
+        """
+        if self._max_cell_size is None:
+            self._max_cell_size = int((self.pos + self.neg).max())
+        return self._max_cell_size
 
     @property
     def n_cells(self) -> int:
@@ -121,6 +146,11 @@ class Hierarchy:
         attrs = tuple(attrs)
         if not attrs:
             raise PatternError("hierarchy needs at least one attribute")
+        if len(attrs) > MAX_ATTRS:
+            raise PatternError(
+                f"hierarchy supports at most {MAX_ATTRS} attributes "
+                f"(uint64 bitset), got {len(attrs)}"
+            )
         dataset.schema.require_categorical(attrs)
         self.attrs = attrs
         self.max_level = len(attrs) if max_level is None else min(max_level, len(attrs))
@@ -136,9 +166,11 @@ class Hierarchy:
         leaf_neg = neg_flat.reshape(shape)
 
         self._nodes: dict[frozenset[str], HierarchyNode] = {}
+        self._nodes_by_mask: dict[int, HierarchyNode] = {}
         self._levels: dict[int, list[HierarchyNode]] = {}
         axis_of = {a: i for i, a in enumerate(attrs)}
         self._card = {a: shape[axis_of[a]] for a in attrs}
+        self._bit_of = {a: 1 << i for i, a in enumerate(attrs)}
 
         # Deepest stored level comes straight from the leaf array (it *is*
         # the leaf array when max_level == len(attrs)).
@@ -166,14 +198,19 @@ class Hierarchy:
     def _add_node(
         self, subset: tuple[str, ...], pos: np.ndarray, neg: np.ndarray
     ) -> None:
-        """Register one node in the lookup dict and the level index."""
+        """Register one node in the lookup dicts and the level index."""
+        mask = 0
+        for a in subset:
+            mask |= self._bit_of[a]
         node = HierarchyNode(
             subset,
             tuple(self._card[a] for a in subset),
             np.asarray(pos),
             np.asarray(neg),
+            mask=mask,
         )
         self._nodes[frozenset(subset)] = node
+        self._nodes_by_mask[mask] = node
         self._levels.setdefault(len(subset), []).append(node)
 
     # -- lookup ----------------------------------------------------------------
@@ -185,6 +222,29 @@ class Hierarchy:
         except KeyError:
             raise PatternError(
                 f"no hierarchy node for attribute set {sorted(key)}"
+            ) from None
+
+    def attr_bit(self, attr: str) -> int:
+        """The uint64 bitset bit of one hierarchy attribute."""
+        try:
+            return self._bit_of[attr]
+        except KeyError:
+            raise PatternError(
+                f"{attr!r} is not a hierarchy attribute {list(self.attrs)}"
+            ) from None
+
+    def node_by_mask(self, mask: int) -> HierarchyNode:
+        """Node for an attribute bitset (the vectorized engine's hot lookup).
+
+        A bitset probe on an int-keyed dict replaces hashing a
+        ``frozenset`` of strings per drop-subset — the per-node constant
+        that dominates deep-lattice traversal at Hamming budget 1.
+        """
+        try:
+            return self._nodes_by_mask[mask]
+        except KeyError:
+            raise PatternError(
+                f"no hierarchy node for attribute bitset {mask:#x}"
             ) from None
 
     def __contains__(self, attrs: object) -> bool:
@@ -292,6 +352,7 @@ class Hierarchy:
             )
             node.pos[idx] += block_pos
             node.neg[idx] += block_neg
+            node._max_cell_size = None  # counts changed; recompute lazily
 
     def dominating_counts(
         self, pattern: Pattern, drop: Sequence[str]

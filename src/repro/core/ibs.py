@@ -147,6 +147,7 @@ def _vectorized_biased_reports(
     tau_c: float,
     T: float,
     k: int,
+    cache: dict | None = None,
 ) -> list[RegionReport]:
     """Biased regions of one node via whole-array evaluation.
 
@@ -156,14 +157,21 @@ def _vectorized_biased_reports(
     into :class:`RegionReport` objects, in the same flat cell order the
     scalar engines visit.  Produces reports identical to the per-region
     path (same integers, same IEEE-754 ratios and differences).
+
+    Empty lattice branches are pruned *before* any broadcasting: a node
+    whose largest cell is already ≤ ``k`` (cached on the node) cannot
+    contain a reportable region, which at depth 10–12 — where cells vastly
+    outnumber rows — skips almost every node.  ``cache`` is threaded to
+    :func:`~repro.core.neighbors.vectorized_neighbor_counts` for
+    scaled-ancestor reuse across the sibling nodes of a level.
     """
     if tau_c < 0:
         raise ValueError(f"tau_c must be non-negative, got {tau_c}")
+    if node.max_cell_size <= k:
+        return []
     pos, neg = node.pos, node.neg
     size_ok = (pos + neg) >= k + 1
-    if not bool(size_ok.any()):
-        return []
-    npos, nneg = vectorized_neighbor_counts(hierarchy, node, T)
+    npos, nneg = vectorized_neighbor_counts(hierarchy, node, T, cache=cache)
 
     ratio = np.full(node.shape, RATIO_UNDEFINED)
     np.divide(pos, neg, out=ratio, where=neg > 0)
@@ -204,6 +212,7 @@ def node_biased_reports(
     k: int = DEFAULT_MIN_SIZE,
     method: str = METHOD_OPTIMIZED,
     dataset: Dataset | None = None,
+    cache: dict | None = None,
 ) -> list[RegionReport]:
     """Biased regions of size > ``k`` within one hierarchy node.
 
@@ -212,11 +221,15 @@ def node_biased_reports(
     whole node is evaluated as array expressions; the scalar engines fall
     back to per-region :func:`region_report` calls.  Reports are returned
     in the node's flat cell order (callers sort by score difference).
+    ``cache`` (vectorized only) carries scaled ancestor arrays across the
+    sibling nodes of a level; it must not outlive a count mutation.
     """
     obs.count("ibs.nodes_scanned")
     obs.count("ibs.regions_scanned", node.n_cells)
     if method == METHOD_VECTORIZED:
-        reports = _vectorized_biased_reports(hierarchy, node, tau_c, T, k)
+        reports = _vectorized_biased_reports(
+            hierarchy, node, tau_c, T, k, cache=cache
+        )
         obs.count("ibs.biased_regions", len(reports))
         return reports
     reports = []
@@ -275,11 +288,15 @@ def identify_ibs(
         for level in scope_levels(hierarchy, scope):
             with obs.span("ibs.level", level=level) as level_span:
                 level_reports: list[RegionReport] = []
+                # Scaled-ancestor arrays are shared across a level's
+                # sibling nodes (same coefficients, overlapping ancestors)
+                # and dropped at the level boundary.
+                level_cache: dict = {}
                 for node in hierarchy.nodes_at_level(level):
                     level_reports.extend(
                         node_biased_reports(
                             hierarchy, node, tau_c, T=T, k=k, method=method,
-                            dataset=dataset,
+                            dataset=dataset, cache=level_cache,
                         )
                     )
                 level_reports.sort(key=lambda r: (-r.difference, r.pattern.items))

@@ -193,6 +193,7 @@ def vectorized_neighbor_counts(
     hierarchy: Hierarchy,
     node: HierarchyNode,
     T: float = 1.0,
+    cache: dict | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Neighbourhood counts of **every cell** of ``node`` as two arrays.
 
@@ -203,6 +204,21 @@ def vectorized_neighbor_counts(
     ``node.shape``.  The whole node therefore costs ``Σ_{j≤budget} C(d, j)``
     array additions instead of that many scalar lookups *per cell*.
 
+    Deep-lattice fast paths (all byte-identical to the plain expansion,
+    since int64 accumulation is exact in any order):
+
+    * dominating nodes are addressed by **uint64 bitset** (clearing the
+      dropped axes' bits from ``node.mask``) instead of hashing a
+      ``frozenset`` of attribute names per drop-subset;
+    * coefficients ``±1`` add/subtract the ancestor's array view directly,
+      skipping the scaling multiply — at Hamming budget 1 that covers
+      every ``j ≥ 1`` term;
+    * other coefficients scale each ancestor array **once per**
+      ``(ancestor, coefficient)`` into ``cache`` (thread one dict across
+      the sibling nodes of a level, as :func:`repro.core.ibs.identify_ibs`
+      does): siblings re-expand the shared scaled array as an O(1) view
+      instead of re-multiplying it per node.
+
     Returns ``(pos, neg)`` int64 arrays of ``node.shape``; entry ``c`` is
     exactly ``optimized_neighbor_counts(hierarchy, node.pattern_of(c), T)``.
     Requires the hierarchy to contain every node up to ``budget`` levels
@@ -212,6 +228,7 @@ def vectorized_neighbor_counts(
     d = node.level
     budget = hamming_budget(T, d)
     coeffs = inclusion_exclusion_coefficients(d, budget)
+    bits = tuple(hierarchy.attr_bit(a) for a in node.attrs)
 
     pos = np.zeros(node.shape, dtype=np.int64)
     neg = np.zeros(node.shape, dtype=np.int64)
@@ -220,10 +237,22 @@ def vectorized_neighbor_counts(
         if c == 0:
             continue
         for axes in itertools.combinations(range(d), j):
-            dom_attrs = tuple(
-                a for i, a in enumerate(node.attrs) if i not in axes
-            )
-            dom = hierarchy.node(dom_attrs)
-            pos += c * np.expand_dims(dom.pos, axis=axes)
-            neg += c * np.expand_dims(dom.neg, axis=axes)
+            drop_mask = 0
+            for ax in axes:
+                drop_mask |= bits[ax]
+            dom = hierarchy.node_by_mask(node.mask ^ drop_mask)
+            if c == 1:
+                pos += np.expand_dims(dom.pos, axis=axes)
+                neg += np.expand_dims(dom.neg, axis=axes)
+            elif c == -1:
+                pos -= np.expand_dims(dom.pos, axis=axes)
+                neg -= np.expand_dims(dom.neg, axis=axes)
+            else:
+                scaled = None if cache is None else cache.get((dom.mask, c))
+                if scaled is None:
+                    scaled = (c * dom.pos, c * dom.neg)
+                    if cache is not None:
+                        cache[(dom.mask, c)] = scaled
+                pos += np.expand_dims(scaled[0], axis=axes)
+                neg += np.expand_dims(scaled[1], axis=axes)
     return pos, neg

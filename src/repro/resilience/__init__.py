@@ -50,6 +50,14 @@ from repro.resilience.pool import (
     register_cell,
     resolve_cell,
 )
+from repro.resilience.shm import (
+    DatasetRef,
+    attach_dataset,
+    dataset_content_hash,
+    publish_dataset,
+    published_segments,
+    release,
+)
 
 __all__ = [
     "CellExecutor",
@@ -82,4 +90,10 @@ __all__ = [
     "WorkerPool",
     "register_cell",
     "resolve_cell",
+    "DatasetRef",
+    "attach_dataset",
+    "dataset_content_hash",
+    "publish_dataset",
+    "published_segments",
+    "release",
 ]

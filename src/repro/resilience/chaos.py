@@ -7,10 +7,19 @@ itself mid-cell, and one wedges past the deadline so the parent hard-kills
 it.  The sweep must still complete every cell — via respawn + retry — and
 its table must be byte-identical to a clean in-process run's.
 
+The sweep runs against the zero-copy shared-memory dataset plane
+(:mod:`repro.resilience.shm`), so every murdered worker dies holding an
+attached segment; the harness asserts the dataset really was published,
+and that after :meth:`~repro.resilience.executor.CellExecutor.close` no
+``repro-shm-*`` segment is left in ``/dev/shm`` — a SIGKILLed worker must
+neither corrupt nor leak a segment.
+
 A second check SIGKILLs the *driver* mid-sweep: the CLI runs a
 checkpointed parallel sweep in a subprocess, the harness kills it once the
 checkpoint holds some-but-not-all cells, and a ``--resume`` rerun must
-reproduce the uninterrupted run's stdout byte for byte.
+reproduce the uninterrupted run's stdout byte for byte.  The killed driver
+never runs its atexit sweep, so this also proves the resource-tracker
+backstop: its published segments must still vanish from ``/dev/shm``.
 
 Run directly::
 
@@ -39,6 +48,7 @@ from repro.resilience.faults import (
     FaultPlan,
     HangFault,
 )
+from repro.resilience.shm import SEGMENT_PREFIX, published_segments
 
 CHAOS_ROWS = 800
 CHAOS_SEEDS = (0, 1, 2, 3, 4)
@@ -80,8 +90,22 @@ def run_chaos(
         backend=BACKEND_PROCESS,
         max_workers=workers,
     )
-    chaotic = run_seed_sweep(data, "ProPublica", seeds=seeds, executor=executor)
-    _check(chaotic, executor, seeds)
+    try:
+        chaotic = run_seed_sweep(data, "ProPublica", seeds=seeds, executor=executor)
+        _check(chaotic, executor, seeds)
+        if not published_segments():
+            raise InternalError(
+                "chaos sweep published no shared-memory segment; the faults "
+                "never exercised the zero-copy dataset plane"
+            )
+    finally:
+        executor.close()
+    if published_segments():
+        raise InternalError(
+            "executor.close() left segments published: "
+            f"{published_segments()}"
+        )
+    _assert_no_shm_leaks("worker-chaos sweep + executor.close()")
 
     clean = run_seed_sweep(data, "ProPublica", seeds=seeds)
     if chaotic.table() != clean.table():
@@ -111,6 +135,35 @@ def _check(
                 f"expected {want}: each chaos fault should force exactly one "
                 "respawn + retry and clean cells none"
             )
+
+
+def _leaked_segments() -> list[str]:
+    """``repro-shm-*`` names currently present in ``/dev/shm``."""
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():  # pragma: no cover - non-POSIX-shm platform
+        return []
+    return sorted(
+        p.name for p in shm_dir.iterdir() if p.name.startswith(SEGMENT_PREFIX)
+    )
+
+
+def _assert_no_shm_leaks(context: str, timeout: float = 10.0) -> None:
+    """Fail unless every shared-dataset segment vanishes within ``timeout``.
+
+    The wait loop covers the asynchronous reclaim paths: the resource
+    tracker unlinks a SIGKILLed driver's segments only once it notices the
+    death, and orphaned workers may briefly outlive their driver.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        leaked = _leaked_segments()
+        if not leaked:
+            return
+        if time.monotonic() > deadline:
+            raise InternalError(
+                f"shared-memory segments leaked after {context}: {leaked}"
+            )
+        time.sleep(0.05)
 
 
 # -- driver-kill / resume check ---------------------------------------------------
@@ -200,6 +253,10 @@ def run_driver_kill(
             raise InternalError(
                 "resumed sweep stdout diverges from the uninterrupted run"
             )
+    # The SIGKILLed driver never ran its atexit sweep; its segments must
+    # have been reclaimed by the shared resource tracker (and the clean +
+    # resumed runs must have swept their own on exit).
+    _assert_no_shm_leaks("driver SIGKILL + resume")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -220,13 +277,14 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"\nchaos ok: {len(CHAOS_SEEDS)} cells completed on "
         f"{args.workers} workers under injected os._exit, SIGKILL, and "
-        "past-deadline hang; table matches the clean serial run byte for byte"
+        "past-deadline hang against shared-memory datasets; table matches "
+        "the clean serial run byte for byte; /dev/shm clean after close"
     )
     if not args.skip_driver_kill:
         run_driver_kill(rows=args.rows, workers=args.workers)
         print(
             "chaos ok: driver SIGKILLed mid-sweep; --resume reproduced the "
-            "uninterrupted stdout byte for byte"
+            "uninterrupted stdout byte for byte; no leaked shared segments"
         )
     return 0
 

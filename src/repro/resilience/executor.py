@@ -226,6 +226,7 @@ class CellExecutor:
     outcomes: list[CellOutcome] = field(default_factory=list)
     backend: str = BACKEND_INPROC
     max_workers: int = 1
+    _pool: object = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -444,20 +445,42 @@ class CellExecutor:
             results[index] = outcome
             self._commit(outcome, encode)
 
-        pool = WorkerPool(
-            max_workers=self.max_workers,
-            policy=self.policy,
-            deadline=self.deadline,
-            faults=self.faults,
-            sleep=self.sleep,
-        )
+        if self._pool is None:
+            # The pool persists across run_specs calls: workers stay warm
+            # and shared-memory datasets stay published for the executor's
+            # whole life, until close() tears both down.
+            self._pool = WorkerPool(
+                max_workers=self.max_workers,
+                policy=self.policy,
+                deadline=self.deadline,
+                faults=self.faults,
+                sleep=self.sleep,
+            )
         try:
-            pool.run(fresh, on_complete=on_complete)
+            self._pool.run(fresh, on_complete=on_complete)
         finally:
             # Even on interrupt, completed cells join ``outcomes`` in spec
             # order; their checkpoints were flushed at completion time.
             self.outcomes.extend(results[i] for i in sorted(results))
         return [results[i] for i in range(len(specs))]
+
+    def close(self) -> None:
+        """Release the warm worker pool and its shared-memory datasets.
+
+        Safe to call on any executor (a no-op for ``inproc`` or before the
+        first process-backend sweep) and idempotent.  The pool drains and
+        joins its workers before unlinking segments, so closing mid-life
+        never yanks a buffer out from under a running cell.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "CellExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     @property
     def failures(self) -> tuple[CellOutcome, ...]:

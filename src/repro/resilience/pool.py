@@ -32,6 +32,15 @@ child processes (stdlib :mod:`multiprocessing`, **spawn** context):
   ``KeyboardInterrupt`` so the driver exits through the established
   interrupt path — a resumed run is byte-identical to an uninterrupted
   one.
+* **Warm workers, zero-copy datasets.**  Workers persist across
+  :meth:`WorkerPool.run` calls — a sweep (or several) pays the spawn cost
+  once — and any :class:`~repro.data.dataset.Dataset` in a spec's params
+  is transparently published to the shared-memory plane
+  (:mod:`repro.resilience.shm`): the worker receives a tiny
+  :class:`~repro.resilience.shm.DatasetRef` and rebuilds the dataset as
+  read-only views, so the arrays cross the pipe zero times.
+  :meth:`WorkerPool.close` drains and joins every worker *before*
+  releasing the segments, so a cell mid-read can never see one vanish.
 
 Retry semantics mirror :class:`~repro.resilience.executor.RetryPolicy`
 exactly: workers do not ship exception objects, they classify errors into
@@ -43,6 +52,7 @@ counts match the in-process oracle byte for byte.
 from __future__ import annotations
 
 import importlib
+import pickle
 import signal
 import threading
 import time
@@ -52,6 +62,7 @@ from multiprocessing import connection as mp_connection
 from multiprocessing import get_context
 from typing import Callable, Mapping, Sequence
 
+from repro.data.dataset import Dataset
 from repro.errors import (
     CellTimeout,
     InternalError,
@@ -74,6 +85,13 @@ from repro.resilience.faults import (
     CRASH_EXIT_CODE,
     CRASH_SIGKILL,
     FaultPlan,
+)
+from repro.resilience.shm import (
+    DatasetRef,
+    detach_all,
+    publish_dataset,
+    release,
+    swap_refs,
 )
 
 #: Error kinds a worker reports in place of exception objects.
@@ -195,6 +213,14 @@ def _classify(exc: BaseException) -> str:
     return KIND_UNTYPED
 
 
+def _invoke_cell(task: Mapping[str, object]) -> object:
+    """Resolve the cell and its shared-dataset refs, then run it."""
+    fn = resolve_cell(str(task["fn_id"]), module=str(task["module"]))
+    params = swap_refs(task["params"])
+    with obs.span("pool.cell_compute", fn_id=str(task["fn_id"])):
+        return fn(**params)
+
+
 def _run_task(task: Mapping[str, object]) -> dict:
     """Run one dispatched cell inside the worker, never raising."""
     tracer = obs.Tracer() if task.get("traced") else None
@@ -202,12 +228,11 @@ def _run_task(task: Mapping[str, object]) -> dict:
         chaos = task.get("chaos")
         if chaos is not None:
             _apply_chaos(chaos)
-        fn = resolve_cell(str(task["fn_id"]), module=str(task["module"]))
         if tracer is not None:
             with obs.tracing(tracer):
-                value = fn(**task["params"])
+                value = _invoke_cell(task)
         else:
-            value = fn(**task["params"])
+            value = _invoke_cell(task)
         result = {"status": STATUS_OK, "value": value}
     except Exception as exc:  # repro: ignore[R007] — reported to the parent
         result = {
@@ -229,9 +254,16 @@ def _worker_main(conn: mp_connection.Connection) -> None:
     foreground process group must not take workers down mid-cell.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        _worker_loop(conn)
+    finally:
+        detach_all()
+
+
+def _worker_loop(conn: mp_connection.Connection) -> None:
     while True:
         try:
-            message = conn.recv()
+            message = pickle.loads(conn.recv_bytes())
         except (EOFError, OSError):
             return
         if message is None:
@@ -334,16 +366,22 @@ class WorkerPool:
         self._on_complete: Callable[[int, CellOutcome], None] | None = None
         self._next_task_id = 1
         self._interrupted = False
+        self._closed = False
+        # Shared-dataset plane bookkeeping: refs by dataset identity, plus
+        # a keepalive list so id() values stay unique for the pool's life.
+        self._dataset_refs: dict[int, DatasetRef] = {}
+        self._published: list[Dataset] = []
 
     # -- lifecycle ---------------------------------------------------------
 
     def _spawn(self, worker: _Worker) -> None:
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        proc = self._ctx.Process(
-            target=_worker_main, args=(child_conn,), daemon=True
-        )
-        proc.start()
-        child_conn.close()
+        with obs.span("pool.spawn", worker=worker.seq):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=_worker_main, args=(child_conn,), daemon=True
+            )
+            proc.start()
+            child_conn.close()
         worker.proc = proc
         worker.conn = parent_conn
         worker.pending = None
@@ -358,6 +396,19 @@ class WorkerPool:
             worker.proc.join()
         self._spawn(worker)
         obs.count("pool.respawns")
+
+    def _ensure_workers(self, n_tasks: int) -> None:
+        """Grow the warm worker set to cover ``n_tasks`` (never shrink).
+
+        Workers persist across :meth:`run` calls, so a multi-sweep driver
+        pays the spawn cost once; dead slots found between sweeps are
+        respawned lazily by the dispatch path.
+        """
+        target = min(self.max_workers, max(n_tasks, len(self._workers)))
+        while len(self._workers) < target:
+            worker = _Worker(len(self._workers))
+            self._spawn(worker)
+            self._workers.append(worker)
 
     def _shutdown(self) -> None:
         for worker in self._workers:
@@ -376,8 +427,46 @@ class WorkerPool:
                 worker.conn.close()
         self._workers = []
 
+    def close(self) -> None:
+        """Tear the pool down: drain/join workers, then release segments.
+
+        The ordering is the point — every worker is joined (so no cell can
+        be mid-read on a shared buffer) *before* any segment reference is
+        released.  Releasing first would let a still-running cell attach a
+        name that no longer exists.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._shutdown()
+        for ref in self._dataset_refs.values():
+            release(ref.segment)
+        self._dataset_refs.clear()
+        self._published.clear()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def _on_signal(self, signum: int, frame: object) -> None:
         self._interrupted = True
+
+    # -- shared-dataset plane ----------------------------------------------
+
+    def _swap_datasets(self, params: Mapping[str, object]) -> dict[str, object]:
+        """Params with every Dataset value replaced by its published ref."""
+        swapped = dict(params)
+        for name, value in params.items():
+            if isinstance(value, Dataset):
+                ref = self._dataset_refs.get(id(value))
+                if ref is None:
+                    ref = publish_dataset(value)
+                    self._dataset_refs[id(value)] = ref
+                    self._published.append(value)
+                swapped[name] = ref
+        return swapped
 
     # -- scheduling --------------------------------------------------------
 
@@ -394,7 +483,13 @@ class WorkerPool:
         *driver* still resumes cleanly.  On SIGINT/SIGTERM the pool stops
         dispatching, drains in-flight cells, then raises
         ``KeyboardInterrupt``.
+
+        Workers stay warm after the call returns — the pool is reusable
+        for further sweeps until :meth:`close` tears it down (which also
+        releases any shared-memory datasets it published).
         """
+        if self._closed:
+            raise ResilienceError("pool is closed; create a new WorkerPool")
         self._results = {}
         if not tasks:
             return self._results
@@ -406,15 +501,10 @@ class WorkerPool:
         if on_main:
             for signum in (signal.SIGINT, signal.SIGTERM):
                 previous_handlers[signum] = signal.signal(signum, self._on_signal)
-        self._workers = [
-            _Worker(seq) for seq in range(min(self.max_workers, len(tasks)))
-        ]
         try:
-            for worker in self._workers:
-                self._spawn(worker)
+            self._ensure_workers(len(tasks))
             self._loop()
         finally:
-            self._shutdown()
             if on_main:
                 for signum, handler in previous_handlers.items():
                     signal.signal(signum, handler)
@@ -496,16 +586,22 @@ class WorkerPool:
         task = {
             "fn_id": item.spec.fn_id,
             "module": fn.__module__,
-            "params": item.spec.params,
+            "params": self._swap_datasets(item.spec.params),
             "chaos": chaos,
             "traced": obs.current_tracer() is not None,
         }
-        try:
-            worker.conn.send((task_id, task))
-        except (OSError, ValueError, BrokenPipeError):
-            # The worker died between cells; replace it and try once more.
-            self._respawn(worker)
-            worker.conn.send((task_id, task))
+        # Pickled once here (not via conn.send) so the shipped byte count
+        # is observable; datasets were swapped for refs above, so this is
+        # small no matter how large the data.
+        with obs.span("pool.ship", key="/".join(key)):
+            blob = pickle.dumps((task_id, task))
+            try:
+                worker.conn.send_bytes(blob)
+            except (OSError, ValueError, BrokenPipeError):
+                # The worker died between cells; replace it and try again.
+                self._respawn(worker)
+                worker.conn.send_bytes(blob)
+        obs.count("pool.bytes_shipped", len(blob))
         worker.pending = item
         worker.task_id = task_id
         worker.deadline_at = (

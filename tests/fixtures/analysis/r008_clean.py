@@ -23,5 +23,13 @@ def benign_os_use(path):
     return os.path.basename(path)
 
 
+def benign_name_lookalike():
+    # A local attribute chain spelled like the module is not the module.
+    class Box:
+        shared_memory = None
+
+    return Box().shared_memory
+
+
 def suppressed():
     signal.alarm(1)  # repro: ignore[R008]

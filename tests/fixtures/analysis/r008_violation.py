@@ -1,9 +1,11 @@
 """R008 fixture: raw process/signal primitives outside resilience (violations)."""
 
 import multiprocessing
+import multiprocessing.shared_memory as sm
 import os
 import signal as sig
-from multiprocessing import Process
+from multiprocessing import Process, shared_memory
+from multiprocessing.shared_memory import SharedMemory
 from signal import alarm
 
 
@@ -21,3 +23,11 @@ def raw_fork():
 
 def raw_process(target):
     return multiprocessing.Process(target=target)
+
+
+def raw_segment():
+    return sm.SharedMemory(name="x", create=True, size=8)
+
+
+def raw_segment_dotted():
+    return multiprocessing.shared_memory.SharedMemory(name="y")

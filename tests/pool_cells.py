@@ -68,3 +68,21 @@ def traced_cell(n: int) -> int:
 def unpicklable_cell() -> object:
     """Return a value that cannot be pickled back to the parent."""
     return lambda: None
+
+
+@register_cell("test.slow_read")
+def slow_read_cell(data, seconds: float = 1.0, steps: int = 10) -> int:
+    """Read the (shared-memory) dataset slowly, spread over ``seconds``.
+
+    Re-reads every column between sleeps so a worker is mid-read for the
+    whole duration — the teardown-ordering regression cell: a driver
+    SIGTERM while this runs must drain it to a correct result, never to a
+    vanished-segment error.
+    """
+    total = 0
+    for _ in range(steps):
+        total = int(data.y.sum())
+        for col in data.schema:
+            total += int(data.column(col.name).sum())
+        time.sleep(seconds / steps)
+    return total

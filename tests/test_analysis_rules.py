@@ -184,12 +184,16 @@ class TestR007BroadExcept:
 class TestR008ProcessPrimitives:
     def test_fires_on_violation(self):
         findings = run_rule("R008", "r008_violation.py")
-        assert len(findings) == 6
+        assert len(findings) == 10
         assert rule_ids(findings) == {"R008"}
         assert any("signal.alarm" in f.message for f in findings)
         assert any("signal.setitimer" in f.message for f in findings)
         assert any("os.fork" in f.message for f in findings)
         assert any("multiprocessing.Process" in f.message for f in findings)
+        assert any("SharedMemory" in f.message for f in findings)
+        assert any(
+            "multiprocessing.shared_memory" in f.message for f in findings
+        )
         assert all("repro.resilience" in f.message for f in findings)
 
     def test_silent_on_clean(self):
@@ -208,14 +212,29 @@ class TestR008ProcessPrimitives:
         src = "import multiprocessing as mp\np = mp.Process(target=print)\n"
         assert len(analyzer.analyze_source(src)) == 1
 
+    def test_shared_memory_alias_forms_are_tracked(self):
+        analyzer = Analyzer(default_rules(("R008",)))
+        aliased = (
+            "import multiprocessing.shared_memory as sm\n"
+            "seg = sm.SharedMemory(name='x')\n"
+        )
+        assert len(analyzer.analyze_source(aliased)) == 1
+        direct = "from multiprocessing import shared_memory\n"
+        assert len(analyzer.analyze_source(direct)) == 1
+        submodule = (
+            "from multiprocessing.shared_memory import ShareableList\n"
+        )
+        assert len(analyzer.analyze_source(submodule)) == 1
+
     def test_own_pool_and_executor_are_exempt_and_clean(self):
-        """The pool/executor use the primitives, but live in resilience."""
+        """The pool/executor/shm use the primitives, but live in resilience."""
         repo_src = FIXTURES.parent.parent.parent / "src" / "repro"
         analyzer = Analyzer(default_rules(("R008",)))
         assert analyzer.analyze_file(repo_src / "resilience" / "pool.py") == []
         assert (
             analyzer.analyze_file(repo_src / "resilience" / "executor.py") == []
         )
+        assert analyzer.analyze_file(repo_src / "resilience" / "shm.py") == []
 
 
 # The whole-program rules fire over assembled mini-projects, not single

@@ -67,6 +67,30 @@ class TestIdentify:
             assert opt == vec
             assert vec, "pin is vacuous if no region is found"
 
+    @pytest.mark.slow
+    @pytest.mark.parametrize("depth", (9, 10, 11, 12))
+    def test_engines_agree_at_deep_lattice_depth(self, depth):
+        """All three engines return identical reports at depth 9-12.
+
+        Binary protected attributes keep the naive engine tractable while
+        the lattice (``3^depth`` regions) exercises the deep-lattice fast
+        paths: bitset node addressing, ``max_cell_size`` branch pruning,
+        and the scaled-ancestor cache.
+        """
+        from repro.data.synth.generic import generate, make_scalability_config
+
+        data = generate(
+            make_scalability_config(
+                n_rows=300, n_protected=depth, cardinality=2, seed=7
+            )
+        )
+        naive = identify_ibs(data, 0.4, k=10, method="naive")
+        opt = identify_ibs(data, 0.4, k=10, method="optimized")
+        vec = identify_ibs(data, 0.4, k=10, method="vectorized")
+        assert naive == opt
+        assert opt == vec  # byte-identical report lists at every depth
+        assert vec, "pin is vacuous if no region is found"
+
     def test_node_biased_reports_matches_scalar_path(self, biased_dataset):
         h = Hierarchy(biased_dataset)
         for level in h.levels():

@@ -252,3 +252,40 @@ class TestProcessBackend:
             if s.name == "traced_cell"
         }
         assert workers <= {0, 1} and workers
+
+    def test_warm_pool_reuses_workers_and_shared_dataset(self):
+        """Across run_specs calls: workers stay warm, the dataset ships once.
+
+        The zero-copy plane's acceptance pins: one content-addressed
+        segment published for the whole executor lifetime, one attach per
+        worker, spawn spans only for the first run, refs (not arrays) on
+        the wire, and the segment unlinked exactly at ``close()``.
+        """
+        from repro.data.synth import load_compas
+        from repro.obs import Tracer, tracing
+        from repro.resilience import published_segments
+
+        data = load_compas(120, seed=9)
+        read = {"data": data, "seconds": 0.0, "steps": 1}
+        tracer = Tracer()
+        with tracing(tracer):
+            with CellExecutor(backend=BACKEND_PROCESS, max_workers=2) as ex:
+                first = ex.run_specs(
+                    specs_for(("a", "test.slow_read", dict(read)),
+                              ("b", "test.slow_read", dict(read)))
+                )
+                assert len(published_segments()) == 1
+                second = ex.run_specs(
+                    specs_for(("c", "test.slow_read", dict(read)))
+                )
+            assert published_segments() == {}  # released at close()
+        values = {o.value for o in first + second}
+        assert len(values) == 1  # same dataset, same sum, every cell
+        totals = tracer.metric_totals()
+        assert totals["shm.segments_published"] == 1
+        assert totals["shm.segments_unlinked"] == 1
+        assert totals["shm.segments_attached"] == 2  # once per warm worker
+        spawns = [s for s in tracer.spans if s.name == "pool.spawn"]
+        assert len(spawns) == 2  # no respawns for the second run
+        # Three dispatches shipped refs, not arrays: far below the data size.
+        assert 0 < totals["pool.bytes_shipped"] < data.y.nbytes * 3 + 10_000

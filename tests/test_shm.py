@@ -1,0 +1,304 @@
+"""Shared-memory dataset plane: round-trip fidelity and segment lifecycle.
+
+Pins the :mod:`repro.resilience.shm` invariants: publish → attach round
+trips are byte-identical for arbitrary schemas (hypothesis-generated),
+segments are content-addressed and refcounted, attached views are
+write-protected, the atexit/``unlink_all`` sweep reclaims everything, and
+— the teardown-ordering regression — a worker mid-read during a driver
+SIGTERM drains to a correct result instead of hitting a vanished segment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.dataset import Dataset
+from repro.data.schema import CATEGORICAL, NUMERIC, Column, Schema
+from repro.data.synth import load_compas
+from repro.errors import ResilienceError
+from repro.resilience import (
+    DatasetRef,
+    attach_dataset,
+    dataset_content_hash,
+    publish_dataset,
+    published_segments,
+    release,
+)
+from repro.resilience.shm import (
+    ArraySpec,
+    SEGMENT_PREFIX,
+    detach_all,
+    unlink_all,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def leaked_segments() -> list[str]:
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        return []
+    return sorted(
+        p.name for p in shm_dir.iterdir() if p.name.startswith(SEGMENT_PREFIX)
+    )
+
+
+@pytest.fixture(autouse=True)
+def clean_plane():
+    """Every test starts and ends with no published/attached segments."""
+    detach_all()
+    unlink_all()
+    yield
+    detach_all()
+    unlink_all()
+    assert published_segments() == {}
+    assert leaked_segments() == []
+
+
+# -- round-trip fidelity ----------------------------------------------------------
+
+
+@st.composite
+def datasets(draw):
+    """Small random datasets across schema shapes, cardinalities, dtypes."""
+    n_rows = draw(st.integers(0, 25))
+    n_cat = draw(st.integers(1, 3))
+    n_num = draw(st.integers(0, 2))
+    columns: list[Column] = []
+    arrays: dict[str, np.ndarray] = {}
+    for i in range(n_cat):
+        card = draw(st.integers(2, 4))
+        name = f"c{i}"
+        columns.append(
+            Column(name, CATEGORICAL, tuple(f"v{j}" for j in range(card)))
+        )
+        arrays[name] = np.array(
+            draw(
+                st.lists(
+                    st.integers(0, card - 1), min_size=n_rows, max_size=n_rows
+                )
+            ),
+            dtype=np.int64,
+        )
+    for i in range(n_num):
+        name = f"x{i}"
+        columns.append(Column(name, NUMERIC))
+        arrays[name] = np.array(
+            draw(
+                st.lists(
+                    st.floats(-1e6, 1e6, allow_nan=False),
+                    min_size=n_rows,
+                    max_size=n_rows,
+                )
+            ),
+            dtype=np.float64,
+        )
+    y = np.array(
+        draw(st.lists(st.integers(0, 1), min_size=n_rows, max_size=n_rows)),
+        dtype=np.int8,
+    )
+    n_protected = draw(st.integers(1, n_cat))
+    protected = tuple(f"c{i}" for i in range(n_protected))
+    return Dataset(Schema(columns), arrays, y, protected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=datasets())
+def test_roundtrip_is_byte_identical(data):
+    ref = publish_dataset(data)
+    try:
+        rebuilt = attach_dataset(ref)
+        assert rebuilt.y.dtype == data.y.dtype
+        assert rebuilt.y.tobytes() == data.y.tobytes()
+        assert tuple(rebuilt.protected) == tuple(data.protected)
+        assert [c.name for c in rebuilt.schema] == [c.name for c in data.schema]
+        for col in data.schema:
+            orig, view = data.column(col.name), rebuilt.column(col.name)
+            assert view.dtype == orig.dtype
+            assert view.shape == orig.shape
+            assert view.tobytes() == orig.tobytes()
+    finally:
+        detach_all()
+        release(ref.segment)
+
+
+def test_attached_views_are_write_protected():
+    data = load_compas(50, seed=1)
+    ref = publish_dataset(data)
+    try:
+        rebuilt = attach_dataset(ref)
+        col = rebuilt.column(rebuilt.schema.categorical_names[0])
+        with pytest.raises(ValueError):
+            col[0] = 1
+        with pytest.raises(ValueError):
+            rebuilt.y[0] = 1
+    finally:
+        detach_all()
+        release(ref.segment)
+
+
+def test_ref_ships_small_regardless_of_data_size():
+    data = load_compas(2000, seed=2)
+    ref = publish_dataset(data)
+    try:
+        blob = pickle.dumps(ref)
+        assert isinstance(ref, DatasetRef)
+        assert ref.nbytes > 50_000  # the data itself is large...
+        assert len(blob) < 2_000  # ...but the handle stays tiny
+        assert all(isinstance(spec, ArraySpec) for spec in ref.arrays)
+        assert sum(spec.nbytes for spec in ref.arrays) == ref.nbytes
+        assert ref.n_rows == 2000
+    finally:
+        release(ref.segment)
+
+
+# -- content addressing and refcounts ---------------------------------------------
+
+
+def test_publish_is_content_addressed_and_refcounted():
+    data = load_compas(80, seed=3)
+    first = publish_dataset(data)
+    second = publish_dataset(data)
+    assert first.segment == second.segment
+    assert first.content_hash == dataset_content_hash(data)
+    assert published_segments() == {first.segment: 2}
+
+    other = publish_dataset(load_compas(80, seed=4))
+    assert other.segment != first.segment
+    assert published_segments()[other.segment] == 1
+
+    release(first.segment)
+    assert published_segments()[first.segment] == 1  # still referenced
+    release(first.segment)
+    assert first.segment not in published_segments()
+    assert first.segment not in leaked_segments()
+    release(other.segment)
+
+
+def test_release_of_unknown_segment_raises():
+    with pytest.raises(ResilienceError, match="not published"):
+        release("repro-shm-0-deadbeef")
+
+
+def test_attach_after_unlink_reports_vanished_segment():
+    data = load_compas(40, seed=5)
+    ref = publish_dataset(data)
+    release(ref.segment)
+    with pytest.raises(ResilienceError, match="vanished"):
+        attach_dataset(ref)
+
+
+def test_unlink_all_sweeps_everything():
+    publish_dataset(load_compas(40, seed=6))
+    publish_dataset(load_compas(40, seed=7))
+    assert len(published_segments()) == 2
+    assert unlink_all() == 2
+    assert published_segments() == {}
+    assert leaked_segments() == []
+
+
+# -- teardown ordering under driver SIGTERM ---------------------------------------
+
+_SIGTERM_DRIVER = """\
+import sys
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {repo!r})
+import tests.pool_cells  # noqa: F401  — registers test.slow_read
+from repro.data.synth import load_compas
+from repro.resilience import (
+    BACKEND_PROCESS, CellExecutor, CellSpec, Checkpoint,
+)
+
+data = load_compas(400, seed=3)
+executor = CellExecutor(
+    backend=BACKEND_PROCESS,
+    max_workers=2,
+    checkpoint=Checkpoint(path={ckpt!r}, run_id="shm-sigterm", resume=False),
+)
+specs = [
+    CellSpec(
+        key=("t", str(i)),
+        fn_id="test.slow_read",
+        params={{"data": data, "seconds": 1.5}},
+    )
+    for i in range(6)
+]
+try:
+    executor.run_specs(specs)
+    print("FULL-SWEEP", flush=True)
+except KeyboardInterrupt:
+    ok = [o for o in executor.outcomes if o.ok]
+    values = {{o.value for o in ok}}
+    assert len(values) <= 1, f"drained cells disagree: {{values}}"
+    print(f"DRAINED ok={{len(ok)}}", flush=True)
+finally:
+    executor.close()
+print("CLEAN-EXIT", flush=True)
+"""
+
+
+@pytest.mark.slow
+def test_sigterm_mid_read_drains_without_vanished_segment(tmp_path):
+    """Driver SIGTERM while a cell is mid-read must drain, not corrupt.
+
+    The pool's drain path lets in-flight ``test.slow_read`` cells finish
+    against the shared segment before ``close()`` releases it — so the
+    drained outcomes are correct, stderr shows no vanished-segment error,
+    and nothing is left in ``/dev/shm``.
+    """
+    ckpt = tmp_path / "ckpt.json"
+    script = tmp_path / "driver.py"
+    script.write_text(
+        _SIGTERM_DRIVER.format(
+            src=str(REPO_ROOT / "src"), repo=str(REPO_ROOT), ckpt=str(ckpt)
+        )
+    )
+    proc = subprocess.Popen(
+        [sys.executable, str(script)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        cwd=str(tmp_path),
+    )
+    try:
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            try:
+                done = len(json.loads(ckpt.read_text()).get("cells", {}))
+            except (OSError, ValueError):
+                done = 0
+            if done >= 1:
+                break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("driver never completed a first cell")
+        assert proc.poll() is None, "driver exited before the SIGTERM landed"
+        os.kill(proc.pid, signal.SIGTERM)
+        out, err = proc.communicate(timeout=120.0)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=30.0)
+    stdout = out.decode(errors="replace")
+    stderr = err.decode(errors="replace")
+    assert "DRAINED ok=" in stdout, f"stdout: {stdout}\nstderr: {stderr}"
+    assert "CLEAN-EXIT" in stdout, f"stdout: {stdout}\nstderr: {stderr}"
+    assert "vanished" not in stderr, stderr
+    assert "ResilienceError" not in stderr, stderr
+    # The killed driver swept its segments on the way out.
+    deadline = time.monotonic() + 10.0
+    while leaked_segments() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert leaked_segments() == []
