@@ -1,6 +1,6 @@
 # Development workflow shortcuts.
 
-.PHONY: install test lint lint-strict ci bench bench-full bench-ibs bench-pool examples experiments-smoke chaos report clean
+.PHONY: install test lint lint-strict ci bench bench-full bench-ibs bench-pool bench-stream examples experiments-smoke chaos stream-chaos report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -44,6 +44,13 @@ bench-ibs:
 bench-pool:
 	PYTHONPATH=src python scripts/bench_pool.py
 
+# Same re-baseline contract, for streaming-audit throughput: a million-row
+# delta workload through the durable journal + incremental re-scorer,
+# overwriting BENCH_stream.json (deltas/sec, p95 batch latency, and the
+# late/early latency ratio that proves per-batch cost independence).
+bench-stream:
+	PYTHONPATH=src python scripts/bench_stream.py
+
 examples:
 	for f in examples/*.py; do echo "== $$f"; PYTHONPATH=src python $$f || exit 1; done
 
@@ -55,6 +62,13 @@ experiments-smoke:
 # and still reproduce the clean serial output byte for byte.
 chaos:
 	PYTHONPATH=src python -m repro.resilience.chaos --workers 2
+
+# Streaming-auditor chaos drills: crash (exit / SIGKILL) around the journal
+# append, a hung ingest killed externally, a torn tail record, and a crash
+# mid-compaction — every scenario must recover to a byte-identical replay
+# with no orphaned segments past the watermark.
+stream-chaos:
+	PYTHONPATH=src python -m repro.stream.chaos
 
 report:
 	PYTHONPATH=src python examples/regenerate_report.py REPORT.md

@@ -1,0 +1,189 @@
+"""Measure streaming-audit throughput and per-batch cost independence.
+
+Ingests a seeded ~90/5/5 insert/delete/relabel workload in fixed-size
+micro-batches through a real :class:`~repro.stream.service.StreamService`
+(journal fsyncs included) until ``--rows`` cumulative rows have been
+inserted, and records:
+
+* ``deltas_per_sec`` — total deltas over total wall seconds of
+  ``ingest`` (journal append + incremental re-score);
+* ``batch_p50_seconds`` / ``batch_p95_seconds`` — per-batch latency
+  percentiles across the whole run;
+* ``late_over_early_p95`` — the p95 of the final decile of batches over
+  the p95 of the first decile.  The tentpole's cost claim is that a
+  batch's price depends on the batch, not on how many rows the stream
+  has accumulated, so this ratio must stay near 1 even as the state
+  grows from 0 to a million rows.
+
+``scripts/check_bench.py --kind stream`` guards the committed
+``BENCH_stream.json``: throughput and p95 latency are baseline-relative
+(default tolerance 50% — raw seconds are machine-sensitive), while
+``late_over_early_p95`` has an **absolute** ceiling of 3.0: a per-batch
+cost that grows with the total row count is a design regression, not a
+slow machine.
+
+Re-baselining: after an intentional streaming change, run ``make
+bench-stream`` on a quiet machine (it overwrites ``BENCH_stream.json`` in
+place) and commit the refreshed file.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_stream.py             # overwrite baseline
+    PYTHONPATH=src python scripts/bench_stream.py --output /tmp/stream.json
+    PYTHONPATH=src python scripts/bench_stream.py --rows 100000   # quick look
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+BASELINE = REPO_ROOT / "BENCH_stream.json"
+
+BENCH_ROWS = 1_000_000
+BATCH_ROWS = 1_000
+SEED = 11
+
+#: Workload mix: inserts grow the stream to the target; a sprinkle of
+#: deletes and relabels keeps every delta kind on the hot path.
+P_DELETE = 0.05
+P_RELABEL = 0.05
+
+
+def make_config():
+    from repro.data.schema import Column, Schema
+    from repro.stream.journal import StreamConfig
+
+    schema = Schema(
+        [
+            Column("age", "categorical", ("<30", ">=30")),
+            Column("race", "categorical", ("a", "b", "c")),
+            Column("sex", "categorical", ("f", "m")),
+            Column("score", "numeric"),
+        ]
+    )
+    return StreamConfig(
+        schema=schema, protected=("age", "race", "sex"), tau_c=0.1, k=30
+    )
+
+
+def make_batch(rng, alive, next_id, n_inserts):
+    """One micro-batch with ``n_inserts`` inserts plus delete/relabel noise."""
+    from repro.stream.deltas import DeleteDelta, InsertDelta, RelabelDelta
+
+    deltas = []
+    for __ in range(n_inserts):
+        cell = (
+            int(rng.integers(0, 2)),
+            int(rng.integers(0, 3)),
+            int(rng.integers(0, 2)),
+        )
+        p_pos = 0.75 if cell[1] == 0 else 0.45  # planted race=a skew
+        label = int(rng.random() < p_pos)
+        roll = rng.random()
+        if roll < P_DELETE and alive:
+            victim = alive.pop(int(rng.integers(0, len(alive))))
+            deltas.append(DeleteDelta(row=victim))
+        elif roll < P_DELETE + P_RELABEL and alive:
+            row = alive[int(rng.integers(0, len(alive)))]
+            deltas.append(RelabelDelta(row=row, label=label))
+        else:
+            deltas.append(
+                InsertDelta(values=(*cell, float(rng.random())), label=label)
+            )
+            alive.append(next_id)
+            next_id += 1
+    return deltas, next_id
+
+
+def run_bench(rows: int, batch_rows: int) -> dict:
+    from repro.stream.service import StreamService
+
+    rng = np.random.default_rng(SEED)
+    n_batches = rows // batch_rows
+    batch_seconds: list[float] = []
+    n_deltas = 0
+    with tempfile.TemporaryDirectory(prefix="repro-bench-stream-") as tmp:
+        service = StreamService.create(
+            os.path.join(tmp, "stream"), make_config()
+        )
+        try:
+            alive: list[int] = []
+            next_id = 0
+            for b in range(n_batches):
+                deltas, next_id = make_batch(rng, alive, next_id, batch_rows)
+                n_deltas += len(deltas)
+                start = time.perf_counter()
+                service.ingest([(f"b{b:06d}", deltas)])
+                batch_seconds.append(time.perf_counter() - start)
+                if (b + 1) % max(1, n_batches // 10) == 0:
+                    done = sum(batch_seconds)
+                    print(
+                        f"  batch {b + 1}/{n_batches}: "
+                        f"{n_deltas / done:,.0f} deltas/s so far",
+                        flush=True,
+                    )
+            n_alive = service.auditor.state.n_alive
+            n_biased = len(service.auditor.reports())
+        finally:
+            service.close()
+
+    arr = np.asarray(batch_seconds)
+    decile = max(1, len(arr) // 10)
+    early_p95 = float(np.percentile(arr[:decile], 95))
+    late_p95 = float(np.percentile(arr[-decile:], 95))
+    return {
+        "rows": rows,
+        "batch_rows": batch_rows,
+        "n_batches": n_batches,
+        "n_deltas": n_deltas,
+        "n_alive": n_alive,
+        "n_biased": n_biased,
+        "total_seconds": round(float(arr.sum()), 3),
+        "deltas_per_sec": round(n_deltas / float(arr.sum()), 1),
+        "batch_p50_seconds": round(float(np.percentile(arr, 50)), 6),
+        "batch_p95_seconds": round(float(np.percentile(arr, 95)), 6),
+        "late_over_early_p95": round(late_p95 / early_p95, 3),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rows", type=int, default=BENCH_ROWS,
+        help=f"cumulative rows to stream (default {BENCH_ROWS:,})",
+    )
+    parser.add_argument(
+        "--batch-rows", type=int, default=BATCH_ROWS,
+        help=f"deltas per micro-batch (default {BATCH_ROWS:,})",
+    )
+    parser.add_argument(
+        "--output", default=str(BASELINE),
+        help="where to write the record (default: overwrite the baseline)",
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"streaming {args.rows:,} rows in {args.batch_rows:,}-delta batches",
+        flush=True,
+    )
+    record = run_bench(args.rows, args.batch_rows)
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"record written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Benchmark regression gate: fresh numbers vs the committed baselines.
 
-Two kinds of record, selected with ``--kind``:
+Three kinds of record, selected with ``--kind``:
 
 * ``ibs`` (default) — compares the ``speedup_vs_optimized`` recorded in a
   freshly produced pytest-benchmark JSON against the committed
@@ -13,7 +13,13 @@ Two kinds of record, selected with ``--kind``:
   (on one core parallelism buys nothing, but the zero-copy plane means it
   must cost at most scheduler noise) and at least 1.5x when 4+ CPUs are
   available.  The floor is chosen from the *fresh* record's ``cpu_count``
-  so one committed baseline gates both kinds of machine.
+  so one committed baseline gates both kinds of machine;
+* ``stream`` — checks ``scripts/bench_stream.py`` output against the
+  committed ``BENCH_stream.json``: ``deltas_per_sec`` may not fall and
+  ``batch_p95_seconds`` may not rise by more than the tolerance (default
+  50% — raw seconds are machine-sensitive), and ``late_over_early_p95``
+  has an absolute ceiling of 3.0 regardless of baseline: per-batch cost
+  growing with the accumulated row count is a design regression.
 
 The ibs gate compares speedup ratios instead of raw seconds so it is
 insensitive to overall machine speed — both engines slow down together on
@@ -29,10 +35,13 @@ Usage::
     PYTHONPATH=src python scripts/bench_pool.py --output /tmp/pool.json
     python scripts/check_bench.py /tmp/pool.json --kind pool
 
+    PYTHONPATH=src python scripts/bench_stream.py --output /tmp/stream.json
+    python scripts/check_bench.py /tmp/stream.json --kind stream
+
 Re-baselining: after an intentional performance change, run ``make bench-ibs``
-(or ``make bench-pool``) on a quiet machine — they overwrite the committed
-JSON in place — and commit the refreshed file alongside the change that
-justifies it.
+(or ``make bench-pool`` / ``make bench-stream``) on a quiet machine — they
+overwrite the committed JSON in place — and commit the refreshed file
+alongside the change that justifies it.
 """
 
 from __future__ import annotations
@@ -54,6 +63,12 @@ DIMENSIONS = ("n_attrs", "depth")
 #: Absolute pool-speedup floors by whether the box has >= 4 CPUs.
 POOL_FLOOR_SINGLE_CORE = 0.9
 POOL_FLOOR_MULTI_CORE = 1.5
+
+STREAM_BASELINE = REPO_ROOT / "BENCH_stream.json"
+STREAM_TOLERANCE = 0.5
+#: Absolute ceiling on late/early p95 batch latency: per-batch cost must
+#: not grow with the accumulated row count, on any machine.
+STREAM_GROWTH_CEILING = 3.0
 
 
 def load_speedups(path: Path) -> dict[tuple[str, int], float]:
@@ -132,23 +147,80 @@ def check_pool(fresh_path: Path, floor: float | None = None) -> list[str]:
     return []
 
 
+def check_stream(
+    fresh_path: Path, baseline_path: Path, tolerance: float
+) -> list[str]:
+    """Stream-throughput gate report lines; empty means the gate passes."""
+    fresh = json.loads(fresh_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    problems: list[str] = []
+
+    checks = (
+        # (metric, direction: +1 = higher is better, -1 = lower is better)
+        ("deltas_per_sec", +1),
+        ("batch_p95_seconds", -1),
+    )
+    for metric, direction in checks:
+        try:
+            base = float(baseline[metric])
+            now = float(fresh[metric])
+        except (KeyError, TypeError, ValueError):
+            raise SystemExit(
+                f"error: no {metric} entry in {fresh_path} / {baseline_path}"
+            )
+        if direction > 0:
+            bound = base * (1.0 - tolerance)
+            bad = now < bound
+            word = "floor"
+        else:
+            bound = base * (1.0 + tolerance)
+            bad = now > bound
+            word = "ceiling"
+        status = "REGRESSION" if bad else "ok"
+        print(
+            f"  {metric}: baseline {base:g}  fresh {now:g}  "
+            f"{word} {bound:g}  {status}"
+        )
+        if bad:
+            problems.append(
+                f"{metric} moved {base:g} -> {now:g} past the "
+                f"{word} {bound:g} (tolerance {tolerance:.0%})"
+            )
+
+    growth = float(fresh.get("late_over_early_p95", 0.0))
+    status = "ok" if growth <= STREAM_GROWTH_CEILING else "REGRESSION"
+    print(
+        f"  late_over_early_p95: fresh {growth:g}  "
+        f"ceiling {STREAM_GROWTH_CEILING:g} (absolute)  {status}"
+    )
+    if growth > STREAM_GROWTH_CEILING:
+        problems.append(
+            f"late_over_early_p95 {growth:g} exceeds the absolute ceiling "
+            f"{STREAM_GROWTH_CEILING:g}: per-batch cost is growing with the "
+            "accumulated row count"
+        )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns 0 when no point regressed beyond tolerance."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("fresh", help="freshly produced benchmark JSON file")
     parser.add_argument(
-        "--kind", choices=("ibs", "pool"), default="ibs",
+        "--kind", choices=("ibs", "pool", "stream"), default="ibs",
         help="which record/baseline pair to compare (default: ibs)",
     )
     parser.add_argument(
         "--baseline", default=None,
-        help="committed baseline (default: BENCH_ibs.json at the repo root; "
-        "unused for --kind pool, which gates on absolute floors)",
+        help="committed baseline (default: BENCH_ibs.json / "
+        "BENCH_stream.json at the repo root; unused for --kind pool, "
+        "which gates on absolute floors)",
     )
     parser.add_argument(
         "--tolerance", type=float, default=None,
         help="ibs: allowed fractional drop in speedup per point (default "
-        "0.25); pool: overrides the absolute floor itself",
+        "0.25); stream: allowed fractional move per metric (default 0.5); "
+        "pool: overrides the absolute floor itself",
     )
     args = parser.parse_args(argv)
 
@@ -167,6 +239,29 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 1
         print("bench gate: pool speedup above floor")
+        return 0
+
+    if args.kind == "stream":
+        tolerance = STREAM_TOLERANCE if args.tolerance is None else args.tolerance
+        print(f"bench gate: stream throughput/latency, tolerance {tolerance:.0%}")
+        problems = check_stream(
+            Path(args.fresh),
+            Path(args.baseline or STREAM_BASELINE),
+            tolerance,
+        )
+        if problems:
+            print("\nbenchmark regression detected:", file=sys.stderr)
+            for line in problems:
+                print(f"  {line}", file=sys.stderr)
+            print(
+                "\nIf this slowdown is intentional, re-baseline with "
+                "`make bench-stream` and commit BENCH_stream.json — but a "
+                "late_over_early_p95 breach cannot be re-baselined away; "
+                "restore per-batch cost independence instead.",
+                file=sys.stderr,
+            )
+            return 1
+        print("bench gate: stream metrics within bounds")
         return 0
 
     tolerance = 0.25 if args.tolerance is None else args.tolerance

@@ -12,8 +12,12 @@ Runs the repository's quality gates in order, fail-fast::
     chaos              strict no-baseline lint of the resilience/obs
                        subsystems, then the process-backend sweep under
                        crashes/hangs/driver kill
+    stream-chaos       the streaming auditor's crash/hang/torn-tail drills:
+                       every scenario must recover to a byte-identical
+                       replay with no orphaned segments
     examples           every script in examples/ end to end
-    bench-regression   fresh IBS + pool benchmarks vs the committed baselines
+    bench-regression   fresh IBS + pool + stream benchmarks vs the
+                       committed baselines
 
 Each stage runs as a subprocess with ``PYTHONPATH=src`` and is timed through
 a :mod:`repro.obs` span; the run ends with a per-stage status table and a
@@ -45,7 +49,9 @@ from repro.obs import Tracer, tracing  # noqa: E402
 PYTHON = sys.executable
 
 
-def stage_commands(bench_json: str, pool_json: str) -> list[tuple[str, list[list[str]]]]:
+def stage_commands(
+    bench_json: str, pool_json: str, stream_json: str
+) -> list[tuple[str, list[list[str]]]]:
     """The ordered CI stages; each is (name, list of argv to run in order)."""
     return [
         (
@@ -78,6 +84,10 @@ def stage_commands(bench_json: str, pool_json: str) -> list[tuple[str, list[list
             ],
         ),
         (
+            "stream-chaos",
+            [[PYTHON, "-m", "repro.stream.chaos"]],
+        ),
+        (
             "examples",
             [[PYTHON, str(path)] for path in sorted(
                 (REPO_ROOT / "examples").glob("*.py")
@@ -91,6 +101,13 @@ def stage_commands(bench_json: str, pool_json: str) -> list[tuple[str, list[list
                 [PYTHON, "scripts/check_bench.py", bench_json],
                 [PYTHON, "scripts/bench_pool.py", "--output", pool_json],
                 [PYTHON, "scripts/check_bench.py", pool_json, "--kind", "pool"],
+                # A reduced-row stream run keeps the stage's wall time in
+                # check; the ratio metrics it gates are row-count invariant
+                # (that invariance is itself the late/early check).
+                [PYTHON, "scripts/bench_stream.py", "--rows", "100000",
+                 "--output", stream_json],
+                [PYTHON, "scripts/check_bench.py", stream_json,
+                 "--kind", "stream"],
             ],
         ),
     ]
@@ -128,7 +145,8 @@ def main(argv: list[str] | None = None) -> int:
     tmpdir = tempfile.mkdtemp(prefix="repro-ci-")
     bench_json = os.path.join(tmpdir, "bench.json")
     pool_json = os.path.join(tmpdir, "pool.json")
-    stages = stage_commands(bench_json, pool_json)
+    stream_json = os.path.join(tmpdir, "stream.json")
+    stages = stage_commands(bench_json, pool_json, stream_json)
     if args.stages:
         wanted = [s.strip() for s in args.stages.split(",") if s.strip()]
         known = {name for name, _ in stages}

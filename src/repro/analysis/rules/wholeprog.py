@@ -56,6 +56,13 @@ ROOT_SEGMENTS = frozenset({"core", "experiments", "audit"})
 #: deadline bookkeeping, proven result-invariant by their own suites).
 CLOCK_EXEMPT_SEGMENTS = frozenset({"obs", "resilience"})
 
+#: Subpackages (the segment directly under the project root) whose clock
+#: reads are exempt: the stream journal stamps batch manifests with wall
+#: time as chain-covered integrity metadata, never as replayed state (its
+#: byte-identity property pins that).  Position-scoped on purpose — a
+#: module merely *named* ``stream`` deeper in the tree gets no exemption.
+CLOCK_EXEMPT_SUBPACKAGES = frozenset({"stream"})
+
 #: Module basenames allowed to read/branch on ambient tracer state: the obs
 #: plumbing itself, the CLI driver, and the chaos/smoke harness drivers.
 OBS_EXEMPT_BASENAMES = frozenset({"cli", "__main__", "chaos", "smoke", "ci"})
@@ -100,6 +107,14 @@ class ProjectRule(Rule):
 
 def _module_segments(module: str) -> frozenset[str]:
     return frozenset(module.split("."))
+
+
+def _clock_exempt(module: str) -> bool:
+    """Whether a clock fact originating in ``module`` is sanctioned."""
+    if _module_segments(module) & CLOCK_EXEMPT_SEGMENTS:
+        return True
+    parts = module.split(".")
+    return len(parts) >= 2 and parts[1] in CLOCK_EXEMPT_SUBPACKAGES
 
 
 def _fn_location(model: ProjectModel, fn_id: str) -> tuple[str, int, int]:
@@ -148,9 +163,7 @@ class DeterminismTaintRule(ProjectRule):
                 if witness is None:
                     continue
                 origin_module = witness.origin.partition(":")[0]
-                if fact == FACT_CLOCK and (
-                    _module_segments(origin_module) & CLOCK_EXEMPT_SEGMENTS
-                ):
+                if fact == FACT_CLOCK and _clock_exempt(origin_module):
                     continue
                 path, line, col = _fn_location(model, fn_id)
                 chain = " -> ".join(_short(c) for c in witness.chain) or "(direct)"

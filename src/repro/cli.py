@@ -19,6 +19,13 @@ Commands
 ``checkpoint``inspect or prune sweep checkpoints: ``checkpoint inspect``
               prints run id, cell counts, and age; ``checkpoint prune``
               deletes all but the newest checkpoints;
+``stream``    continuously audit a *changing* dataset: ``stream init``
+              creates a durable delta journal, ``stream ingest`` journals
+              and incrementally applies micro-batches of row edits,
+              ``stream status`` / ``stream replay`` / ``stream alarms``
+              recover and inspect the audited state, and ``stream
+              compact`` folds the journal into a fresh generation (see
+              ``docs/streaming.md``);
 ``analyze``   run the repo's static-analysis rules (per-file R001–R008 plus
               whole-program R009–R014) over Python sources, gated by an
               optional baseline file and sped up by an incremental cache;
@@ -468,6 +475,205 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream_init(args: argparse.Namespace) -> int:
+    from repro.stream.journal import DeltaLog, StreamConfig
+
+    schema, protected = read_schema(args.schema)
+    config = StreamConfig(
+        schema=schema,
+        protected=protected,
+        tau_c=args.tau_c,
+        T=args.T,
+        k=args.k,
+        hysteresis=args.hysteresis,
+        queue_limit=args.queue_limit,
+        retry_budget=args.retry_budget,
+        segment_bytes=args.segment_bytes,
+        compact_bytes=args.compact_bytes,
+    )
+    log = DeltaLog.create(args.directory, config)
+    log.close()
+    print(
+        f"initialised stream at {args.directory} "
+        f"(tau_c={config.tau_c}, T={config.T}, k={config.k}, "
+        f"hysteresis={config.hysteresis})"
+    )
+    return 0
+
+
+def cmd_stream_ingest(args: argparse.Namespace) -> int:
+    from repro.stream.chaos import chaos_hook_from_env
+    from repro.stream.service import StreamService, read_batches_file
+
+    batches = read_batches_file(args.batches)
+    service, _report = StreamService.open(
+        args.directory, allow_empty=True, chaos_hook=chaos_hook_from_env()
+    )
+    try:
+        before = service.auditor.n_batches
+        dead_before = len(service.log.dead_letters())
+        service.ingest(batches)
+        service.retry_dead_letters()
+        if args.compact:
+            service.compact()
+        else:
+            service.maybe_compact()
+        applied = service.auditor.n_batches - before
+        quarantined = len(service.log.dead_letters()) - dead_before
+        print(
+            f"applied {applied} of {len(batches)} batches "
+            f"({len(batches) - applied} duplicate), "
+            f"{quarantined} dead-letter entries"
+        )
+        print(f"watermark {service.auditor.watermark}, "
+              f"{service.auditor.state.n_alive} rows alive")
+        print(f"digest {service.auditor.digest()}")
+    finally:
+        service.close()
+    return 0
+
+
+def cmd_stream_status(args: argparse.Namespace) -> int:
+    from repro.stream.service import StreamService
+
+    service, report = StreamService.open(args.directory, allow_empty=False)
+    try:
+        status = service.status()
+        print(f"recovery: {report.describe()}")
+        rows = [
+            (key, status[key])
+            for key in (
+                "watermark", "n_batches", "next_row", "n_alive",
+                "n_positive", "n_biased", "active_alarms",
+                "generation_bytes",
+            )
+        ]
+        print(format_table(("field", "value"), rows, title="stream status"))
+        print(f"segments: {', '.join(status['segments'])}")
+        print(f"digest {status['digest']}")
+    finally:
+        service.close()
+    return 0
+
+
+def _print_stream_state(auditor) -> None:
+    """Replay output: the byte-compare target of the chaos harness.
+
+    Everything here is a pure function of the journal's committed batches
+    — no wall-clock, no recovery details — so two replays of equivalent
+    journals print identical bytes.
+    """
+    schema = auditor.config.schema
+    print(f"watermark {auditor.watermark}, {auditor.n_batches} batches")
+    print(
+        f"{auditor.state.n_alive} rows alive "
+        f"({auditor.state.n_alive_positive} positive), "
+        f"next row id {auditor.state.next_row_id}"
+    )
+    reports = auditor.reports()
+    rows = [
+        (
+            r.pattern.describe(schema),
+            r.size,
+            r.ratio,
+            r.neighbor_ratio,
+            r.difference,
+        )
+        for r in reports
+    ]
+    print(
+        format_table(
+            ("region", "size", "ratio_r", "ratio_rn", "difference"),
+            rows,
+            precision=3,
+            title=f"streamed Implicit Biased Set ({len(reports)} regions)",
+        )
+    )
+    alarms = [
+        (pattern.describe(schema), diff)
+        for pattern, diff in auditor.monitor.active()
+    ]
+    print(
+        format_table(
+            ("alarmed region", "difference"),
+            alarms,
+            precision=3,
+            title=f"active drift alarms ({len(alarms)})",
+        )
+    )
+    print(f"digest {auditor.digest()}")
+
+
+def cmd_stream_replay(args: argparse.Namespace) -> int:
+    from repro.stream.engine import StreamAuditor
+    from repro.stream.journal import DeltaLog
+
+    log, _report = DeltaLog.recover(args.directory, allow_empty=False)
+    try:
+        auditor = StreamAuditor.from_journal(log, upto_seq=args.to_seq)
+    finally:
+        log.close()
+    _print_stream_state(auditor)
+    return 0
+
+
+def cmd_stream_alarms(args: argparse.Namespace) -> int:
+    from repro.stream.engine import StreamAuditor
+    from repro.stream.journal import DeltaLog
+
+    log, _report = DeltaLog.recover(args.directory, allow_empty=False)
+    try:
+        auditor = StreamAuditor.from_journal(log)
+    finally:
+        log.close()
+    schema = auditor.config.schema
+    active = auditor.monitor.active()
+    rows = [(pattern.describe(schema), diff) for pattern, diff in active]
+    print(
+        format_table(
+            ("alarmed region", "difference"),
+            rows,
+            precision=3,
+            title=f"active drift alarms ({len(rows)})",
+        )
+    )
+    if args.events:
+        event_rows = [
+            (e.kind, e.batch_seq, e.pattern.describe(schema),
+             "-" if e.difference is None else e.difference)
+            for e in auditor.monitor.events
+        ]
+        print(
+            format_table(
+                ("event", "batch seq", "region", "difference"),
+                event_rows,
+                precision=3,
+                title=(
+                    f"alarm events since the compaction horizon "
+                    f"({auditor.monitor.events_dropped} earlier dropped)"
+                ),
+            )
+        )
+    return 0
+
+
+def cmd_stream_compact(args: argparse.Namespace) -> int:
+    from repro.stream.service import StreamService
+
+    service, _report = StreamService.open(args.directory, allow_empty=True)
+    try:
+        before = service.log.generation_bytes()
+        service.compact()
+        print(
+            f"compacted generation {service.log.generation - 1} -> "
+            f"{service.log.generation}: {before} -> "
+            f"{service.log.generation_bytes()} bytes"
+        )
+    finally:
+        service.close()
+    return 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis.runner import list_rules, run
 
@@ -696,6 +902,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many of the newest checkpoints to keep (default 1)",
     )
     p.set_defaults(func=cmd_checkpoint_prune)
+
+    p = sub.add_parser(
+        "stream",
+        help="continuously audit a changing dataset via a durable delta log",
+    )
+    stream_sub = p.add_subparsers(dest="stream_command", required=True)
+    p = stream_sub.add_parser(
+        "init", help="initialise a stream directory (journal genesis)"
+    )
+    p.add_argument("directory", help="stream directory to create")
+    p.add_argument("--schema", required=True, help="schema JSON with protected attrs")
+    p.add_argument("--tau-c", dest="tau_c", type=float, default=0.1)
+    p.add_argument("--T", type=float, default=1.0)
+    p.add_argument("--k", type=int, default=30)
+    p.add_argument(
+        "--hysteresis", type=float, default=0.0,
+        help="alarm clear margin below tau_c (default 0: clear at tau_c)",
+    )
+    p.add_argument("--queue-limit", dest="queue_limit", type=int, default=64)
+    p.add_argument("--retry-budget", dest="retry_budget", type=int, default=2)
+    p.add_argument(
+        "--segment-bytes", dest="segment_bytes", type=int,
+        default=4 * 1024 * 1024,
+        help="rotate journal segments past this size (default 4 MiB)",
+    )
+    p.add_argument(
+        "--compact-bytes", dest="compact_bytes", type=int, default=None,
+        help="auto-compact when the live generation exceeds this size",
+    )
+    p.set_defaults(func=cmd_stream_init)
+    p = stream_sub.add_parser(
+        "ingest", help="journal and apply micro-batches from a JSONL file"
+    )
+    p.add_argument("directory", help="initialised stream directory")
+    p.add_argument(
+        "batches",
+        help='JSONL file of {"id": ..., "deltas": [["i",[...],label]|'
+        '["d",row]|["r",row,label], ...]} lines',
+    )
+    p.add_argument(
+        "--compact", action="store_true",
+        help="fold the journal into a fresh generation after ingesting",
+    )
+    p.set_defaults(func=cmd_stream_ingest)
+    p = stream_sub.add_parser(
+        "status", help="recover the journal and print watermark/row/alarm counts"
+    )
+    p.add_argument("directory", help="initialised stream directory")
+    p.set_defaults(func=cmd_stream_status)
+    p = stream_sub.add_parser(
+        "replay", help="rebuild the audited state from the journal and print it"
+    )
+    p.add_argument("directory", help="initialised stream directory")
+    p.add_argument(
+        "--to-seq", dest="to_seq", type=int, default=None,
+        help="replay only records with seq <= this offset",
+    )
+    p.set_defaults(func=cmd_stream_replay)
+    p = stream_sub.add_parser(
+        "alarms", help="print the active drift alarms (and, optionally, events)"
+    )
+    p.add_argument("directory", help="initialised stream directory")
+    p.add_argument(
+        "--events", action="store_true",
+        help="also print the raise/clear event history since compaction",
+    )
+    p.set_defaults(func=cmd_stream_alarms)
+    p = stream_sub.add_parser(
+        "compact", help="fold the journal into a fresh generation now"
+    )
+    p.add_argument("directory", help="initialised stream directory")
+    p.set_defaults(func=cmd_stream_compact)
 
     p = sub.add_parser("trace", help="inspect JSONL traces written by --trace")
     trace_sub = p.add_subparsers(dest="trace_command", required=True)

@@ -340,7 +340,13 @@ class Hierarchy:
         dneg = np.asarray(dneg, dtype=np.int64).reshape(want_shape)
         free_axis = {a: i for i, a in enumerate(free)}
         fixed = pattern.attrs
-        for node in self._nodes.values():
+        # Iterate the bitset index, not the frozenset one: it is the index
+        # the vectorized engine's node_by_mask pruning reads, so every node
+        # reachable there — ancestors included — must see both the count
+        # update and the max_cell_size cache invalidation, or a branch a
+        # delta emptied (or filled) would be mis-pruned on the next
+        # vectorized identify.
+        for node in self._nodes_by_mask.values():
             drop_axes = tuple(
                 free_axis[a] for a in free if a not in node.attrs
             )

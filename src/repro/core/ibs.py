@@ -86,6 +86,17 @@ class RegionReport:
         return -1
 
 
+def report_sort_key(report: RegionReport) -> tuple:
+    """Within-level ordering of Algorithm 1's output.
+
+    Descending score difference, ties broken by the pattern's canonical
+    item tuple.  Shared by :func:`identify_ibs` and the streaming
+    auditor's incremental re-scorer so both produce byte-identical report
+    lists for the same data.
+    """
+    return (-report.difference, report.pattern.items)
+
+
 def scope_levels(hierarchy: Hierarchy, scope: str) -> list[int]:
     """Hierarchy levels visited under a scope, in bottom-up order."""
     if scope == SCOPE_LATTICE:
@@ -299,7 +310,7 @@ def identify_ibs(
                             dataset=dataset, cache=level_cache,
                         )
                     )
-                level_reports.sort(key=lambda r: (-r.difference, r.pattern.items))
+                level_reports.sort(key=report_sort_key)
                 level_span.annotate(biased=len(level_reports))
                 found.extend(level_reports)
         ibs_span.annotate(biased=len(found))

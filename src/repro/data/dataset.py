@@ -245,6 +245,95 @@ class Dataset:
         cols = {name: arr.copy() for name, arr in self._columns.items()}
         return Dataset(self.schema, cols, self.y.copy(), self.protected)
 
+    def apply_delta(
+        self,
+        kind: str,
+        *,
+        values: Sequence[float] | None = None,
+        label: int | None = None,
+        row: int | None = None,
+    ) -> tuple["Dataset", dict]:
+        """Apply one streaming-style edit; return the new dataset + count delta.
+
+        ``kind`` is ``"insert"`` (``values`` in schema order + ``label``),
+        ``"delete"`` (``row``), or ``"relabel"`` (``row`` + ``label``).
+        Validation reuses the constructor, so a bad insert raises the same
+        :class:`~repro.errors.DataError` column/row-naming messages the
+        constructor would for that row.
+
+        The second return value is the leaf-granular count delta over the
+        protected space, shaped for
+        :meth:`~repro.core.hierarchy.Hierarchy.apply_count_delta`:
+        ``{"pattern": Pattern(), "dpos": ndarray, "dneg": ndarray}`` —
+        feeding it to a hierarchy built from ``self`` leaves that hierarchy
+        equal to one built from the returned dataset.
+        """
+        from repro.core.pattern import Pattern
+
+        shape = self.schema.cardinalities(self.protected)
+        dpos = np.zeros(shape, dtype=np.int64)
+        dneg = np.zeros(shape, dtype=np.int64)
+
+        def _cell(dataset: "Dataset", at: int) -> tuple[int, ...]:
+            return tuple(int(dataset._columns[a][at]) for a in dataset.protected)
+
+        if kind == "insert":
+            if values is None or label is None:
+                raise DataError("insert delta needs values= and label=")
+            values = list(values)
+            if len(values) != len(self.schema):
+                raise DataError(
+                    f"insert for row {self.n_rows} has {len(values)} values "
+                    f"for {len(self.schema)} schema columns "
+                    f"{list(self.schema.names)}"
+                )
+            cols = {
+                name: np.concatenate([arr, np.asarray([value])])
+                for (name, arr), value in zip(self._columns.items(), values)
+            }
+            out = Dataset(
+                self.schema, cols,
+                np.concatenate([self.y, np.asarray([label], dtype=np.int64)]),
+                self.protected,
+            )
+            cell = _cell(out, out.n_rows - 1)
+            (dpos if int(label) == 1 else dneg)[cell] += 1
+        elif kind == "delete":
+            if row is None:
+                raise DataError("delete delta needs row=")
+            self._require_row(row, "delete")
+            cell = _cell(self, row)
+            (dpos if int(self.y[row]) == 1 else dneg)[cell] -= 1
+            out = self.drop([row])
+        elif kind == "relabel":
+            if row is None or label is None:
+                raise DataError("relabel delta needs row= and label=")
+            self._require_row(row, "relabel")
+            if label not in (0, 1):
+                raise DataError(
+                    f"labels must be binary 0/1; row {row} has {label!r}"
+                )
+            old = int(self.y[row])
+            y = self.y.copy()
+            y[row] = label
+            out = Dataset(self.schema, self._columns, y, self.protected)
+            if old != int(label):
+                cell = _cell(self, row)
+                dpos[cell] += int(label) - old
+                dneg[cell] += old - int(label)
+        else:
+            raise DataError(
+                f"unknown delta kind {kind!r}; expected insert/delete/relabel"
+            )
+        return out, {"pattern": Pattern(), "dpos": dpos, "dneg": dneg}
+
+    def _require_row(self, row: int, verb: str) -> None:
+        if not 0 <= row < self.n_rows:
+            raise DataError(
+                f"{verb} targets unknown row {row}; dataset has rows "
+                f"0..{self.n_rows - 1}"
+            )
+
     # -- model-facing feature matrix ------------------------------------------
     def feature_matrix(
         self, features: Sequence[str] | None = None, one_hot: bool = True

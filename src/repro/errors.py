@@ -70,5 +70,21 @@ class ObsError(ReproError):
     """A trace/metric artefact is malformed or the tracer was misused."""
 
 
+class StreamError(ReproError):
+    """The streaming audit engine was misconfigured or hit invalid input."""
+
+
+class JournalError(StreamError):
+    """The delta journal is corrupt, torn, or inconsistent with its chain."""
+
+
+class DeltaError(StreamError):
+    """A stream delta is malformed or violates the schema/row universe."""
+
+
+class BackpressureError(StreamError):
+    """The bounded ingestion queue is full; the producer must back off."""
+
+
 class InternalError(ReproError):
     """An internal invariant was violated; indicates a bug in the library."""

@@ -1,0 +1,146 @@
+"""Typed row-edit deltas accepted by the streaming audit engine.
+
+A delta is one of three row-level edits over the audited table:
+
+* :class:`InsertDelta` — append a new row (per-schema-column values plus a
+  binary label); the engine assigns the next stable row id;
+* :class:`DeleteDelta` — tombstone an existing row by its stable id;
+* :class:`RelabelDelta` — flip the label of an existing row.
+
+Row ids are insertion sequence numbers: the ``i``-th inserted row has id
+``i`` forever, deletes never renumber.  Deltas are immutable and travel
+through the journal in a compact JSON list form (``["i", [values...],
+label]`` / ``["d", row]`` / ``["r", row, label]``) so a million-row stream
+stays cheap to serialise; :func:`delta_from_record` is the strict inverse
+and raises :class:`~repro.errors.DeltaError` on any malformed record —
+structural garbage never reaches the engine untyped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import DeltaError
+
+KIND_INSERT = "insert"
+KIND_DELETE = "delete"
+KIND_RELABEL = "relabel"
+KINDS = (KIND_INSERT, KIND_DELETE, KIND_RELABEL)
+
+#: One-byte journal tags for the compact list form.
+TAG_INSERT = "i"
+TAG_DELETE = "d"
+TAG_RELABEL = "r"
+
+
+@dataclass(frozen=True)
+class InsertDelta:
+    """Append one row: per-schema-column values (schema order) plus label."""
+
+    values: tuple[float, ...]
+    label: int
+
+    kind = KIND_INSERT
+
+    def to_record(self) -> list:
+        """Compact JSON-safe journal form ``["i", [values...], label]``."""
+        return [TAG_INSERT, list(self.values), int(self.label)]
+
+
+@dataclass(frozen=True)
+class DeleteDelta:
+    """Tombstone the row with stable id ``row``."""
+
+    row: int
+
+    kind = KIND_DELETE
+
+    def to_record(self) -> list:
+        """Compact JSON-safe journal form ``["d", row]``."""
+        return [TAG_DELETE, int(self.row)]
+
+
+@dataclass(frozen=True)
+class RelabelDelta:
+    """Set the label of the row with stable id ``row`` to ``label``."""
+
+    row: int
+    label: int
+
+    kind = KIND_RELABEL
+
+    def to_record(self) -> list:
+        """Compact JSON-safe journal form ``["r", row, label]``."""
+        return [TAG_RELABEL, int(self.row), int(self.label)]
+
+
+#: Any of the three delta types (for annotations).
+Delta = InsertDelta | DeleteDelta | RelabelDelta
+
+
+def _require_int(value: object, what: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise DeltaError(f"{what} must be an integer, got {value!r}")
+    return value
+
+
+def delta_from_record(record: object) -> Delta:
+    """Parse one compact journal record back into a typed delta.
+
+    The strict inverse of each delta's ``to_record``; raises
+    :class:`~repro.errors.DeltaError` on unknown tags, wrong arity, or
+    non-numeric fields.  Schema-level validation (code ranges, label
+    domain, row liveness) happens later against the stream state — this
+    guard only ensures the record is structurally a delta.
+    """
+    if not isinstance(record, (list, tuple)) or not record:
+        raise DeltaError(f"delta record must be a non-empty list, got {record!r}")
+    tag = record[0]
+    if tag == TAG_INSERT:
+        if len(record) != 3:
+            raise DeltaError(
+                f"insert record must be [tag, values, label], got {record!r}"
+            )
+        values = record[1]
+        if not isinstance(values, (list, tuple)):
+            raise DeltaError(
+                f"insert values must be a list, got {values!r}"
+            )
+        for v in values:
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                raise DeltaError(f"insert value {v!r} is not numeric")
+        label = _require_int(record[2], "insert label")
+        return InsertDelta(values=tuple(values), label=label)
+    if tag == TAG_DELETE:
+        if len(record) != 2:
+            raise DeltaError(f"delete record must be [tag, row], got {record!r}")
+        return DeleteDelta(row=_require_int(record[1], "delete row"))
+    if tag == TAG_RELABEL:
+        if len(record) != 3:
+            raise DeltaError(
+                f"relabel record must be [tag, row, label], got {record!r}"
+            )
+        return RelabelDelta(
+            row=_require_int(record[1], "relabel row"),
+            label=_require_int(record[2], "relabel label"),
+        )
+    raise DeltaError(
+        f"unknown delta tag {tag!r}; expected one of "
+        f"{(TAG_INSERT, TAG_DELETE, TAG_RELABEL)}"
+    )
+
+
+def deltas_from_records(records: Sequence[object]) -> list[Delta]:
+    """Parse a batch's list of compact records, failing on the first bad one.
+
+    The raised :class:`~repro.errors.DeltaError` names the zero-based
+    position of the offending record so a poisoned batch is diagnosable.
+    """
+    out: list[Delta] = []
+    for i, record in enumerate(records):
+        try:
+            out.append(delta_from_record(record))
+        except DeltaError as exc:
+            raise DeltaError(f"record {i}: {exc}") from exc
+    return out

@@ -1,0 +1,705 @@
+"""Durable write-ahead delta journal (``DeltaLog``).
+
+Layout of a stream directory::
+
+    CURRENT                         atomic pointer {"generation": g}
+    segment-g00000000-000000000000.jsonl   append-only JSONL segments
+    segment-g00000000-000000000042.jsonl   (generation, first seq)
+    deadletter.jsonl                quarantined poison deltas (advisory)
+
+Each journal record is one JSON line ``{"seq", "type", "payload", "prev",
+"sha"}`` where ``sha = sha256(prev + canonical(seq, type, payload))`` —
+a hash chain that makes any bit flip, reorder, or splice detectable.  The
+first record of a generation starts the chain (``prev = ""``): generation
+0 opens with a ``genesis`` record carrying the immutable stream config
+(schema, protected attrs, thresholds); a compacted generation opens with a
+``rebase`` record (surviving state summary) followed by ``rows`` chunks.
+Batches of deltas land as ``batch`` records with a per-batch manifest.
+
+Durability contract: every append is flushed and ``fsync``\\ ed before the
+caller proceeds, so a batch either is fully on disk or its torn tail is
+detected.  Segment rotation bounds file sizes; compaction writes the whole
+next generation (rebase + rows), atomically flips ``CURRENT``, then
+deletes the old generation — a crash at any point leaves either generation
+fully intact, and :meth:`DeltaLog.recover`'s orphan sweep removes the
+loser's leftovers.
+
+Recovery modes:
+
+* :meth:`DeltaLog.open` — **strict**: any torn or corrupt record raises a
+  typed :class:`~repro.errors.JournalError` (used by ``repro stream
+  replay`` and the corruption tests);
+* :meth:`DeltaLog.recover` — **crash recovery**: tolerates exactly one
+  torn *final* record of the *final* segment (the kill-mid-append window)
+  by truncating it, explicitly reported in the returned
+  :class:`RecoveryReport`; corruption anywhere else still raises.  A
+  recovered journal holding zero committed batches raises unless
+  ``allow_empty`` (only ingestion, which is about to add batches, opts in)
+  — readers never see silent partial state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.data.io import atomic_write_json
+from repro.data.schema import Schema
+from repro.data.schema_io import schema_from_dict, schema_to_dict
+from repro.errors import JournalError, StreamError
+
+RECORD_GENESIS = "genesis"
+RECORD_BATCH = "batch"
+RECORD_REBASE = "rebase"
+RECORD_ROWS = "rows"
+
+CURRENT_FILE = "CURRENT"
+DEADLETTER_FILE = "deadletter.jsonl"
+FORMAT_VERSION = 1
+
+#: Default byte threshold after which the active segment is rotated.
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+_SEGMENT_RE = re.compile(r"^segment-g(\d{8})-(\d{12})\.jsonl$")
+
+
+def _segment_name(generation: int, first_seq: int) -> str:
+    return f"segment-g{generation:08d}-{first_seq:012d}.jsonl"
+
+
+def _canonical(payload: object) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _record_sha(prev: str, seq: int, rtype: str, payload: object) -> str:
+    body = _canonical({"payload": payload, "seq": seq, "type": rtype})
+    return hashlib.sha256((prev + body).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Immutable configuration of one stream, persisted in the genesis record."""
+
+    schema: Schema
+    protected: tuple[str, ...]
+    tau_c: float = 0.1
+    T: float = 1.0
+    k: int = 30
+    hysteresis: float = 0.0
+    queue_limit: int = 64
+    retry_budget: int = 2
+    segment_bytes: int = DEFAULT_SEGMENT_BYTES
+    compact_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.protected:
+            raise StreamError("stream config needs at least one protected attr")
+        if self.tau_c < 0:
+            raise StreamError(f"tau_c must be >= 0, got {self.tau_c}")
+        if self.T < 1:
+            raise StreamError(f"T must be >= 1, got {self.T}")
+        if self.k < 0:
+            raise StreamError(f"k must be >= 0, got {self.k}")
+        if self.hysteresis < 0:
+            raise StreamError(f"hysteresis must be >= 0, got {self.hysteresis}")
+        if self.queue_limit < 1:
+            raise StreamError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.retry_budget < 0:
+            raise StreamError(
+                f"retry_budget must be >= 0, got {self.retry_budget}"
+            )
+        if self.segment_bytes < 1:
+            raise StreamError(
+                f"segment_bytes must be >= 1, got {self.segment_bytes}"
+            )
+        if self.compact_bytes is not None and self.compact_bytes < 1:
+            raise StreamError(
+                f"compact_bytes must be >= 1, got {self.compact_bytes}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-safe form embedded in the genesis record."""
+        payload = schema_to_dict(self.schema, self.protected)
+        payload.update(
+            tau_c=self.tau_c,
+            T=self.T,
+            k=self.k,
+            hysteresis=self.hysteresis,
+            queue_limit=self.queue_limit,
+            retry_budget=self.retry_budget,
+            segment_bytes=self.segment_bytes,
+            compact_bytes=self.compact_bytes,
+        )
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StreamConfig":
+        """Inverse of :meth:`to_dict` (raises on malformed genesis payloads)."""
+        try:
+            schema, protected = schema_from_dict(payload)
+            return cls(
+                schema=schema,
+                protected=tuple(protected),
+                tau_c=float(payload["tau_c"]),
+                T=float(payload["T"]),
+                k=int(payload["k"]),
+                hysteresis=float(payload["hysteresis"]),
+                queue_limit=int(payload["queue_limit"]),
+                retry_budget=int(payload["retry_budget"]),
+                segment_bytes=int(payload["segment_bytes"]),
+                compact_bytes=(
+                    None
+                    if payload.get("compact_bytes") is None
+                    else int(payload["compact_bytes"])
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise JournalError(f"malformed stream config in genesis: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One validated record yielded by a journal scan."""
+
+    seq: int
+    type: str
+    payload: dict
+    sha: str
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`DeltaLog.recover` had to do to reach a consistent state."""
+
+    truncated_bytes: int = 0
+    truncated_segment: str | None = None
+    orphans_removed: tuple[str, ...] = ()
+    n_batches: int = 0
+    watermark: int = 0
+
+    def describe(self) -> str:
+        """One-line human summary for CLI output."""
+        parts = [f"{self.n_batches} batches, watermark {self.watermark}"]
+        if self.truncated_bytes:
+            parts.append(
+                f"truncated {self.truncated_bytes} torn bytes from "
+                f"{self.truncated_segment}"
+            )
+        if self.orphans_removed:
+            parts.append(
+                f"swept {len(self.orphans_removed)} orphan segment(s)"
+            )
+        return "; ".join(parts)
+
+
+@dataclass
+class _ScanState:
+    """Metadata accumulated by a full journal scan."""
+
+    config: StreamConfig | None = None
+    next_seq: int = 0
+    last_sha: str = ""
+    watermark: int = 0
+    n_batches: int = 0
+    applied_ids: set[str] = field(default_factory=set)
+    rebase_seq: int | None = None
+
+
+class DeltaLog:
+    """Append-only, sha256-chained, segment-rotated delta journal."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        config: StreamConfig,
+        generation: int,
+        scan: _ScanState,
+        segments: list[Path],
+    ):
+        self.directory = Path(directory)
+        self.config = config
+        self.generation = generation
+        self._next_seq = scan.next_seq
+        self._last_sha = scan.last_sha
+        self.watermark = scan.watermark
+        self.n_batches = scan.n_batches
+        self.applied_ids = set(scan.applied_ids)
+        self.rebase_seq = scan.rebase_seq
+        self._segments = segments  # ordered paths of the live generation
+        self._handle = None  # lazily opened append handle
+
+    # -- creation / opening ----------------------------------------------------
+    @classmethod
+    def create(cls, directory: str | Path, config: StreamConfig) -> "DeltaLog":
+        """Initialise a fresh stream directory with a genesis record."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        if (directory / CURRENT_FILE).exists():
+            raise JournalError(
+                f"stream directory {directory} is already initialised"
+            )
+        scan = _ScanState(config=config)
+        log = cls(directory, config, generation=0, scan=scan, segments=[])
+        atomic_write_json(directory / CURRENT_FILE, {"generation": 0})
+        log._start_segment(first_seq=0)
+        log._append_record(
+            RECORD_GENESIS,
+            {"config": config.to_dict(), "version": FORMAT_VERSION},
+        )
+        return log
+
+    @classmethod
+    def open(cls, directory: str | Path) -> "DeltaLog":
+        """Strict open: raise on any torn, corrupt, or inconsistent record."""
+        log, _report = cls._load(directory, strict=True, allow_empty=True)
+        return log
+
+    @classmethod
+    def recover(
+        cls, directory: str | Path, allow_empty: bool = False
+    ) -> tuple["DeltaLog", RecoveryReport]:
+        """Crash-recovery open: truncate a torn final record, sweep orphans.
+
+        Raises :class:`~repro.errors.JournalError` when the journal holds
+        zero committed batches unless ``allow_empty`` — a reader pointed at
+        a stream that never committed anything must fail loudly, not
+        silently produce an empty state.
+        """
+        return cls._load(directory, strict=False, allow_empty=allow_empty)
+
+    @classmethod
+    def _load(
+        cls, directory: str | Path, strict: bool, allow_empty: bool
+    ) -> tuple["DeltaLog", RecoveryReport]:
+        directory = Path(directory)
+        current = directory / CURRENT_FILE
+        if not current.is_file():
+            raise JournalError(
+                f"{directory} is not a stream directory (no {CURRENT_FILE}); "
+                "run `repro stream init` first"
+            )
+        try:
+            generation = int(json.loads(current.read_text())["generation"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise JournalError(f"corrupt {CURRENT_FILE} in {directory}: {exc}") from exc
+
+        segments, orphans = cls._segment_files(directory, generation)
+        if not segments:
+            raise JournalError(
+                f"stream generation {generation} has no segments in {directory}"
+            )
+        # Orphan sweep: leftovers of a crashed compaction (either an
+        # unflipped new generation or an undeleted old one) are removed so
+        # no partial generation can ever be replayed.
+        removed = []
+        for orphan in orphans:
+            if strict:
+                raise JournalError(
+                    f"orphan segment {orphan.name} from another generation "
+                    f"(live generation is {generation}); recover() sweeps it"
+                )
+            orphan.unlink()
+            removed.append(orphan.name)
+
+        scan = _ScanState()
+        truncated_bytes = 0
+        truncated_segment: str | None = None
+        for i, segment in enumerate(segments):
+            is_last = i == len(segments) - 1
+            torn = cls._scan_segment(segment, scan, expect_start=(i == 0))
+            if torn is not None:
+                offset, reason, recoverable = torn
+                # Only the kill-mid-append shape — a partial *final* line of
+                # the *final* segment — may be clipped; anything else
+                # (sha mismatch, mid-file garbage, earlier segment) is
+                # corruption and stays a hard error even in recovery.
+                if strict or not is_last or not recoverable:
+                    raise JournalError(
+                        f"torn/corrupt record in {segment.name} at byte "
+                        f"{offset}: {reason}"
+                    )
+                truncated_bytes = os.path.getsize(segment) - offset
+                truncated_segment = segment.name
+                with open(segment, "r+b") as fh:
+                    fh.truncate(offset)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+        if scan.config is None:
+            raise JournalError(
+                f"generation {generation} of {directory} holds no "
+                "genesis/rebase record; the journal head is missing"
+            )
+        if scan.n_batches == 0 and not allow_empty:
+            raise JournalError(
+                f"recovered journal in {directory} holds zero committed "
+                "batches; there is no stream state to read (ingest batches "
+                "first, or delete the directory and re-init)"
+            )
+        log = cls(directory, scan.config, generation, scan, segments)
+        report = RecoveryReport(
+            truncated_bytes=truncated_bytes,
+            truncated_segment=truncated_segment,
+            orphans_removed=tuple(removed),
+            n_batches=scan.n_batches,
+            watermark=scan.watermark,
+        )
+        return log, report
+
+    @staticmethod
+    def _segment_files(
+        directory: Path, generation: int
+    ) -> tuple[list[Path], list[Path]]:
+        """``(live segments sorted by first seq, orphan segments)``."""
+        live: list[tuple[int, Path]] = []
+        orphans: list[Path] = []
+        for path in sorted(directory.iterdir()):
+            m = _SEGMENT_RE.match(path.name)
+            if not m:
+                continue
+            if int(m.group(1)) == generation:
+                live.append((int(m.group(2)), path))
+            else:
+                orphans.append(path)
+        live.sort()
+        return [p for _seq, p in live], orphans
+
+    @classmethod
+    def _scan_segment(
+        cls, segment: Path, scan: _ScanState, expect_start: bool
+    ) -> tuple[int, str, bool] | None:
+        """Validate one segment into ``scan``.
+
+        Returns ``None`` on success, or ``(byte offset, reason,
+        recoverable)`` of the first bad record.  Only a partial final line
+        (no trailing newline — what a killed ``write`` leaves behind) is
+        marked recoverable; a record that is structurally complete but
+        fails the sha chain, or has later records after it, is corruption.
+        """
+        data = segment.read_bytes()
+        offset = 0
+        first = expect_start
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            if newline == -1:
+                return (
+                    offset,
+                    "record without trailing newline (torn append)",
+                    True,
+                )
+            line = data[offset:newline]
+            try:
+                envelope = json.loads(line)
+                seq = int(envelope["seq"])
+                rtype = str(envelope["type"])
+                payload = envelope["payload"]
+                prev = str(envelope["prev"])
+                sha = str(envelope["sha"])
+            except (KeyError, TypeError, ValueError):
+                return offset, "unparsable record", False
+            if sha != _record_sha(prev, seq, rtype, payload):
+                return (
+                    offset,
+                    f"sha256 mismatch at seq {seq} (chain link broken)",
+                    False,
+                )
+            if first:
+                if prev != "":
+                    return (
+                        offset,
+                        f"chain head at seq {seq} has non-empty prev",
+                        False,
+                    )
+                if rtype not in (RECORD_GENESIS, RECORD_REBASE):
+                    return (
+                        offset,
+                        f"generation must start with genesis/rebase, got "
+                        f"{rtype!r}",
+                        False,
+                    )
+                first = False
+            elif prev != scan.last_sha:
+                return (
+                    offset,
+                    f"chain link broken at seq {seq}: prev does not match "
+                    "the preceding record's sha",
+                    False,
+                )
+            if scan.next_seq and seq != scan.next_seq:
+                return (
+                    offset,
+                    f"sequence gap: expected seq {scan.next_seq}, got {seq}",
+                    False,
+                )
+            cls._fold_record(scan, seq, rtype, payload)
+            scan.last_sha = sha
+            scan.next_seq = seq + 1
+            offset = newline + 1
+        return None
+
+    @staticmethod
+    def _fold_record(
+        scan: _ScanState, seq: int, rtype: str, payload: dict
+    ) -> None:
+        if rtype == RECORD_GENESIS:
+            scan.config = StreamConfig.from_dict(payload["config"])
+        elif rtype == RECORD_REBASE:
+            scan.config = StreamConfig.from_dict(payload["config"])
+            scan.watermark = int(payload["watermark"])
+            scan.n_batches = int(payload["n_batches"])
+            scan.applied_ids = set(payload["applied"])
+            scan.rebase_seq = seq
+        elif rtype == RECORD_BATCH:
+            batch_id = str(payload["id"])
+            if batch_id in scan.applied_ids:
+                raise JournalError(
+                    f"duplicate batch id {batch_id!r} at seq {seq}: the "
+                    "journal already holds this batch; replay refuses to "
+                    "double-apply"
+                )
+            scan.applied_ids.add(batch_id)
+            scan.watermark = seq
+            scan.n_batches += 1
+        elif rtype == RECORD_ROWS:
+            if scan.rebase_seq is None:
+                raise JournalError(
+                    f"rows record at seq {seq} without a preceding rebase"
+                )
+        else:
+            raise JournalError(f"unknown record type {rtype!r} at seq {seq}")
+
+    # -- appending ------------------------------------------------------------
+    def _segment_path(self, first_seq: int) -> Path:
+        return self.directory / _segment_name(self.generation, first_seq)
+
+    def _start_segment(self, first_seq: int) -> None:
+        self._close_handle()
+        path = self._segment_path(first_seq)
+        self._segments.append(path)
+        self._handle = open(path, "ab")
+
+    def _close_handle(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def close(self) -> None:
+        """Release the append handle (the on-disk journal stays valid)."""
+        self._close_handle()
+
+    def _append_record(self, rtype: str, payload: dict) -> int:
+        seq = self._next_seq
+        sha = _record_sha(self._last_sha, seq, rtype, payload)
+        envelope = {
+            "payload": payload,
+            "prev": self._last_sha,
+            "seq": seq,
+            "sha": sha,
+            "type": rtype,
+        }
+        line = _canonical(envelope) + "\n"
+        if self._handle is None:
+            self._handle = open(self._segments[-1], "ab")
+        if (
+            rtype == RECORD_BATCH
+            and self._handle.tell() >= self.config.segment_bytes
+        ):
+            self._start_segment(first_seq=seq)
+        self._handle.write(line.encode("utf-8"))
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._last_sha = sha
+        self._next_seq = seq + 1
+        return seq
+
+    def append_batch(self, batch_id: str, deltas: Sequence[list]) -> int:
+        """Journal one micro-batch (compact delta records) durably.
+
+        Builds the per-batch manifest (delta counts, content sha, wall
+        timestamp — the timestamp is integrity metadata inside the chain,
+        never part of replayed state), appends, fsyncs, and returns the
+        batch's seq.  The watermark only advances here: readers never see
+        a batch that is not fully on disk.
+        """
+        if batch_id in self.applied_ids:
+            raise JournalError(
+                f"batch id {batch_id!r} is already journalled; ingest-level "
+                "dedup should have skipped it"
+            )
+        deltas = [list(d) for d in deltas]
+        kinds = [d[0] for d in deltas]
+        manifest = {
+            "n_deltas": len(deltas),
+            "n_insert": kinds.count("i"),
+            "n_delete": kinds.count("d"),
+            "n_relabel": kinds.count("r"),
+            "sha": hashlib.sha256(_canonical(deltas).encode()).hexdigest(),
+            "ts": time.time(),
+        }
+        seq = self._append_record(
+            RECORD_BATCH,
+            {"id": batch_id, "deltas": deltas, "manifest": manifest},
+        )
+        self.applied_ids.add(batch_id)
+        self.watermark = seq
+        self.n_batches += 1
+        return seq
+
+    def has_batch(self, batch_id: str) -> bool:
+        """Whether ``batch_id`` is already journalled (dedup probe)."""
+        return batch_id in self.applied_ids
+
+    # -- reading ----------------------------------------------------------------
+    def records(self) -> Iterator[JournalRecord]:
+        """Stream every record of the live generation, re-validating the chain.
+
+        The journal was already vetted at open/recover time; this second
+        pass re-checks the chain while feeding replay, so replay can never
+        consume records an interleaved writer corrupted after open.
+        """
+        last_sha = ""
+        next_seq: int | None = None
+        for i, segment in enumerate(self._segments):
+            first = i == 0
+            for line in segment.read_bytes().splitlines():
+                try:
+                    envelope = json.loads(line)
+                    seq = int(envelope["seq"])
+                    rtype = str(envelope["type"])
+                    payload = envelope["payload"]
+                    prev = str(envelope["prev"])
+                    sha = str(envelope["sha"])
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise JournalError(
+                        f"unparsable record in {segment.name}: {exc}"
+                    ) from exc
+                if sha != _record_sha(prev, seq, rtype, payload):
+                    raise JournalError(
+                        f"sha256 chain link broken at seq {seq} in "
+                        f"{segment.name}"
+                    )
+                if first:
+                    first = False
+                elif prev != last_sha:
+                    raise JournalError(
+                        f"chain discontinuity at seq {seq} in {segment.name}"
+                    )
+                if next_seq is not None and seq != next_seq:
+                    raise JournalError(
+                        f"sequence gap at seq {seq} in {segment.name}"
+                    )
+                last_sha = sha
+                next_seq = seq + 1
+                yield JournalRecord(seq=seq, type=rtype, payload=payload, sha=sha)
+
+    def generation_bytes(self) -> int:
+        """Total on-disk bytes of the live generation's segments."""
+        return sum(os.path.getsize(p) for p in self._segments if p.exists())
+
+    def segment_names(self) -> list[str]:
+        """Live segment file names, in replay order."""
+        return [p.name for p in self._segments]
+
+    # -- compaction --------------------------------------------------------------
+    def compact(
+        self,
+        row_chunks: Iterator[list[list]],
+        next_row_id: int,
+        n_alive: int,
+        alarms: list,
+        events_dropped: int,
+    ) -> None:
+        """Fold the journal into a fresh generation seeded with live state.
+
+        Writes the next generation completely (rebase header + row
+        chunks, fsynced), atomically flips ``CURRENT``, then deletes the
+        old generation's segments.  A crash before the flip leaves the old
+        generation live (the new one is swept as orphans on recover); a
+        crash after it leaves the new generation live (old segments swept).
+        Sequence numbers keep increasing across generations so
+        replay-to-offset semantics survive compaction.
+        """
+        old_segments = list(self._segments)
+        old_generation = self.generation
+        self._close_handle()
+
+        chunks = list(row_chunks)
+        self.generation = old_generation + 1
+        self._segments = []
+        self._last_sha = ""
+        first_seq = self._next_seq
+        self._start_segment(first_seq=first_seq)
+        rebase_seq = self._append_record(
+            RECORD_REBASE,
+            {
+                "config": self.config.to_dict(),
+                "watermark": self.watermark,
+                "n_batches": self.n_batches,
+                "applied": sorted(self.applied_ids),
+                "next_row": next_row_id,
+                "n_rows": n_alive,
+                "n_chunks": len(chunks),
+                "alarms": alarms,
+                "events_dropped": events_dropped,
+            },
+        )
+        for i, chunk in enumerate(chunks):
+            self._append_record(RECORD_ROWS, {"chunk": i, "rows": chunk})
+        self.rebase_seq = rebase_seq
+
+        atomic_write_json(
+            self.directory / CURRENT_FILE, {"generation": self.generation}
+        )
+        for path in old_segments:
+            path.unlink()
+
+    # -- dead letters -------------------------------------------------------------
+    @property
+    def deadletter_path(self) -> Path:
+        """The quarantine file (plain JSONL, advisory — not chain-linked)."""
+        return self.directory / DEADLETTER_FILE
+
+    def append_dead_letter(self, entry: dict) -> None:
+        """Durably append one quarantine entry."""
+        with open(self.deadletter_path, "ab") as fh:
+            fh.write((_canonical(entry) + "\n").encode("utf-8"))
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def dead_letters(self) -> list[dict]:
+        """All quarantine entries, oldest first (latest status last per id)."""
+        path = self.deadletter_path
+        if not path.exists():
+            return []
+        entries = []
+        for line in path.read_bytes().splitlines():
+            if not line.strip():
+                continue
+            try:
+                entries.append(json.loads(line))
+            except ValueError as exc:
+                raise JournalError(
+                    f"unparsable dead-letter record: {exc}"
+                ) from exc
+        return entries
+
+    def outstanding_dead_letters(self) -> list[dict]:
+        """Entries whose *latest* status is still quarantined (retry input).
+
+        The dead-letter file is append-only: a retry appends a new entry
+        under the same ``id`` with the updated status, so folding by id
+        and keeping the last word gives the open quarantine set.
+        """
+        latest: dict[str, dict] = {}
+        for entry in self.dead_letters():
+            latest[str(entry["id"])] = entry
+        return [
+            entry
+            for entry in latest.values()
+            if entry.get("status") == "quarantined"
+        ]

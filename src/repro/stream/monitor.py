@@ -1,0 +1,138 @@
+"""Fairness drift alarms with hysteresis (the stream's alerting layer).
+
+The :class:`DriftMonitor` watches the re-scored regions the incremental
+engine hands it after every applied batch and maintains an *active alarm
+set*: a region raises when its score difference crosses ``tau_c`` and
+clears when it falls back to ``tau_c - hysteresis`` or below (or vanishes
+under the size threshold).  The hysteresis band suppresses flapping — a
+region oscillating within ``(tau_c - hysteresis, tau_c]`` stays on one
+alarm instead of emitting a raise/clear pair per batch.  With
+``hysteresis = 0`` the active set is exactly the IBS pattern set of the
+current data, which is what the byte-identity property pins.
+
+Every transition is a typed :class:`AlarmEvent` stamped with the *batch
+seq* (a journal offset, never wall-clock), so replaying the same journal
+reproduces the same event list bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ibs import RegionReport
+from repro.core.pattern import Pattern
+from repro.obs import trace as obs
+
+ALARM_RAISE = "raise"
+ALARM_CLEAR = "clear"
+
+
+@dataclass(frozen=True)
+class AlarmEvent:
+    """One alarm transition, keyed by the batch seq that caused it.
+
+    ``difference`` is the region's score difference at the transition;
+    ``None`` on a clear caused by the region vanishing below the size
+    threshold (there is no score to report).
+    """
+
+    kind: str
+    batch_seq: int
+    pattern: Pattern
+    difference: float | None
+
+    def to_payload(self) -> list:
+        """JSON-safe form ``[kind, seq, pattern items, difference]``."""
+        diff = None if self.difference is None else repr(self.difference)
+        return [self.kind, self.batch_seq, list(self.pattern.items), diff]
+
+
+class DriftMonitor:
+    """Tracks the active alarm set and emits raise/clear events."""
+
+    def __init__(self, tau_c: float, hysteresis: float = 0.0):
+        self.tau_c = tau_c
+        self.hysteresis = hysteresis
+        #: pattern -> score difference at the most recent observation.
+        self._active: dict[Pattern, float] = {}
+        self.events: list[AlarmEvent] = []
+        #: Events lost to journal compaction (the active set survives it).
+        self.events_dropped = 0
+
+    def observe(
+        self,
+        batch_seq: int,
+        observations: list[tuple[Pattern, RegionReport | None]],
+    ) -> list[AlarmEvent]:
+        """Fold one batch's re-scored regions; return the new events.
+
+        ``observations`` holds every region the batch dirtied, in the
+        engine's deterministic order: its fresh report, or ``None`` when
+        the region fell below the size threshold.  Regions not observed
+        are unchanged by the batch and keep their alarm state.
+        """
+        new_events: list[AlarmEvent] = []
+        for pattern, report in observations:
+            active = pattern in self._active
+            if report is None:
+                if active:
+                    del self._active[pattern]
+                    new_events.append(
+                        AlarmEvent(ALARM_CLEAR, batch_seq, pattern, None)
+                    )
+                continue
+            diff = report.difference
+            if diff > self.tau_c:
+                if not active:
+                    new_events.append(
+                        AlarmEvent(ALARM_RAISE, batch_seq, pattern, diff)
+                    )
+                self._active[pattern] = diff
+            elif active:
+                if diff <= self.tau_c - self.hysteresis:
+                    del self._active[pattern]
+                    new_events.append(
+                        AlarmEvent(ALARM_CLEAR, batch_seq, pattern, diff)
+                    )
+                else:
+                    # Inside the hysteresis band: stays alarmed, no flap.
+                    self._active[pattern] = diff
+        self.events.extend(new_events)
+        obs.count("stream.alarm_events", len(new_events))
+        return new_events
+
+    def active(self) -> list[tuple[Pattern, float]]:
+        """The active alarms as ``(pattern, difference)``, sorted by pattern."""
+        return sorted(self._active.items(), key=lambda item: item[0].items)
+
+    def active_patterns(self) -> set[Pattern]:
+        """The active alarm set (equals the IBS set when hysteresis is 0)."""
+        return set(self._active)
+
+    # -- compaction round-trip -------------------------------------------------
+    def export_active(self) -> list:
+        """JSON-safe active set for the rebase record."""
+        return [
+            [list(pattern.items), repr(diff)] for pattern, diff in self.active()
+        ]
+
+    @classmethod
+    def from_rebase(
+        cls,
+        tau_c: float,
+        hysteresis: float,
+        alarms: list,
+        events_dropped: int,
+    ) -> "DriftMonitor":
+        """Rebuild the monitor from a rebase record's active set.
+
+        Event history before the rebase is gone by design (the rebase
+        records how many were dropped); hysteresis state — which regions
+        are *currently* alarmed — survives exactly.
+        """
+        monitor = cls(tau_c, hysteresis)
+        for items, diff in alarms:
+            pattern = Pattern((str(a), int(c)) for a, c in items)
+            monitor._active[pattern] = float(diff)
+        monitor.events_dropped = int(events_dropped)
+        return monitor

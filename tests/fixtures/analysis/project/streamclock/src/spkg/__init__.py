@@ -1,0 +1,1 @@
+"""Stream-clock fixture: scope of the R009 stream clock exemption."""

@@ -1,0 +1,5 @@
+"""Core package: re-exports the audit entry points (R009 taint roots)."""
+
+from spkg.core.engine import audit_named, audit_stream
+
+__all__ = ["audit_named", "audit_stream"]

@@ -1,0 +1,16 @@
+"""Entry points for the stream-clock exemption fixture."""
+
+from spkg.core.stream import now_tag
+from spkg.stream.journal import stamp
+
+__all__ = ["audit_named", "audit_stream"]
+
+
+def audit_stream(x: float) -> float:
+    """Clock via the *stream subpackage* journal — exempt (like obs)."""
+    return x + stamp()
+
+
+def audit_named(x: float) -> float:
+    """Clock via a module merely *named* stream — no exemption, fires."""
+    return x + now_tag()

@@ -1,0 +1,8 @@
+"""A module named ``stream`` in the wrong position (under ``core``)."""
+
+import time
+
+
+def now_tag() -> float:
+    """Wall-clock read outside the stream subpackage — R009 taint origin."""
+    return time.time()

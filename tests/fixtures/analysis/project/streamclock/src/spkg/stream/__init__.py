@@ -1,0 +1,1 @@
+"""Stream subpackage of the fixture (the exempt position)."""

@@ -1,0 +1,8 @@
+"""Journal stub: batch-manifest timestamps are sanctioned clock reads."""
+
+import time
+
+
+def stamp() -> float:
+    """Wall-clock read inside the stream subpackage — exempt for R009."""
+    return time.time()

@@ -48,6 +48,20 @@ class TestR009DeterminismTaint:
         findings = run_project("taint", ("R009",))
         assert not any("solve_clean" in m for m in messages(findings))
 
+    def test_stream_subpackage_clock_is_exempt(self):
+        # Batch-manifest timestamps from <pkg>.stream.* are sanctioned:
+        # they live inside the journal's sha chain, never in replayed state.
+        findings = run_project("streamclock", ("R009",))
+        assert not any("audit_stream" in m for m in messages(findings))
+
+    def test_module_merely_named_stream_still_fires(self):
+        # The exemption is position-scoped: core/stream.py gets none.
+        findings = run_project("streamclock", ("R009",))
+        named = [m for m in messages(findings) if "audit_named" in m]
+        assert len(named) == 1
+        assert "time.time" in named[0]
+        assert "stream.now_tag" in named[0]
+
 
 class TestR010WorkerCellSafety:
     def test_all_three_violation_kinds_fire(self):

@@ -206,3 +206,93 @@ class TestFromRowsAndConcat:
     def test_concat_empty_rejected(self):
         with pytest.raises(DataError):
             concat([])
+
+
+class TestApplyDelta:
+    """Streaming-style single edits: new dataset + hierarchy count delta."""
+
+    def fold(self, source, delta):
+        from repro.core import Hierarchy
+
+        h = Hierarchy(source)
+        h.apply_count_delta(delta["pattern"], delta["dpos"], delta["dneg"])
+        return h
+
+    def assert_equal_hierarchies(self, a, b):
+        assert a.attrs == b.attrs
+        for level in a.levels():
+            for na, nb in zip(a.nodes_at_level(level), b.nodes_at_level(level)):
+                assert np.array_equal(na.pos, nb.pos), na.attrs
+                assert np.array_equal(na.neg, nb.neg), na.attrs
+
+    def test_insert_appends_one_row(self, toy_dataset):
+        out, delta = toy_dataset.apply_delta(
+            "insert", values=(2, 1, 0.25), label=1
+        )
+        assert out.n_rows == toy_dataset.n_rows + 1
+        assert int(out.y[-1]) == 1
+        assert int(delta["dpos"].sum()) == 1 and int(delta["dneg"].sum()) == 0
+        from repro.core import Hierarchy
+
+        self.assert_equal_hierarchies(self.fold(toy_dataset, delta), Hierarchy(out))
+
+    def test_delete_drops_the_row(self, toy_dataset):
+        out, delta = toy_dataset.apply_delta("delete", row=5)
+        assert out.n_rows == toy_dataset.n_rows - 1
+        assert int(delta["dpos"].sum() + delta["dneg"].sum()) == -1
+        from repro.core import Hierarchy
+
+        self.assert_equal_hierarchies(self.fold(toy_dataset, delta), Hierarchy(out))
+
+    def test_relabel_flips_counts(self, toy_dataset):
+        row = 5  # label 0 in the fixture
+        out, delta = toy_dataset.apply_delta("relabel", row=row, label=1)
+        assert int(out.y[row]) == 1
+        assert int(delta["dpos"].sum()) == 1 and int(delta["dneg"].sum()) == -1
+        from repro.core import Hierarchy
+
+        self.assert_equal_hierarchies(self.fold(toy_dataset, delta), Hierarchy(out))
+
+    def test_noop_relabel_has_zero_delta(self, toy_dataset):
+        old = int(toy_dataset.y[3])
+        __, delta = toy_dataset.apply_delta("relabel", row=3, label=old)
+        assert not delta["dpos"].any() and not delta["dneg"].any()
+
+    def test_source_dataset_is_untouched(self, toy_dataset):
+        n = toy_dataset.n_rows
+        y_before = toy_dataset.y.copy()
+        toy_dataset.apply_delta("insert", values=(0, 0, 0.0), label=0)
+        toy_dataset.apply_delta("delete", row=0)
+        toy_dataset.apply_delta("relabel", row=0, label=1)
+        assert toy_dataset.n_rows == n
+        assert np.array_equal(toy_dataset.y, y_before)
+
+    def test_insert_arity_error_names_columns(self, toy_dataset):
+        with pytest.raises(DataError, match="2 values for 3 schema columns"):
+            toy_dataset.apply_delta("insert", values=(0, 0), label=1)
+
+    def test_insert_validation_matches_constructor(self, toy_dataset):
+        # An out-of-range categorical code raises the same row-naming
+        # DataError the constructor produces for that row.
+        with pytest.raises(DataError, match=f"row {toy_dataset.n_rows}"):
+            toy_dataset.apply_delta("insert", values=(9, 0, 0.0), label=1)
+
+    def test_delete_unknown_row(self, toy_dataset):
+        with pytest.raises(DataError, match="delete targets unknown row 99"):
+            toy_dataset.apply_delta("delete", row=99)
+
+    def test_relabel_rejects_non_binary(self, toy_dataset):
+        with pytest.raises(DataError, match="binary 0/1"):
+            toy_dataset.apply_delta("relabel", row=0, label=2)
+
+    def test_unknown_kind(self, toy_dataset):
+        with pytest.raises(DataError, match="unknown delta kind"):
+            toy_dataset.apply_delta("upsert", row=0)
+
+    def test_missing_arguments_are_typed(self, toy_dataset):
+        with pytest.raises(DataError, match="insert delta needs"):
+            toy_dataset.apply_delta("insert", label=1)
+        with pytest.raises(DataError, match="delete delta needs"):
+            toy_dataset.apply_delta("delete")
+        with pytest.raises(DataError, match="relabel delta needs"):
+            toy_dataset.apply_delta("relabel", row=0)

@@ -6,18 +6,22 @@ import pytest
 
 from repro.errors import (
     AnalysisError,
+    BackpressureError,
     CellTimeout,
     CheckpointError,
     DataError,
+    DeltaError,
     ExperimentError,
     FitError,
     InternalError,
+    JournalError,
     NotFittedError,
     PatternError,
     RemedyError,
     ReproError,
     ResilienceError,
     SchemaError,
+    StreamError,
 )
 
 LEAF_TYPES = (
@@ -33,6 +37,10 @@ LEAF_TYPES = (
     CellTimeout,
     CheckpointError,
     InternalError,
+    StreamError,
+    JournalError,
+    DeltaError,
+    BackpressureError,
 )
 
 
@@ -53,6 +61,14 @@ def test_message_formatting(exc_type):
 def test_catchable_as_repro_error(exc_type):
     with pytest.raises(ReproError):
         raise exc_type("boom")
+
+
+def test_stream_errors_share_one_base():
+    for exc_type in (JournalError, DeltaError, BackpressureError):
+        assert issubclass(exc_type, StreamError)
+    with pytest.raises(StreamError):
+        raise JournalError("sha chain broken")
+    assert not issubclass(JournalError, DeltaError)
 
 
 def test_not_fitted_is_a_fit_error():

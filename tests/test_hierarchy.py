@@ -215,3 +215,70 @@ class TestIncrementalUpdates:
             h.apply_count_delta(Pattern([("zz", 0)]), np.zeros(2), np.zeros(2))
         with pytest.raises(PatternError):
             h.region_leaf_counts(biased_dataset, Pattern([("zz", 0)]))
+
+
+class TestMaxCellSizeInvalidation:
+    """A delta that empties or fills a branch must not be mis-pruned.
+
+    ``_vectorized_biased_reports`` skips whole nodes via the cached
+    ``max_cell_size``; ``apply_count_delta`` must invalidate that cache on
+    every node the vectorized engine's bitset index can reach, or a branch
+    a delta emptied (or grew past ``k``) keeps its stale prune decision on
+    the next vectorized identify.
+    """
+
+    def test_emptied_branch_matches_fresh_rebuild(self, biased_dataset):
+        from repro.core import identify_ibs
+        from repro.core.ibs import METHOD_VECTORIZED
+
+        h = Hierarchy(biased_dataset)
+        identify_ibs(biased_dataset, 0.2, k=10, method=METHOD_VECTORIZED,
+                     hierarchy=h)  # populate every node's cache
+        # Drop every row of the planted skew cell (a=0, b=0).
+        pattern = Pattern([("a", 0), ("b", 0)])
+        idx = np.flatnonzero(pattern.mask(biased_dataset))
+        edited = biased_dataset.drop(idx)
+        before = h.region_leaf_counts(biased_dataset, pattern)
+        h.apply_count_delta(pattern, -before[0], -before[1])
+        stale = identify_ibs(edited, 0.2, k=10, method=METHOD_VECTORIZED,
+                             hierarchy=h)
+        fresh = identify_ibs(edited, 0.2, k=10, method=METHOD_VECTORIZED)
+        assert stale == fresh
+
+    def test_filled_branch_is_rescanned_not_skipped(self):
+        from repro.core import identify_ibs
+        from repro.core.ibs import METHOD_VECTORIZED
+        from repro.data import schema_from_domains
+        from repro.data.dataset import Dataset
+
+        # Start so small that every node caches max_cell_size <= k and the
+        # vectorized engine prunes the whole lattice.
+        schema = schema_from_domains({"a": ("a0", "a1"), "b": ("b0", "b1")})
+        tiny = Dataset(
+            schema,
+            {"a": np.array([0, 1]), "b": np.array([0, 1])},
+            np.array([1, 0]),
+            protected=("a", "b"),
+        )
+        h = Hierarchy(tiny)
+        assert identify_ibs(tiny, 0.1, k=3, method=METHOD_VECTORIZED,
+                            hierarchy=h) == []
+        # Grow cell (a=0, b=0) well past k with all-positive rows; every
+        # ancestor node's cached bound is now stale-low.
+        grown = tiny.append_rows(
+            Dataset(
+                schema,
+                {"a": np.zeros(8, dtype=int), "b": np.zeros(8, dtype=int)},
+                np.ones(8, dtype=int),
+                protected=("a", "b"),
+            )
+        )
+        pattern = Pattern([("a", 0), ("b", 0)])
+        after = h.region_leaf_counts(grown, pattern)
+        before = h.region_leaf_counts(tiny, pattern)
+        h.apply_count_delta(pattern, after[0] - before[0], after[1] - before[1])
+        stale = identify_ibs(grown, 0.1, k=3, method=METHOD_VECTORIZED,
+                             hierarchy=h)
+        fresh = identify_ibs(grown, 0.1, k=3, method=METHOD_VECTORIZED)
+        assert stale == fresh
+        assert stale, "the grown all-positive branch must be reported"

@@ -1,0 +1,116 @@
+"""Property: streamed IBS state is byte-identical to a from-scratch audit.
+
+The acceptance property of the streaming tentpole: for *arbitrary* delta
+sequences chopped into 1..100 micro-batches, the incremental engine's
+reports (scores included), active alarm set, and digest must equal what a
+cold ``identify_ibs`` over the materialized survivor rows produces — and a
+journal replay must land on the same digest as the live auditor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ibs import identify_ibs, ibs_patterns
+from repro.data.schema import Column, Schema
+from repro.stream.deltas import DeleteDelta, InsertDelta, RelabelDelta
+from repro.stream.engine import StreamAuditor
+from repro.stream.journal import DeltaLog, StreamConfig
+
+pytestmark = pytest.mark.slow
+
+
+def make_config(cards: tuple[int, ...], k: int) -> StreamConfig:
+    columns = [
+        Column(f"x{i}", "categorical", tuple(f"v{j}" for j in range(c)))
+        for i, c in enumerate(cards)
+    ]
+    names = tuple(c.name for c in columns)
+    return StreamConfig(
+        schema=Schema(columns), protected=names, tau_c=0.1, k=k, hysteresis=0.0
+    )
+
+
+@st.composite
+def delta_streams(draw):
+    """A config plus a valid delta sequence chopped into 1..100 batches."""
+    n_attrs = draw(st.integers(2, 3))
+    cards = tuple(draw(st.integers(2, 3)) for __ in range(n_attrs))
+    k = draw(st.integers(1, 4))
+    seed = draw(st.integers(0, 10_000))
+    n_deltas = draw(st.integers(1, 250))
+    n_batches = draw(st.integers(1, 100))
+    rng = np.random.default_rng(seed)
+
+    deltas: list = []
+    alive: list[int] = []
+    next_id = 0
+    for __ in range(n_deltas):
+        roll = rng.random()
+        if roll < 0.70 or not alive:
+            values = tuple(int(rng.integers(0, c)) for c in cards)
+            deltas.append(InsertDelta(values=values, label=int(rng.integers(0, 2))))
+            alive.append(next_id)
+            next_id += 1
+        elif roll < 0.85:
+            victim = alive.pop(int(rng.integers(0, len(alive))))
+            deltas.append(DeleteDelta(row=victim))
+        else:
+            row = alive[int(rng.integers(0, len(alive)))]
+            deltas.append(RelabelDelta(row=row, label=int(rng.integers(0, 2))))
+
+    # Chop into n_batches contiguous chunks (some may be empty; drop those).
+    cuts = sorted(
+        int(rng.integers(0, n_deltas + 1)) for __ in range(n_batches - 1)
+    )
+    bounds = [0, *cuts, n_deltas]
+    batches = [
+        deltas[lo:hi] for lo, hi in zip(bounds, bounds[1:]) if hi > lo
+    ]
+    return make_config(cards, k), batches
+
+
+@given(delta_streams())
+@settings(max_examples=40, deadline=None)
+def test_streamed_state_equals_from_scratch_audit(case):
+    config, batches = case
+    auditor = StreamAuditor(config)
+    for i, deltas in enumerate(batches):
+        auditor.apply_batch(i + 1, f"b{i}", deltas)
+
+    oracle = identify_ibs(
+        auditor.state.materialize(), config.tau_c, T=config.T, k=config.k
+    )
+    mine = auditor.reports()
+    # Byte-identical: same regions, same counts, same float scores bit-for-bit.
+    assert [
+        (r.pattern.items, r.pos, r.neg, r.ratio,
+         r.neighbor_pos, r.neighbor_neg, r.neighbor_ratio, r.difference)
+        for r in mine
+    ] == [
+        (r.pattern.items, r.pos, r.neg, r.ratio,
+         r.neighbor_pos, r.neighbor_neg, r.neighbor_ratio, r.difference)
+        for r in oracle
+    ]
+    # With zero hysteresis the active alarm set IS the biased pattern set.
+    assert auditor.monitor.active_patterns() == set(ibs_patterns(oracle))
+
+
+@given(case=delta_streams())
+@settings(max_examples=15, deadline=None)
+def test_journal_replay_lands_on_the_live_digest(tmp_path_factory, case):
+    config, batches = case
+    directory = tmp_path_factory.mktemp("stream") / "s"
+    log = DeltaLog.create(directory, config)
+    live = StreamAuditor(config)
+    try:
+        for i, deltas in enumerate(batches):
+            seq = log.append_batch(f"b{i}", [d.to_record() for d in deltas])
+            live.apply_batch(seq, f"b{i}", deltas)
+    finally:
+        log.close()
+    replayed = StreamAuditor.from_journal(DeltaLog.open(directory))
+    assert replayed.digest() == live.digest()
+    assert replayed.monitor.events == live.monitor.events

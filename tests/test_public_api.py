@@ -13,6 +13,7 @@ PACKAGES = (
     "repro.audit",
     "repro.baselines",
     "repro.experiments",
+    "repro.stream",
 )
 
 

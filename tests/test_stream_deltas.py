@@ -1,0 +1,62 @@
+"""Typed stream deltas and their wire-record round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeltaError
+from repro.stream.deltas import (
+    DeleteDelta,
+    InsertDelta,
+    RelabelDelta,
+    delta_from_record,
+    deltas_from_records,
+)
+
+
+class TestRecordRoundTrip:
+    def test_insert(self):
+        delta = InsertDelta(values=(0.0, 2.0, 1.5), label=1)
+        record = delta.to_record()
+        assert record == ["i", [0.0, 2.0, 1.5], 1]
+        assert delta_from_record(record) == delta
+
+    def test_delete(self):
+        delta = DeleteDelta(row=7)
+        assert delta.to_record() == ["d", 7]
+        assert delta_from_record(["d", 7]) == delta
+
+    def test_relabel(self):
+        delta = RelabelDelta(row=3, label=0)
+        assert delta.to_record() == ["r", 3, 0]
+        assert delta_from_record(["r", 3, 0]) == delta
+
+    def test_batch_helper_preserves_order(self):
+        records = [["i", [1.0], 0], ["d", 0], ["r", 1, 1]]
+        deltas = deltas_from_records(records)
+        assert [d.to_record() for d in deltas] == records
+
+
+class TestMalformedRecords:
+    @pytest.mark.parametrize(
+        "record",
+        [
+            ["x", 1],                 # unknown tag
+            ["i", [1.0]],             # missing label
+            ["i", [1.0], 1, "extra"],  # wrong arity
+            ["d"],                    # no row
+            ["d", "seven"],           # non-integer row
+            ["d", True],              # bool is not a row id
+            ["r", 1],                 # missing label
+            ["r", 1, 1.5],            # non-integer label
+            "not-a-list",
+            [],
+        ],
+    )
+    def test_raises_typed(self, record):
+        with pytest.raises(DeltaError):
+            delta_from_record(record)
+
+    def test_error_names_the_position(self):
+        with pytest.raises(DeltaError, match="record 1"):
+            deltas_from_records([["i", [1.0], 0], ["bogus"]])

@@ -1,0 +1,94 @@
+"""DriftMonitor: hysteresis semantics and deterministic alarm events."""
+
+from __future__ import annotations
+
+from repro.core.ibs import RegionReport
+from repro.core.pattern import Pattern
+from repro.stream.monitor import ALARM_CLEAR, ALARM_RAISE, DriftMonitor
+
+
+def report(pattern: Pattern, difference: float) -> RegionReport:
+    return RegionReport(
+        pattern=pattern, pos=10, neg=10, ratio=1.0,
+        neighbor_pos=10, neighbor_neg=10, neighbor_ratio=1.0,
+        difference=difference,
+    )
+
+
+P = Pattern((("a", 0),))
+Q = Pattern((("b", 1),))
+
+
+class TestThresholdCrossings:
+    def test_raise_then_clear(self):
+        monitor = DriftMonitor(tau_c=0.1)
+        events = monitor.observe(1, [(P, report(P, 0.3))])
+        assert [(e.kind, e.batch_seq) for e in events] == [(ALARM_RAISE, 1)]
+        assert monitor.active_patterns() == {P}
+        events = monitor.observe(2, [(P, report(P, 0.05))])
+        assert [e.kind for e in events] == [ALARM_CLEAR]
+        assert not monitor.active_patterns()
+
+    def test_no_event_while_staying_on_one_side(self):
+        monitor = DriftMonitor(tau_c=0.1)
+        monitor.observe(1, [(P, report(P, 0.3))])
+        assert monitor.observe(2, [(P, report(P, 0.4))]) == []
+        assert monitor.observe(3, [(P, report(P, 0.2))]) == []
+
+    def test_vanished_region_clears_with_none_difference(self):
+        monitor = DriftMonitor(tau_c=0.1)
+        monitor.observe(1, [(P, report(P, 0.3))])
+        (event,) = monitor.observe(2, [(P, None)])
+        assert event.kind == ALARM_CLEAR
+        assert event.difference is None
+
+    def test_unobserved_regions_keep_their_state(self):
+        monitor = DriftMonitor(tau_c=0.1)
+        monitor.observe(1, [(P, report(P, 0.3)), (Q, report(Q, 0.5))])
+        monitor.observe(2, [(P, report(P, 0.0))])
+        assert monitor.active_patterns() == {Q}
+
+
+class TestHysteresis:
+    def test_band_suppresses_flapping(self):
+        monitor = DriftMonitor(tau_c=0.1, hysteresis=0.05)
+        monitor.observe(1, [(P, report(P, 0.2))])
+        # Oscillating inside (tau_c - h, tau_c]: alarmed, no events.
+        assert monitor.observe(2, [(P, report(P, 0.08))]) == []
+        assert monitor.observe(3, [(P, report(P, 0.1))]) == []
+        assert monitor.active_patterns() == {P}
+        # Dropping to tau_c - h finally clears.
+        (event,) = monitor.observe(4, [(P, report(P, 0.05))])
+        assert event.kind == ALARM_CLEAR
+
+    def test_zero_hysteresis_clears_at_tau_c(self):
+        monitor = DriftMonitor(tau_c=0.1, hysteresis=0.0)
+        monitor.observe(1, [(P, report(P, 0.2))])
+        (event,) = monitor.observe(2, [(P, report(P, 0.1))])  # <= tau_c
+        assert event.kind == ALARM_CLEAR
+
+    def test_raise_needs_strict_crossing(self):
+        monitor = DriftMonitor(tau_c=0.1)
+        assert monitor.observe(1, [(P, report(P, 0.1))]) == []
+        assert not monitor.active_patterns()
+
+
+class TestEventPayloadAndRebase:
+    def test_events_are_stamped_with_batch_seq_only(self):
+        monitor = DriftMonitor(tau_c=0.1)
+        (event,) = monitor.observe(17, [(P, report(P, 0.3))])
+        assert event.batch_seq == 17
+        assert event.to_payload() == [ALARM_RAISE, 17, [("a", 0)], repr(0.3)]
+
+    def test_rebase_round_trip_preserves_hysteresis_state(self):
+        monitor = DriftMonitor(tau_c=0.1, hysteresis=0.05)
+        monitor.observe(1, [(P, report(P, 0.2)), (Q, report(Q, 0.9))])
+        restored = DriftMonitor.from_rebase(
+            0.1, 0.05, monitor.export_active(), events_dropped=2
+        )
+        assert restored.active() == monitor.active()
+        assert restored.events == []  # history is dropped by design
+        assert restored.events_dropped == 2
+        # Still inside the band after restore: no flap.
+        assert restored.observe(5, [(P, report(P, 0.08))]) == []
+        assert restored.active_patterns() == {P, Q}
