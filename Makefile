@@ -1,6 +1,6 @@
 # Development workflow shortcuts.
 
-.PHONY: install test lint lint-strict ci bench bench-full bench-ibs bench-pool bench-stream examples experiments-smoke chaos stream-chaos report clean
+.PHONY: install test lint lint-strict ci bench bench-full bench-ibs bench-pool bench-stream bench-data examples experiments-smoke chaos stream-chaos data-chaos report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -9,8 +9,10 @@ test:
 	PYTHONPATH=src pytest tests/
 
 # Incremental: warm runs re-parse only changed files (a cold or corrupt
-# cache transparently falls back to a full analysis).
+# cache transparently falls back to a full analysis).  The tree-hygiene
+# guard runs first: no tracked bytecode or cache junk, ever.
 lint:
+	python scripts/check_tree.py
 	PYTHONPATH=src python -m repro.analysis src/repro \
 		--baseline analysis-baseline.json --cache .analysis-cache.json
 
@@ -51,6 +53,14 @@ bench-pool:
 bench-stream:
 	PYTHONPATH=src python scripts/bench_stream.py
 
+# Same re-baseline contract, for the sharded dataset plane: materializes
+# Adult-like stores at 10^6 and 10^7 rows and records sharded vs in-memory
+# region_counts seconds and peak RSS, overwriting BENCH_data.json.  The
+# peak-RSS ceiling scripts/check_bench.py enforces is absolute — only the
+# seconds are re-baselined by this target.
+bench-data:
+	PYTHONPATH=src python scripts/bench_data.py
+
 examples:
 	for f in examples/*.py; do echo "== $$f"; PYTHONPATH=src python $$f || exit 1; done
 
@@ -69,6 +79,13 @@ chaos:
 # with no orphaned segments past the watermark.
 stream-chaos:
 	PYTHONPATH=src python -m repro.stream.chaos
+
+# Sharded-store chaos drills: a flipped or truncated byte in any shard must
+# fail `repro data verify` with a typed error naming the file, a SIGKILLed
+# materialize must leave no partial registry entry (prune sweeps the .tmp-*
+# orphan), and a live lease must pin its entry against prune.
+data-chaos:
+	PYTHONPATH=src python -m repro.data.chaos
 
 report:
 	PYTHONPATH=src python examples/regenerate_report.py REPORT.md

@@ -58,6 +58,25 @@ def _best_seconds(fn, repeats=3):
     return best
 
 
+def _paired_best_seconds(fn_a, fn_b, repeats=3):
+    """Best-of-N for two workloads sampled in interleaved A/B pairs.
+
+    Timing the two in separate blocks lets a mid-run slowdown of the
+    (shared, 1-CPU) box land entirely on one side and fabricate a large
+    ratio between them; alternating keeps both samples under the same
+    conditions so their best-of-N ratio reflects the workloads.
+    """
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - start)
+    return best_a, best_b
+
+
 @pytest.mark.parametrize("n_attrs", (4, 6, 8))
 def test_engine_comparison(benchmark, adult8, n_attrs):
     attrs = SCALABILITY_PROTECTED[:n_attrs]
@@ -70,7 +89,6 @@ def test_engine_comparison(benchmark, adult8, n_attrs):
     reports = benchmark(lambda: run(METHOD_VECTORIZED))
     assert reports == run(METHOD_OPTIMIZED), "engines disagree; timings void"
 
-    t_vec = _best_seconds(lambda: run(METHOD_VECTORIZED))
     t_opt = _best_seconds(lambda: run(METHOD_OPTIMIZED))
     # The naive engine recounts every neighbour from raw data (§III-A);
     # one repetition is plenty to place it on the chart.
@@ -78,12 +96,16 @@ def test_engine_comparison(benchmark, adult8, n_attrs):
 
     # Same workload with a live tracer collecting spans and counters — the
     # observability acceptance floor is <5% overhead on the vectorized
-    # engine at 8 attributes.
+    # engine at 8 attributes.  The plain/traced pair is interleaved: at
+    # ~50 ms per run the gate would otherwise measure box-speed drift,
+    # not tracing.
     def run_traced():
         with tracing(Tracer()):
             run(METHOD_VECTORIZED)
 
-    t_traced = _best_seconds(run_traced)
+    t_vec, t_traced = _paired_best_seconds(
+        lambda: run(METHOD_VECTORIZED), run_traced
+    )
     trace_overhead = t_traced / max(t_vec, 1e-9) - 1.0
 
     speedup_vs_opt = t_opt / max(t_vec, 1e-9)

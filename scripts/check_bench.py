@@ -19,7 +19,14 @@ Three kinds of record, selected with ``--kind``:
   ``batch_p95_seconds`` may not rise by more than the tolerance (default
   50% — raw seconds are machine-sensitive), and ``late_over_early_p95``
   has an absolute ceiling of 3.0 regardless of baseline: per-batch cost
-  growing with the accumulated row count is a design regression.
+  growing with the accumulated row count is a design regression;
+* ``data`` — checks ``scripts/bench_data.py`` output against the
+  committed ``BENCH_data.json``: per row scale, ``sharded_seconds`` may
+  not rise by more than the tolerance (default 50%), and
+  ``sharded_peak_rss_mb`` has an absolute ceiling of 512 MiB regardless
+  of baseline or scale — a sharded count whose resident set tracks the
+  table size has stopped being out-of-core, and committing a bigger
+  baseline cannot make that acceptable.
 
 The ibs gate compares speedup ratios instead of raw seconds so it is
 insensitive to overall machine speed — both engines slow down together on
@@ -38,10 +45,13 @@ Usage::
     PYTHONPATH=src python scripts/bench_stream.py --output /tmp/stream.json
     python scripts/check_bench.py /tmp/stream.json --kind stream
 
+    PYTHONPATH=src python scripts/bench_data.py --output /tmp/data.json
+    python scripts/check_bench.py /tmp/data.json --kind data
+
 Re-baselining: after an intentional performance change, run ``make bench-ibs``
-(or ``make bench-pool`` / ``make bench-stream``) on a quiet machine — they
-overwrite the committed JSON in place — and commit the refreshed file
-alongside the change that justifies it.
+(or ``make bench-pool`` / ``make bench-stream`` / ``make bench-data``) on a
+quiet machine — they overwrite the committed JSON in place — and commit the
+refreshed file alongside the change that justifies it.
 """
 
 from __future__ import annotations
@@ -69,6 +79,13 @@ STREAM_TOLERANCE = 0.5
 #: Absolute ceiling on late/early p95 batch latency: per-batch cost must
 #: not grow with the accumulated row count, on any machine.
 STREAM_GROWTH_CEILING = 3.0
+
+DATA_BASELINE = REPO_ROOT / "BENCH_data.json"
+DATA_TOLERANCE = 0.5
+#: Absolute ceiling on the sharded count's peak RSS, any scale, any
+#: machine: out-of-core means the resident set is bounded by one shard
+#: plus the interpreter, not by the table.
+DATA_RSS_CEILING_MB = 512.0
 
 
 def load_speedups(path: Path) -> dict[tuple[str, int], float]:
@@ -202,12 +219,64 @@ def check_stream(
     return problems
 
 
+def check_data(
+    fresh_path: Path, baseline_path: Path, tolerance: float
+) -> list[str]:
+    """Sharded-store gate report lines; empty means the gate passes."""
+    fresh = json.loads(fresh_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    problems: list[str] = []
+
+    fresh_points = {int(p["rows"]): p for p in fresh.get("points", [])}
+    base_points = {int(p["rows"]): p for p in baseline.get("points", [])}
+    if not fresh_points:
+        raise SystemExit(f"error: no points entries in {fresh_path}")
+
+    # Absolute ceiling first: every fresh scale, no baseline involved.
+    for rows in sorted(fresh_points):
+        rss = float(fresh_points[rows]["sharded_peak_rss_mb"])
+        status = "ok" if rss <= DATA_RSS_CEILING_MB else "REGRESSION"
+        print(
+            f"  rows={rows}: sharded_peak_rss_mb {rss:g}  "
+            f"ceiling {DATA_RSS_CEILING_MB:g} (absolute)  {status}"
+        )
+        if rss > DATA_RSS_CEILING_MB:
+            problems.append(
+                f"rows={rows}: sharded peak RSS {rss:g} MiB exceeds the "
+                f"absolute ceiling {DATA_RSS_CEILING_MB:g} MiB — the count "
+                "is no longer out-of-core"
+            )
+
+    # Baseline-relative seconds, over the scales both records measured
+    # (CI runs a reduced-rows fresh record against the full baseline).
+    common = sorted(set(fresh_points) & set(base_points))
+    if not common:
+        raise SystemExit(
+            f"error: {fresh_path} and {baseline_path} share no row scale"
+        )
+    for rows in common:
+        base = float(base_points[rows]["sharded_seconds"])
+        now = float(fresh_points[rows]["sharded_seconds"])
+        bound = base * (1.0 + tolerance)
+        status = "ok" if now <= bound else "REGRESSION"
+        print(
+            f"  rows={rows}: sharded_seconds baseline {base:g}  "
+            f"fresh {now:g}  ceiling {bound:g}  {status}"
+        )
+        if now > bound:
+            problems.append(
+                f"rows={rows}: sharded_seconds rose {base:g} -> {now:g} "
+                f"past the ceiling {bound:g} (tolerance {tolerance:.0%})"
+            )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns 0 when no point regressed beyond tolerance."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("fresh", help="freshly produced benchmark JSON file")
     parser.add_argument(
-        "--kind", choices=("ibs", "pool", "stream"), default="ibs",
+        "--kind", choices=("ibs", "pool", "stream", "data"), default="ibs",
         help="which record/baseline pair to compare (default: ibs)",
     )
     parser.add_argument(
@@ -262,6 +331,32 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 1
         print("bench gate: stream metrics within bounds")
+        return 0
+
+    if args.kind == "data":
+        tolerance = DATA_TOLERANCE if args.tolerance is None else args.tolerance
+        print(
+            f"bench gate: sharded-store seconds (tolerance {tolerance:.0%}) "
+            "+ absolute peak-RSS ceiling"
+        )
+        problems = check_data(
+            Path(args.fresh),
+            Path(args.baseline or DATA_BASELINE),
+            tolerance,
+        )
+        if problems:
+            print("\nbenchmark regression detected:", file=sys.stderr)
+            for line in problems:
+                print(f"  {line}", file=sys.stderr)
+            print(
+                "\nIf a seconds slowdown is intentional, re-baseline with "
+                "`make bench-data` and commit BENCH_data.json — but the "
+                "peak-RSS ceiling is absolute and cannot be re-baselined; "
+                "restore the bounded-resident-set property instead.",
+                file=sys.stderr,
+            )
+            return 1
+        print("bench gate: data metrics within bounds")
         return 0
 
     tolerance = 0.25 if args.tolerance is None else args.tolerance

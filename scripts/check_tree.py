@@ -1,0 +1,86 @@
+"""Tree-hygiene gate: no bytecode or cache junk may ever be tracked.
+
+Two checks, both against ``git ls-files`` (what the repository *tracks*,
+not what happens to be on disk — local ``__pycache__`` dirs are fine, the
+``.gitignore`` exists precisely so they stay local):
+
+* no tracked path may be a ``__pycache__`` directory entry, ``*.pyc`` /
+  ``*.pyo`` file, or ``.pytest_cache`` / ``.hypothesis`` / ``.benchmarks``
+  cache artifact;
+* ``.gitignore`` must keep covering the patterns that prevent those paths
+  from being added in the first place.
+
+Runs in the CI ``lint`` stage; exits 1 listing every offending path.
+
+Usage::
+
+    python scripts/check_tree.py
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path, PurePosixPath
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Path parts that mark a tracked file as cache junk.
+JUNK_DIRS = {"__pycache__", ".pytest_cache", ".hypothesis", ".benchmarks"}
+JUNK_SUFFIXES = (".pyc", ".pyo")
+
+#: .gitignore lines the tree relies on to keep the junk out.
+REQUIRED_IGNORES = ("__pycache__/", "*.pyc", ".pytest_cache/", ".hypothesis/")
+
+
+def tracked_junk(paths: list[str]) -> list[str]:
+    """The subset of tracked paths that are bytecode or cache artifacts."""
+    bad = []
+    for path in paths:
+        parts = PurePosixPath(path).parts
+        if set(parts) & JUNK_DIRS or path.endswith(JUNK_SUFFIXES):
+            bad.append(path)
+    return bad
+
+
+def missing_ignores(gitignore: Path) -> list[str]:
+    """Required .gitignore patterns that are absent (or the file itself)."""
+    if not gitignore.exists():
+        return list(REQUIRED_IGNORES)
+    lines = {line.strip() for line in gitignore.read_text().splitlines()}
+    return [pattern for pattern in REQUIRED_IGNORES if pattern not in lines]
+
+
+def main() -> int:
+    proc = subprocess.run(
+        ["git", "ls-files"], cwd=REPO_ROOT, capture_output=True, text=True
+    )
+    if proc.returncode != 0:
+        print(f"error: git ls-files failed: {proc.stderr}", file=sys.stderr)
+        return 2
+
+    failed = False
+    junk = tracked_junk(proc.stdout.splitlines())
+    if junk:
+        failed = True
+        print("tracked bytecode/cache artifacts (git rm --cached them):",
+              file=sys.stderr)
+        for path in junk:
+            print(f"  {path}", file=sys.stderr)
+
+    missing = missing_ignores(REPO_ROOT / ".gitignore")
+    if missing:
+        failed = True
+        print(".gitignore is missing required patterns:", file=sys.stderr)
+        for pattern in missing:
+            print(f"  {pattern}", file=sys.stderr)
+
+    if failed:
+        return 1
+    print("tree hygiene: no tracked bytecode or cache artifacts; "
+          ".gitignore covers the junk patterns")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

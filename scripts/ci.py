@@ -2,8 +2,9 @@
 
 Runs the repository's quality gates in order, fail-fast::
 
-    lint               static analysis (per-file R001-R008 + whole-program
-                       R009-R014) against the baseline, through the
+    lint               tree hygiene (no tracked bytecode/cache junk), then
+                       static analysis (per-file R001-R008 + whole-program
+                       R009-R015) against the baseline, through the
                        incremental cache (missing/corrupt cache = cold run);
                        its wall time lands in the status table like every
                        stage's
@@ -15,8 +16,14 @@ Runs the repository's quality gates in order, fail-fast::
     stream-chaos       the streaming auditor's crash/hang/torn-tail drills:
                        every scenario must recover to a byte-identical
                        replay with no orphaned segments
+    data-verify        the sharded dataset plane's gates: strict
+                       no-baseline lint of the store package (R015
+                       included), the data-chaos drills (bit flips, torn
+                       materialize, lease pinning), then the hypothesis
+                       property suite proving sharded == in-memory byte
+                       for byte
     examples           every script in examples/ end to end
-    bench-regression   fresh IBS + pool + stream benchmarks vs the
+    bench-regression   fresh IBS + pool + stream + data benchmarks vs the
                        committed baselines
 
 Each stage runs as a subprocess with ``PYTHONPATH=src`` and is timed through
@@ -50,15 +57,18 @@ PYTHON = sys.executable
 
 
 def stage_commands(
-    bench_json: str, pool_json: str, stream_json: str
+    bench_json: str, pool_json: str, stream_json: str, data_json: str
 ) -> list[tuple[str, list[list[str]]]]:
     """The ordered CI stages; each is (name, list of argv to run in order)."""
     return [
         (
             "lint",
-            [[PYTHON, "-m", "repro.analysis", "src/repro",
-              "--baseline", "analysis-baseline.json",
-              "--cache", ".analysis-cache.json", "--stats"]],
+            [
+                [PYTHON, "scripts/check_tree.py"],
+                [PYTHON, "-m", "repro.analysis", "src/repro",
+                 "--baseline", "analysis-baseline.json",
+                 "--cache", ".analysis-cache.json", "--stats"],
+            ],
         ),
         (
             "tier1",
@@ -88,6 +98,26 @@ def stage_commands(
             [[PYTHON, "-m", "repro.stream.chaos"]],
         ),
         (
+            "data-verify",
+            [
+                # Strict lint first: the store package must be clean
+                # outright, including R015 (no raw mmap loads or manifest
+                # writes may creep in anywhere, least of all here).  R014
+                # is excluded for the usual slice reason.
+                [PYTHON, "-m", "repro.analysis", "src/repro/data/store",
+                 "--rules",
+                 "R001,R002,R003,R004,R005,R006,R007,R008,"
+                 "R009,R010,R011,R012,R013,R015"],
+                # Bit flips, truncation, SIGKILLed materialize, lease
+                # pinning — the registry's loud-and-atomic contracts.
+                [PYTHON, "-m", "repro.data.chaos"],
+                # The equivalence proof: sharded region_counts and full
+                # IBS reports byte-identical to the in-memory Dataset
+                # across random schemas, shard sizes, and delta sequences.
+                [PYTHON, "-m", "pytest", "-q", "tests/test_properties_store.py"],
+            ],
+        ),
+        (
             "examples",
             [[PYTHON, str(path)] for path in sorted(
                 (REPO_ROOT / "examples").glob("*.py")
@@ -108,6 +138,13 @@ def stage_commands(
                  "--output", stream_json],
                 [PYTHON, "scripts/check_bench.py", stream_json,
                  "--kind", "stream"],
+                # Reduced-rows for the same reason; the RSS ceiling the
+                # gate enforces is absolute, so the smaller scale still
+                # proves the bounded-resident-set property.
+                [PYTHON, "scripts/bench_data.py", "--rows", "1000000",
+                 "--output", data_json],
+                [PYTHON, "scripts/check_bench.py", data_json,
+                 "--kind", "data"],
             ],
         ),
     ]
@@ -141,12 +178,13 @@ def main(argv: list[str] | None = None) -> int:
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
 
     # The fresh benchmark JSONs go to temp files so the committed
-    # BENCH_ibs.json / BENCH_pool.json baselines are never clobbered by CI.
+    # BENCH_*.json baselines are never clobbered by CI.
     tmpdir = tempfile.mkdtemp(prefix="repro-ci-")
     bench_json = os.path.join(tmpdir, "bench.json")
     pool_json = os.path.join(tmpdir, "pool.json")
     stream_json = os.path.join(tmpdir, "stream.json")
-    stages = stage_commands(bench_json, pool_json, stream_json)
+    data_json = os.path.join(tmpdir, "data.json")
+    stages = stage_commands(bench_json, pool_json, stream_json, data_json)
     if args.stages:
         wanted = [s.strip() for s in args.stages.split(",") if s.strip()]
         known = {name for name, _ in stages}

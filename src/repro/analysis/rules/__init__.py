@@ -1,8 +1,8 @@
 """Repo-specific analysis rules and their registry.
 
-Two tiers: per-file rules R001–R008 run through the AST-walking engine,
-one file at a time; whole-program rules R009–R014 run once over the
-assembled project model (see :mod:`repro.analysis.rules.wholeprog`).
+Two tiers: per-file rules R001–R008 and R015 run through the AST-walking
+engine, one file at a time; whole-program rules R009–R014 run once over
+the assembled project model (see :mod:`repro.analysis.rules.wholeprog`).
 """
 
 from __future__ import annotations
@@ -15,6 +15,7 @@ from repro.analysis.rules.imports import SANCTIONED_PACKAGES, ForbiddenImportRul
 from repro.analysis.rules.iteration import RESULT_SUBPACKAGES, SetIterationRule
 from repro.analysis.rules.processes import PROCESS_SUBPACKAGE, ProcessPrimitiveRule
 from repro.analysis.rules.randomness import SEEDABLE_CONSTRUCTORS, UnseededRandomnessRule
+from repro.analysis.rules.storeio import STORE_PACKAGE_PARTS, StoreIoRule
 from repro.analysis.rules.wholeprog import (
     CheckpointKeyStabilityRule,
     DeadExportRule,
@@ -44,6 +45,10 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     ObsInertnessRule,
     ImportCycleRule,
     DeadExportRule,
+    # R015 sits after the whole-program block so the per-file R001–R008
+    # prefix (pinned by tests/test_export_surface.py) stays untouched;
+    # dispatch is by the ``whole_program`` flag, not position.
+    StoreIoRule,
 )
 
 RULE_IDS: tuple[str, ...] = tuple(cls.rule_id for cls in RULE_CLASSES)
@@ -79,6 +84,8 @@ __all__ = [
     "ObsInertnessRule",
     "ImportCycleRule",
     "DeadExportRule",
+    "StoreIoRule",
+    "STORE_PACKAGE_PARTS",
     "PROCESS_SUBPACKAGE",
     "SANCTIONED_PACKAGES",
     "SEEDABLE_CONSTRUCTORS",

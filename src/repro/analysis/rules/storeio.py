@@ -1,0 +1,157 @@
+"""R015 — raw shard/manifest I/O outside ``repro.data.store``.
+
+The sharded dataset plane's integrity story only holds if every byte that
+reaches a shard file or manifest flows through the store package:
+:func:`repro.data.store.format.load_array` refuses pickles and converts a
+missing or malformed file into a typed :class:`~repro.errors.StoreError`,
+``write_store`` hashes every file into the manifest and publishes it with
+a write-temp-then-rename, and ``read_manifest`` validates the format
+version and schema digest.  A raw memory-map or a hand-rolled
+``manifest.json`` bypasses all of it — silently accepting truncated
+shards, skipping the sha256 ledger, or publishing a manifest no verifier
+ever hashed.  So outside a ``data/store`` package path the rule flags:
+
+* ``np.load(..., mmap_mode=...)`` calls in any alias spelling (the
+  keyword is what makes it shard-shaped; plain ``np.load`` of a model
+  checkpoint is fine) — use
+  :func:`repro.data.store.format.load_array` instead;
+* ``numpy.lib.format.open_memmap`` — imports or attribute calls — which
+  is the same bypass with a different door;
+* the string literal ``"manifest.json"`` — composing a manifest path by
+  hand means reading or writing one without digest validation; go
+  through :func:`repro.data.store.format.read_manifest` /
+  ``write_store`` / the :class:`~repro.data.store.Registry`.
+
+Module aliases (``import numpy as np``, ``import numpy.lib.format as
+fmt``) are tracked per file, matching R008's approach.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import FileContext, Finding, Rule, SEVERITY_ERROR
+
+#: Consecutive path components that mark the sanctioned package: the rule
+#: exempts ``.../data/store/...`` (and its tests would live elsewhere).
+STORE_PACKAGE_PARTS = ("data", "store")
+
+_MANIFEST_LITERAL = "manifest.json"  # repro: ignore[R015] — the detector's own needle
+
+
+def _in_store_package(path: str) -> bool:
+    """True when ``path`` has consecutive ``data/store`` components."""
+    from pathlib import Path
+
+    parts = Path(path).parts
+    return any(
+        parts[i: i + len(STORE_PACKAGE_PARTS)] == STORE_PACKAGE_PARTS
+        for i in range(len(parts) - len(STORE_PACKAGE_PARTS) + 1)
+    )
+
+
+class StoreIoRule(Rule):
+    """Flag raw mmap loads and hand-rolled manifests outside the store."""
+
+    rule_id = "R015"
+    description = (
+        "raw shard/manifest I/O (np.load with mmap_mode, open_memmap, "
+        "hand-built manifest.json paths) is reserved for repro.data.store"
+    )
+    severity = SEVERITY_ERROR
+    interests = (ast.Import, ast.ImportFrom, ast.Call, ast.Constant)
+
+    def begin_file(self, ctx: FileContext) -> None:
+        """Reset the per-file numpy-alias table."""
+        # bound name -> canonical module ("numpy" / "numpy.lib.format")
+        self._numpy_aliases: dict[str, str] = {}
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if _in_store_package(ctx.path):
+            return
+        if isinstance(node, ast.Import):
+            self._visit_import(node)
+        elif isinstance(node, ast.ImportFrom):
+            yield from self._visit_import_from(node, ctx)
+        elif isinstance(node, ast.Call):
+            yield from self._visit_call(node, ctx)
+        elif isinstance(node, ast.Constant):
+            yield from self._visit_constant(node, ctx)
+
+    def _visit_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "numpy" or alias.name.startswith("numpy."):
+                if alias.asname:
+                    self._numpy_aliases[alias.asname] = alias.name
+                else:
+                    self._numpy_aliases["numpy"] = "numpy"
+
+    def _visit_import_from(
+        self, node: ast.ImportFrom, ctx: FileContext
+    ) -> Iterable[Finding]:
+        if node.level or node.module is None:
+            return
+        if not (node.module == "numpy" or node.module.startswith("numpy.")):
+            return
+        for alias in node.names:
+            if alias.name == "open_memmap":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "direct import of numpy open_memmap outside "
+                    "repro.data.store; shard files must go through "
+                    "repro.data.store.format.load_array",
+                )
+            elif alias.name in ("format", "lib"):
+                bound = alias.asname or alias.name
+                self._numpy_aliases[bound] = f"{node.module}.{alias.name}"
+
+    def _dotted(self, node: ast.AST) -> str | None:
+        """Resolve ``np.lib.format.open_memmap``-style chains via aliases."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self._numpy_aliases.get(node.id)
+        if root is None:
+            return None
+        return ".".join([root, *reversed(parts)])
+
+    def _visit_call(self, node: ast.Call, ctx: FileContext) -> Iterable[Finding]:
+        dotted = self._dotted(node.func)
+        if dotted is None:
+            return
+        if dotted.endswith(".open_memmap"):
+            yield self.finding(
+                ctx,
+                node,
+                f"{dotted} outside repro.data.store; shard files must go "
+                "through repro.data.store.format.load_array",
+            )
+        elif dotted in ("numpy.load",) and any(
+            kw.arg == "mmap_mode" for kw in node.keywords
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                "numpy.load with mmap_mode outside repro.data.store; use "
+                "repro.data.store.format.load_array, which type-checks the "
+                "result and raises a typed StoreError on a missing or "
+                "malformed shard",
+            )
+
+    def _visit_constant(
+        self, node: ast.Constant, ctx: FileContext
+    ) -> Iterable[Finding]:
+        if node.value == _MANIFEST_LITERAL:
+            yield self.finding(
+                ctx,
+                node,
+                f"hand-built {_MANIFEST_LITERAL!r} path outside "
+                "repro.data.store; manifests are read and written only by "
+                "repro.data.store (read_manifest / write_store / Registry), "
+                "which validate the format version and digests",
+            )

@@ -26,8 +26,15 @@ Commands
               recover and inspect the audited state, and ``stream
               compact`` folds the journal into a fresh generation (see
               ``docs/streaming.md``);
+``data``      manage the on-disk sharded dataset registry: ``data
+              materialize`` writes a named store (from a synthetic
+              generator, shard by shard, or from a CSV), ``data list``
+              enumerates entries, ``data verify`` re-hashes every shard
+              file against its manifest, and ``data prune`` deletes
+              entries not leased by a live process and sweeps orphaned
+              ``.tmp-*`` directories (see ``docs/datasets.md``);
 ``analyze``   run the repo's static-analysis rules (per-file R001–R008 plus
-              whole-program R009–R014) over Python sources, gated by an
+              whole-program R009–R015) over Python sources, gated by an
               optional baseline file and sped up by an incremental cache;
 ``trace``     inspect observability artefacts: ``trace summarize`` renders
               the span tree, top-k table, and metric totals of a JSONL
@@ -674,6 +681,123 @@ def cmd_stream_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fmt_bytes(n: int) -> str:
+    """Human size: ``1.5 MB`` style, decimal units."""
+    value = float(n)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1000.0 or unit == "GB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1000.0
+    return f"{int(n)} B"
+
+
+def cmd_data_materialize(args: argparse.Namespace) -> int:
+    from repro.data.store import Registry, synth_chunks
+    from repro.errors import StoreError
+
+    registry = Registry(args.root)
+    if args.csv:
+        if not args.schema:
+            raise StoreError("materialize from --csv needs --schema")
+        dataset = _load(args.csv, args.schema)
+        store = registry.materialize(
+            args.name,
+            dataset,
+            shard_rows=args.shard_rows,
+            source={"kind": "csv", "path": str(args.csv)},
+            overwrite=args.overwrite,
+        )
+    else:
+        chunks = synth_chunks(
+            DATASETS[args.generator], args.rows, args.shard_rows, args.seed
+        )
+        store = registry.materialize(
+            args.name,
+            chunks=chunks,
+            shard_rows=args.shard_rows,
+            source={
+                "kind": "synth",
+                "generator": args.generator,
+                "rows": args.rows,
+                "seed": args.seed,
+            },
+            overwrite=args.overwrite,
+        )
+    print(
+        f"materialized {args.name}: {store.n_rows} rows in "
+        f"{store.n_shards} shard(s) at {registry.path_of(args.name)}"
+    )
+    return EXIT_OK
+
+
+def cmd_data_list(args: argparse.Namespace) -> int:
+    from repro.data.store import Registry
+
+    registry = Registry(args.root)
+    rows = []
+    for name, manifest in registry.entries():
+        nbytes = sum(
+            meta["nbytes"]
+            for shard in manifest["shards"]
+            for meta in shard["files"].values()
+        )
+        rows.append(
+            [
+                name,
+                str(manifest["n_rows"]),
+                str(len(manifest["shards"])),
+                _fmt_bytes(nbytes),
+                str(len(registry.live_leases(name))),
+            ]
+        )
+    if rows:
+        print(format_table(["name", "rows", "shards", "size", "leases"], rows))
+    else:
+        print(f"no datasets under {registry.root}")
+    orphans = registry.tmp_dirs()
+    if orphans:
+        print(
+            f"{len(orphans)} orphaned .tmp-* dir(s) from interrupted "
+            f"materializations (run `repro data prune` to sweep)"
+        )
+    return EXIT_OK
+
+
+def cmd_data_verify(args: argparse.Namespace) -> int:
+    from repro.data.store import Registry
+
+    registry = Registry(args.root)
+    names = args.names or registry.names()
+    for name in names:
+        report = registry.verify(name)
+        print(
+            f"{name}: ok ({report['n_shards']} shards, "
+            f"{report['files_checked']} files, "
+            f"{_fmt_bytes(report['bytes_checked'])} hashed)"
+        )
+    print(f"verified {len(names)} dataset(s)")
+    return EXIT_OK
+
+
+def cmd_data_prune(args: argparse.Namespace) -> int:
+    from repro.data.store import Registry
+
+    registry = Registry(args.root)
+    report = registry.prune(
+        args.names or None, force=args.force, dry_run=args.dry_run
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    for name in report["removed"]:
+        print(f"{verb} {name}")
+    for name, pids in report["kept"].items():
+        print(f"kept {name}: leased by live pid(s) {pids} (use --force)")
+    for tmp in report["swept"]:
+        print(f"{'would sweep' if args.dry_run else 'swept'} {tmp}")
+    if not any((report["removed"], report["kept"], report["swept"])):
+        print("nothing to prune")
+    return EXIT_OK
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis.runner import list_rules, run
 
@@ -974,6 +1098,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("directory", help="initialised stream directory")
     p.set_defaults(func=cmd_stream_compact)
+
+    p = sub.add_parser(
+        "data", help="manage the sharded dataset registry (see docs/datasets.md)"
+    )
+    data_sub = p.add_subparsers(dest="data_command", required=True)
+    p = data_sub.add_parser(
+        "materialize",
+        help="write a named sharded store from a generator or a CSV",
+    )
+    p.add_argument("name", help="registry entry name")
+    p.add_argument(
+        "--root", default=None,
+        help="registry root (default: $REPRO_DATA_ROOT or "
+        "~/.cache/repro/datasets)",
+    )
+    p.add_argument(
+        "--generator", choices=sorted(DATASETS), default="adult",
+        help="synthetic generator, materialized shard by shard (default adult)",
+    )
+    p.add_argument(
+        "--rows", type=int, default=100_000,
+        help="total rows for --generator (default 100000)",
+    )
+    p.add_argument(
+        "--shard-rows", type=int, default=100_000,
+        help="rows per shard (default 100000)",
+    )
+    p.add_argument("--seed", type=int, default=5, help="generator seed")
+    p.add_argument(
+        "--csv", default=None,
+        help="materialize this CSV instead of a generator (needs --schema)",
+    )
+    p.add_argument("--schema", default=None, help="schema JSON for --csv")
+    p.add_argument(
+        "--overwrite", action="store_true",
+        help="replace an existing entry of the same name",
+    )
+    p.set_defaults(func=cmd_data_materialize)
+    p = data_sub.add_parser("list", help="list registry entries")
+    p.add_argument("--root", default=None, help="registry root")
+    p.set_defaults(func=cmd_data_list)
+    p = data_sub.add_parser(
+        "verify",
+        help="re-hash every shard file of the named (or all) entries",
+    )
+    p.add_argument("names", nargs="*", help="entries to verify (default: all)")
+    p.add_argument("--root", default=None, help="registry root")
+    p.set_defaults(func=cmd_data_verify)
+    p = data_sub.add_parser(
+        "prune",
+        help="delete entries not leased by a live process; sweep .tmp-* dirs",
+    )
+    p.add_argument("names", nargs="*", help="entries to prune (default: all)")
+    p.add_argument("--root", default=None, help="registry root")
+    p.add_argument(
+        "--force", action="store_true",
+        help="delete even entries leased by live processes",
+    )
+    p.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be deleted without touching disk",
+    )
+    p.set_defaults(func=cmd_data_prune)
 
     p = sub.add_parser("trace", help="inspect JSONL traces written by --trace")
     trace_sub = p.add_subparsers(dest="trace_command", required=True)

@@ -70,6 +70,14 @@ class ObsError(ReproError):
     """A trace/metric artefact is malformed or the tracer was misused."""
 
 
+class StoreError(ReproError):
+    """A sharded dataset store is malformed, missing, or misused."""
+
+
+class StoreCorruptionError(StoreError):
+    """A shard file or manifest fails integrity verification (hash/size)."""
+
+
 class StreamError(ReproError):
     """The streaming audit engine was misconfigured or hit invalid input."""
 

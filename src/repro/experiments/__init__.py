@@ -34,6 +34,7 @@ from repro.experiments.scalability import (
     identification_vs_size,
     remedy_vs_attrs,
     remedy_vs_size,
+    sharded_region_counts,
     speedup_summary,
 )
 from repro.experiments.tradeoff import TradeoffResult, run_tradeoff
@@ -72,6 +73,7 @@ __all__ = [
     "identification_vs_size",
     "remedy_vs_attrs",
     "remedy_vs_size",
+    "sharded_region_counts",
     "speedup_summary",
     "ScalabilityResult",
     "TimingPoint",

@@ -19,6 +19,8 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.ibs import (
     METHOD_NAIVE,
     METHOD_OPTIMIZED,
@@ -28,8 +30,9 @@ from repro.core.ibs import (
 from repro.core.remedy import remedy_dataset
 from repro.core.samplers import MASSAGING, PREFERENTIAL, UNDERSAMPLING
 from repro.data.dataset import Dataset
+from repro.data.store.sharded import ShardedDataset
 from repro.data.synth.adult import SCALABILITY_PROTECTED, load_adult
-from repro.errors import DataError
+from repro.errors import DataError, ExperimentError
 from repro.experiments.reporting import format_table
 from repro.resilience import CellExecutor, CellSpec, register_cell
 
@@ -106,6 +109,78 @@ def _dataset_for(n_rows: int, seed: int) -> Dataset:
     return load_adult(n_rows=n_rows, seed=seed).with_protected(
         SCALABILITY_PROTECTED
     )
+
+
+@register_cell("fig9.shard_counts")
+def shard_counts_cell(
+    store: ShardedDataset, lo: int, hi: int, attrs: Sequence[str]
+) -> dict:
+    """Fig. 9e work unit: partial region counts over shards ``[lo, hi)``.
+
+    ``store`` arrives as a :class:`~repro.data.store.StoreRef` on the
+    process backend, so the worker memory-maps only the shard files in its
+    span — the unit of parallelism is a shard, not the dataset.
+    """
+    start = time.perf_counter()
+    pos, neg, shape = store.shard_region_counts(range(lo, hi), tuple(attrs))
+    seconds = time.perf_counter() - start
+    return {
+        "lo": lo,
+        "hi": hi,
+        "pos": pos.tolist(),
+        "neg": neg.tolist(),
+        "shape": list(shape),
+        "seconds": seconds,
+    }
+
+
+def sharded_region_counts(
+    store: ShardedDataset,
+    attrs: Sequence[str],
+    executor: CellExecutor | None = None,
+    shards_per_cell: int = 1,
+) -> tuple[np.ndarray, np.ndarray, tuple[int, ...]]:
+    """Fan ``region_counts`` out over shard-granular cells and reduce.
+
+    Splits the store's shards into ``shards_per_cell``-sized spans, runs one
+    ``fig9.shard_counts`` cell per span on ``executor`` (in-process or the
+    worker pool — the pool ships the store as a ref, each worker maps only
+    its spans), and sums the partials.  The result is byte-identical to
+    ``store.region_counts(attrs)`` because shard ``bincount``s add exactly.
+    """
+    if shards_per_cell < 1:
+        raise ExperimentError(
+            f"shards_per_cell must be >= 1, got {shards_per_cell}"
+        )
+    executor = executor if executor is not None else CellExecutor()
+    attrs = tuple(attrs)
+    spans = [
+        (lo, min(lo + shards_per_cell, store.n_shards))
+        for lo in range(0, store.n_shards, shards_per_cell)
+    ]
+    specs = [
+        CellSpec(
+            key=("fig9", "9e", f"{lo}-{hi}", ",".join(attrs)),
+            fn_id="fig9.shard_counts",
+            params={"store": store, "lo": lo, "hi": hi, "attrs": attrs},
+        )
+        for lo, hi in spans
+    ]
+    outcomes = executor.run_specs(specs)
+    shape = store.schema.cardinalities(attrs)
+    size = 1
+    for card in shape:
+        size *= card
+    pos = np.zeros(size, dtype=np.int64)
+    neg = np.zeros(size, dtype=np.int64)
+    for (lo, hi), cell in zip(spans, outcomes):
+        if not cell.ok:
+            raise ExperimentError(
+                f"shard span [{lo}, {hi}) failed: {cell.marker}"
+            )
+        pos += np.asarray(cell.value["pos"], dtype=np.int64)
+        neg += np.asarray(cell.value["neg"], dtype=np.int64)
+    return pos, neg, shape
 
 
 @register_cell("fig9.identify_attrs")

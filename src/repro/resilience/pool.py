@@ -63,6 +63,7 @@ from multiprocessing import get_context
 from typing import Callable, Mapping, Sequence
 
 from repro.data.dataset import Dataset
+from repro.data.store.sharded import ShardedDataset
 from repro.errors import (
     CellTimeout,
     InternalError,
@@ -456,7 +457,15 @@ class WorkerPool:
     # -- shared-dataset plane ----------------------------------------------
 
     def _swap_datasets(self, params: Mapping[str, object]) -> dict[str, object]:
-        """Params with every Dataset value replaced by its published ref."""
+        """Params with every dataset value replaced by a shippable handle.
+
+        In-memory :class:`Dataset` values are published once to the shared
+        memory plane and shipped as ``DatasetRef``s; on-disk
+        :class:`~repro.data.store.ShardedDataset` values are shipped as tiny
+        :class:`~repro.data.store.StoreRef`s — workers re-open the store and
+        memory-map only the shards their cells reduce over, so a 10⁷-row
+        sweep never copies the table into every worker.
+        """
         swapped = dict(params)
         for name, value in params.items():
             if isinstance(value, Dataset):
@@ -466,6 +475,8 @@ class WorkerPool:
                     self._dataset_refs[id(value)] = ref
                     self._published.append(value)
                 swapped[name] = ref
+            elif isinstance(value, ShardedDataset):
+                swapped[name] = value.store_ref()
         return swapped
 
     # -- scheduling --------------------------------------------------------

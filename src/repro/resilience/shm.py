@@ -323,21 +323,41 @@ def attach_dataset(ref: DatasetRef) -> Dataset:
 
 
 def detach_all() -> None:
-    """Close every attached segment (worker shutdown; never unlinks)."""
+    """Close every attached segment (worker shutdown; never unlinks).
+
+    Also drops the worker's sharded-store handle cache so no memory-mapped
+    shard outlives the cells that touched it.
+    """
+    from repro.data.store import clear_ref_cache
+
     for segment, _ in _ATTACHED.values():
         try:
             segment.close()
         except BufferError:
             pass  # live views keep the mapping; it dies with the process
     _ATTACHED.clear()
+    clear_ref_cache()
 
 
 def swap_refs(params: Mapping[str, object]) -> dict[str, object]:
-    """Params with every :class:`DatasetRef` value resolved to its dataset."""
-    return {
-        key: attach_dataset(value) if isinstance(value, DatasetRef) else value
-        for key, value in params.items()
-    }
+    """Params with every shipped dataset handle resolved to a dataset.
+
+    :class:`DatasetRef` values attach to their shared-memory segment;
+    :class:`~repro.data.store.StoreRef` values open the on-disk sharded
+    store (per-process cache), so a worker memory-maps only the shards its
+    cells actually reduce over.
+    """
+    from repro.data.store import StoreRef, open_store_ref
+
+    out: dict[str, object] = {}
+    for key, value in params.items():
+        if isinstance(value, DatasetRef):
+            out[key] = attach_dataset(value)
+        elif isinstance(value, StoreRef):
+            out[key] = open_store_ref(value)
+        else:
+            out[key] = value
+    return out
 
 
 __all__ = [

@@ -1,0 +1,37 @@
+"""R015 fixture: sanctioned store I/O and benign lookalikes."""
+
+import numpy as np
+
+from repro.data.store import ShardedDataset, read_manifest
+from repro.data.store.format import load_array
+
+
+def sanctioned_shard_read(path):
+    return load_array(path)
+
+
+def sanctioned_manifest_read(path):
+    return read_manifest(path)
+
+
+def sanctioned_open(path):
+    return ShardedDataset.open(path)
+
+
+def benign_eager_load(path):
+    # Plain np.load without mmap_mode is not shard I/O (checkpoints etc.).
+    return np.load(path, allow_pickle=False)
+
+
+def benign_lookalike_literal():
+    # Not the manifest: a different file name that merely contains it.
+    return "run.manifest.json"
+
+
+def benign_foreign_load(loader, path):
+    # mmap_mode on a non-numpy callable is someone else's API.
+    return loader.load(path, mmap_mode="r")
+
+
+def suppressed(path):
+    return np.load(path, mmap_mode="r")  # repro: ignore[R015]

@@ -1,0 +1,26 @@
+"""R015 fixture: raw shard/manifest I/O outside the store (violations)."""
+
+import numpy
+import numpy as np
+import numpy.lib.format as npformat
+from numpy.lib.format import open_memmap
+
+
+def raw_mmap_load(path):
+    return np.load(path, mmap_mode="r")
+
+
+def raw_mmap_load_canonical(path):
+    return numpy.load(path, mmap_mode="r+", allow_pickle=False)
+
+
+def raw_memmap_create(path):
+    return npformat.open_memmap(path, mode="w+", shape=(4,))
+
+
+def raw_memmap_dotted(path):
+    return np.lib.format.open_memmap(path)
+
+
+def handrolled_manifest(root):
+    return root / "manifest.json"

@@ -237,6 +237,47 @@ class TestR008ProcessPrimitives:
         assert analyzer.analyze_file(repo_src / "resilience" / "shm.py") == []
 
 
+class TestR015StoreIo:
+    def test_fires_on_violation(self):
+        findings = run_rule("R015", "r015_violation.py")
+        assert len(findings) == 6
+        assert rule_ids(findings) == {"R015"}
+        assert sum("open_memmap" in f.message for f in findings) == 3
+        assert sum("mmap_mode" in f.message for f in findings) == 2
+        assert any("manifest.json" in f.message for f in findings)
+        assert all("repro.data.store" in f.message for f in findings)
+
+    def test_silent_on_clean(self):
+        assert run_rule("R015", "r015_clean.py") == []
+
+    def test_store_package_is_exempt(self):
+        analyzer = Analyzer(default_rules(("R015",)))
+        src = "import numpy as np\na = np.load('s.npy', mmap_mode='r')\n"
+        assert analyzer.analyze_source(src, path="src/repro/data/x.py") != []
+        assert (
+            analyzer.analyze_source(src, path="src/repro/data/store/x.py")
+            == []
+        )
+        # The exemption needs the *consecutive* pair, not either name alone.
+        assert (
+            analyzer.analyze_source(src, path="src/other/store/x.py") != []
+        )
+
+    def test_manifest_literal_must_match_exactly(self):
+        analyzer = Analyzer(default_rules(("R015",)))
+        assert analyzer.analyze_source("p = d / 'manifest.json'\n") != []
+        assert analyzer.analyze_source("p = 'run.manifest.json'\n") == []
+
+    def test_own_store_package_is_exempt_and_clean(self):
+        """The store modules mmap and write manifests, but that's their job."""
+        repo_src = FIXTURES.parent.parent.parent / "src" / "repro"
+        analyzer = Analyzer(default_rules(("R015",)))
+        for name in ("format.py", "sharded.py", "registry.py"):
+            assert analyzer.analyze_file(
+                repo_src / "data" / "store" / name
+            ) == []
+
+
 # The whole-program rules fire over assembled mini-projects, not single
 # files; each maps to the fixture project that exercises it.
 _PROJECT_FIXTURE = {

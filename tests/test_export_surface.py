@@ -19,7 +19,12 @@ from repro.analysis import (
     SetIterationRule,
     UnseededRandomnessRule,
 )
-from repro.analysis.rules import BroadExceptRule, ProcessPrimitiveRule
+from repro.analysis.rules import (
+    BroadExceptRule,
+    ProcessPrimitiveRule,
+    STORE_PACKAGE_PARTS,
+    StoreIoRule,
+)
 from repro.data.synth import (
     ADULT_PROTECTED,
     ADULT_SCALABILITY_PROTECTED,
@@ -53,6 +58,13 @@ class TestRuleRegistry:
         ]
         assert list(RULE_CLASSES[: len(per_file)]) == per_file
         assert list(RULE_IDS) == sorted(RULE_IDS)
+
+    def test_r015_is_appended_after_the_pinned_prefix(self):
+        # StoreIoRule is per-file but registered last so the positional
+        # prefix pin above survives; dispatch goes by whole_program flag.
+        assert RULE_CLASSES[-1] is StoreIoRule
+        assert not getattr(StoreIoRule, "whole_program", False)
+        assert STORE_PACKAGE_PARTS == ("data", "store")
 
     def test_every_rule_uses_a_known_severity(self):
         assert SEVERITIES == ("error", "warning")

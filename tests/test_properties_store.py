@@ -1,0 +1,192 @@
+"""Property tests: a sharded dataset is extensionally a Dataset.
+
+Random schemas, row counts, and shard sizes (including one row per shard
+and a single shard covering everything) must make
+:class:`~repro.data.store.ShardedDataset` indistinguishable from the
+in-memory :class:`~repro.data.Dataset` it was built from:
+
+* ``region_counts`` byte-identical — same bytes, dtype and shape — for
+  the full table, a boolean row mask, and explicit row indices;
+* ``identify_ibs`` reports equal under all three neighbourhood engines;
+* random insert/delete/relabel sequences produce equal datasets and
+  equal ``{"pattern", "dpos", "dneg"}`` count deltas at every step;
+* a disk round-trip (write_store -> open) preserves every column bit
+  for bit, and ``remedy_dataset`` runs unmodified on the sharded form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core import identify_ibs, remedy_dataset
+from repro.data import Column, Dataset, Schema, schema_from_domains
+from repro.data.store import ShardedDataset, iter_chunks, write_store
+
+pytestmark = pytest.mark.slow
+
+ENGINES = ("naive", "optimized", "vectorized")
+
+
+@st.composite
+def store_cases(draw):
+    """(dataset, shard_rows): random schema, rows and shard geometry."""
+    n_attrs = draw(st.integers(2, 3))
+    cards = [draw(st.integers(2, 4)) for __ in range(n_attrs)]
+    n_rows = draw(st.integers(1, 80))
+    # shard_rows spans the degenerate geometries: 1 row per shard, a few
+    # rows per shard, and one shard swallowing the whole table.
+    shard_rows = draw(st.sampled_from((1, 2, 3, 7, 13, 200)))
+    seed = draw(st.integers(0, 10_000))
+    with_numeric = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    names = [f"x{i}" for i in range(n_attrs)]
+    domain_schema = schema_from_domains(
+        {n: tuple(f"v{j}" for j in range(c)) for n, c in zip(names, cards)}
+    )
+    columns = {
+        name: rng.integers(0, card, size=n_rows)
+        for name, card in zip(names, cards)
+    }
+    schema = domain_schema
+    if with_numeric:
+        schema = Schema(list(domain_schema) + [Column("score", "numeric")])
+        columns["score"] = rng.normal(size=n_rows)
+    y = rng.integers(0, 2, size=n_rows)
+    dataset = Dataset(schema, columns, y, protected=tuple(names))
+    return dataset, shard_rows
+
+
+def assert_counts_byte_identical(dataset, sharded, attrs, rows=None):
+    pos, neg, shape = dataset.region_counts(attrs, rows=rows)
+    spos, sneg, sshape = sharded.region_counts(attrs, rows=rows)
+    assert sshape == shape
+    assert spos.dtype == pos.dtype and sneg.dtype == neg.dtype
+    assert spos.tobytes() == pos.tobytes()
+    assert sneg.tobytes() == neg.tobytes()
+
+
+class TestRegionCountParity:
+    @settings(max_examples=40, deadline=None)
+    @given(store_cases())
+    def test_full_table_counts(self, case):
+        dataset, shard_rows = case
+        sharded = ShardedDataset.from_dataset(dataset, shard_rows=shard_rows)
+        attrs = dataset.protected
+        assert_counts_byte_identical(dataset, sharded, attrs)
+        # subsets of the protected attributes too
+        assert_counts_byte_identical(dataset, sharded, attrs[:1])
+
+    @settings(max_examples=40, deadline=None)
+    @given(store_cases(), st.integers(0, 10_000))
+    def test_row_subset_counts(self, case, mask_seed):
+        dataset, shard_rows = case
+        sharded = ShardedDataset.from_dataset(dataset, shard_rows=shard_rows)
+        rng = np.random.default_rng(mask_seed)
+        mask = rng.integers(0, 2, size=len(dataset)).astype(bool)
+        attrs = dataset.protected
+        assert_counts_byte_identical(dataset, sharded, attrs, rows=mask)
+        idx = np.flatnonzero(mask)
+        assert_counts_byte_identical(dataset, sharded, attrs, rows=idx)
+
+    @settings(max_examples=25, deadline=None)
+    @given(store_cases())
+    def test_disk_round_trip_counts(self, tmp_path_factory, case):
+        dataset, shard_rows = case
+        path = tmp_path_factory.mktemp("prop") / "store"
+        write_store(path, iter_chunks(dataset, shard_rows), shard_rows)
+        with ShardedDataset.open(path) as sharded:
+            assert len(sharded) == len(dataset)
+            for name in dataset.schema.names:
+                a, b = dataset.column(name), sharded.column(name)
+                assert a.dtype == b.dtype
+                assert np.asarray(a).tobytes() == np.asarray(b).tobytes()
+            assert np.array_equal(sharded.y, dataset.y)
+            assert_counts_byte_identical(dataset, sharded, dataset.protected)
+
+
+class TestIbsParity:
+    @settings(max_examples=15, deadline=None)
+    @given(store_cases(), st.sampled_from((0.2, 0.5)))
+    def test_reports_equal_under_every_engine(self, case, tau_c):
+        dataset, shard_rows = case
+        sharded = ShardedDataset.from_dataset(dataset, shard_rows=shard_rows)
+        for method in ENGINES:
+            expected = identify_ibs(dataset, tau_c, k=2, method=method)
+            actual = identify_ibs(sharded, tau_c, k=2, method=method)
+            assert actual == expected
+
+
+@st.composite
+def delta_sequences(draw):
+    """(dataset, shard_rows, ops): ops stay valid as the length drifts."""
+    dataset, shard_rows = draw(store_cases())
+    n_ops = draw(st.integers(1, 6))
+    ops = []
+    length = len(dataset)
+    for __ in range(n_ops):
+        choices = ["insert", "relabel"] + (["delete"] if length > 1 else [])
+        kind = draw(st.sampled_from(choices))
+        if kind == "insert":
+            values = []
+            for col in dataset.schema:
+                if col.is_categorical:
+                    values.append(draw(st.integers(0, col.cardinality - 1)))
+                else:
+                    values.append(draw(st.floats(-2, 2, allow_nan=False)))
+            ops.append(("insert", {
+                "values": tuple(values),
+                "label": draw(st.integers(0, 1)),
+            }))
+            length += 1
+        elif kind == "delete":
+            ops.append(("delete", {"row": draw(st.integers(0, length - 1))}))
+            length -= 1
+        else:
+            ops.append(("relabel", {
+                "row": draw(st.integers(0, length - 1)),
+                "label": draw(st.integers(0, 1)),
+            }))
+    return dataset, shard_rows, ops
+
+
+class TestDeltaParity:
+    @settings(max_examples=40, deadline=None)
+    @given(delta_sequences())
+    def test_delta_sequences_stay_in_lockstep(self, case):
+        dataset, shard_rows, ops = case
+        sharded = ShardedDataset.from_dataset(dataset, shard_rows=shard_rows)
+        for kind, kwargs in ops:
+            dataset, cell = dataset.apply_delta(kind, **kwargs)
+            sharded, scell = sharded.apply_delta(kind, **kwargs)
+            assert scell["pattern"] == cell["pattern"]
+            assert np.array_equal(scell["dpos"], cell["dpos"])
+            assert np.array_equal(scell["dneg"], cell["dneg"])
+            assert len(sharded) == len(dataset)
+            assert np.array_equal(sharded.y, dataset.y)
+            for name in dataset.schema.names:
+                assert np.array_equal(
+                    sharded.column(name), dataset.column(name)
+                )
+            assert_counts_byte_identical(
+                dataset, sharded, dataset.protected
+            )
+
+
+class TestRemedyParity:
+    @settings(max_examples=8, deadline=None)
+    @given(store_cases(), st.sampled_from((0.2, 0.5)))
+    def test_remedy_runs_unmodified_and_agrees(self, case, tau_c):
+        dataset, shard_rows = case
+        assume(dataset.n_positive > 0 and dataset.n_negative > 0)
+        sharded = ShardedDataset.from_dataset(dataset, shard_rows=shard_rows)
+        expected = remedy_dataset(dataset, tau_c, k=2, seed=3)
+        actual = remedy_dataset(sharded, tau_c, k=2, seed=3)
+        assert len(actual.updates) == len(expected.updates)
+        assert actual.initial_ibs == expected.initial_ibs
+        assert np.array_equal(actual.dataset.y, expected.dataset.y)
+        for name in dataset.schema.names:
+            assert np.array_equal(
+                actual.dataset.column(name), expected.dataset.column(name)
+            )
