@@ -1,6 +1,6 @@
 # Development workflow shortcuts.
 
-.PHONY: install test lint lint-strict ci bench bench-full bench-ibs bench-pool bench-stream bench-data examples experiments-smoke chaos stream-chaos data-chaos report clean
+.PHONY: install test lint lint-strict ci bench bench-full bench-ibs bench-pool bench-stream bench-data bench-serve examples experiments-smoke chaos stream-chaos data-chaos serve-chaos report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -16,13 +16,18 @@ lint:
 	PYTHONPATH=src python -m repro.analysis src/repro \
 		--baseline analysis-baseline.json --cache .analysis-cache.json
 
-# No baseline, no cache: the resilience / obs subsystems must be clean
-# outright (inline `# repro: ignore[...]` suppressions only).  Run by the
-# CI chaos stage.  R014 is excluded because dead-export detection is
-# meaningless on a subsystem slice — the consumers live elsewhere.
+# No baseline, no cache: the resilience / obs / serve subsystems must be
+# clean outright (inline `# repro: ignore[...]` suppressions only).  Run
+# by the CI chaos and serve-chaos stages.  R014 is excluded because
+# dead-export detection is meaningless on a subsystem slice — the
+# consumers live elsewhere; serve additionally carries R015/R016 (its
+# fetch tier must delegate store IO, and it is the only package allowed
+# raw sockets).
 lint-strict:
 	PYTHONPATH=src python -m repro.analysis src/repro/resilience src/repro/obs \
 		--rules R001,R002,R003,R004,R005,R006,R007,R008,R009,R010,R011,R012,R013
+	PYTHONPATH=src python -m repro.analysis src/repro/serve \
+		--rules R001,R002,R003,R004,R005,R006,R007,R008,R009,R010,R011,R012,R013,R015,R016
 
 ci:
 	PYTHONPATH=src python scripts/ci.py
@@ -61,6 +66,14 @@ bench-stream:
 bench-data:
 	PYTHONPATH=src python scripts/bench_data.py
 
+# Same re-baseline contract, for the serving front: the seeded workload
+# through a real localhost gateway vs the direct write path, plus an
+# 8-producer overload phase against 2 admission slots, overwriting
+# BENCH_serve.json.  The gateway_over_direct floor scripts/check_bench.py
+# enforces is absolute — only the throughput/latency are re-baselined.
+bench-serve:
+	PYTHONPATH=src python scripts/bench_serve.py
+
 examples:
 	for f in examples/*.py; do echo "== $$f"; PYTHONPATH=src python $$f || exit 1; done
 
@@ -86,6 +99,14 @@ stream-chaos:
 # orphan), and a live lease must pin its entry against prune.
 data-chaos:
 	PYTHONPATH=src python -m repro.data.chaos
+
+# Audit-gateway chaos drills: SIGKILL mid-ingest (restart + client retry
+# must converge with zero acked-but-lost batches), SIGKILL mid-fetch (no
+# torn store, no .tmp-* orphans), a crash between remedy journalling and
+# the ack, and a SIGTERM drain — every drill ends in a byte-identical
+# replay digest.
+serve-chaos:
+	PYTHONPATH=src python -m repro.serve.chaos
 
 report:
 	PYTHONPATH=src python examples/regenerate_report.py REPORT.md

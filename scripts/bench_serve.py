@@ -1,0 +1,267 @@
+"""Measure gateway ingest throughput vs direct StreamService, and shed latency.
+
+Three phases, one seeded workload:
+
+* **direct** — the same micro-batches ingested straight into a
+  :class:`~repro.stream.service.StreamService` (journal fsyncs included);
+  the comparator that isolates what the HTTP front costs;
+* **gateway** — the batches POSTed through a real
+  :class:`~repro.serve.gateway.AuditGateway` on localhost by one producer:
+  ``gateway_deltas_per_sec`` / ``gateway_rps``, and their ratio to the
+  direct run as ``gateway_over_direct``;
+* **overload** — more producers than admission slots hammer a small
+  gateway; every batch still lands (the client retries 429s on jittered
+  backoff), and the record keeps the p95 wall time of a successful ingest
+  *including* its shed-and-retry rounds (``shed_p95_seconds``) plus how
+  many requests were shed (``shed_requests`` — zero would mean the phase
+  never actually exercised admission control).
+
+``scripts/check_bench.py --kind serve`` guards the committed
+``BENCH_serve.json``: ``gateway_deltas_per_sec`` may not fall by more
+than the tolerance (default 50% — raw seconds are machine-sensitive),
+``shed_p95_seconds`` may not rise past 3x baseline (scheduling noise
+dominates the overload phase; the gate is for retry storms, not jitter),
+while ``gateway_over_direct`` has an
+**absolute** floor: an HTTP front that keeps less than 10% of the direct
+write path's throughput has stopped being a thin front.
+
+Re-baselining: after an intentional serving change, run ``make
+bench-serve`` on a quiet machine (it overwrites ``BENCH_serve.json`` in
+place) and commit the refreshed file.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_serve.py              # overwrite baseline
+    PYTHONPATH=src python scripts/bench_serve.py --output /tmp/serve.json
+    PYTHONPATH=src python scripts/bench_serve.py --rows 20000     # quick look
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+BASELINE = REPO_ROOT / "BENCH_serve.json"
+
+BENCH_ROWS = 100_000
+BATCH_ROWS = 500
+SEED = 13
+
+#: Overload phase: producers vs admission slots, and batches per producer.
+OVERLOAD_PRODUCERS = 8
+OVERLOAD_ADMISSION = 2
+OVERLOAD_BATCHES_EACH = 25
+OVERLOAD_BATCH_ROWS = 50
+
+
+def make_config():
+    from repro.data.schema import Column, Schema
+    from repro.stream.journal import StreamConfig
+
+    schema = Schema(
+        [
+            Column("age", "categorical", ("<30", ">=30")),
+            Column("race", "categorical", ("a", "b", "c")),
+            Column("sex", "categorical", ("f", "m")),
+        ]
+    )
+    return StreamConfig(
+        schema=schema, protected=("age", "race", "sex"), tau_c=0.1, k=30
+    )
+
+
+def make_batches(rows: int, batch_rows: int, seed: int = SEED):
+    """Seeded insert-only micro-batches (order-independent: multi-producer safe)."""
+    from repro.stream.deltas import InsertDelta
+
+    rng = np.random.default_rng(seed)
+    batches = []
+    for b in range(rows // batch_rows):
+        deltas = []
+        for __ in range(batch_rows):
+            cell = (
+                int(rng.integers(0, 2)),
+                int(rng.integers(0, 3)),
+                int(rng.integers(0, 2)),
+            )
+            p_pos = 0.75 if cell[1] == 0 else 0.45
+            deltas.append(
+                InsertDelta(values=cell, label=int(rng.random() < p_pos))
+            )
+        batches.append((f"b{b:06d}", deltas))
+    return batches
+
+
+def bench_direct(tmp: str, batches) -> float:
+    """Deltas/sec straight into the StreamService — no HTTP."""
+    from repro.stream.service import StreamService
+
+    service = StreamService.create(os.path.join(tmp, "direct"), make_config())
+    try:
+        start = time.perf_counter()
+        service.ingest(batches)
+        elapsed = time.perf_counter() - start
+    finally:
+        service.close()
+    return sum(len(d) for __, d in batches) / elapsed
+
+
+def start_gateway(tmp: str, name: str, admission_limit: int = 8):
+    from repro.serve.gateway import AuditGateway, GatewayConfig
+    from repro.stream.service import StreamService
+
+    service = StreamService.create(os.path.join(tmp, name), make_config())
+    gateway = AuditGateway(
+        service, config=GatewayConfig(admission_limit=admission_limit)
+    )
+    gateway.start()
+    return gateway
+
+
+def bench_gateway(tmp: str, batches) -> tuple[float, float]:
+    """(deltas/sec, requests/sec) through the HTTP front, one producer."""
+    from repro.serve.client import GatewayClient
+
+    gateway = start_gateway(tmp, "gateway")
+    try:
+        host, port = gateway.address
+        client = GatewayClient(host, port)
+        start = time.perf_counter()
+        for batch_id, deltas in batches:
+            client.ingest(batch_id, deltas)
+        elapsed = time.perf_counter() - start
+    finally:
+        gateway.stop()
+    n_deltas = sum(len(d) for __, d in batches)
+    return n_deltas / elapsed, len(batches) / elapsed
+
+
+def bench_overload(tmp: str) -> dict:
+    """p95 successful-ingest wall time with producers >> admission slots."""
+    from repro.resilience import RetryPolicy
+    from repro.serve.client import GatewayClient
+
+    gateway = start_gateway(
+        tmp, "overload", admission_limit=OVERLOAD_ADMISSION
+    )
+    latencies: list[list[float]] = [[] for __ in range(OVERLOAD_PRODUCERS)]
+    try:
+        host, port = gateway.address
+
+        def producer(p: int) -> None:
+            # Constant-delay jittered polling: geometric backoff would blow
+            # past the bench budget once contention forces many retries.
+            client = GatewayClient(
+                host, port,
+                retry=RetryPolicy(
+                    max_attempts=500, base_delay=0.005,
+                    backoff_factor=1.0, jitter=0.5, seed=p,
+                ),
+            )
+            rows = OVERLOAD_BATCHES_EACH * OVERLOAD_BATCH_ROWS
+            for batch_id, deltas in make_batches(
+                rows, OVERLOAD_BATCH_ROWS, seed=100 + p
+            ):
+                start = time.perf_counter()
+                client.ingest(f"p{p}-{batch_id}", deltas)
+                latencies[p].append(time.perf_counter() - start)
+
+        threads = [
+            threading.Thread(target=producer, args=(p,), daemon=True)
+            for p in range(OVERLOAD_PRODUCERS)
+        ]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+        shed = gateway._shed
+        acked = gateway._acked
+    finally:
+        gateway.stop()
+    flat = np.asarray([s for per in latencies for s in per])
+    return {
+        "producers": OVERLOAD_PRODUCERS,
+        "admission_limit": OVERLOAD_ADMISSION,
+        "acked_under_load": int(acked),
+        "shed_requests": int(shed),
+        "shed_p50_seconds": round(float(np.percentile(flat, 50)), 6),
+        "shed_p95_seconds": round(float(np.percentile(flat, 95)), 6),
+        "overload_seconds": round(elapsed, 3),
+    }
+
+
+def run_bench(rows: int, batch_rows: int) -> dict:
+    batches = make_batches(rows, batch_rows)
+    n_deltas = sum(len(d) for __, d in batches)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        print(f"  direct: {n_deltas:,} deltas ...", flush=True)
+        direct = bench_direct(tmp, batches)
+        print(f"  direct: {direct:,.0f} deltas/s", flush=True)
+        gateway_dps, gateway_rps = bench_gateway(tmp, batches)
+        print(
+            f"  gateway: {gateway_dps:,.0f} deltas/s "
+            f"({gateway_rps:,.1f} req/s)",
+            flush=True,
+        )
+        overload = bench_overload(tmp)
+        print(
+            f"  overload: {overload['shed_requests']} shed, "
+            f"p95 {overload['shed_p95_seconds']}s",
+            flush=True,
+        )
+    return {
+        "rows": rows,
+        "batch_rows": batch_rows,
+        "n_deltas": n_deltas,
+        "direct_deltas_per_sec": round(direct, 1),
+        "gateway_deltas_per_sec": round(gateway_dps, 1),
+        "gateway_rps": round(gateway_rps, 2),
+        "gateway_over_direct": round(gateway_dps / direct, 4),
+        **overload,
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rows", type=int, default=BENCH_ROWS,
+        help=f"rows through each of direct/gateway (default {BENCH_ROWS:,})",
+    )
+    parser.add_argument(
+        "--batch-rows", type=int, default=BATCH_ROWS,
+        help=f"deltas per micro-batch (default {BATCH_ROWS:,})",
+    )
+    parser.add_argument(
+        "--output", default=str(BASELINE),
+        help="where to write the record (default: overwrite the baseline)",
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"serving {args.rows:,} rows in {args.batch_rows:,}-delta batches "
+        "through the gateway",
+        flush=True,
+    )
+    record = run_bench(args.rows, args.batch_rows)
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"record written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,9 +22,15 @@ Runs the repository's quality gates in order, fail-fast::
                        materialize, lease pinning), then the hypothesis
                        property suite proving sharded == in-memory byte
                        for byte
+    serve-chaos        the audit gateway's process-level drills: strict
+                       no-baseline lint of the serve package (R015 and
+                       R016 included), then SIGKILL mid-ingest and
+                       mid-fetch, a remedy crash, and a SIGTERM drain —
+                       every drill must converge to a byte-identical
+                       replay with zero acked-but-lost batches
     examples           every script in examples/ end to end
-    bench-regression   fresh IBS + pool + stream + data benchmarks vs the
-                       committed baselines
+    bench-regression   fresh IBS + pool + stream + data + serve benchmarks
+                       vs the committed baselines
 
 Each stage runs as a subprocess with ``PYTHONPATH=src`` and is timed through
 a :mod:`repro.obs` span; the run ends with a per-stage status table and a
@@ -57,7 +63,11 @@ PYTHON = sys.executable
 
 
 def stage_commands(
-    bench_json: str, pool_json: str, stream_json: str, data_json: str
+    bench_json: str,
+    pool_json: str,
+    stream_json: str,
+    data_json: str,
+    serve_json: str,
 ) -> list[tuple[str, list[list[str]]]]:
     """The ordered CI stages; each is (name, list of argv to run in order)."""
     return [
@@ -118,6 +128,27 @@ def stage_commands(
             ],
         ),
         (
+            "serve-chaos",
+            [
+                # Strict lint first: the serving front must be clean
+                # outright, including R015 (its fetch tier hands all store
+                # reads/writes to the store package) and R016 (it is the
+                # one place raw sockets are allowed — the rule checks the
+                # rest of the tree, this run proves the package itself
+                # carries no unrelated findings).  R014 is excluded for
+                # the usual slice reason.
+                [PYTHON, "-m", "repro.analysis", "src/repro/serve",
+                 "--rules",
+                 "R001,R002,R003,R004,R005,R006,R007,R008,"
+                 "R009,R010,R011,R012,R013,R015,R016"],
+                # SIGKILL mid-ingest and mid-fetch, a remedy crash, and a
+                # SIGTERM drain — restart + client retry must converge to
+                # a byte-identical replay with zero acked-but-lost batches
+                # and no .tmp-* orphans.
+                [PYTHON, "-m", "repro.serve.chaos"],
+            ],
+        ),
+        (
             "examples",
             [[PYTHON, str(path)] for path in sorted(
                 (REPO_ROOT / "examples").glob("*.py")
@@ -145,6 +176,13 @@ def stage_commands(
                  "--output", data_json],
                 [PYTHON, "scripts/check_bench.py", data_json,
                  "--kind", "data"],
+                # Reduced-rows again; the overload phase (the shed-latency
+                # metric) and the overhead-ratio floor are row-count
+                # invariant.
+                [PYTHON, "scripts/bench_serve.py", "--rows", "20000",
+                 "--output", serve_json],
+                [PYTHON, "scripts/check_bench.py", serve_json,
+                 "--kind", "serve"],
             ],
         ),
     ]
@@ -184,7 +222,10 @@ def main(argv: list[str] | None = None) -> int:
     pool_json = os.path.join(tmpdir, "pool.json")
     stream_json = os.path.join(tmpdir, "stream.json")
     data_json = os.path.join(tmpdir, "data.json")
-    stages = stage_commands(bench_json, pool_json, stream_json, data_json)
+    serve_json = os.path.join(tmpdir, "serve.json")
+    stages = stage_commands(
+        bench_json, pool_json, stream_json, data_json, serve_json
+    )
     if args.stages:
         wanted = [s.strip() for s in args.stages.split(",") if s.strip()]
         known = {name for name, _ in stages}

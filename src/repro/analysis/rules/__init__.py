@@ -1,8 +1,9 @@
 """Repo-specific analysis rules and their registry.
 
-Two tiers: per-file rules R001–R008 and R015 run through the AST-walking
-engine, one file at a time; whole-program rules R009–R014 run once over
-the assembled project model (see :mod:`repro.analysis.rules.wholeprog`).
+Two tiers: per-file rules R001–R008, R015, and R016 run through the
+AST-walking engine, one file at a time; whole-program rules R009–R014 run
+once over the assembled project model (see
+:mod:`repro.analysis.rules.wholeprog`).
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ from repro.analysis.rules.defaults import MutableDefaultRule
 from repro.analysis.rules.exceptions import BroadExceptRule
 from repro.analysis.rules.imports import SANCTIONED_PACKAGES, ForbiddenImportRule
 from repro.analysis.rules.iteration import RESULT_SUBPACKAGES, SetIterationRule
+from repro.analysis.rules.netio import SERVE_SUBPACKAGE, NetIoRule
 from repro.analysis.rules.processes import PROCESS_SUBPACKAGE, ProcessPrimitiveRule
 from repro.analysis.rules.randomness import SEEDABLE_CONSTRUCTORS, UnseededRandomnessRule
 from repro.analysis.rules.storeio import STORE_PACKAGE_PARTS, StoreIoRule
@@ -45,10 +47,11 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     ObsInertnessRule,
     ImportCycleRule,
     DeadExportRule,
-    # R015 sits after the whole-program block so the per-file R001–R008
+    # R015/R016 sit after the whole-program block so the per-file R001–R008
     # prefix (pinned by tests/test_export_surface.py) stays untouched;
     # dispatch is by the ``whole_program`` flag, not position.
     StoreIoRule,
+    NetIoRule,
 )
 
 RULE_IDS: tuple[str, ...] = tuple(cls.rule_id for cls in RULE_CLASSES)
@@ -85,7 +88,9 @@ __all__ = [
     "ImportCycleRule",
     "DeadExportRule",
     "StoreIoRule",
+    "NetIoRule",
     "STORE_PACKAGE_PARTS",
+    "SERVE_SUBPACKAGE",
     "PROCESS_SUBPACKAGE",
     "SANCTIONED_PACKAGES",
     "SEEDABLE_CONSTRUCTORS",

@@ -1,0 +1,146 @@
+"""R016 — raw network / HTTP primitives outside ``repro.serve``.
+
+The serving front's fault contract — typed :class:`~repro.errors.TransportError`
+on every wire fault, the stable status-code taxonomy, deterministic
+retry/backoff, idempotency keys, sha256-verified fetch — only holds if every
+byte on the wire flows through :mod:`repro.serve`.  A raw ``socket``, a bare
+``http.client.HTTPConnection``, a hand-rolled ``urllib.request.urlopen`` or a
+second ``ThreadingHTTPServer`` bypasses all of it: untyped ``OSError``\\ s leak
+into result paths, responses are consumed without integrity checks, and
+retries stop being deterministic.  So outside a ``repro/serve`` path the rule
+flags every spelling of the four primitive modules:
+
+* ``import socket`` / ``from socket import ...``;
+* ``http.client`` and ``http.server`` (including ``from http.server import
+  ThreadingHTTPServer`` and ``from http import client``);
+* ``urllib.request`` (including ``from urllib import request``);
+* dotted attribute access reaching those submodules through a tracked
+  alias (``import http as h`` then ``h.client.HTTPConnection``).
+
+``from http import HTTPStatus`` and other non-wire members stay legal.
+Module aliases are tracked per file, matching R008/R015.  Sanctioned
+replacements: :class:`repro.serve.GatewayClient` for outbound requests,
+:class:`repro.serve.AuditGateway` for serving.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import FileContext, Finding, Rule, SEVERITY_ERROR
+
+#: The only subpackage allowed to touch raw sockets and HTTP primitives.
+SERVE_SUBPACKAGE = "serve"
+
+#: Modules whose import (or aliased attribute access) is flagged, with the
+#: sanctioned serve-layer replacement named in the message.
+_FORBIDDEN_MODULES = {
+    "socket": "repro.serve.GatewayClient / AuditGateway",
+    "http.client": "repro.serve.GatewayClient",
+    "http.server": "repro.serve.AuditGateway",
+    "urllib.request": "repro.serve.GatewayClient",
+}
+
+#: Parent modules whose flagged submodules can be reached by attribute or
+#: ``from parent import child``: parent -> {child name}.
+_FORBIDDEN_CHILDREN = {
+    "http": {"client", "server"},
+    "urllib": {"request"},
+}
+
+
+def _forbidden_prefix(dotted: str) -> str | None:
+    """The forbidden module ``dotted`` is or starts with, if any."""
+    for module in _FORBIDDEN_MODULES:
+        if dotted == module or dotted.startswith(module + "."):
+            return module
+    return None
+
+
+class NetIoRule(Rule):
+    """Flag raw socket/HTTP usage outside ``repro.serve``."""
+
+    rule_id = "R016"
+    description = (
+        "network primitives (socket, http.client, http.server, "
+        "urllib.request) are reserved for repro.serve — use GatewayClient "
+        "and AuditGateway"
+    )
+    severity = SEVERITY_ERROR
+    interests = (ast.Import, ast.ImportFrom, ast.Attribute)
+
+    def begin_file(self, ctx: FileContext) -> None:
+        """Reset the per-file module-alias table."""
+        # bound name -> canonical module ("http" / "urllib" / "socket" ...)
+        self._module_aliases: dict[str, str] = {}
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.in_subpackage(SERVE_SUBPACKAGE):
+            return
+        if isinstance(node, ast.Import):
+            yield from self._visit_import(node, ctx)
+        elif isinstance(node, ast.ImportFrom):
+            yield from self._visit_import_from(node, ctx)
+        elif isinstance(node, ast.Attribute):
+            yield from self._visit_attribute(node, ctx)
+
+    def _flag(self, ctx: FileContext, node: ast.AST, what: str, module: str):
+        return self.finding(
+            ctx,
+            node,
+            f"{what} outside repro.serve; raw network I/O bypasses the typed "
+            f"transport errors, retry policy, and integrity checks — use "
+            f"{_FORBIDDEN_MODULES[module]} instead",
+        )
+
+    def _visit_import(self, node: ast.Import, ctx: FileContext) -> Iterable[Finding]:
+        for alias in node.names:
+            module = _forbidden_prefix(alias.name)
+            if module is not None:
+                yield self._flag(ctx, node, f"import of {alias.name}", module)
+                continue
+            if alias.name in _FORBIDDEN_CHILDREN:
+                # ``import http`` is benign by itself; track the binding so
+                # ``http.client.HTTPConnection`` attribute use is caught.
+                self._module_aliases[alias.asname or alias.name] = alias.name
+
+    def _visit_import_from(
+        self, node: ast.ImportFrom, ctx: FileContext
+    ) -> Iterable[Finding]:
+        if node.level or node.module is None:
+            return
+        module = _forbidden_prefix(node.module)
+        if module is not None:
+            names = ", ".join(alias.name for alias in node.names)
+            yield self._flag(
+                ctx, node, f"import of {names} from {node.module}", module
+            )
+            return
+        children = _FORBIDDEN_CHILDREN.get(node.module)
+        if not children:
+            return
+        for alias in node.names:
+            if alias.name in children:
+                child = f"{node.module}.{alias.name}"
+                yield self._flag(ctx, node, f"import of {child}", child)
+
+    def _visit_attribute(
+        self, node: ast.Attribute, ctx: FileContext
+    ) -> Iterable[Finding]:
+        parts: list[str] = []
+        value: ast.AST = node
+        while isinstance(value, ast.Attribute):
+            parts.append(value.attr)
+            value = value.value
+        if not isinstance(value, ast.Name):
+            return
+        root = self._module_aliases.get(value.id)
+        if root is None:
+            return
+        dotted = ".".join([root, *reversed(parts)])
+        # Exact-submodule match only: in ``h.client.HTTPConnection`` the
+        # engine also visits the inner ``h.client`` node, so matching the
+        # prefix there (and only there) reports each chain exactly once.
+        if dotted in _FORBIDDEN_MODULES:
+            yield self._flag(ctx, node, f"use of {dotted}", dotted)

@@ -33,9 +33,20 @@ Commands
               file against its manifest, and ``data prune`` deletes
               entries not leased by a live process and sweeps orphaned
               ``.tmp-*`` directories (see ``docs/datasets.md``);
-``analyze``   run the repo's static-analysis rules (per-file R001–R008 plus
-              whole-program R009–R015) over Python sources, gated by an
-              optional baseline file and sped up by an incremental cache;
+``serve``     run the fault-tolerant audit gateway: an HTTP front over a
+              stream directory (multi-producer ingest with admission
+              control, deadlines, and idempotent acks) and, optionally, a
+              dataset registry (verified shard fetch) with remedy-on-drift
+              behind a circuit breaker (see ``docs/serving.md``);
+``client``    talk to a running gateway with typed, deterministic retries:
+              ``client ingest`` submits a batches file idempotently,
+              ``client fetch`` installs a dataset store with client-side
+              sha256 verification, ``client health`` prints the health
+              document;
+``analyze``   run the repo's static-analysis rules (per-file R001–R008 and
+              R015–R016 plus whole-program R009–R014) over Python sources,
+              gated by an optional baseline file and sped up by an
+              incremental cache;
 ``trace``     inspect observability artefacts: ``trace summarize`` renders
               the span tree, top-k table, and metric totals of a JSONL
               trace written with ``--trace`` (see ``docs/observability.md``).
@@ -541,11 +552,17 @@ def cmd_stream_ingest(args: argparse.Namespace) -> int:
 
 
 def cmd_stream_status(args: argparse.Namespace) -> int:
+    from repro.serve.protocol import canonical_json_bytes
     from repro.stream.service import StreamService
 
     service, report = StreamService.open(args.directory, allow_empty=False)
     try:
         status = service.status()
+        if args.json:
+            # Machine form: exactly the gateway health endpoint's "stream"
+            # document, canonical encoding, no recovery prose.
+            sys.stdout.buffer.write(canonical_json_bytes(status))
+            return 0
         print(f"recovery: {report.describe()}")
         rows = [
             (key, status[key])
@@ -732,8 +749,13 @@ def cmd_data_materialize(args: argparse.Namespace) -> int:
 
 def cmd_data_list(args: argparse.Namespace) -> int:
     from repro.data.store import Registry
+    from repro.serve.protocol import canonical_json_bytes, registry_payload
 
     registry = Registry(args.root)
+    if args.json:
+        # Machine form: exactly the gateway's GET /datasets document.
+        sys.stdout.buffer.write(canonical_json_bytes(registry_payload(registry)))
+        return EXIT_OK
     rows = []
     for name, manifest in registry.entries():
         nbytes = sum(
@@ -795,6 +817,91 @@ def cmd_data_prune(args: argparse.Namespace) -> int:
         print(f"{'would sweep' if args.dry_run else 'swept'} {tmp}")
     if not any((report["removed"], report["kept"], report["swept"])):
         print("nothing to prune")
+    return EXIT_OK
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.data.store import Registry
+    from repro.serve.gateway import AuditGateway, GatewayConfig
+    from repro.serve.protocol import canonical_json_bytes
+    from repro.serve.remedy import RemedyController, RemedyPolicy
+    from repro.stream.chaos import chaos_hook_from_env
+    from repro.stream.service import StreamService
+
+    service, report = StreamService.open(
+        args.directory, allow_empty=True, chaos_hook=chaos_hook_from_env()
+    )
+    registry = Registry(args.registry) if args.registry else None
+    controller = None
+    if args.remedy:
+        controller = RemedyController(
+            service,
+            RemedyPolicy(budget=args.remedy_budget, seed=args.remedy_seed),
+        )
+    gateway = AuditGateway(
+        service,
+        registry=registry,
+        config=GatewayConfig(
+            host=args.host,
+            port=args.port,
+            admission_limit=args.admission_limit,
+            deadline_seconds=args.deadline,
+        ),
+        controller=controller,
+    )
+    host, port = gateway.address
+    # Ready line: one JSON document with the bound address (port 0 resolves
+    # here), so wrappers can parse it and know the gateway is accepting.
+    sys.stdout.buffer.write(
+        canonical_json_bytes(
+            {"host": host, "port": port, "recovery": report.describe()}
+        )
+    )
+    sys.stdout.flush()
+    gateway.run()  # returns after a SIGTERM/SIGINT-triggered drain
+    print("drained")
+    return EXIT_OK
+
+
+def _gateway_client(args: argparse.Namespace):
+    from repro.resilience import RetryPolicy
+    from repro.serve.client import GatewayClient
+
+    retry = RetryPolicy(
+        max_attempts=args.retries, base_delay=args.backoff, jitter=0.5
+    )
+    return GatewayClient(args.host, args.port, retry=retry)
+
+
+def cmd_client_health(args: argparse.Namespace) -> int:
+    from repro.serve.protocol import canonical_json_bytes
+
+    sys.stdout.buffer.write(canonical_json_bytes(_gateway_client(args).health()))
+    return EXIT_OK
+
+
+def cmd_client_ingest(args: argparse.Namespace) -> int:
+    from repro.stream.service import read_batches_file
+
+    client = _gateway_client(args)
+    fresh = duplicate = 0
+    for batch_id, deltas in read_batches_file(args.batches):
+        ack = client.ingest(batch_id, deltas, deadline=args.deadline)
+        if ack["duplicate"]:
+            duplicate += 1
+        else:
+            fresh += 1
+    print(
+        f"acked {fresh + duplicate} batches ({duplicate} duplicate) "
+        f"against {args.host}:{args.port}"
+    )
+    return EXIT_OK
+
+
+def cmd_client_fetch(args: argparse.Namespace) -> int:
+    client = _gateway_client(args)
+    dest = client.fetch_dataset(args.name, args.dest)
+    print(f"fetched {args.name} into {dest} (sha256-verified)")
     return EXIT_OK
 
 
@@ -1074,6 +1181,11 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="recover the journal and print watermark/row/alarm counts"
     )
     p.add_argument("directory", help="initialised stream directory")
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the status as one canonical JSON document "
+        "(byte-identical to the gateway health endpoint's 'stream' field)",
+    )
     p.set_defaults(func=cmd_stream_status)
     p = stream_sub.add_parser(
         "replay", help="rebuild the audited state from the journal and print it"
@@ -1138,6 +1250,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_data_materialize)
     p = data_sub.add_parser("list", help="list registry entries")
     p.add_argument("--root", default=None, help="registry root")
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the listing as one canonical JSON document "
+        "(byte-identical to the gateway's GET /datasets)",
+    )
     p.set_defaults(func=cmd_data_list)
     p = data_sub.add_parser(
         "verify",
@@ -1161,6 +1278,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="report what would be deleted without touching disk",
     )
     p.set_defaults(func=cmd_data_prune)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant audit gateway over a stream directory "
+        "(see docs/serving.md)",
+    )
+    p.add_argument("directory", help="initialised stream directory to front")
+    p.add_argument(
+        "--registry", default=None,
+        help="also serve the dataset registry at this root (GET /datasets)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=0,
+        help="port to bind (default 0: ephemeral; the bound port is printed "
+        "in the ready line)",
+    )
+    p.add_argument(
+        "--admission-limit", dest="admission_limit", type=int, default=8,
+        help="concurrent ingest requests admitted before shedding with 429",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=10.0,
+        help="default + ceiling for the per-request ingest deadline (seconds)",
+    )
+    p.add_argument(
+        "--remedy", action="store_true",
+        help="remedy-on-drift: journal an automated massaging remedy batch "
+        "when new alarms raise (circuit-broken, budget-limited)",
+    )
+    p.add_argument(
+        "--remedy-budget", dest="remedy_budget", type=int, default=8,
+        help="max automated remedy batches this server will journal",
+    )
+    p.add_argument(
+        "--remedy-seed", dest="remedy_seed", type=int, default=0,
+        help="base seed for the remedy sampler (combined with the watermark)",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "client", help="talk to a running audit gateway (retrying client)"
+    )
+    client_sub = p.add_subparsers(dest="client_command", required=True)
+
+    def _client_common(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument("--host", default="127.0.0.1")
+        cp.add_argument("--port", type=int, required=True)
+        cp.add_argument(
+            "--retries", type=int, default=5,
+            help="attempts per request (transport faults and 429/503/504)",
+        )
+        cp.add_argument(
+            "--backoff", type=float, default=0.05,
+            help="base backoff delay in seconds (exponential, jittered)",
+        )
+
+    p = client_sub.add_parser("health", help="print GET /health (canonical JSON)")
+    _client_common(p)
+    p.set_defaults(func=cmd_client_health)
+    p = client_sub.add_parser(
+        "ingest",
+        help="submit a batches JSONL file through the gateway, idempotently",
+    )
+    p.add_argument("batches", help="JSONL file (same format as stream ingest)")
+    _client_common(p)
+    p.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request deadline to ask of the server (seconds)",
+    )
+    p.set_defaults(func=cmd_client_ingest)
+    p = client_sub.add_parser(
+        "fetch",
+        help="download a dataset store, verify every sha256, install atomically",
+    )
+    p.add_argument("name", help="registry entry name on the server")
+    p.add_argument("dest", help="local root directory to install under")
+    _client_common(p)
+    p.set_defaults(func=cmd_client_fetch)
 
     p = sub.add_parser("trace", help="inspect JSONL traces written by --trace")
     trace_sub = p.add_subparsers(dest="trace_command", required=True)

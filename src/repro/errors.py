@@ -94,5 +94,29 @@ class BackpressureError(StreamError):
     """The bounded ingestion queue is full; the producer must back off."""
 
 
+class ServeError(ReproError):
+    """The serving gateway was misconfigured or a request is invalid."""
+
+
+class AdmissionError(ServeError):
+    """The gateway shed a request: too many in flight (load shedding)."""
+
+
+class RequestDeadlineError(ServeError):
+    """A request could not be served within its per-request deadline."""
+
+
+class CircuitOpenError(ServeError):
+    """The remedy circuit breaker is open; automated remedies are paused."""
+
+
+class DrainingError(ServeError):
+    """The gateway is draining (shutdown requested); retry elsewhere/later."""
+
+
+class TransportError(ServeError):
+    """An HTTP round trip failed at the transport layer (connect, read)."""
+
+
 class InternalError(ReproError):
     """An internal invariant was violated; indicates a bug in the library."""

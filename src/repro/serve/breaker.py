@@ -1,0 +1,131 @@
+"""Deterministic circuit breaker for supervised automated actions.
+
+The classic three-state machine — with one twist that matters for this
+repo's byte-identity story: the open-state cooldown is counted in **denied
+calls**, not wall-clock seconds.  R009 keeps wall-clock out of result
+paths, and a breaker that reopens "after 30s" makes every chaos drill and
+property test timing-dependent.  Counting denials instead gives the same
+protection (the caller backs off between calls anyway) while making every
+transition a pure function of the call/outcome sequence:
+
+* **closed** — calls flow; ``failure_threshold`` *consecutive* failures
+  trip the breaker open (one success resets the streak);
+* **open** — calls are denied; after ``probe_after`` denials the breaker
+  moves to half-open;
+* **half-open** — exactly one probe call is allowed; success closes the
+  breaker, failure re-opens it (cooldown restarts).
+
+:meth:`CircuitBreaker.allow` answers "may this call proceed?" and advances
+the cooldown; the caller reports the outcome with
+:meth:`~CircuitBreaker.record_success` / :meth:`~CircuitBreaker.record_failure`.
+:meth:`~CircuitBreaker.guard` raises a typed
+:class:`~repro.errors.CircuitOpenError` instead, for call sites that want
+the taxonomy to do the talking.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CircuitOpenError, ServeError
+from repro.obs import trace as obs
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a denial-counted cooldown."""
+
+    def __init__(self, failure_threshold: int = 3, probe_after: int = 2):
+        if failure_threshold < 1:
+            raise ServeError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if probe_after < 1:
+            raise ServeError(f"probe_after must be >= 1, got {probe_after}")
+        self.failure_threshold = failure_threshold
+        self.probe_after = probe_after
+        self.state = BREAKER_CLOSED
+        self.consecutive_failures = 0
+        self._denials_left = 0
+        self._probe_in_flight = False
+        self.total_successes = 0
+        self.total_failures = 0
+        self.total_denied = 0
+
+    # -- gate -------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether the next call may proceed; advances the open cooldown."""
+        if self.state == BREAKER_CLOSED:
+            return True
+        if self.state == BREAKER_OPEN:
+            self._denials_left -= 1
+            self.total_denied += 1
+            if self._denials_left <= 0:
+                self._transition(BREAKER_HALF_OPEN)
+            return False
+        # half-open: admit exactly one probe at a time.
+        if self._probe_in_flight:
+            self.total_denied += 1
+            return False
+        self._probe_in_flight = True
+        return True
+
+    def guard(self) -> None:
+        """Raise :class:`~repro.errors.CircuitOpenError` unless a call may
+        proceed (typed form of :meth:`allow` for the status taxonomy)."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"remedy circuit breaker is {self.state} after "
+                f"{self.consecutive_failures} consecutive failure(s); "
+                f"probe in {max(self._denials_left, 0)} denial(s)"
+            )
+
+    # -- outcomes ---------------------------------------------------------------
+    def record_success(self) -> None:
+        """A permitted call succeeded; half-open probes close the breaker."""
+        self.total_successes += 1
+        self.consecutive_failures = 0
+        if self.state == BREAKER_HALF_OPEN:
+            self._probe_in_flight = False
+            self._transition(BREAKER_CLOSED)
+
+    def record_failure(self) -> None:
+        """A permitted call failed; trips or re-opens the breaker."""
+        self.total_failures += 1
+        self.consecutive_failures += 1
+        if self.state == BREAKER_HALF_OPEN:
+            self._probe_in_flight = False
+            self._open()
+        elif (
+            self.state == BREAKER_CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._open()
+
+    def _open(self) -> None:
+        self._denials_left = self.probe_after
+        self._transition(BREAKER_OPEN)
+
+    def _transition(self, state: str) -> None:
+        obs.event("serve.breaker", state=state, failures=self.total_failures)
+        self.state = state
+
+    # -- introspection ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe state for the health endpoint and the chaos oracle."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "total_successes": self.total_successes,
+            "total_failures": self.total_failures,
+            "total_denied": self.total_denied,
+        }
+
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+    "CircuitBreaker",
+]

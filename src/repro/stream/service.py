@@ -61,6 +61,7 @@ class StreamService:
         self.chaos_hook = chaos_hook
         self._queue: deque[tuple[str, list[Delta]]] = deque()
         self._dead_seq = len(self.log.dead_letters())
+        self._n_outstanding = len(self.log.outstanding_dead_letters())
 
     # -- lifecycle ---------------------------------------------------------------
     @classmethod
@@ -171,7 +172,9 @@ class StreamService:
                 "status": DEAD_QUARANTINED,
             }
         )
+        self._n_outstanding += 1
         obs.count("stream.quarantined_deltas")
+        obs.gauge_set("stream.dead_letter_depth", self._n_outstanding)
 
     def retry_dead_letters(self) -> dict[str, int]:
         """Re-validate quarantined deltas against the *current* state.
@@ -184,6 +187,9 @@ class StreamService:
         of a delta that did not apply.
         """
         outcome = {"requeued": 0, "dead": 0, "requarantined": 0}
+        obs.gauge_set(
+            "stream.dead_letter_retry_budget", self.log.config.retry_budget
+        )
         retried: list[Delta] = []
         for entry in self.log.outstanding_dead_letters():
             delta = delta_from_record(entry["delta"])
@@ -210,6 +216,10 @@ class StreamService:
                 self.log.append_dead_letter({**entry, "status": DEAD_REQUEUED})
                 retried.append(delta)
                 outcome["requeued"] += 1
+        self._n_outstanding -= outcome["requeued"] + outcome["dead"]
+        for status, n in outcome.items():
+            obs.count(f"stream.dead_letters_{status}", n)
+        obs.gauge_set("stream.dead_letter_depth", self._n_outstanding)
         if retried:
             retry_id = f"retry-{self.auditor.watermark}-{self._dead_seq}"
             if self.submit(retry_id, retried):

@@ -227,6 +227,16 @@ class StreamState:
             state._alive[row_id] = True
         return state
 
+    def alive_row_ids(self) -> np.ndarray:
+        """Stable ids of the alive rows, in id order.
+
+        Position ``i`` of this array is the row id behind row ``i`` of
+        :meth:`materialize`'s dataset — the mapping the remedy-on-drift
+        controller uses to translate a positional label diff back into
+        :class:`~repro.stream.deltas.RelabelDelta` targets.
+        """
+        return np.flatnonzero(self._alive[: self._n]).astype(np.int64)
+
     def materialize(self) -> Dataset:
         """The alive rows as an immutable :class:`Dataset` (id order).
 

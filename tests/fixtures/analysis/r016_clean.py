@@ -1,0 +1,13 @@
+"""R016 fixture: no raw network I/O (clean)."""
+
+import json
+from http import HTTPStatus
+from pathlib import Path
+
+
+def status_phrase(code):
+    return HTTPStatus(code).phrase
+
+
+def read_config(path):
+    return json.loads(Path(path).read_text())

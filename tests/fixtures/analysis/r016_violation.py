@@ -1,0 +1,19 @@
+"""R016 fixture: raw network/HTTP primitives outside repro.serve (violations)."""
+
+import socket
+import http.client
+import urllib.request
+import http
+import urllib
+from http.server import ThreadingHTTPServer
+from http import client
+from urllib import request
+from socket import create_connection
+
+
+def raw_connection(host):
+    return http.client.HTTPConnection(host)
+
+
+def raw_urlopen(url):
+    return urllib.request.urlopen(url)

@@ -278,6 +278,40 @@ class TestR015StoreIo:
             ) == []
 
 
+class TestR016NetIo:
+    def test_fires_on_violation(self):
+        findings = run_rule("R016", "r016_violation.py")
+        assert len(findings) == 9
+        assert rule_ids(findings) == {"R016"}
+        assert any("import of socket" in f.message for f in findings)
+        assert any("ThreadingHTTPServer" in f.message for f in findings)
+        assert any("http.client" in f.message for f in findings)
+        assert any("urllib.request" in f.message for f in findings)
+        assert any("use of http.client" in f.message for f in findings)
+        assert all("repro.serve" in f.message for f in findings)
+
+    def test_silent_on_clean(self):
+        assert run_rule("R016", "r016_clean.py") == []
+
+    def test_serve_subpackage_is_exempt(self):
+        analyzer = Analyzer(default_rules(("R016",)))
+        src = "import socket\n"
+        assert analyzer.analyze_source(src, path="src/repro/stream/x.py") != []
+        assert analyzer.analyze_source(src, path="src/repro/serve/x.py") == []
+
+    def test_non_wire_http_members_are_legal(self):
+        analyzer = Analyzer(default_rules(("R016",)))
+        assert analyzer.analyze_source("from http import HTTPStatus\n") == []
+        assert analyzer.analyze_source("import http\nx = http.HTTPStatus.OK\n") == []
+
+    def test_self_application_is_clean(self):
+        """The serve package itself (the sanctioned user) passes the rule."""
+        repo_src = FIXTURES.parent.parent.parent / "src" / "repro"
+        analyzer = Analyzer(default_rules(("R016",)))
+        for name in ("gateway.py", "client.py", "chaos.py", "protocol.py"):
+            assert analyzer.analyze_file(repo_src / "serve" / name) == []
+
+
 # The whole-program rules fire over assembled mini-projects, not single
 # files; each maps to the fixture project that exercises it.
 _PROJECT_FIXTURE = {

@@ -46,7 +46,7 @@ def test_json_report_is_clean_and_well_formed():
     assert rc == EXIT_CLEAN
     assert payload["summary"]["new"] == 0
     assert payload["findings"] == []
-    assert len(payload["rules"]) == 15
+    assert len(payload["rules"]) == 16
     assert {r["tier"] for r in payload["rules"]} == {"file", "project"}
 
 

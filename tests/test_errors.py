@@ -5,12 +5,15 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import (
+    AdmissionError,
     AnalysisError,
     BackpressureError,
     CellTimeout,
     CheckpointError,
+    CircuitOpenError,
     DataError,
     DeltaError,
+    DrainingError,
     ExperimentError,
     FitError,
     InternalError,
@@ -19,9 +22,12 @@ from repro.errors import (
     PatternError,
     RemedyError,
     ReproError,
+    RequestDeadlineError,
     ResilienceError,
     SchemaError,
+    ServeError,
     StreamError,
+    TransportError,
 )
 
 LEAF_TYPES = (
@@ -41,6 +47,12 @@ LEAF_TYPES = (
     JournalError,
     DeltaError,
     BackpressureError,
+    ServeError,
+    AdmissionError,
+    RequestDeadlineError,
+    CircuitOpenError,
+    DrainingError,
+    TransportError,
 )
 
 
@@ -69,6 +81,21 @@ def test_stream_errors_share_one_base():
     with pytest.raises(StreamError):
         raise JournalError("sha chain broken")
     assert not issubclass(JournalError, DeltaError)
+
+
+def test_serve_errors_share_one_base():
+    for exc_type in (
+        AdmissionError,
+        RequestDeadlineError,
+        CircuitOpenError,
+        DrainingError,
+        TransportError,
+    ):
+        assert issubclass(exc_type, ServeError)
+    with pytest.raises(ServeError):
+        raise AdmissionError("shed")
+    assert not issubclass(ServeError, StreamError)
+    assert not issubclass(AdmissionError, BackpressureError)
 
 
 def test_not_fitted_is_a_fit_error():

@@ -21,7 +21,9 @@ from repro.analysis import (
 )
 from repro.analysis.rules import (
     BroadExceptRule,
+    NetIoRule,
     ProcessPrimitiveRule,
+    SERVE_SUBPACKAGE,
     STORE_PACKAGE_PARTS,
     StoreIoRule,
 )
@@ -59,12 +61,16 @@ class TestRuleRegistry:
         assert list(RULE_CLASSES[: len(per_file)]) == per_file
         assert list(RULE_IDS) == sorted(RULE_IDS)
 
-    def test_r015_is_appended_after_the_pinned_prefix(self):
-        # StoreIoRule is per-file but registered last so the positional
-        # prefix pin above survives; dispatch goes by whole_program flag.
-        assert RULE_CLASSES[-1] is StoreIoRule
+    def test_r015_r016_are_appended_after_the_pinned_prefix(self):
+        # StoreIoRule / NetIoRule are per-file but registered last so the
+        # positional prefix pin above survives; dispatch goes by the
+        # whole_program flag.
+        assert RULE_CLASSES[-2] is StoreIoRule
+        assert RULE_CLASSES[-1] is NetIoRule
         assert not getattr(StoreIoRule, "whole_program", False)
+        assert not getattr(NetIoRule, "whole_program", False)
         assert STORE_PACKAGE_PARTS == ("data", "store")
+        assert SERVE_SUBPACKAGE == "serve"
 
     def test_every_rule_uses_a_known_severity(self):
         assert SEVERITIES == ("error", "warning")

@@ -15,7 +15,11 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core import identify_ibs, remedy_dataset
 from repro.data import Dataset, schema_from_domains
+from repro.data.schema import Column, Schema
 from repro.obs import Tracer, tracing
+from repro.stream.deltas import DeleteDelta, InsertDelta
+from repro.stream.journal import StreamConfig
+from repro.stream.service import StreamService
 
 
 @st.composite
@@ -76,6 +80,80 @@ class TestTracingIsInert:
             identify_ibs(biased_dataset, 0.3, k=10)
         assert len(first.spans) == len(second.spans)
         assert first.metric_totals() == second.metric_totals()
+
+
+class TestStreamObsInert:
+    """The stream gauges/counters observe the write path without touching it."""
+
+    @staticmethod
+    def _run_workload(directory, tracer=None):
+        schema = Schema(
+            [
+                Column("a", "categorical", ("a0", "a1")),
+                Column("b", "categorical", ("b0", "b1", "b2")),
+            ]
+        )
+        config = StreamConfig(
+            schema=schema, protected=("a", "b"), tau_c=0.1, k=2, retry_budget=1
+        )
+        batches = [
+            # b0 carries one poison delta (delete of a row that never
+            # existed) so the quarantine and retry paths both exercise.
+            ("b0", [InsertDelta(values=(0, 0), label=1), DeleteDelta(row=50)]),
+            ("b1", [InsertDelta(values=(1, 1), label=0)]),
+            ("b1", [InsertDelta(values=(1, 1), label=0)]),  # duplicate
+            ("b2", [InsertDelta(values=(0, 2), label=1)]),
+        ]
+
+        def run():
+            service = StreamService.create(directory, config)
+            service.ingest(batches)
+            outcome = service.retry_dead_letters()
+            status = service.status()
+            # Journal manifests carry a wall-clock ``ts`` whose repr length
+            # varies run to run, so raw segment bytes (and the byte count in
+            # ``generation_bytes``) are not a valid cross-run oracle; the
+            # committed content — record types, batch ids, deltas — is.
+            status.pop("generation_bytes")
+            journal = [
+                (
+                    record.type,
+                    {
+                        key: value
+                        for key, value in record.payload.items()
+                        if key != "manifest"
+                    },
+                )
+                for record in service.log.records()
+            ]
+            dead = service.log.deadletter_path.read_bytes()
+            service.close()
+            return outcome, status, journal, dead
+
+        if tracer is None:
+            return run()
+        with tracing(tracer):
+            return run()
+
+    def test_stream_ingest_identical_on_vs_off(self, tmp_path):
+        plain = self._run_workload(tmp_path / "plain")
+        tracer = Tracer()
+        traced = self._run_workload(tmp_path / "traced", tracer)
+        # Outcome dict, status snapshot, and both on-disk journals are
+        # byte-identical: the instrumentation changed nothing.
+        assert traced == plain
+        # ... and the gauges/counters the service exports were recorded.
+        totals = tracer.metric_totals()
+        assert totals["stream.queue_depth"] == 0
+        assert totals["stream.quarantined_deltas"] == 1
+        assert totals["stream.duplicate_batches"] == 1
+        assert totals["stream.dead_letter_depth"] == 0
+        assert totals["stream.dead_letter_retry_budget"] == 1
+        # The poison delete stays invalid, so the single budget unit burns
+        # straight to dead: no requeue, no requarantine.
+        assert totals["stream.dead_letters_dead"] == 1
+        assert totals["stream.dead_letters_requeued"] == 0
+        assert totals["stream.dead_letters_requarantined"] == 0
 
 
 class TestCliByteIdentical:

@@ -1,0 +1,196 @@
+"""Circuit breaker: deterministic transitions, and the supervised-remedy
+property — under a permanently faulty remedy engine the breaker opens
+within its failure budget, the auditor keeps serving reads, and no partial
+remedy ever reaches the journal.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pattern import Pattern
+from repro.data.schema import Column, Schema
+from repro.errors import CircuitOpenError, RemedyError, ServeError
+from repro.serve.breaker import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
+from repro.serve.remedy import (
+    REMEDY_FAILED,
+    REMEDY_IDLE,
+    REMEDY_OPEN,
+    RemedyController,
+    RemedyPolicy,
+)
+from repro.stream.deltas import InsertDelta
+from repro.stream.journal import StreamConfig
+from repro.stream.monitor import ALARM_CLEAR, ALARM_RAISE, AlarmEvent
+from repro.stream.service import StreamService
+
+
+class TestTransitions:
+    def test_closed_allows_and_consecutive_failures_trip(self):
+        breaker = CircuitBreaker(failure_threshold=3, probe_after=2)
+        for __ in range(2):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+
+    def test_a_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.consecutive_failures == 1
+
+    def test_open_denies_then_half_opens_after_probe_after_denials(self):
+        breaker = CircuitBreaker(failure_threshold=1, probe_after=3)
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        for __ in range(3):
+            assert not breaker.allow()
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.total_denied == 3
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = CircuitBreaker(failure_threshold=1, probe_after=1)
+        breaker.record_failure()
+        assert not breaker.allow()  # consumes the cooldown
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # a second caller is denied
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_probe_failure_reopens_with_a_fresh_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, probe_after=2)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.allow()  # half-open probe
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.state == BREAKER_HALF_OPEN
+
+    def test_guard_raises_the_typed_error(self):
+        breaker = CircuitBreaker(failure_threshold=1, probe_after=5)
+        breaker.guard()  # closed: silent
+        breaker.record_failure()
+        with pytest.raises(CircuitOpenError, match="open"):
+            breaker.guard()
+
+    def test_snapshot_is_json_safe(self):
+        breaker = CircuitBreaker()
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap == {
+            "state": BREAKER_CLOSED,
+            "consecutive_failures": 1,
+            "total_successes": 0,
+            "total_failures": 1,
+            "total_denied": 0,
+        }
+
+    def test_invalid_parameters_raise_typed(self):
+        with pytest.raises(ServeError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ServeError, match="probe_after"):
+            CircuitBreaker(probe_after=0)
+
+
+def make_service(directory) -> StreamService:
+    schema = Schema(
+        [
+            Column("a", "categorical", ("a0", "a1")),
+            Column("b", "categorical", ("b0", "b1")),
+        ]
+    )
+    config = StreamConfig(schema=schema, protected=("a", "b"), tau_c=0.1, k=2)
+    service = StreamService.create(directory, config)
+    service.ingest(
+        [("seed", [InsertDelta(values=(0, 0), label=1),
+                   InsertDelta(values=(1, 1), label=0)])]
+    )
+    return service
+
+
+def raise_event() -> AlarmEvent:
+    return AlarmEvent(ALARM_RAISE, 1, Pattern([("a", 0)]), 0.5)
+
+
+class TestSupervisedRemedyProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        failure_threshold=st.integers(1, 4),
+        probe_after=st.integers(1, 3),
+        rounds=st.integers(1, 30),
+    )
+    def test_permanent_faults_trip_the_breaker_within_budget(
+        self, tmp_path_factory, failure_threshold, probe_after, rounds
+    ):
+        directory = tmp_path_factory.mktemp("breaker") / "s"
+        service = make_service(directory)
+        digest_before = service.auditor.digest()
+
+        def permanently_broken():
+            raise RemedyError("remedy engine is down")
+
+        controller = RemedyController(
+            service,
+            policy=RemedyPolicy(
+                failure_threshold=failure_threshold, probe_after=probe_after
+            ),
+            remedy_fn=permanently_broken,
+        )
+        outcomes = [
+            controller.on_alarms([raise_event()]) for __ in range(rounds)
+        ]
+
+        # The first `failure_threshold` attempts run (and fail); the breaker
+        # is open from then on, admitting only half-open probes.
+        statuses = [o["status"] for o in outcomes]
+        assert set(statuses) <= {REMEDY_FAILED, REMEDY_OPEN}
+        failed = statuses.count(REMEDY_FAILED)
+        assert statuses[:failure_threshold] == [REMEDY_FAILED] * min(
+            rounds, failure_threshold
+        )
+        if rounds > failure_threshold:
+            assert controller.breaker.state in (BREAKER_OPEN, BREAKER_HALF_OPEN)
+            # Post-trip, at most one probe failure per (probe_after + 1)
+            # calls: the engine is never hammered.
+            post_trip = rounds - failure_threshold
+            max_probes = -(-post_trip // (probe_after + 1))  # ceil
+            assert failed <= failure_threshold + max_probes
+
+        # Nothing was applied, nothing journalled: reads are untouched.
+        assert controller.applied == 0
+        assert service.auditor.digest() == digest_before
+        journalled = [
+            record.payload["id"]
+            for record in service.log.records()
+            if record.type == "batch"
+        ]
+        assert journalled == ["seed"]
+        # The auditor keeps serving reads while the breaker is open.
+        status = service.status()
+        assert status["watermark"] == 1
+        assert status["n_alive"] == 2
+        service.close()
+
+    def test_clears_and_silence_never_touch_the_breaker(self, tmp_path):
+        service = make_service(tmp_path / "s")
+        controller = RemedyController(
+            service, remedy_fn=lambda: pytest.fail("must not be called")
+        )
+        clear = AlarmEvent(ALARM_CLEAR, 1, Pattern([("a", 0)]), 0.01)
+        assert controller.on_alarms([]) == {"status": REMEDY_IDLE}
+        assert controller.on_alarms([clear]) == {"status": REMEDY_IDLE}
+        assert controller.breaker.snapshot()["total_failures"] == 0
+        service.close()

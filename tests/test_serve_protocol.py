@@ -1,0 +1,116 @@
+"""Wire protocol of the gateway: status taxonomy and canonical JSON.
+
+The taxonomy test is deliberately exhaustive *in both directions*: every
+error class ``repro.errors`` defines must map to exactly one status code,
+and every mapped class must exist in ``repro.errors``.  Adding an error
+class without deciding its HTTP status fails here, before any client sees
+an unclassified 500.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    AdmissionError,
+    BackpressureError,
+    DrainingError,
+    ReproError,
+    StoreError,
+)
+from repro.serve.protocol import (
+    RETRYABLE_STATUSES,
+    STATUS_BY_ERROR,
+    canonical_json_bytes,
+    error_payload,
+    status_for,
+    status_table,
+)
+
+
+def exported_error_types() -> list[type]:
+    """Every ReproError subclass the errors module defines (incl. the base)."""
+    return [
+        obj
+        for name, obj in sorted(vars(errors).items())
+        if inspect.isclass(obj)
+        and issubclass(obj, ReproError)
+        and obj.__module__ == errors.__name__
+        and not name.startswith("_")
+    ]
+
+
+class TestStatusTaxonomy:
+    def test_every_exported_error_maps_to_exactly_one_status(self):
+        exported = exported_error_types()
+        missing = [t.__name__ for t in exported if t not in STATUS_BY_ERROR]
+        assert missing == [], f"unmapped error classes: {missing}"
+        # ... and nothing in the table points outside the errors module.
+        stale = [
+            t.__name__ for t in STATUS_BY_ERROR if t not in set(exported)
+        ]
+        assert stale == [], f"mapped classes not exported: {stale}"
+
+    def test_statuses_are_valid_http_codes(self):
+        for klass, code in STATUS_BY_ERROR.items():
+            assert 400 <= code <= 599, (klass.__name__, code)
+
+    @pytest.mark.parametrize("exc_type", exported_error_types())
+    def test_status_for_uses_the_direct_mapping(self, exc_type):
+        assert status_for(exc_type("x")) == STATUS_BY_ERROR[exc_type]
+
+    def test_unmapped_subclass_resolves_through_the_mro(self):
+        class FutureAdmissionError(AdmissionError):
+            pass
+
+        assert status_for(FutureAdmissionError("x")) == STATUS_BY_ERROR[
+            AdmissionError
+        ]
+
+    def test_non_repro_exceptions_are_a_500(self):
+        assert status_for(ValueError("x")) == 500
+        assert status_for(KeyError("x")) == 500
+
+    def test_retryable_statuses_mean_transient(self):
+        # Shed, draining, deadline: same request may succeed later.
+        assert status_for(AdmissionError("x")) in RETRYABLE_STATUSES
+        assert status_for(BackpressureError("x")) in RETRYABLE_STATUSES
+        assert status_for(DrainingError("x")) in RETRYABLE_STATUSES
+        # A missing dataset will stay missing: not retryable.
+        assert status_for(StoreError("x")) not in RETRYABLE_STATUSES
+
+    def test_status_table_covers_the_whole_taxonomy(self):
+        table = status_table()
+        assert table == sorted(table)
+        assert len(table) == len(STATUS_BY_ERROR)
+        assert ("AdmissionError", 429) in table
+
+
+class TestErrorPayload:
+    def test_payload_carries_type_message_and_retryability(self):
+        payload = error_payload(AdmissionError("too many producers"))
+        assert payload == {
+            "error": "AdmissionError",
+            "message": "too many producers",
+            "retryable": True,
+            "status": 429,
+        }
+
+    def test_non_retryable_payload(self):
+        payload = error_payload(StoreError("no such dataset"))
+        assert payload["status"] == 404
+        assert payload["retryable"] is False
+
+
+class TestCanonicalJson:
+    def test_sorted_keys_fixed_separators_trailing_newline(self):
+        out = canonical_json_bytes({"b": 1, "a": [2, {"z": 0, "y": 1}]})
+        assert out == b'{"a":[2,{"y":1,"z":0}],"b":1}\n'
+
+    def test_key_insertion_order_is_irrelevant(self):
+        left = canonical_json_bytes({"a": 1, "b": 2})
+        right = canonical_json_bytes({"b": 2, "a": 1})
+        assert left == right

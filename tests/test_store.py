@@ -551,6 +551,23 @@ class TestDataCli:
         assert main(["data", "prune", "adult-small", "--root", root]) == 0
         assert Registry(root).names() == []
 
+    def test_list_json_is_byte_stable_registry_payload(
+        self, tmp_path, capsysbinary
+    ):
+        from repro.serve.protocol import canonical_json_bytes, registry_payload
+
+        root = str(tmp_path / "reg")
+        assert main([
+            "data", "materialize", "adult-small", "--root", root,
+            "--rows", "50", "--shard-rows", "20", "--seed", "3",
+        ]) == 0
+        capsysbinary.readouterr()
+        assert main(["data", "list", "--root", root, "--json"]) == 0
+        first = capsysbinary.readouterr().out
+        assert main(["data", "list", "--root", root, "--json"]) == 0
+        assert capsysbinary.readouterr().out == first
+        assert first == canonical_json_bytes(registry_payload(Registry(root)))
+
     def test_verify_failure_is_exit_2_and_names_file(self, tmp_path, capsys):
         root = str(tmp_path / "reg")
         main([

@@ -121,6 +121,23 @@ class TestInspection:
         assert "watermark" in out and "n_alive" in out
         assert "digest " in out
 
+    def test_status_json_is_byte_stable_canonical_json(self, ingested, capsysbinary):
+        from repro.serve.protocol import canonical_json_bytes
+        from repro.stream.service import StreamService
+
+        assert main(["stream", "status", str(ingested), "--json"]) == EXIT_OK
+        first = capsysbinary.readouterr().out
+        assert main(["stream", "status", str(ingested), "--json"]) == EXIT_OK
+        assert capsysbinary.readouterr().out == first
+        # The bytes are exactly the canonical encoding of service.status().
+        service, __ = StreamService.open(ingested)
+        expected = canonical_json_bytes(service.status())
+        service.close()
+        assert first == expected
+        payload = json.loads(first)
+        assert list(payload) == sorted(payload)  # key order pinned
+        assert payload["watermark"] == 2
+
     def test_replay_is_deterministic(self, ingested, capsys):
         capsys.readouterr()
         assert main(["stream", "replay", str(ingested)]) == EXIT_OK
